@@ -1,0 +1,245 @@
+#include "bench_common.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/stopwatch.h"
+#include "common/strings.h"
+#include "mvsc/amgl.h"
+#include "mvsc/baselines.h"
+#include "mvsc/coreg.h"
+#include "mvsc/mlan.h"
+#include "mvsc/multi_nmf.h"
+#include "mvsc/mvkkm.h"
+#include "mvsc/two_stage.h"
+#include "mvsc/unified.h"
+
+namespace umvsc::bench {
+
+namespace {
+
+template <typename Result>
+MethodRun Wrap(const std::string& name, double seconds,
+               StatusOr<Result> result,
+               std::vector<std::size_t> Result::* labels_member) {
+  MethodRun run;
+  run.method = name;
+  run.seconds = seconds;
+  if (result.ok()) {
+    run.ok = true;
+    run.labels = std::move((*result).*labels_member);
+  } else {
+    run.error = result.status().ToString();
+  }
+  return run;
+}
+
+MethodRun WrapLabels(const std::string& name, double seconds,
+                     StatusOr<std::vector<std::size_t>> result) {
+  MethodRun run;
+  run.method = name;
+  run.seconds = seconds;
+  if (result.ok()) {
+    run.ok = true;
+    run.labels = std::move(*result);
+  } else {
+    run.error = result.status().ToString();
+  }
+  return run;
+}
+
+}  // namespace
+
+std::vector<MethodRun> RunAllMethods(const data::MultiViewDataset& dataset,
+                                     const mvsc::MultiViewGraphs& graphs,
+                                     std::size_t num_clusters,
+                                     std::uint64_t seed) {
+  std::vector<MethodRun> runs;
+  Stopwatch watch;
+
+  {
+    watch.Reset();
+    mvsc::UnifiedOptions options;
+    options.num_clusters = num_clusters;
+    options.seed = seed;
+    auto r = mvsc::UnifiedMVSC(options).Run(graphs);
+    runs.push_back(Wrap("UMVSC (ours)", watch.ElapsedSeconds(), std::move(r),
+                        &mvsc::UnifiedResult::labels));
+  }
+  {
+    watch.Reset();
+    mvsc::TwoStageOptions options;
+    options.num_clusters = num_clusters;
+    options.seed = seed;
+    auto r = mvsc::TwoStageMVSC(graphs, options);
+    runs.push_back(Wrap("Two-stage", watch.ElapsedSeconds(), std::move(r),
+                        &mvsc::TwoStageResult::labels));
+  }
+  {
+    watch.Reset();
+    mvsc::AmglOptions options;
+    options.num_clusters = num_clusters;
+    options.seed = seed;
+    auto r = mvsc::Amgl(graphs, options);
+    runs.push_back(Wrap("AMGL", watch.ElapsedSeconds(), std::move(r),
+                        &mvsc::AmglResult::labels));
+  }
+  {
+    watch.Reset();
+    mvsc::CoRegOptions options;
+    options.num_clusters = num_clusters;
+    options.seed = seed;
+    auto r = mvsc::CoRegSpectral(graphs, options);
+    runs.push_back(Wrap("Co-Reg-c", watch.ElapsedSeconds(), std::move(r),
+                        &mvsc::CoRegResult::labels));
+  }
+  {
+    watch.Reset();
+    mvsc::CoRegOptions options;
+    options.num_clusters = num_clusters;
+    options.mode = mvsc::CoRegMode::kPairwise;
+    options.seed = seed;
+    auto r = mvsc::CoRegSpectral(graphs, options);
+    runs.push_back(Wrap("Co-Reg-p", watch.ElapsedSeconds(), std::move(r),
+                        &mvsc::CoRegResult::labels));
+  }
+  {
+    watch.Reset();
+    mvsc::MlanOptions options;
+    options.num_clusters = num_clusters;
+    options.seed = seed;
+    auto r = mvsc::Mlan(dataset, options);
+    runs.push_back(Wrap("MLAN", watch.ElapsedSeconds(), std::move(r),
+                        &mvsc::MlanResult::labels));
+  }
+  {
+    watch.Reset();
+    mvsc::MvkkmOptions options;
+    options.num_clusters = num_clusters;
+    options.seed = seed;
+    auto r = mvsc::MultiViewKernelKMeans(dataset, options);
+    runs.push_back(Wrap("MVKKM", watch.ElapsedSeconds(), std::move(r),
+                        &mvsc::MvkkmResult::labels));
+  }
+  {
+    watch.Reset();
+    mvsc::MultiNmfOptions options;
+    options.num_clusters = num_clusters;
+    options.seed = seed;
+    auto r = mvsc::MultiViewNmf(dataset, options);
+    runs.push_back(Wrap("MultiNMF", watch.ElapsedSeconds(), std::move(r),
+                        &mvsc::MultiNmfResult::labels));
+  }
+
+  mvsc::BaselineOptions base;
+  base.num_clusters = num_clusters;
+  base.seed = seed;
+  {
+    watch.Reset();
+    auto per_view = mvsc::PerViewSpectral(graphs, base);
+    MethodRun run;
+    run.method = "SC-best";
+    run.seconds = watch.ElapsedSeconds();
+    if (per_view.ok() && !dataset.labels.empty()) {
+      double best_acc = -1.0;
+      for (auto& labels : *per_view) {
+        auto acc = eval::ClusteringAccuracy(labels, dataset.labels);
+        if (acc.ok() && *acc > best_acc) {
+          best_acc = *acc;
+          run.labels = labels;
+        }
+      }
+      run.ok = best_acc >= 0.0;
+    } else if (!per_view.ok()) {
+      run.error = per_view.status().ToString();
+    }
+    runs.push_back(std::move(run));
+  }
+  {
+    watch.Reset();
+    runs.push_back(WrapLabels("Graph-avg SC", watch.ElapsedSeconds(),
+                              mvsc::KernelAdditionSC(graphs, base)));
+  }
+  {
+    watch.Reset();
+    runs.push_back(WrapLabels("SC-concat", watch.ElapsedSeconds(),
+                              mvsc::ConcatFeatureSC(dataset, base)));
+  }
+  {
+    watch.Reset();
+    runs.push_back(WrapLabels("Ensemble-SC", watch.ElapsedSeconds(),
+                              mvsc::EnsembleSC(graphs, base)));
+  }
+  {
+    watch.Reset();
+    runs.push_back(WrapLabels("KM-concat", watch.ElapsedSeconds(),
+                              mvsc::ConcatKMeans(dataset, base)));
+  }
+  return runs;
+}
+
+MetricStats Aggregate(const std::vector<double>& values) {
+  MetricStats stats;
+  if (values.empty()) return stats;
+  for (double v : values) stats.mean += v;
+  stats.mean /= static_cast<double>(values.size());
+  double var = 0.0;
+  for (double v : values) var += (v - stats.mean) * (v - stats.mean);
+  stats.stddev = std::sqrt(var / static_cast<double>(values.size()));
+  return stats;
+}
+
+MethodSummary Summarize(const std::string& method,
+                        const std::vector<std::vector<std::size_t>>& predictions,
+                        const std::vector<std::vector<std::size_t>>& truths,
+                        const std::vector<double>& seconds) {
+  std::vector<double> acc, nmi, purity, ari, fscore;
+  for (std::size_t s = 0; s < predictions.size(); ++s) {
+    auto scores = eval::ScoreClustering(predictions[s], truths[s]);
+    if (!scores.ok()) continue;
+    acc.push_back(scores->accuracy);
+    nmi.push_back(scores->nmi);
+    purity.push_back(scores->purity);
+    ari.push_back(scores->ari);
+    fscore.push_back(scores->f_score);
+  }
+  MethodSummary summary;
+  summary.method = method;
+  summary.acc = Aggregate(acc);
+  summary.nmi = Aggregate(nmi);
+  summary.purity = Aggregate(purity);
+  summary.ari = Aggregate(ari);
+  summary.fscore = Aggregate(fscore);
+  summary.seconds = Aggregate(seconds);
+  return summary;
+}
+
+BenchConfig ParseBenchArgs(int argc, char** argv) {
+  BenchConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--scale=", 8) == 0) {
+      config.scale = std::strtod(arg + 8, nullptr);
+    } else if (std::strncmp(arg, "--seeds=", 8) == 0) {
+      config.seeds = static_cast<std::size_t>(std::strtoull(arg + 8, nullptr, 10));
+    } else if (std::strncmp(arg, "--base-seed=", 12) == 0) {
+      config.base_seed = std::strtoull(arg + 12, nullptr, 10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--scale=S] [--seeds=N] [--base-seed=B]\n"
+                   "  scale in (0,1] shrinks the simulated benchmarks;\n"
+                   "  1.0 reproduces the published dataset statistics.\n",
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+  return config;
+}
+
+std::string FormatPct(const MetricStats& stats) {
+  return StrFormat("%5.1f±%.1f", 100.0 * stats.mean, 100.0 * stats.stddev);
+}
+
+}  // namespace umvsc::bench

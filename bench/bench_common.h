@@ -1,0 +1,65 @@
+#ifndef UMVSC_BENCH_BENCH_COMMON_H_
+#define UMVSC_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "eval/metrics.h"
+#include "mvsc/graphs.h"
+
+namespace umvsc::bench {
+
+/// One method's labels + wall time on one (dataset, seed) run.
+struct MethodRun {
+  std::string method;
+  std::vector<std::size_t> labels;
+  double seconds = 0.0;
+  bool ok = false;
+  std::string error;
+};
+
+/// The method zoo of the comparison tables, run on shared graphs so no
+/// method gets a private graph construction. Order is the tables' row
+/// order. "SC-best" picks the best single view post hoc using the ground
+/// truth, as the published tables do.
+std::vector<MethodRun> RunAllMethods(const data::MultiViewDataset& dataset,
+                                     const mvsc::MultiViewGraphs& graphs,
+                                     std::size_t num_clusters,
+                                     std::uint64_t seed);
+
+/// Aggregated metric statistics over seeds.
+struct MetricStats {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+MetricStats Aggregate(const std::vector<double>& values);
+
+/// Per-method aggregation across seeds.
+struct MethodSummary {
+  std::string method;
+  MetricStats acc, nmi, purity, ari, fscore, seconds;
+};
+
+/// Scores a set of per-seed runs (all for the same method) against truths.
+MethodSummary Summarize(const std::string& method,
+                        const std::vector<std::vector<std::size_t>>& predictions,
+                        const std::vector<std::vector<std::size_t>>& truths,
+                        const std::vector<double>& seconds);
+
+/// Parses "--scale=0.4 --seeds=5" style flags with defaults; unknown flags
+/// abort with a usage message.
+struct BenchConfig {
+  double scale = 0.5;
+  std::size_t seeds = 5;
+  std::uint64_t base_seed = 1;
+};
+BenchConfig ParseBenchArgs(int argc, char** argv);
+
+/// Prints "value ± std" as percentages, e.g. "87.3±2.1".
+std::string FormatPct(const MetricStats& stats);
+
+}  // namespace umvsc::bench
+
+#endif  // UMVSC_BENCH_BENCH_COMMON_H_

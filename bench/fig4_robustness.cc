@@ -1,0 +1,130 @@
+// Figure 4 (extension experiment): robustness to view corruption — ACC of
+// the unified method vs the uniform-weight ablation and the graph-average
+// baseline as one view of each benchmark is progressively replaced by
+// noise. The shape to reproduce: adaptive view weighting degrades slowly
+// (it learns to ignore the corrupted view) while unweighted fusion tracks
+// the corruption level.
+//
+//   ./fig4_robustness [--scale=0.4] [--seeds=3]
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "data/corruption.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+#include "mvsc/baselines.h"
+#include "mvsc/graphs.h"
+#include "mvsc/unified.h"
+
+namespace {
+
+using namespace umvsc;
+
+struct Point {
+  double unified = 0.0;   // γ-power weighting, absolute smoothness
+  double robust = 0.0;    // γ-power weighting, excess-smoothness variant
+  double uniform = 0.0;   // fixed uniform weights
+  double graph_avg = 0.0; // plain graph averaging baseline
+};
+
+Point MeasureAt(const std::string& dataset_name, double corruption,
+                const bench::BenchConfig& config) {
+  std::vector<double> unified_acc, robust_acc, uniform_acc, avg_acc;
+  for (std::size_t s = 0; s < config.seeds; ++s) {
+    const std::uint64_t seed = config.base_seed + 1000 * s;
+    auto dataset = data::SimulateBenchmark(dataset_name, seed, config.scale);
+    if (!dataset.ok()) continue;
+    // Corrupt the MOST TRUSTED view: the one the unified method weights
+    // highest on clean data ("your best descriptor breaks" — the hardest
+    // corruption for fixed fusion schemes, the one adaptive weighting is
+    // supposed to survive).
+    std::size_t victim = 0;
+    {
+      auto clean_graphs = mvsc::BuildGraphs(*dataset);
+      if (!clean_graphs.ok()) continue;
+      mvsc::UnifiedOptions probe;
+      probe.num_clusters = dataset->NumClusters();
+      probe.seed = seed;
+      auto clean = mvsc::UnifiedMVSC(probe).Run(*clean_graphs);
+      if (!clean.ok()) continue;
+      for (std::size_t v = 1; v < clean->view_weights.size(); ++v) {
+        if (clean->view_weights[v] > clean->view_weights[victim]) victim = v;
+      }
+    }
+    if (corruption > 0.0) {
+      Status st = data::CorruptSampleRows(*dataset, victim, corruption,
+                                          seed + 555);
+      if (!st.ok()) continue;
+    }
+    auto graphs = mvsc::BuildGraphs(*dataset);
+    if (!graphs.ok()) continue;
+    const std::size_t c = dataset->NumClusters();
+
+    mvsc::UnifiedOptions uo;
+    uo.num_clusters = c;
+    uo.seed = seed;
+    auto unified = mvsc::UnifiedMVSC(uo).Run(*graphs);
+    if (unified.ok()) {
+      auto acc = eval::ClusteringAccuracy(unified->labels, dataset->labels);
+      if (acc.ok()) unified_acc.push_back(*acc);
+    }
+    mvsc::UnifiedOptions ur = uo;
+    ur.smoothness = mvsc::SmoothnessNormalization::kExcess;
+    auto robust = mvsc::UnifiedMVSC(ur).Run(*graphs);
+    if (robust.ok()) {
+      auto acc = eval::ClusteringAccuracy(robust->labels, dataset->labels);
+      if (acc.ok()) robust_acc.push_back(*acc);
+    }
+    mvsc::UnifiedOptions un = uo;
+    un.weighting = mvsc::ViewWeighting::kUniform;
+    auto uniform = mvsc::UnifiedMVSC(un).Run(*graphs);
+    if (uniform.ok()) {
+      auto acc = eval::ClusteringAccuracy(uniform->labels, dataset->labels);
+      if (acc.ok()) uniform_acc.push_back(*acc);
+    }
+    mvsc::BaselineOptions base;
+    base.num_clusters = c;
+    base.seed = seed;
+    auto avg = mvsc::KernelAdditionSC(*graphs, base);
+    if (avg.ok()) {
+      auto acc = eval::ClusteringAccuracy(*avg, dataset->labels);
+      if (acc.ok()) avg_acc.push_back(*acc);
+    }
+  }
+  Point p;
+  p.unified = bench::Aggregate(unified_acc).mean;
+  p.robust = bench::Aggregate(robust_acc).mean;
+  p.uniform = bench::Aggregate(uniform_acc).mean;
+  p.graph_avg = bench::Aggregate(avg_acc).mean;
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace umvsc;
+  bench::BenchConfig config = bench::ParseBenchArgs(argc, argv);
+  if (config.seeds > 3) config.seeds = 3;
+
+  const std::vector<double> corruption_levels = {0.0, 0.2, 0.4, 0.6, 0.8, 1.0};
+  const std::vector<std::string> datasets = {"MSRC-v1", "Handwritten"};
+
+  std::printf(
+      "Figure 4: ACC vs fraction of corrupted rows in the most-trusted view\n"
+      "(UMVSC = absolute smoothness weighting; UMVSC-r = excess-smoothness\n"
+      " robust variant; uniform weights; plain graph averaging.\n"
+      " scale=%.2f, %zu seeds)\n",
+      config.scale, config.seeds);
+  for (const std::string& name : datasets) {
+    std::printf("\n%s\n%-12s %10s %10s %10s %10s\n", name.c_str(),
+                "corruption", "UMVSC", "UMVSC-r", "uniform-w", "graph-avg");
+    for (double level : corruption_levels) {
+      Point p = MeasureAt(name, level, config);
+      std::printf("%-12.1f %10.3f %10.3f %10.3f %10.3f\n", level, p.unified,
+                  p.robust, p.uniform, p.graph_avg);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Micro-benchmarks of the linear-algebra substrate: GEMM, symmetric
+// eigendecomposition, SVD, sparse matvec, Lanczos.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "la/lanczos.h"
+#include "la/ops.h"
+#include "la/sparse.h"
+#include "la/svd.h"
+#include "la/sym_eigen.h"
+
+namespace {
+
+using namespace umvsc;
+
+void BM_MatMul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  la::Matrix a = la::Matrix::RandomGaussian(n, n, rng);
+  la::Matrix b = la::Matrix::RandomGaussian(n, n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(la::MatMul(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n * n));
+}
+BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_TallGram(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  la::Matrix a = la::Matrix::RandomGaussian(n, 16, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(la::Gram(a));
+  }
+}
+BENCHMARK(BM_TallGram)->Arg(512)->Arg(2048);
+
+void BM_SymmetricEigen(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  la::Matrix a = la::Matrix::RandomGaussian(n, n, rng);
+  a.Symmetrize();
+  for (auto _ : state) {
+    auto r = la::SymmetricEigen(a);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_SymmetricEigen)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_ThinSvd(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  la::Matrix a = la::Matrix::RandomGaussian(n, 10, rng);
+  for (auto _ : state) {
+    auto r = la::Svd(a);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_ThinSvd)->Arg(256)->Arg(1024)->Arg(4096);
+
+la::CsrMatrix RandomKnnLikeGraph(std::size_t n, std::size_t degree,
+                                 std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<la::Triplet> t;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t d = 0; d < degree; ++d) {
+      std::size_t j = static_cast<std::size_t>(rng.UniformInt(n));
+      if (j == i) continue;
+      const double w = rng.Uniform(0.1, 1.0);
+      t.push_back({i, j, w});
+      t.push_back({j, i, w});
+    }
+  }
+  return la::CsrMatrix::FromTriplets(n, n, std::move(t));
+}
+
+void BM_SparseMatVec(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  la::CsrMatrix a = RandomKnnLikeGraph(n, 10, 5);
+  la::Vector x(n, 1.0);
+  la::Vector y(n);
+  for (auto _ : state) {
+    y.Fill(0.0);
+    a.MultiplyInto(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(a.NumNonZeros()));
+}
+BENCHMARK(BM_SparseMatVec)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_LanczosTop8(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  la::CsrMatrix a = RandomKnnLikeGraph(n, 10, 6);
+  for (auto _ : state) {
+    auto r = la::LanczosLargest(a, 8);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_LanczosTop8)->Arg(1000)->Arg(5000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

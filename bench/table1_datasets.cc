@@ -1,0 +1,34 @@
+// Table 1: statistics of the simulated benchmark datasets (n, views, per-
+// view dimensionality, clusters). At --scale=1.0 these match the published
+// statistics of the real benchmarks; see DESIGN.md for the substitution.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "data/synthetic.h"
+
+int main(int argc, char** argv) {
+  using namespace umvsc;
+  bench::BenchConfig config = bench::ParseBenchArgs(argc, argv);
+
+  std::printf("Table 1: simulated benchmark statistics (scale=%.2f)\n\n",
+              config.scale);
+  std::printf("%-14s %8s %7s %9s  %s\n", "dataset", "samples", "views",
+              "clusters", "view dims");
+  for (const std::string& name : data::BenchmarkNames()) {
+    StatusOr<data::MultiViewDataset> d =
+        data::SimulateBenchmark(name, config.base_seed, config.scale);
+    if (!d.ok()) {
+      std::fprintf(stderr, "%s: %s\n", name.c_str(),
+                   d.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-14s %8zu %7zu %9zu  [", name.c_str(), d->NumSamples(),
+                d->NumViews(), d->NumClusters());
+    for (std::size_t v = 0; v < d->NumViews(); ++v) {
+      std::printf("%s%zu", v == 0 ? "" : ", ", d->views[v].cols());
+    }
+    std::printf("]\n");
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Table 2: clustering quality (ACC / NMI / Purity, mean ± std in % over
+// seeds) of every method on every simulated benchmark. The headline
+// comparison of the paper: the unified one-stage method should lead on
+// most datasets.
+//
+//   ./table2_quality [--scale=0.4] [--seeds=5] [--base-seed=1]
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench_common.h"
+#include "data/synthetic.h"
+#include "mvsc/graphs.h"
+
+int main(int argc, char** argv) {
+  using namespace umvsc;
+  bench::BenchConfig config = bench::ParseBenchArgs(argc, argv);
+
+  std::printf(
+      "Table 2: clustering quality, mean±std %% over %zu seeds (scale=%.2f)\n",
+      config.seeds, config.scale);
+
+  for (const std::string& name : data::BenchmarkNames()) {
+    // method → per-seed predictions paired with their ground truths.
+    std::map<std::string, std::vector<std::vector<std::size_t>>> predictions;
+    std::map<std::string, std::vector<std::vector<std::size_t>>> truths;
+    std::map<std::string, std::vector<double>> seconds;
+    std::vector<std::string> method_order;
+
+    for (std::size_t s = 0; s < config.seeds; ++s) {
+      const std::uint64_t seed = config.base_seed + 1000 * s;
+      StatusOr<data::MultiViewDataset> dataset =
+          data::SimulateBenchmark(name, seed, config.scale);
+      if (!dataset.ok()) {
+        std::fprintf(stderr, "%s: %s\n", name.c_str(),
+                     dataset.status().ToString().c_str());
+        return 1;
+      }
+      StatusOr<mvsc::MultiViewGraphs> graphs = mvsc::BuildGraphs(*dataset);
+      if (!graphs.ok()) {
+        std::fprintf(stderr, "%s graphs: %s\n", name.c_str(),
+                     graphs.status().ToString().c_str());
+        return 1;
+      }
+      std::vector<bench::MethodRun> runs = bench::RunAllMethods(
+          *dataset, *graphs, dataset->NumClusters(), seed);
+      if (method_order.empty()) {
+        for (const bench::MethodRun& run : runs) {
+          method_order.push_back(run.method);
+        }
+      }
+      for (bench::MethodRun& run : runs) {
+        if (!run.ok) {
+          std::fprintf(stderr, "  %s on %s seed %llu: %s\n",
+                       run.method.c_str(), name.c_str(),
+                       static_cast<unsigned long long>(seed),
+                       run.error.c_str());
+          continue;
+        }
+        predictions[run.method].push_back(std::move(run.labels));
+        truths[run.method].push_back(dataset->labels);
+        seconds[run.method].push_back(run.seconds);
+      }
+    }
+
+    std::printf("\n--- %s ---\n", name.c_str());
+    std::printf("%-14s %12s %12s %12s\n", "method", "ACC", "NMI", "Purity");
+    for (const std::string& method : method_order) {
+      bench::MethodSummary summary = bench::Summarize(
+          method, predictions[method], truths[method], seconds[method]);
+      std::printf("%-14s %12s %12s %12s\n", method.c_str(),
+                  bench::FormatPct(summary.acc).c_str(),
+                  bench::FormatPct(summary.nmi).c_str(),
+                  bench::FormatPct(summary.purity).c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Table 3: wall-clock runtime (seconds, mean over seeds) of every method on
+// every simulated benchmark, plus the shared graph-construction time. The
+// shape to reproduce: the unified method costs the same order as the
+// two-stage pipelines (its per-iteration work is sparse), while Co-Reg pays
+// V eigensolves per iteration.
+//
+//   ./table3_runtime [--scale=0.4] [--seeds=3]
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/stopwatch.h"
+#include "data/synthetic.h"
+#include "mvsc/graphs.h"
+
+int main(int argc, char** argv) {
+  using namespace umvsc;
+  bench::BenchConfig config = bench::ParseBenchArgs(argc, argv);
+  if (config.seeds > 3) config.seeds = 3;  // runtime table needs fewer seeds
+
+  std::printf("Table 3: runtime in seconds, mean over %zu seeds (scale=%.2f)\n",
+              config.seeds, config.scale);
+
+  std::vector<std::string> method_order;
+  std::map<std::string, std::map<std::string, std::vector<double>>> times;
+  std::map<std::string, std::vector<double>> graph_times;
+
+  for (const std::string& name : data::BenchmarkNames()) {
+    for (std::size_t s = 0; s < config.seeds; ++s) {
+      const std::uint64_t seed = config.base_seed + 1000 * s;
+      StatusOr<data::MultiViewDataset> dataset =
+          data::SimulateBenchmark(name, seed, config.scale);
+      if (!dataset.ok()) return 1;
+      Stopwatch watch;
+      StatusOr<mvsc::MultiViewGraphs> graphs = mvsc::BuildGraphs(*dataset);
+      if (!graphs.ok()) return 1;
+      graph_times[name].push_back(watch.ElapsedSeconds());
+      for (bench::MethodRun& run : bench::RunAllMethods(
+               *dataset, *graphs, dataset->NumClusters(), seed)) {
+        if (times[name].find(run.method) == times[name].end() &&
+            name == data::BenchmarkNames().front() && s == 0) {
+          method_order.push_back(run.method);
+        }
+        if (run.ok) times[name][run.method].push_back(run.seconds);
+      }
+    }
+  }
+
+  std::printf("\n%-14s", "method");
+  for (const std::string& name : data::BenchmarkNames()) {
+    std::printf(" %12s", name.substr(0, 12).c_str());
+  }
+  std::printf("\n");
+  for (const std::string& method : method_order) {
+    std::printf("%-14s", method.c_str());
+    for (const std::string& name : data::BenchmarkNames()) {
+      bench::MetricStats stats = bench::Aggregate(times[name][method]);
+      std::printf(" %12.3f", stats.mean);
+    }
+    std::printf("\n");
+  }
+  std::printf("%-14s", "(graph build)");
+  for (const std::string& name : data::BenchmarkNames()) {
+    std::printf(" %12.3f", bench::Aggregate(graph_times[name]).mean);
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Image-collection clustering: the scenario that motivates multi-view
+// methods in the paper's introduction. An image corpus is described by
+// several heterogeneous descriptors (HOG, GIST, LBP, color moments, …) of
+// very different reliability; the task is to group images by object class
+// without labels.
+//
+// This example runs on the MSRC-v1 simulator (210 images, 7 classes,
+// 5 descriptor views — see DESIGN.md for the substitution rationale) and
+// contrasts the unified method against per-view spectral clustering, making
+// visible how much the weighted fusion buys over the best single descriptor.
+//
+//   ./image_collections [seed]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+#include "mvsc/baselines.h"
+#include "mvsc/graphs.h"
+#include "mvsc/unified.h"
+
+namespace {
+
+double Accuracy(const std::vector<std::size_t>& pred,
+                const std::vector<std::size_t>& truth) {
+  auto acc = umvsc::eval::ClusteringAccuracy(pred, truth);
+  return acc.ok() ? *acc : -1.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace umvsc;
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 3;
+
+  StatusOr<data::MultiViewDataset> dataset =
+      data::SimulateBenchmark("MSRC-v1", seed);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "dataset: %s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  const std::size_t c = dataset->NumClusters();
+  std::printf("MSRC-v1 simulator: %zu images, %zu descriptor views, %zu classes\n",
+              dataset->NumSamples(), dataset->NumViews(), c);
+
+  StatusOr<mvsc::MultiViewGraphs> graphs = mvsc::BuildGraphs(*dataset);
+  if (!graphs.ok()) {
+    std::fprintf(stderr, "graphs: %s\n", graphs.status().ToString().c_str());
+    return 1;
+  }
+
+  // Per-view spectral clustering: how far does each descriptor get alone?
+  mvsc::BaselineOptions base;
+  base.num_clusters = c;
+  base.seed = seed;
+  StatusOr<std::vector<std::vector<std::size_t>>> per_view =
+      mvsc::PerViewSpectral(*graphs, base);
+  if (!per_view.ok()) {
+    std::fprintf(stderr, "per-view: %s\n", per_view.status().ToString().c_str());
+    return 1;
+  }
+  const char* view_names[] = {"ColorMoments", "HOG", "GIST", "LBP", "CENTRIST"};
+  std::printf("\nper-descriptor spectral clustering:\n");
+  double best_single = 0.0;
+  for (std::size_t v = 0; v < per_view->size(); ++v) {
+    const double acc = Accuracy((*per_view)[v], dataset->labels);
+    best_single = std::max(best_single, acc);
+    std::printf("  %-12s ACC=%.4f\n", view_names[v], acc);
+  }
+
+  // The unified one-stage method on all descriptors jointly.
+  mvsc::UnifiedOptions options;
+  options.num_clusters = c;
+  options.seed = seed;
+  StatusOr<mvsc::UnifiedResult> unified =
+      mvsc::UnifiedMVSC(options).Run(*graphs);
+  if (!unified.ok()) {
+    std::fprintf(stderr, "unified: %s\n", unified.status().ToString().c_str());
+    return 1;
+  }
+  const double unified_acc = Accuracy(unified->labels, dataset->labels);
+  std::printf("\nunified multi-view (one stage, no K-means): ACC=%.4f\n",
+              unified_acc);
+  std::printf("gain over best single descriptor: %+.4f\n",
+              unified_acc - best_single);
+  std::printf("learned descriptor weights:\n");
+  for (std::size_t v = 0; v < unified->view_weights.size(); ++v) {
+    std::printf("  %-12s %.3f\n", view_names[v], unified->view_weights[v]);
+  }
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Large-scale single-view clustering with the Nyström approximation:
+// exact spectral clustering needs the eigenvectors of an n × n matrix
+// (O(n³) dense, O(n·nnz·m) sparse); the Nyström path approximates them
+// from an n × m slice, clustering tens of thousands of points in seconds
+// on one core. This example compares exact sparse spectral clustering and
+// Nyström on growing problem sizes.
+//
+//   ./large_scale [max_n]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "cluster/kmeans.h"
+#include "cluster/nystrom.h"
+#include "cluster/spectral.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "eval/metrics.h"
+#include "graph/distance.h"
+#include "graph/kernels.h"
+#include "graph/knn_graph.h"
+
+namespace {
+
+using namespace umvsc;
+
+struct Blobs {
+  la::Matrix data;
+  std::vector<std::size_t> labels;
+};
+
+Blobs MakeBlobs(std::size_t n, std::size_t k, std::uint64_t seed) {
+  Rng rng(seed);
+  Blobs blobs;
+  blobs.data = la::Matrix(n, 4);
+  blobs.labels.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t c = i % k;
+    blobs.labels[i] = c;
+    for (std::size_t j = 0; j < 4; ++j) {
+      const double center = (j == c % 4) ? 6.0 * (1.0 + c / 4) : 0.0;
+      blobs.data(i, j) = rng.Gaussian(center, 0.6);
+    }
+  }
+  return blobs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t max_n =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20000;
+  const std::size_t k = 5;
+
+  std::printf("%-8s %16s %10s %16s %10s\n", "n", "exact SC [s]", "ACC",
+              "Nystrom [s]", "ACC");
+  for (std::size_t n = 1000; n <= max_n; n *= 4) {
+    Blobs blobs = MakeBlobs(n, k, 7);
+
+    // Exact path (kNN graph + sparse Lanczos + K-means) — only attempted
+    // while the O(n²·d) graph construction stays affordable.
+    double exact_seconds = -1.0, exact_acc = -1.0;
+    if (n <= 8000) {
+      Stopwatch watch;
+      la::Matrix sq = graph::PairwiseSquaredDistances(blobs.data);
+      auto kernel = graph::SelfTuningKernel(sq, 10);
+      if (kernel.ok()) {
+        auto w = graph::BuildKnnGraph(*kernel, 10);
+        if (w.ok()) {
+          auto f = cluster::SpectralEmbeddingSparse(*w, k, true);
+          if (f.ok()) {
+            cluster::KMeansOptions km;
+            km.num_clusters = k;
+            km.seed = 1;
+            auto clustered = cluster::KMeans(*f, km);
+            if (clustered.ok()) {
+              exact_seconds = watch.ElapsedSeconds();
+              auto acc =
+                  eval::ClusteringAccuracy(clustered->labels, blobs.labels);
+              exact_acc = acc.ok() ? *acc : -1.0;
+            }
+          }
+        }
+      }
+    }
+
+    // Nyström path: m = 200 landmarks regardless of n.
+    Stopwatch watch;
+    cluster::NystromOptions options;
+    options.num_clusters = k;
+    options.landmarks = 200;
+    options.seed = 2;
+    auto nystrom = cluster::NystromSpectralClustering(blobs.data, options);
+    if (!nystrom.ok()) {
+      std::fprintf(stderr, "n=%zu nystrom: %s\n", n,
+                   nystrom.status().ToString().c_str());
+      return 1;
+    }
+    const double nystrom_seconds = watch.ElapsedSeconds();
+    auto nystrom_acc = eval::ClusteringAccuracy(nystrom->labels, blobs.labels);
+
+    if (exact_seconds >= 0.0) {
+      std::printf("%-8zu %16.2f %10.3f %16.2f %10.3f\n", n, exact_seconds,
+                  exact_acc, nystrom_seconds,
+                  nystrom_acc.ok() ? *nystrom_acc : -1.0);
+    } else {
+      std::printf("%-8zu %16s %10s %16.2f %10.3f\n", n, "(skipped)", "-",
+                  nystrom_seconds, nystrom_acc.ok() ? *nystrom_acc : -1.0);
+    }
+  }
+  std::printf("\nNyström keeps per-point cost flat (O(n·m²)) while the exact\n"
+              "pipeline's graph construction grows quadratically.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Quickstart: generate a 3-view dataset, run the unified one-stage
+// multi-view spectral clustering, and print quality metrics.
+//
+//   ./quickstart
+//
+// This is the 20-line tour of the public API: dataset → UnifiedMVSC → labels.
+
+#include <cstdio>
+
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+#include "mvsc/unified.h"
+
+int main() {
+  using namespace umvsc;
+
+  // 1. A synthetic multi-view dataset: 300 points, 3 clusters, three views
+  //    of very different quality (the realistic multi-view regime).
+  data::MultiViewConfig config;
+  config.name = "quickstart";
+  config.num_samples = 300;
+  config.num_clusters = 3;
+  config.views = {{16, data::ViewQuality::kInformative, 0.5},
+                  {8, data::ViewQuality::kWeak, 1.0},
+                  {12, data::ViewQuality::kNoisy, 1.0}};
+  config.seed = 42;
+  StatusOr<data::MultiViewDataset> dataset = data::MakeGaussianMultiView(config);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "dataset: %s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+
+  // 2. Configure and run the unified solver. Labels come straight from the
+  //    learned discrete indicator matrix — no K-means step anywhere.
+  mvsc::UnifiedOptions options;
+  options.num_clusters = 3;
+  options.beta = 1.0;   // strength of the discretization coupling
+  options.gamma = 2.0;  // view-weight smoothness
+  options.seed = 7;
+  StatusOr<mvsc::UnifiedResult> result =
+      mvsc::UnifiedMVSC(options).Run(*dataset);
+  if (!result.ok()) {
+    std::fprintf(stderr, "solver: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  // 3. Score against the ground truth.
+  StatusOr<eval::ClusteringScores> scores =
+      eval::ScoreClustering(result->labels, dataset->labels);
+  if (!scores.ok()) {
+    std::fprintf(stderr, "metrics: %s\n", scores.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("unified multi-view spectral clustering on '%s'\n",
+              dataset->name.c_str());
+  std::printf("  samples=%zu views=%zu clusters=%zu\n", dataset->NumSamples(),
+              dataset->NumViews(), dataset->NumClusters());
+  std::printf("  converged=%s after %zu iterations\n",
+              result->converged ? "yes" : "no", result->iterations);
+  std::printf("  ACC=%.4f NMI=%.4f Purity=%.4f ARI=%.4f F=%.4f\n",
+              scores->accuracy, scores->nmi, scores->purity, scores->ari,
+              scores->f_score);
+  std::printf("  learned view weights:");
+  for (double w : result->view_weights) std::printf(" %.3f", w);
+  std::printf("   (informative > weak > noisy is the expected order)\n");
+  return 0;
+}

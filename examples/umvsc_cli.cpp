@@ -1,0 +1,285 @@
+// umvsc_cli: command-line driver for clustering a multi-view dataset from
+// disk. The dataset directory holds view_0.csv, view_1.csv, … (one row per
+// sample, comma-separated features) and optionally labels.txt (one integer
+// per line) — the format written by data::SaveDataset.
+//
+//   umvsc_cli --data=DIR --clusters=K [--method=unified] [--seed=S]
+//             [--knn=10] [--beta=1.0] [--gamma=2.0] [--out=labels.txt]
+//   umvsc_cli --demo           # runs on a generated dataset instead
+//
+// Methods: unified (default), two-stage, amgl, coreg, mlan, mvkkm,
+//          multinmf, graph-avg, sc-concat, km-concat, ensemble.
+// When --clusters is omitted AND the dataset is unlabeled, the cluster
+// count is selected by the silhouette criterion over k in [2, 10].
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "cluster/spectral.h"
+#include "data/io.h"
+#include "data/synthetic.h"
+#include "eval/internal_metrics.h"
+#include "eval/metrics.h"
+#include "la/ops.h"
+#include "mvsc/amgl.h"
+#include "mvsc/baselines.h"
+#include "mvsc/coreg.h"
+#include "mvsc/graphs.h"
+#include "mvsc/mlan.h"
+#include "mvsc/multi_nmf.h"
+#include "mvsc/mvkkm.h"
+#include "mvsc/two_stage.h"
+#include "mvsc/unified.h"
+
+namespace {
+
+using namespace umvsc;
+
+struct CliOptions {
+  std::string data_dir;
+  std::string method = "unified";
+  std::string out_path;
+  std::size_t clusters = 0;  // 0 = take from labels or select by silhouette
+  std::size_t knn = 10;
+  double beta = 1.0;
+  double gamma = 2.0;
+  std::uint64_t seed = 1;
+  bool demo = false;
+};
+
+[[noreturn]] void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --data=DIR [--clusters=K] [--method=M] [--seed=S]\n"
+      "          [--knn=10] [--beta=1.0] [--gamma=2.0] [--out=FILE]\n"
+      "       %s --demo\n"
+      "methods: unified two-stage amgl coreg mlan mvkkm multinmf\n"
+      "         graph-avg sc-concat km-concat ensemble\n",
+      argv0, argv0);
+  std::exit(2);
+}
+
+CliOptions Parse(int argc, char** argv) {
+  CliOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      const std::size_t len = std::strlen(prefix);
+      return std::strncmp(arg, prefix, len) == 0 ? arg + len : nullptr;
+    };
+    if (const char* v = value("--data=")) {
+      options.data_dir = v;
+    } else if (const char* v = value("--method=")) {
+      options.method = v;
+    } else if (const char* v = value("--out=")) {
+      options.out_path = v;
+    } else if (const char* v = value("--clusters=")) {
+      options.clusters = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--knn=")) {
+      options.knn = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--beta=")) {
+      options.beta = std::strtod(v, nullptr);
+    } else if (const char* v = value("--gamma=")) {
+      options.gamma = std::strtod(v, nullptr);
+    } else if (const char* v = value("--seed=")) {
+      options.seed = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(arg, "--demo") == 0) {
+      options.demo = true;
+    } else {
+      Usage(argv[0]);
+    }
+  }
+  if (!options.demo && options.data_dir.empty()) Usage(argv[0]);
+  return options;
+}
+
+StatusOr<std::vector<std::size_t>> RunMethod(
+    const CliOptions& options, const data::MultiViewDataset& dataset,
+    const mvsc::MultiViewGraphs& graphs, std::size_t c) {
+  if (options.method == "unified") {
+    mvsc::UnifiedOptions o;
+    o.num_clusters = c;
+    o.beta = options.beta;
+    o.gamma = options.gamma;
+    o.seed = options.seed;
+    auto r = mvsc::UnifiedMVSC(o).Run(graphs);
+    if (!r.ok()) return r.status();
+    std::printf("view weights:");
+    for (double w : r->view_weights) std::printf(" %.3f", w);
+    std::printf("\n");
+    return std::move(r->labels);
+  }
+  if (options.method == "two-stage") {
+    mvsc::TwoStageOptions o;
+    o.num_clusters = c;
+    o.gamma = options.gamma;
+    o.seed = options.seed;
+    auto r = mvsc::TwoStageMVSC(graphs, o);
+    if (!r.ok()) return r.status();
+    return std::move(r->labels);
+  }
+  if (options.method == "amgl") {
+    mvsc::AmglOptions o;
+    o.num_clusters = c;
+    o.seed = options.seed;
+    auto r = mvsc::Amgl(graphs, o);
+    if (!r.ok()) return r.status();
+    return std::move(r->labels);
+  }
+  if (options.method == "coreg") {
+    mvsc::CoRegOptions o;
+    o.num_clusters = c;
+    o.seed = options.seed;
+    auto r = mvsc::CoRegSpectral(graphs, o);
+    if (!r.ok()) return r.status();
+    return std::move(r->labels);
+  }
+  if (options.method == "mlan") {
+    mvsc::MlanOptions o;
+    o.num_clusters = c;
+    o.knn = options.knn;
+    o.seed = options.seed;
+    auto r = mvsc::Mlan(dataset, o);
+    if (!r.ok()) return r.status();
+    return std::move(r->labels);
+  }
+  if (options.method == "mvkkm") {
+    mvsc::MvkkmOptions o;
+    o.num_clusters = c;
+    o.seed = options.seed;
+    auto r = mvsc::MultiViewKernelKMeans(dataset, o);
+    if (!r.ok()) return r.status();
+    return std::move(r->labels);
+  }
+  if (options.method == "multinmf") {
+    mvsc::MultiNmfOptions o;
+    o.num_clusters = c;
+    o.seed = options.seed;
+    auto r = mvsc::MultiViewNmf(dataset, o);
+    if (!r.ok()) return r.status();
+    return std::move(r->labels);
+  }
+  mvsc::BaselineOptions base;
+  base.num_clusters = c;
+  base.seed = options.seed;
+  base.graph.knn = options.knn;
+  if (options.method == "graph-avg") {
+    return mvsc::KernelAdditionSC(graphs, base);
+  }
+  if (options.method == "sc-concat") {
+    return mvsc::ConcatFeatureSC(dataset, base);
+  }
+  if (options.method == "km-concat") {
+    return mvsc::ConcatKMeans(dataset, base);
+  }
+  if (options.method == "ensemble") {
+    return mvsc::EnsembleSC(graphs, base);
+  }
+  return Status::InvalidArgument("unknown method '" + options.method + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options = Parse(argc, argv);
+
+  // Load (or generate) the dataset.
+  StatusOr<data::MultiViewDataset> dataset = [&]() {
+    if (!options.demo) return data::LoadDataset(options.data_dir);
+    data::MultiViewConfig config;
+    config.name = "demo";
+    config.num_samples = 240;
+    config.num_clusters = 4;
+    config.views = {{12, data::ViewQuality::kInformative, 0.5},
+                    {8, data::ViewQuality::kWeak, 1.0},
+                    {10, data::ViewQuality::kNoisy, 1.0}};
+    config.seed = options.seed;
+    return data::MakeGaussianMultiView(config);
+  }();
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "load: %s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("dataset '%s': %zu samples, %zu views\n", dataset->name.c_str(),
+              dataset->NumSamples(), dataset->NumViews());
+
+  mvsc::GraphOptions graph_options;
+  graph_options.knn = options.knn;
+  StatusOr<mvsc::MultiViewGraphs> graphs =
+      mvsc::BuildGraphs(*dataset, graph_options);
+  if (!graphs.ok()) {
+    std::fprintf(stderr, "graphs: %s\n", graphs.status().ToString().c_str());
+    return 1;
+  }
+
+  // Resolve the cluster count: flag > labels > silhouette selection on the
+  // average-graph spectral embedding.
+  std::size_t c = options.clusters;
+  if (c == 0) c = dataset->NumClusters();
+  if (c == 0) {
+    std::printf("no --clusters and no labels: selecting k by silhouette\n");
+    // Score candidate clusterings on the standardized concatenated
+    // features (the conventional silhouette space).
+    data::MultiViewDataset standardized = *dataset;
+    standardized.StandardizeViews();
+    la::Matrix stacked = la::HConcat(standardized.views);
+    auto cluster_at_k =
+        [&](std::size_t k) -> StatusOr<std::vector<std::size_t>> {
+      mvsc::UnifiedOptions o;
+      o.num_clusters = k;
+      o.seed = options.seed;
+      auto r = mvsc::UnifiedMVSC(o).Run(*graphs);
+      if (!r.ok()) return r.status();
+      return std::move(r->labels);
+    };
+    StatusOr<eval::ClusterCountSelection> selection =
+        eval::SelectClusterCount(stacked, 2, 10, cluster_at_k);
+    if (!selection.ok()) {
+      std::fprintf(stderr, "selection: %s\n",
+                   selection.status().ToString().c_str());
+      return 1;
+    }
+    for (std::size_t i = 0; i < selection->candidate_ks.size(); ++i) {
+      std::printf("  k=%zu silhouette=%.4f\n", selection->candidate_ks[i],
+                  selection->silhouettes[i]);
+    }
+    c = selection->best_k;
+    std::printf("selected k=%zu\n", c);
+  }
+
+  StatusOr<std::vector<std::size_t>> labels =
+      RunMethod(options, *dataset, *graphs, c);
+  if (!labels.ok()) {
+    std::fprintf(stderr, "%s: %s\n", options.method.c_str(),
+                 labels.status().ToString().c_str());
+    return 1;
+  }
+
+  // Report cluster sizes, quality versus ground truth if available, and
+  // write the labels when requested.
+  std::vector<std::size_t> sizes(c, 0);
+  for (std::size_t l : *labels) sizes[l]++;
+  std::printf("%s produced %zu clusters, sizes:", options.method.c_str(), c);
+  for (std::size_t s : sizes) std::printf(" %zu", s);
+  std::printf("\n");
+  if (!dataset->labels.empty()) {
+    auto scores = eval::ScoreClustering(*labels, dataset->labels);
+    if (scores.ok()) {
+      std::printf("ACC=%.4f NMI=%.4f Purity=%.4f ARI=%.4f F=%.4f\n",
+                  scores->accuracy, scores->nmi, scores->purity, scores->ari,
+                  scores->f_score);
+    }
+  }
+  if (!options.out_path.empty()) {
+    Status saved = data::SaveLabels(*labels, options.out_path);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "save: %s\n", saved.ToString().c_str());
+      return 1;
+    }
+    std::printf("labels written to %s\n", options.out_path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,132 @@
+#include "cluster/ensemble.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cluster/kmeans.h"
+#include "cluster/spectral.h"
+#include "la/lanczos.h"
+
+namespace umvsc::cluster {
+
+StatusOr<la::Matrix> CoAssociationMatrix(
+    const std::vector<std::vector<std::size_t>>& labelings) {
+  if (labelings.empty()) {
+    return Status::InvalidArgument("ensemble needs at least one labeling");
+  }
+  const std::size_t n = labelings.front().size();
+  if (n == 0) {
+    return Status::InvalidArgument("labelings must be non-empty");
+  }
+  for (const auto& labels : labelings) {
+    if (labels.size() != n) {
+      return Status::InvalidArgument("all labelings must have equal length");
+    }
+  }
+  la::Matrix co(n, n);
+  const double unit = 1.0 / static_cast<double>(labelings.size());
+  for (const auto& labels : labelings) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (labels[i] == labels[j]) {
+          co(i, j) += unit;
+          co(j, i) += unit;
+        }
+      }
+    }
+  }
+  // Self-similarity is 1 by definition.
+  for (std::size_t i = 0; i < n; ++i) co(i, i) = 1.0;
+  return co;
+}
+
+StatusOr<std::vector<std::size_t>> ConsensusClustering(
+    const std::vector<std::vector<std::size_t>>& labelings,
+    const ConsensusOptions& options) {
+  if (labelings.empty() || labelings.front().empty()) {
+    return Status::InvalidArgument("ensemble needs non-empty labelings");
+  }
+  const std::size_t n = labelings.front().size();
+  const std::size_t c = options.num_clusters;
+  if (c < 1 || c >= n) {
+    return Status::InvalidArgument("ConsensusClustering requires 1 <= c < n");
+  }
+  for (const auto& labels : labelings) {
+    if (labels.size() != n) {
+      return Status::InvalidArgument("all labelings must have equal length");
+    }
+  }
+
+  // The co-association matrix (diagonal zeroed) never needs materializing:
+  // for each member labeling, C_m·x decomposes into per-cluster sums, so
+  // C·x costs O(n·M) instead of O(n²). The consensus embedding is then the
+  // bottom eigenspace of the symmetric normalized Laplacian of C, obtained
+  // matrix-free with Lanczos.
+  const double unit = 1.0 / static_cast<double>(labelings.size());
+  std::vector<std::vector<std::size_t>> cluster_count(labelings.size());
+  std::size_t max_cluster = 0;
+  for (std::size_t m = 0; m < labelings.size(); ++m) {
+    for (std::size_t l : labelings[m]) max_cluster = std::max(max_cluster, l);
+  }
+  for (std::size_t m = 0; m < labelings.size(); ++m) {
+    cluster_count[m].assign(max_cluster + 1, 0);
+    for (std::size_t l : labelings[m]) cluster_count[m][l]++;
+  }
+
+  // Degrees d_i = Σ_j C_ij = (1/M)·Σ_m (|cluster_m(i)| − 1).
+  la::Vector inv_sqrt_degree(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double degree = 0.0;
+    for (std::size_t m = 0; m < labelings.size(); ++m) {
+      degree += unit * static_cast<double>(
+                           cluster_count[m][labelings[m][i]] - 1);
+    }
+    inv_sqrt_degree[i] = degree > 0.0 ? 1.0 / std::sqrt(degree) : 0.0;
+  }
+
+  // y += L_sym·x = x − D^{−1/2}·C·D^{−1/2}·x (isolated points contribute
+  // identity rows). Spectrum lies in [0, 2].
+  la::SymmetricOperator lap = [&](const la::Vector& x, la::Vector& y) {
+    la::Vector scaled(n);
+    for (std::size_t i = 0; i < n; ++i) scaled[i] = x[i] * inv_sqrt_degree[i];
+    la::Vector cx(n);
+    std::vector<double> sums(max_cluster + 1, 0.0);
+    for (std::size_t m = 0; m < labelings.size(); ++m) {
+      std::fill(sums.begin(), sums.end(), 0.0);
+      for (std::size_t i = 0; i < n; ++i) sums[labelings[m][i]] += scaled[i];
+      for (std::size_t i = 0; i < n; ++i) {
+        cx[i] += unit * (sums[labelings[m][i]] - scaled[i]);
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      y[i] += x[i] - inv_sqrt_degree[i] * cx[i];
+    }
+  };
+
+  la::LanczosOptions lanczos;
+  lanczos.seed = options.seed + 7;
+  lanczos.max_subspace = std::min(n, std::max<std::size_t>(12 * c + 100, 250));
+  lanczos.tolerance = 3e-6;
+  StatusOr<la::SymEigenResult> eig =
+      la::LanczosSmallest(lap, n, c, 2.0 + 1e-9, lanczos);
+  if (!eig.ok()) return eig.status();
+
+  la::Matrix embedding = std::move(eig->eigenvectors);
+  for (std::size_t i = 0; i < n; ++i) {
+    double norm = 0.0;
+    for (std::size_t j = 0; j < c; ++j) norm += embedding(i, j) * embedding(i, j);
+    norm = std::sqrt(norm);
+    if (norm > 0.0) {
+      for (std::size_t j = 0; j < c; ++j) embedding(i, j) /= norm;
+    }
+  }
+  KMeansOptions km;
+  km.num_clusters = c;
+  km.restarts = options.kmeans_restarts;
+  km.seed = options.seed;
+  StatusOr<KMeansResult> clustered = KMeans(embedding, km);
+  if (!clustered.ok()) return clustered.status();
+  return std::move(clustered->labels);
+}
+
+}  // namespace umvsc::cluster

@@ -1,0 +1,35 @@
+#ifndef UMVSC_CLUSTER_ENSEMBLE_H_
+#define UMVSC_CLUSTER_ENSEMBLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "la/matrix.h"
+
+namespace umvsc::cluster {
+
+/// Co-association matrix of an ensemble of labelings: entry (i, j) is the
+/// fraction of labelings that place i and j in the same cluster — itself a
+/// similarity matrix in [0, 1] (evidence accumulation, Fred & Jain '05).
+/// Requires at least one labeling; all must have equal length.
+StatusOr<la::Matrix> CoAssociationMatrix(
+    const std::vector<std::vector<std::size_t>>& labelings);
+
+/// Options for consensus clustering.
+struct ConsensusOptions {
+  std::size_t num_clusters = 2;
+  std::size_t kmeans_restarts = 10;
+  std::uint64_t seed = 0;
+};
+
+/// Consensus clustering by evidence accumulation: spectral clustering on
+/// the co-association matrix of the ensemble. The classic way to fuse
+/// per-view clusterings without touching features.
+StatusOr<std::vector<std::size_t>> ConsensusClustering(
+    const std::vector<std::vector<std::size_t>>& labelings,
+    const ConsensusOptions& options);
+
+}  // namespace umvsc::cluster
+
+#endif  // UMVSC_CLUSTER_ENSEMBLE_H_

@@ -1,0 +1,150 @@
+#include "cluster/kernel_kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+
+namespace umvsc::cluster {
+
+namespace {
+
+struct SingleRun {
+  std::vector<std::size_t> labels;
+  double objective;
+  std::size_t iterations;
+};
+
+// One Lloyd pass in kernel space from a random initial assignment.
+SingleRun RunOnce(const la::Matrix& gram, std::size_t k,
+                  std::size_t max_iterations, Rng& rng) {
+  const std::size_t n = gram.rows();
+  std::vector<std::size_t> labels(n);
+  std::vector<std::size_t> counts(k, 0);
+  // Random balanced-ish init: first k points seed distinct clusters so no
+  // cluster starts empty, the rest are uniform.
+  for (std::size_t i = 0; i < n; ++i) {
+    labels[i] = i < k ? i : static_cast<std::size_t>(rng.UniformInt(k));
+    counts[labels[i]]++;
+  }
+
+  std::vector<double> cluster_self(k, 0.0);  // 1/|c|²·Σ_{j,l∈c} K_jl
+  std::vector<double> point_to_cluster(k, 0.0);
+  double objective = std::numeric_limits<double>::infinity();
+  std::size_t iter = 0;
+  for (; iter < max_iterations; ++iter) {
+    // Per-cluster constant term: S_c = Σ_{j,l∈c} K_jl / |c|².
+    std::vector<double> sums(k, 0.0);
+    for (std::size_t c = 0; c < k; ++c) sums[c] = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double* row = gram.RowPtr(j);
+      for (std::size_t l = 0; l < n; ++l) {
+        if (labels[j] == labels[l]) sums[labels[j]] += row[l];
+      }
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      const double size = static_cast<double>(counts[c]);
+      cluster_self[c] = size > 0.0 ? sums[c] / (size * size) : 0.0;
+    }
+
+    // Assignment step: argmin_c K_ii − 2·m_i(c) + S_c, with
+    // m_i(c) = Σ_{j∈c} K_ij / |c|.
+    bool changed = false;
+    double new_objective = 0.0;
+    std::vector<std::size_t> new_labels(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double* row = gram.RowPtr(i);
+      std::fill(point_to_cluster.begin(), point_to_cluster.end(), 0.0);
+      for (std::size_t j = 0; j < n; ++j) point_to_cluster[labels[j]] += row[j];
+      double best = std::numeric_limits<double>::infinity();
+      std::size_t best_c = 0;
+      for (std::size_t c = 0; c < k; ++c) {
+        if (counts[c] == 0) continue;
+        const double m = point_to_cluster[c] / static_cast<double>(counts[c]);
+        const double dist = gram(i, i) - 2.0 * m + cluster_self[c];
+        if (dist < best) {
+          best = dist;
+          best_c = c;
+        }
+      }
+      new_labels[i] = best_c;
+      changed |= (best_c != labels[i]);
+      new_objective += std::max(0.0, best);
+    }
+
+    // Empty-cluster repair: the point with the largest distance to its own
+    // centroid re-seeds each empty cluster.
+    std::vector<std::size_t> new_counts(k, 0);
+    for (std::size_t l : new_labels) new_counts[l]++;
+    for (std::size_t c = 0; c < k; ++c) {
+      if (new_counts[c] != 0) continue;
+      double worst = -1.0;
+      std::size_t worst_i = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (new_counts[new_labels[i]] <= 1) continue;
+        const double* row = gram.RowPtr(i);
+        double m = 0.0;
+        for (std::size_t j = 0; j < n; ++j) {
+          if (new_labels[j] == new_labels[i]) m += row[j];
+        }
+        m /= static_cast<double>(new_counts[new_labels[i]]);
+        const double dist = gram(i, i) - 2.0 * m;
+        if (dist > worst) {
+          worst = dist;
+          worst_i = i;
+        }
+      }
+      new_counts[new_labels[worst_i]]--;
+      new_labels[worst_i] = c;
+      new_counts[c] = 1;
+      changed = true;
+    }
+
+    labels = std::move(new_labels);
+    counts = std::move(new_counts);
+    objective = new_objective;
+    if (!changed) {
+      ++iter;
+      break;
+    }
+  }
+  return {std::move(labels), objective, iter};
+}
+
+}  // namespace
+
+StatusOr<KernelKMeansResult> KernelKMeans(const la::Matrix& gram,
+                                          const KernelKMeansOptions& options) {
+  if (!gram.IsSquare() || gram.rows() == 0) {
+    return Status::InvalidArgument(
+        "KernelKMeans requires a non-empty square Gram matrix");
+  }
+  if (!gram.IsSymmetric(1e-8 * std::max(1.0, gram.MaxAbs()))) {
+    return Status::InvalidArgument("KernelKMeans requires a symmetric Gram");
+  }
+  const std::size_t n = gram.rows();
+  const std::size_t k = options.num_clusters;
+  if (k < 1 || k > n) {
+    return Status::InvalidArgument("KernelKMeans requires 1 <= k <= n");
+  }
+  if (options.restarts < 1) {
+    return Status::InvalidArgument("KernelKMeans requires >= 1 restart");
+  }
+
+  Rng root(options.seed);
+  KernelKMeansResult best;
+  best.objective = std::numeric_limits<double>::infinity();
+  for (std::size_t r = 0; r < options.restarts; ++r) {
+    Rng rng = root.Split();
+    SingleRun run = RunOnce(gram, k, options.max_iterations, rng);
+    if (run.objective < best.objective) {
+      best.labels = std::move(run.labels);
+      best.objective = run.objective;
+      best.iterations = run.iterations;
+    }
+  }
+  return best;
+}
+
+}  // namespace umvsc::cluster

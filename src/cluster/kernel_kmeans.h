@@ -1,0 +1,40 @@
+#ifndef UMVSC_CLUSTER_KERNEL_KMEANS_H_
+#define UMVSC_CLUSTER_KERNEL_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "la/matrix.h"
+
+namespace umvsc::cluster {
+
+/// Options for kernel K-means.
+struct KernelKMeansOptions {
+  std::size_t num_clusters = 2;
+  std::size_t max_iterations = 100;
+  /// Independent random-assignment restarts; best objective wins.
+  std::size_t restarts = 10;
+  std::uint64_t seed = 0;
+};
+
+/// Result of a kernel K-means run.
+struct KernelKMeansResult {
+  std::vector<std::size_t> labels;
+  /// Final kernel K-means objective Σᵢ ‖φ(xᵢ) − μ_{cᵢ}‖²_H (implicit
+  /// feature space), computable purely from the Gram matrix.
+  double objective = 0.0;
+  std::size_t iterations = 0;
+};
+
+/// Kernel K-means on a symmetric PSD Gram matrix K: Lloyd's algorithm in
+/// the implicit feature space, where the point-to-centroid distance is
+///   ‖φ(xᵢ) − μ_c‖² = K_ii − 2/|c|·Σ_{j∈c} K_ij + 1/|c|²·Σ_{j,l∈c} K_jl.
+/// Monotone per restart; empty clusters are re-seeded with the point
+/// farthest from its own centroid. Requires 1 <= k <= n.
+StatusOr<KernelKMeansResult> KernelKMeans(const la::Matrix& gram,
+                                          const KernelKMeansOptions& options);
+
+}  // namespace umvsc::cluster
+
+#endif  // UMVSC_CLUSTER_KERNEL_KMEANS_H_

@@ -1,0 +1,182 @@
+#include "cluster/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+
+namespace umvsc::cluster {
+
+namespace {
+
+double SquaredDistance(const la::Matrix& data, std::size_t row,
+                       const la::Matrix& centroids, std::size_t c) {
+  const double* x = data.RowPtr(row);
+  const double* m = centroids.RowPtr(c);
+  double s = 0.0;
+  for (std::size_t j = 0; j < data.cols(); ++j) {
+    const double diff = x[j] - m[j];
+    s += diff * diff;
+  }
+  return s;
+}
+
+// k-means++ seeding: first centroid uniform, then proportional to the
+// squared distance to the nearest chosen centroid.
+la::Matrix SeedPlusPlus(const la::Matrix& data, std::size_t k, Rng& rng) {
+  const std::size_t n = data.rows(), d = data.cols();
+  la::Matrix centroids(k, d);
+  std::vector<double> min_d2(n, std::numeric_limits<double>::infinity());
+
+  std::size_t first = static_cast<std::size_t>(rng.UniformInt(n));
+  centroids.SetRow(0, data.Row(first));
+  for (std::size_t c = 1; c < k; ++c) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      min_d2[i] = std::min(min_d2[i], SquaredDistance(data, i, centroids, c - 1));
+      total += min_d2[i];
+    }
+    std::size_t chosen;
+    if (total <= 0.0) {
+      // All remaining points coincide with chosen centroids.
+      chosen = static_cast<std::size_t>(rng.UniformInt(n));
+    } else {
+      double r = rng.Uniform() * total;
+      chosen = n - 1;
+      for (std::size_t i = 0; i < n; ++i) {
+        r -= min_d2[i];
+        if (r < 0.0) {
+          chosen = i;
+          break;
+        }
+      }
+    }
+    centroids.SetRow(c, data.Row(chosen));
+  }
+  return centroids;
+}
+
+struct LloydOutcome {
+  std::vector<std::size_t> labels;
+  la::Matrix centroids;
+  double inertia;
+  std::size_t iterations;
+};
+
+LloydOutcome RunLloyd(const la::Matrix& data, la::Matrix centroids,
+                      const KMeansOptions& options) {
+  const std::size_t n = data.rows(), d = data.cols();
+  const std::size_t k = options.num_clusters;
+  std::vector<std::size_t> labels(n, 0);
+  std::vector<std::size_t> counts(k, 0);
+  double prev_inertia = std::numeric_limits<double>::infinity();
+  double inertia = prev_inertia;
+  std::size_t iter = 0;
+
+  for (; iter < options.max_iterations; ++iter) {
+    // Assignment step.
+    inertia = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      std::size_t best_c = 0;
+      for (std::size_t c = 0; c < k; ++c) {
+        const double d2 = SquaredDistance(data, i, centroids, c);
+        if (d2 < best) {
+          best = d2;
+          best_c = c;
+        }
+      }
+      labels[i] = best_c;
+      inertia += best;
+    }
+
+    // Update step.
+    centroids.Fill(0.0);
+    std::fill(counts.begin(), counts.end(), std::size_t{0});
+    for (std::size_t i = 0; i < n; ++i) {
+      double* m = centroids.RowPtr(labels[i]);
+      const double* x = data.RowPtr(i);
+      for (std::size_t j = 0; j < d; ++j) m[j] += x[j];
+      counts[labels[i]]++;
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;
+      double* m = centroids.RowPtr(c);
+      const double inv = 1.0 / static_cast<double>(counts[c]);
+      for (std::size_t j = 0; j < d; ++j) m[j] *= inv;
+    }
+
+    // Empty-cluster repair: re-seed each empty cluster at the point with the
+    // largest distance to its current centroid (stealing it from a big
+    // cluster). Deterministic given the assignment.
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] != 0) continue;
+      double worst = -1.0;
+      std::size_t worst_i = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (counts[labels[i]] <= 1) continue;  // don't empty another cluster
+        const double d2 = SquaredDistance(data, i, centroids, labels[i]);
+        if (d2 > worst) {
+          worst = d2;
+          worst_i = i;
+        }
+      }
+      counts[labels[worst_i]]--;
+      labels[worst_i] = c;
+      counts[c] = 1;
+      centroids.SetRow(c, data.Row(worst_i));
+    }
+
+    // Note: the iter > 0 guard matters — prev_inertia starts at +inf and
+    // inf <= inf would otherwise stop the loop after a single sweep.
+    if (iter > 0 && prev_inertia - inertia <=
+                        options.tolerance * std::max(prev_inertia, 1e-300)) {
+      ++iter;
+      break;
+    }
+    prev_inertia = inertia;
+  }
+  // The loop's inertia was measured against the pre-update centroids; report
+  // the objective of the returned (labels, centroids) pair instead so that
+  // result.inertia is exactly Σᵢ‖xᵢ − μ_{labels[i]}‖².
+  inertia = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    inertia += SquaredDistance(data, i, centroids, labels[i]);
+  }
+  return {std::move(labels), std::move(centroids), inertia, iter};
+}
+
+}  // namespace
+
+StatusOr<KMeansResult> KMeans(const la::Matrix& data,
+                              const KMeansOptions& options) {
+  const std::size_t n = data.rows();
+  const std::size_t k = options.num_clusters;
+  if (n == 0 || data.cols() == 0) {
+    return Status::InvalidArgument("KMeans requires a non-empty data matrix");
+  }
+  if (k < 1 || k > n) {
+    return Status::InvalidArgument("KMeans requires 1 <= k <= n");
+  }
+  if (options.restarts < 1) {
+    return Status::InvalidArgument("KMeans requires at least one restart");
+  }
+
+  Rng root(options.seed);
+  KMeansResult best;
+  best.inertia = std::numeric_limits<double>::infinity();
+  for (std::size_t r = 0; r < options.restarts; ++r) {
+    Rng rng = root.Split();
+    LloydOutcome run = RunLloyd(data, SeedPlusPlus(data, k, rng), options);
+    if (run.inertia < best.inertia) {
+      best.labels = std::move(run.labels);
+      best.centroids = std::move(run.centroids);
+      best.inertia = run.inertia;
+      best.iterations = run.iterations;
+    }
+  }
+  return best;
+}
+
+}  // namespace umvsc::cluster

@@ -1,0 +1,44 @@
+#ifndef UMVSC_CLUSTER_KMEANS_H_
+#define UMVSC_CLUSTER_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "la/matrix.h"
+
+namespace umvsc::cluster {
+
+/// Options for Lloyd's K-means.
+struct KMeansOptions {
+  std::size_t num_clusters = 2;
+  /// Lloyd iterations per restart.
+  std::size_t max_iterations = 100;
+  /// Stop when the relative inertia improvement falls below this.
+  double tolerance = 1e-7;
+  /// Independent k-means++ restarts; the best inertia wins.
+  std::size_t restarts = 10;
+  std::uint64_t seed = 0;
+};
+
+/// Result of a K-means run.
+struct KMeansResult {
+  /// Cluster id in [0, k) per row of the input.
+  std::vector<std::size_t> labels;
+  /// k × d centroid matrix.
+  la::Matrix centroids;
+  /// Sum of squared distances to assigned centroids (the k-means objective).
+  double inertia = 0.0;
+  /// Lloyd iterations used by the winning restart.
+  std::size_t iterations = 0;
+};
+
+/// Lloyd's algorithm with k-means++ seeding, multiple restarts, and empty-
+/// cluster repair (an emptied cluster is re-seeded at the point farthest
+/// from its centroid). Requires 1 <= k <= n and at least one data row.
+StatusOr<KMeansResult> KMeans(const la::Matrix& data,
+                              const KMeansOptions& options);
+
+}  // namespace umvsc::cluster
+
+#endif  // UMVSC_CLUSTER_KMEANS_H_

@@ -1,0 +1,176 @@
+#include "cluster/nystrom.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cluster/kmeans.h"
+#include "common/rng.h"
+#include "graph/distance.h"
+#include "graph/kernels.h"
+#include "la/ops.h"
+#include "la/sym_eigen.h"
+
+namespace umvsc::cluster {
+
+namespace {
+
+// Gaussian kernel between the rows of `a` and the rows of `b`.
+la::Matrix CrossKernel(const la::Matrix& a, const la::Matrix& b,
+                       double sigma) {
+  const double inv = 1.0 / (2.0 * sigma * sigma);
+  la::Matrix k(a.rows(), b.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* ra = a.RowPtr(i);
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      const double* rb = b.RowPtr(j);
+      double d2 = 0.0;
+      for (std::size_t p = 0; p < a.cols(); ++p) {
+        const double diff = ra[p] - rb[p];
+        d2 += diff * diff;
+      }
+      k(i, j) = std::exp(-d2 * inv);
+    }
+  }
+  return k;
+}
+
+// Symmetric pseudo-inverse square root via the eigendecomposition,
+// truncating eigenvalues below a relative tolerance.
+StatusOr<la::Matrix> PseudoInverseSqrt(const la::Matrix& a) {
+  StatusOr<la::SymEigenResult> eig = la::SymmetricEigen(a);
+  if (!eig.ok()) return eig.status();
+  const std::size_t m = a.rows();
+  double max_eig = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    max_eig = std::max(max_eig, eig->eigenvalues[i]);
+  }
+  const double tol = 1e-12 * std::max(max_eig, 1.0);
+  la::Matrix scaled = eig->eigenvectors;  // V · Λ^{−1/2} columnwise
+  for (std::size_t j = 0; j < m; ++j) {
+    const double lambda = eig->eigenvalues[j];
+    const double inv_sqrt = lambda > tol ? 1.0 / std::sqrt(lambda) : 0.0;
+    for (std::size_t i = 0; i < m; ++i) scaled(i, j) *= inv_sqrt;
+  }
+  return la::MatMulT(scaled, eig->eigenvectors);
+}
+
+}  // namespace
+
+StatusOr<NystromResult> NystromSpectralClustering(
+    const la::Matrix& features, const NystromOptions& options) {
+  const std::size_t n = features.rows();
+  const std::size_t m = options.landmarks;
+  const std::size_t c = options.num_clusters;
+  if (n == 0 || features.cols() == 0) {
+    return Status::InvalidArgument("Nyström requires non-empty features");
+  }
+  if (c < 2 || c > m || m >= n) {
+    return Status::InvalidArgument(
+        "Nyström requires 2 <= clusters <= landmarks < n");
+  }
+
+  // Landmarks: uniform sample without replacement.
+  Rng rng(options.seed);
+  const std::vector<std::size_t> landmark_ids =
+      rng.SampleWithoutReplacement(n, m);
+  la::Matrix landmarks(m, features.cols());
+  for (std::size_t i = 0; i < m; ++i) {
+    landmarks.SetRow(i, features.Row(landmark_ids[i]));
+  }
+
+  double sigma = options.sigma;
+  if (sigma <= 0.0) {
+    la::Matrix sq = graph::PairwiseSquaredDistances(landmarks);
+    StatusOr<double> median = graph::MedianHeuristicSigma(sq);
+    if (!median.ok()) return median.status();
+    sigma = *median;
+  }
+
+  // C: all-vs-landmarks kernel (n × m); W: its landmark block (m × m).
+  la::Matrix kernel_c = CrossKernel(features, landmarks, sigma);
+  la::Matrix kernel_w(m, m);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      kernel_w(i, j) = kernel_c(landmark_ids[i], j);
+    }
+  }
+  kernel_w.Symmetrize();
+
+  // Degree estimates of the implicit full affinity A ≈ C·W⁺·Cᵀ:
+  // d̂ = C·(W⁺·(Cᵀ·1)).
+  StatusOr<la::Matrix> w_pinv_sqrt = PseudoInverseSqrt(kernel_w);
+  if (!w_pinv_sqrt.ok()) return w_pinv_sqrt.status();
+  la::Matrix w_pinv = la::MatMul(*w_pinv_sqrt, *w_pinv_sqrt);
+  la::Vector col_sums = la::MatTVec(kernel_c, la::Vector(n, 1.0));
+  la::Vector degrees = la::MatVec(kernel_c, la::MatVec(w_pinv, col_sums));
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!(degrees[i] > 0.0)) {
+      // Nearly-isolated point under the approximation; fall back to its own
+      // kernel mass so the normalization stays finite.
+      double row_mass = 0.0;
+      for (std::size_t j = 0; j < m; ++j) row_mass += kernel_c(i, j);
+      degrees[i] = std::max(row_mass, 1e-12);
+    }
+  }
+
+  // Normalized slice C' = D^{−1/2}·C·D_L^{−1/2} (landmark degrees are the
+  // corresponding entries of d̂).
+  la::Matrix c_norm = kernel_c;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double di = 1.0 / std::sqrt(degrees[i]);
+    for (std::size_t j = 0; j < m; ++j) {
+      c_norm(i, j) *= di / std::sqrt(degrees[landmark_ids[j]]);
+    }
+  }
+  la::Matrix w_norm(m, m);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      w_norm(i, j) = c_norm(landmark_ids[i], j);
+    }
+  }
+  w_norm.Symmetrize();
+
+  // One-shot orthogonalization: S = W'^{−1/2}·C'ᵀC'·W'^{−1/2}.
+  StatusOr<la::Matrix> wn_pinv_sqrt = PseudoInverseSqrt(w_norm);
+  if (!wn_pinv_sqrt.ok()) return wn_pinv_sqrt.status();
+  la::Matrix s =
+      la::MatMul(*wn_pinv_sqrt, la::MatMul(la::Gram(c_norm), *wn_pinv_sqrt));
+  s.Symmetrize();
+  StatusOr<la::SymEigenResult> eig = la::LargestEigenpairs(s, c);
+  if (!eig.ok()) return eig.status();
+
+  // Approximate eigenvectors V = C'·W'^{−1/2}·U·Λ^{−1/2}.
+  la::Matrix u_scaled = eig->eigenvectors;  // m × c
+  for (std::size_t j = 0; j < c; ++j) {
+    const double lambda = eig->eigenvalues[j];
+    const double inv_sqrt = lambda > 1e-12 ? 1.0 / std::sqrt(lambda) : 0.0;
+    for (std::size_t i = 0; i < m; ++i) u_scaled(i, j) *= inv_sqrt;
+  }
+  la::Matrix embedding =
+      la::MatMul(c_norm, la::MatMul(*wn_pinv_sqrt, u_scaled));
+
+  // Row-normalize and cluster.
+  la::Matrix normalized = embedding;
+  for (std::size_t i = 0; i < n; ++i) {
+    double norm = 0.0;
+    for (std::size_t j = 0; j < c; ++j) norm += normalized(i, j) * normalized(i, j);
+    norm = std::sqrt(norm);
+    if (norm > 0.0) {
+      for (std::size_t j = 0; j < c; ++j) normalized(i, j) /= norm;
+    }
+  }
+  KMeansOptions km;
+  km.num_clusters = c;
+  km.restarts = options.kmeans_restarts;
+  km.seed = options.seed;
+  StatusOr<KMeansResult> clustered = KMeans(normalized, km);
+  if (!clustered.ok()) return clustered.status();
+
+  NystromResult out;
+  out.labels = std::move(clustered->labels);
+  out.embedding = std::move(embedding);
+  out.eigenvalues = std::move(eig->eigenvalues);
+  return out;
+}
+
+}  // namespace umvsc::cluster

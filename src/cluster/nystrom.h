@@ -1,0 +1,51 @@
+#ifndef UMVSC_CLUSTER_NYSTROM_H_
+#define UMVSC_CLUSTER_NYSTROM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "la/matrix.h"
+
+namespace umvsc::cluster {
+
+/// Options for Nyström-approximated spectral clustering.
+struct NystromOptions {
+  std::size_t num_clusters = 2;
+  /// Landmark count m (uniform sample without replacement). Accuracy and
+  /// cost both grow with m; m ≈ 5–20 × clusters is typical.
+  std::size_t landmarks = 100;
+  /// Gaussian bandwidth; 0 selects the median heuristic on the landmark
+  /// pairwise distances.
+  double sigma = 0.0;
+  std::size_t kmeans_restarts = 10;
+  std::uint64_t seed = 0;
+};
+
+/// Result of a Nyström spectral clustering run.
+struct NystromResult {
+  std::vector<std::size_t> labels;
+  /// Approximate spectral embedding (n × k, orthonormal columns up to the
+  /// Nyström approximation error).
+  la::Matrix embedding;
+  /// Approximate top eigenvalues of the normalized affinity (descending).
+  la::Vector eigenvalues;
+};
+
+/// One-shot orthogonalized Nyström spectral clustering (Fowlkes, Belongie,
+/// Chung & Malik, PAMI 2004): approximates the top eigenvectors of the
+/// degree-normalized Gaussian affinity from an n × m slice instead of the
+/// full n × n matrix — O(n·m² + m³) instead of O(n³), making spectral
+/// clustering practical far beyond dense-eigensolver sizes.
+///
+/// Pipeline: sample m landmarks → C = kernel(all, landmarks), W =
+/// kernel(landmarks, landmarks) → estimate degrees d̂ = C·W⁺·(Cᵀ·1) →
+/// normalize → orthogonalize through S = W'^{−1/2}·C'ᵀC'·W'^{−1/2} →
+/// embedding V = C'·W'^{−1/2}·U_S·Λ_S^{−1/2} → row-normalize → K-means.
+/// Requires clusters <= landmarks < n.
+StatusOr<NystromResult> NystromSpectralClustering(const la::Matrix& features,
+                                                  const NystromOptions& options);
+
+}  // namespace umvsc::cluster
+
+#endif  // UMVSC_CLUSTER_NYSTROM_H_

@@ -1,0 +1,166 @@
+#include "cluster/rotation.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+#include "la/ops.h"
+#include "la/qr.h"
+#include "la/svd.h"
+
+namespace umvsc::cluster {
+
+std::vector<std::size_t> IndicatorToLabels(const la::Matrix& y) {
+  std::vector<std::size_t> labels(y.rows(), 0);
+  for (std::size_t i = 0; i < y.rows(); ++i) {
+    double best = -std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < y.cols(); ++j) {
+      if (y(i, j) > best) {
+        best = y(i, j);
+        labels[i] = j;
+      }
+    }
+  }
+  return labels;
+}
+
+la::Matrix LabelsToIndicator(const std::vector<std::size_t>& labels,
+                             std::size_t num_clusters) {
+  la::Matrix y(labels.size(), num_clusters);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    UMVSC_CHECK(labels[i] < num_clusters, "label exceeds cluster count");
+    y(i, labels[i]) = 1.0;
+  }
+  return y;
+}
+
+la::Matrix ScaledIndicator(const la::Matrix& y) {
+  la::Matrix scaled = y;
+  for (std::size_t j = 0; j < y.cols(); ++j) {
+    double count = 0.0;
+    for (std::size_t i = 0; i < y.rows(); ++i) count += y(i, j) * y(i, j);
+    if (count > 0.0) {
+      const double inv = 1.0 / std::sqrt(count);
+      for (std::size_t i = 0; i < y.rows(); ++i) scaled(i, j) *= inv;
+    }
+  }
+  return scaled;
+}
+
+namespace {
+
+// The initialization of Yu & Shi's discretization code: build R's columns
+// from c rows of F chosen to be maximally mutually orthogonal (first row
+// arbitrary, then repeatedly the row least explained by the picks so far),
+// then orthonormalize. Rows of a good spectral embedding concentrate near c
+// distinct directions, so this lands extremely close to the optimum.
+la::Matrix YuShiInitialRotation(const la::Matrix& f, Rng& rng) {
+  const std::size_t n = f.rows(), c = f.cols();
+  la::Matrix r(c, c);
+  std::size_t pick = static_cast<std::size_t>(rng.UniformInt(n));
+  r.SetCol(0, f.Row(pick));
+  la::Vector accum(n);
+  for (std::size_t j = 1; j < c; ++j) {
+    // accum_i += |F_i · r_{j−1}| measures how well row i is already covered.
+    for (std::size_t i = 0; i < n; ++i) {
+      double dot = 0.0;
+      for (std::size_t p = 0; p < c; ++p) dot += f(i, p) * r(p, j - 1);
+      accum[i] += std::fabs(dot);
+    }
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < n; ++i) {
+      if (accum[i] < accum[best]) best = i;
+    }
+    r.SetCol(j, f.Row(best));
+  }
+  return la::Orthonormalize(r);
+}
+
+struct SingleRunResult {
+  RotationResult result;
+  Status status = Status::OK();
+};
+
+SingleRunResult RunOnce(const la::Matrix& f, const RotationOptions& options,
+                        la::Matrix r) {
+  const std::size_t c = f.cols();
+  SingleRunResult out;
+  double prev_obj = std::numeric_limits<double>::infinity();
+  la::Matrix y;
+
+  std::size_t iter = 0;
+  for (; iter < options.max_iterations; ++iter) {
+    // Y-step: each row of F·R independently picks its largest coordinate.
+    la::Matrix fr = la::MatMul(f, r);
+    std::vector<std::size_t> labels = IndicatorToLabels(fr);
+    y = LabelsToIndicator(labels, c);
+    la::Matrix y_hat = options.scale_indicator ? ScaledIndicator(y) : y;
+
+    // Objective ‖Ŷ − F·R‖²_F.
+    const double obj = la::Add(y_hat, fr, -1.0).FrobeniusNorm();
+    const double obj2 = obj * obj;
+
+    // R-step: orthogonal Procrustes, R = U·Vᵀ of FᵀŶ.
+    StatusOr<la::Matrix> next_r = la::ProcrustesRotation(la::MatTMul(f, y_hat));
+    if (!next_r.ok()) {
+      out.status = next_r.status();
+      return out;
+    }
+    r = std::move(*next_r);
+
+    if (iter > 0 &&
+        prev_obj - obj2 <= options.tolerance * std::max(prev_obj, 1e-300)) {
+      prev_obj = std::min(prev_obj, obj2);
+      ++iter;
+      break;
+    }
+    prev_obj = obj2;
+  }
+
+  out.result.labels = IndicatorToLabels(y);
+  out.result.indicator = std::move(y);
+  out.result.rotation = std::move(r);
+  out.result.objective = prev_obj;
+  out.result.iterations = iter;
+  return out;
+}
+
+}  // namespace
+
+StatusOr<RotationResult> DiscretizeEmbedding(const la::Matrix& f,
+                                             const RotationOptions& options) {
+  const std::size_t c = f.cols();
+  if (c < 1 || f.rows() < c) {
+    return Status::InvalidArgument(
+        "DiscretizeEmbedding requires an n × c embedding with n >= c >= 1");
+  }
+  if (options.restarts < 1) {
+    return Status::InvalidArgument("restarts must be >= 1");
+  }
+
+  Rng root(options.seed);
+  RotationResult best;
+  best.objective = std::numeric_limits<double>::infinity();
+  Status last_error = Status::OK();
+  bool any_ok = false;
+  for (std::size_t attempt = 0; attempt < options.restarts; ++attempt) {
+    Rng rng = root.Split();
+    // The first attempts use the Yu–Shi most-orthogonal-rows seeding (with
+    // different random first rows); later attempts fall back to fully
+    // random rotations for diversity.
+    la::Matrix r0 = (attempt < (options.restarts + 1) / 2)
+                        ? YuShiInitialRotation(f, rng)
+                        : la::Orthonormalize(la::Matrix::RandomGaussian(c, c, rng));
+    SingleRunResult run = RunOnce(f, options, std::move(r0));
+    if (!run.status.ok()) {
+      last_error = run.status;
+      continue;
+    }
+    any_ok = true;
+    if (run.result.objective < best.objective) best = std::move(run.result);
+  }
+  if (!any_ok) return last_error;
+  return best;
+}
+
+}  // namespace umvsc::cluster

@@ -1,0 +1,56 @@
+#ifndef UMVSC_CLUSTER_SPECTRAL_H_
+#define UMVSC_CLUSTER_SPECTRAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/laplacian.h"
+#include "la/matrix.h"
+#include "la/sparse.h"
+
+namespace umvsc::cluster {
+
+/// Options for single-view spectral clustering.
+struct SpectralOptions {
+  std::size_t num_clusters = 2;
+  graph::LaplacianKind laplacian = graph::LaplacianKind::kSymmetric;
+  /// Row-normalize the embedding to the unit sphere (the NJW step).
+  bool normalize_rows = true;
+  /// Seed for the K-means stage.
+  std::uint64_t seed = 0;
+  /// K-means restarts.
+  std::size_t kmeans_restarts = 10;
+};
+
+/// Spectral embedding: the k eigenvectors of the graph Laplacian with the
+/// smallest eigenvalues, as an n × k matrix (optionally row-normalized).
+/// Input is a symmetric nonnegative affinity. Requires 1 <= k < n.
+StatusOr<la::Matrix> SpectralEmbedding(const la::Matrix& affinity,
+                                       std::size_t k,
+                                       graph::LaplacianKind kind,
+                                       bool normalize_rows);
+
+/// Sparse spectral embedding: Lanczos on the CSR symmetric-normalized
+/// Laplacian (whose spectrum lies in [0, 2], giving an exact complement
+/// bound). O(nnz·m) instead of O(n³) — the path used for the larger
+/// benchmark graphs. Only LaplacianKind::kSymmetric is supported here.
+StatusOr<la::Matrix> SpectralEmbeddingSparse(const la::CsrMatrix& affinity,
+                                             std::size_t k,
+                                             bool normalize_rows,
+                                             std::uint64_t seed = 19);
+
+/// Result of spectral clustering.
+struct SpectralResult {
+  std::vector<std::size_t> labels;
+  la::Matrix embedding;  ///< the continuous n × k spectral embedding
+};
+
+/// Classic two-stage spectral clustering (Ng–Jordan–Weiss): embedding from
+/// the normalized Laplacian, then K-means on the (row-normalized) rows.
+StatusOr<SpectralResult> SpectralClustering(const la::Matrix& affinity,
+                                            const SpectralOptions& options);
+
+}  // namespace umvsc::cluster
+
+#endif  // UMVSC_CLUSTER_SPECTRAL_H_

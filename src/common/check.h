@@ -1,0 +1,39 @@
+#ifndef UMVSC_COMMON_CHECK_H_
+#define UMVSC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace umvsc::internal_check {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr, const char* msg) {
+  std::fprintf(stderr, "UMVSC_CHECK failed at %s:%d: %s%s%s\n", file, line,
+               expr, (msg != nullptr && msg[0] != '\0') ? " — " : "",
+               msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace umvsc::internal_check
+
+/// Aborts with a diagnostic when `cond` is false. Use for programming errors
+/// (precondition violations, broken invariants); data-dependent failures go
+/// through umvsc::Status instead. Always on, including release builds — this
+/// library favors loud failure over silent numerical garbage.
+#define UMVSC_CHECK(cond, msg)                                             \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::umvsc::internal_check::CheckFailed(__FILE__, __LINE__, #cond, msg); \
+    }                                                                      \
+  } while (false)
+
+/// Debug-only variant for hot inner loops (indexing checks etc.).
+#ifdef NDEBUG
+#define UMVSC_DCHECK(cond, msg) \
+  do {                          \
+  } while (false)
+#else
+#define UMVSC_DCHECK(cond, msg) UMVSC_CHECK(cond, msg)
+#endif
+
+#endif  // UMVSC_COMMON_CHECK_H_

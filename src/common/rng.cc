@@ -1,0 +1,122 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace umvsc {
+
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = SplitMix64(sm);
+}
+
+std::uint64_t Rng::Next() {
+  const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  UMVSC_CHECK(lo <= hi, "Uniform(lo, hi) requires lo <= hi");
+  return lo + (hi - lo) * Uniform();
+}
+
+std::uint64_t Rng::UniformInt(std::uint64_t n) {
+  UMVSC_CHECK(n > 0, "UniformInt requires n > 0");
+  // Lemire's method: multiply-shift with rejection of the biased low range.
+  std::uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < n) {
+    const std::uint64_t threshold = (0 - n) % n;
+    while (low < threshold) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * n;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::Gaussian() {
+  if (has_spare_gaussian_) {
+    has_spare_gaussian_ = false;
+    return spare_gaussian_;
+  }
+  double u, v, s;
+  do {
+    u = Uniform(-1.0, 1.0);
+    v = Uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double scale = std::sqrt(-2.0 * std::log(s) / s);
+  spare_gaussian_ = v * scale;
+  has_spare_gaussian_ = true;
+  return u * scale;
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  UMVSC_CHECK(stddev >= 0.0, "Gaussian stddev must be nonnegative");
+  return mean + stddev * Gaussian();
+}
+
+std::vector<std::size_t> Rng::SampleWithoutReplacement(std::size_t n,
+                                                       std::size_t k) {
+  UMVSC_CHECK(k <= n, "cannot sample more elements than the population size");
+  // Partial Fisher–Yates over an index vector: O(n) memory, O(n + k) time.
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  for (std::size_t i = 0; i < k; ++i) {
+    std::size_t j = i + static_cast<std::size_t>(UniformInt(n - i));
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+std::size_t Rng::SampleDiscrete(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    UMVSC_CHECK(w >= 0.0, "discrete sampling weights must be nonnegative");
+    total += w;
+  }
+  UMVSC_CHECK(total > 0.0, "discrete sampling requires a positive weight");
+  double r = Uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r < 0.0) return i;
+  }
+  // Floating-point underflow of the running sum: return the last positive.
+  for (std::size_t i = weights.size(); i > 0; --i) {
+    if (weights[i - 1] > 0.0) return i - 1;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::Split() { return Rng(Next()); }
+
+}  // namespace umvsc

@@ -1,0 +1,134 @@
+#ifndef UMVSC_COMMON_STATUS_H_
+#define UMVSC_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/check.h"
+
+namespace umvsc {
+
+/// Error categories used across the library. Modeled after the RocksDB /
+/// absl::Status convention: operations whose failure depends on input data
+/// report through Status instead of throwing.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< caller passed malformed or inconsistent input
+  kFailedPrecondition,///< object state does not permit the operation
+  kNotFound,          ///< a named resource (file, column, view) is missing
+  kOutOfRange,        ///< index or parameter outside its valid range
+  kNumericalError,    ///< an iterative numerical routine failed to converge
+  kIoError,           ///< filesystem read/write failure
+  kInternal,          ///< invariant violation that is a library bug
+};
+
+/// Returns a stable human-readable name, e.g. "InvalidArgument".
+const char* StatusCodeName(StatusCode code);
+
+/// A cheap value type describing the outcome of a fallible operation.
+///
+/// Usage:
+/// ```
+///   Status s = dataset.Validate();
+///   if (!s.ok()) return s;
+/// ```
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NumericalError(std::string msg) {
+    return Status(StatusCode::kNumericalError, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or a non-OK Status. The value is accessible only
+/// when `ok()`; accessing it otherwise aborts (programming error).
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value (the common success path).
+  StatusOr(T value) : payload_(std::move(value)) {}
+  /// Implicit construction from a non-OK status.
+  StatusOr(Status status) : payload_(std::move(status)) {
+    UMVSC_CHECK(!std::get<Status>(payload_).ok(),
+                "StatusOr may not hold an OK status without a value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(payload_);
+  }
+
+  const T& value() const& {
+    UMVSC_CHECK(ok(), "StatusOr::value() called on error status");
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    UMVSC_CHECK(ok(), "StatusOr::value() called on error status");
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    UMVSC_CHECK(ok(), "StatusOr::value() called on error status");
+    return std::get<T>(std::move(payload_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define UMVSC_RETURN_IF_ERROR(expr)              \
+  do {                                           \
+    ::umvsc::Status _umvsc_status = (expr);      \
+    if (!_umvsc_status.ok()) return _umvsc_status; \
+  } while (false)
+
+}  // namespace umvsc
+
+#endif  // UMVSC_COMMON_STATUS_H_

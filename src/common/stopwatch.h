@@ -1,0 +1,32 @@
+#ifndef UMVSC_COMMON_STOPWATCH_H_
+#define UMVSC_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace umvsc {
+
+/// Monotonic wall-clock stopwatch used by the benchmark harness and the
+/// solvers' per-iteration timing traces.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace umvsc
+
+#endif  // UMVSC_COMMON_STOPWATCH_H_

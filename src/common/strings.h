@@ -1,0 +1,27 @@
+#ifndef UMVSC_COMMON_STRINGS_H_
+#define UMVSC_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace umvsc {
+
+/// Splits `text` on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+/// Parses a double; returns false on malformed or trailing input.
+bool ParseDouble(std::string_view text, double* out);
+
+/// Parses a signed integer; returns false on malformed or trailing input.
+bool ParseInt(std::string_view text, long long* out);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace umvsc
+
+#endif  // UMVSC_COMMON_STRINGS_H_

@@ -1,0 +1,86 @@
+#include "data/corruption.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace umvsc::data {
+
+namespace {
+
+Status CheckView(const MultiViewDataset& dataset, std::size_t view_index) {
+  UMVSC_RETURN_IF_ERROR(dataset.Validate());
+  if (view_index >= dataset.NumViews()) {
+    return Status::OutOfRange(
+        StrFormat("view %zu out of range (%zu views)", view_index,
+                  dataset.NumViews()));
+  }
+  return Status::OK();
+}
+
+// Pooled per-entry standard deviation of a view (≥ a tiny floor so noise
+// injection still does something on constant views).
+double ViewScale(const la::Matrix& view) {
+  double mean = 0.0;
+  for (std::size_t i = 0; i < view.size(); ++i) mean += view.data()[i];
+  mean /= static_cast<double>(view.size());
+  double var = 0.0;
+  for (std::size_t i = 0; i < view.size(); ++i) {
+    const double centered = view.data()[i] - mean;
+    var += centered * centered;
+  }
+  var /= static_cast<double>(view.size());
+  return std::max(std::sqrt(var), 1e-6);
+}
+
+}  // namespace
+
+Status AddRelativeNoise(MultiViewDataset& dataset, std::size_t view_index,
+                        double sigma, std::uint64_t seed) {
+  UMVSC_RETURN_IF_ERROR(CheckView(dataset, view_index));
+  if (sigma < 0.0) {
+    return Status::InvalidArgument("noise level must be nonnegative");
+  }
+  la::Matrix& view = dataset.views[view_index];
+  const double scale = sigma * ViewScale(view);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < view.size(); ++i) {
+    view.data()[i] += rng.Gaussian(0.0, scale);
+  }
+  return Status::OK();
+}
+
+Status CorruptSampleRows(MultiViewDataset& dataset, std::size_t view_index,
+                         double fraction, std::uint64_t seed) {
+  UMVSC_RETURN_IF_ERROR(CheckView(dataset, view_index));
+  if (fraction < 0.0 || fraction > 1.0) {
+    return Status::InvalidArgument("fraction must be in [0, 1]");
+  }
+  la::Matrix& view = dataset.views[view_index];
+  const double scale = ViewScale(view);
+  Rng rng(seed);
+  const std::size_t count = static_cast<std::size_t>(
+      std::lround(fraction * static_cast<double>(view.rows())));
+  for (std::size_t row : rng.SampleWithoutReplacement(view.rows(), count)) {
+    double* data = view.RowPtr(row);
+    for (std::size_t j = 0; j < view.cols(); ++j) {
+      data[j] = rng.Gaussian(0.0, scale);
+    }
+  }
+  return Status::OK();
+}
+
+Status ReplaceViewWithNoise(MultiViewDataset& dataset, std::size_t view_index,
+                            std::uint64_t seed) {
+  UMVSC_RETURN_IF_ERROR(CheckView(dataset, view_index));
+  la::Matrix& view = dataset.views[view_index];
+  const double scale = ViewScale(view);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < view.size(); ++i) {
+    view.data()[i] = rng.Gaussian(0.0, scale);
+  }
+  return Status::OK();
+}
+
+}  // namespace umvsc::data

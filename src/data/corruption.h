@@ -1,0 +1,33 @@
+#ifndef UMVSC_DATA_CORRUPTION_H_
+#define UMVSC_DATA_CORRUPTION_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace umvsc::data {
+
+/// Robustness-experiment corruptions. All act in place on one view and are
+/// deterministic given the seed. They preserve Validate()-ability.
+
+/// Adds i.i.d. N(0, σ²·s_v²) noise to every entry of view `view_index`,
+/// where s_v is the view's empirical per-feature standard deviation (so
+/// sigma is a relative noise level: 1.0 doubles the variance).
+Status AddRelativeNoise(MultiViewDataset& dataset, std::size_t view_index,
+                        double sigma, std::uint64_t seed);
+
+/// Replaces a uniformly sampled `fraction` of the rows of view `view_index`
+/// with pure Gaussian noise matched to the view's scale — simulating failed
+/// feature extraction for those samples in that view.
+Status CorruptSampleRows(MultiViewDataset& dataset, std::size_t view_index,
+                         double fraction, std::uint64_t seed);
+
+/// Replaces the whole view with scale-matched Gaussian noise — the
+/// adversarial-view setting that stresses view-weight learning.
+Status ReplaceViewWithNoise(MultiViewDataset& dataset, std::size_t view_index,
+                            std::uint64_t seed);
+
+}  // namespace umvsc::data
+
+#endif  // UMVSC_DATA_CORRUPTION_H_

@@ -1,0 +1,82 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/strings.h"
+
+namespace umvsc::data {
+
+std::size_t MultiViewDataset::NumClusters() const {
+  std::size_t max_label = 0;
+  if (labels.empty()) return 0;
+  for (std::size_t l : labels) max_label = std::max(max_label, l);
+  return max_label + 1;
+}
+
+Status MultiViewDataset::Validate() const {
+  if (views.empty()) {
+    return Status::InvalidArgument("dataset has no views");
+  }
+  const std::size_t n = views.front().rows();
+  if (n == 0) {
+    return Status::InvalidArgument("dataset has no samples");
+  }
+  for (std::size_t v = 0; v < views.size(); ++v) {
+    if (views[v].rows() != n) {
+      return Status::InvalidArgument(StrFormat(
+          "view %zu has %zu rows, expected %zu", v, views[v].rows(), n));
+    }
+    if (views[v].cols() == 0) {
+      return Status::InvalidArgument(StrFormat("view %zu has no features", v));
+    }
+    for (std::size_t i = 0; i < views[v].size(); ++i) {
+      if (!std::isfinite(views[v].data()[i])) {
+        return Status::InvalidArgument(
+            StrFormat("view %zu contains a non-finite value", v));
+      }
+    }
+  }
+  if (!labels.empty()) {
+    if (labels.size() != n) {
+      return Status::InvalidArgument("label count does not match sample count");
+    }
+    // Dense label ids in [0, c).
+    std::set<std::size_t> distinct(labels.begin(), labels.end());
+    std::size_t expected = 0;
+    for (std::size_t l : distinct) {
+      if (l != expected) {
+        return Status::InvalidArgument(
+            StrFormat("labels must be dense ids starting at 0; missing %zu",
+                      expected));
+      }
+      ++expected;
+    }
+  }
+  return Status::OK();
+}
+
+void MultiViewDataset::StandardizeViews() {
+  for (la::Matrix& view : views) {
+    const std::size_t n = view.rows(), d = view.cols();
+    if (n == 0) continue;
+    for (std::size_t j = 0; j < d; ++j) {
+      double mean = 0.0;
+      for (std::size_t i = 0; i < n; ++i) mean += view(i, j);
+      mean /= static_cast<double>(n);
+      double var = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double c = view(i, j) - mean;
+        var += c * c;
+      }
+      var /= static_cast<double>(n);
+      const double inv_std = var > 0.0 ? 1.0 / std::sqrt(var) : 1.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        view(i, j) = (view(i, j) - mean) * inv_std;
+      }
+    }
+  }
+}
+
+}  // namespace umvsc::data

@@ -1,0 +1,42 @@
+#ifndef UMVSC_DATA_DATASET_H_
+#define UMVSC_DATA_DATASET_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "la/matrix.h"
+
+namespace umvsc::data {
+
+/// A multi-view dataset: V feature matrices over the same n objects, plus
+/// optional ground-truth labels for evaluation. The core input type of the
+/// whole library.
+struct MultiViewDataset {
+  std::string name;
+  /// views[v] is the n × d_v feature matrix of view v.
+  std::vector<la::Matrix> views;
+  /// Ground-truth cluster ids (dense, starting at 0); empty when unknown.
+  std::vector<std::size_t> labels;
+
+  std::size_t NumViews() const { return views.size(); }
+  std::size_t NumSamples() const {
+    return views.empty() ? 0 : views.front().rows();
+  }
+  /// Number of distinct ground-truth clusters (0 when unlabeled).
+  std::size_t NumClusters() const;
+
+  /// Checks structural consistency: at least one view, all views share the
+  /// row count, labels (when present) match and are dense in [0, c).
+  Status Validate() const;
+
+  /// Per-view z-score standardization (zero mean, unit variance per
+  /// feature; constant features are left centered at zero). The usual
+  /// preprocessing before building distance-based graphs.
+  void StandardizeViews();
+};
+
+}  // namespace umvsc::data
+
+#endif  // UMVSC_DATA_DATASET_H_

@@ -1,0 +1,107 @@
+#include "data/incomplete.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace umvsc::data {
+
+std::size_t ViewPresence::CountPresent(std::size_t view) const {
+  UMVSC_CHECK(view < present.size(), "view index out of range");
+  std::size_t count = 0;
+  for (bool p : present[view]) count += p;
+  return count;
+}
+
+Status ViewPresence::Validate(const MultiViewDataset& dataset) const {
+  if (present.size() != dataset.NumViews()) {
+    return Status::InvalidArgument("presence mask view count mismatch");
+  }
+  const std::size_t n = dataset.NumSamples();
+  for (const auto& mask : present) {
+    if (mask.size() != n) {
+      return Status::InvalidArgument("presence mask sample count mismatch");
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    bool anywhere = false;
+    for (const auto& mask : present) anywhere |= mask[i];
+    if (!anywhere) {
+      return Status::InvalidArgument(
+          StrFormat("sample %zu is absent from every view", i));
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<ViewPresence> MakeIncomplete(MultiViewDataset& dataset,
+                                      double missing_fraction,
+                                      std::uint64_t seed,
+                                      std::size_t min_present_per_view) {
+  UMVSC_RETURN_IF_ERROR(dataset.Validate());
+  if (missing_fraction < 0.0 || missing_fraction >= 1.0) {
+    return Status::InvalidArgument("missing_fraction must be in [0, 1)");
+  }
+  const std::size_t n = dataset.NumSamples();
+  const std::size_t num_views = dataset.NumViews();
+  if (num_views < 2 && missing_fraction > 0.0) {
+    return Status::InvalidArgument(
+        "incomplete setting needs at least two views");
+  }
+
+  Rng rng(seed);
+  ViewPresence presence;
+  presence.present.assign(num_views, std::vector<bool>(n, true));
+  if (missing_fraction > 0.0) {
+    // Sample candidate (view, sample) removals uniformly; reject removals
+    // that would violate the constraints.
+    const std::size_t target = static_cast<std::size_t>(
+        std::lround(missing_fraction * static_cast<double>(n * num_views)));
+    std::vector<std::size_t> views_present(n, num_views);
+    std::vector<std::size_t> samples_present(num_views, n);
+    std::size_t removed = 0;
+    std::size_t attempts = 0;
+    const std::size_t max_attempts = 20 * n * num_views;
+    while (removed < target && attempts < max_attempts) {
+      ++attempts;
+      const std::size_t v = static_cast<std::size_t>(rng.UniformInt(num_views));
+      const std::size_t i = static_cast<std::size_t>(rng.UniformInt(n));
+      if (!presence.present[v][i]) continue;
+      if (views_present[i] <= 1) continue;
+      if (samples_present[v] <= min_present_per_view) continue;
+      presence.present[v][i] = false;
+      views_present[i]--;
+      samples_present[v]--;
+      ++removed;
+    }
+  }
+
+  // Overwrite absent rows with scale-matched noise so that any code path
+  // that accidentally consumes them degrades loudly instead of benefiting
+  // from the original (supposedly unobserved) features.
+  for (std::size_t v = 0; v < num_views; ++v) {
+    la::Matrix& view = dataset.views[v];
+    double var = 0.0, mean = 0.0;
+    for (std::size_t i = 0; i < view.size(); ++i) mean += view.data()[i];
+    mean /= static_cast<double>(view.size());
+    for (std::size_t i = 0; i < view.size(); ++i) {
+      const double centered = view.data()[i] - mean;
+      var += centered * centered;
+    }
+    var /= static_cast<double>(view.size());
+    const double scale = std::max(std::sqrt(var), 1e-6);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (presence.present[v][i]) continue;
+      double* row = view.RowPtr(i);
+      for (std::size_t j = 0; j < view.cols(); ++j) {
+        row[j] = rng.Gaussian(0.0, scale);
+      }
+    }
+  }
+  UMVSC_RETURN_IF_ERROR(presence.Validate(dataset));
+  return presence;
+}
+
+}  // namespace umvsc::data

@@ -1,0 +1,44 @@
+#ifndef UMVSC_DATA_INCOMPLETE_H_
+#define UMVSC_DATA_INCOMPLETE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace umvsc::data {
+
+/// Per-view sample availability for the incomplete (partial) multi-view
+/// setting: present[v][i] says whether sample i was observed in view v.
+/// Feature rows of absent samples are meaningless placeholders.
+struct ViewPresence {
+  std::vector<std::vector<bool>> present;
+
+  std::size_t NumViews() const { return present.size(); }
+  std::size_t NumSamples() const {
+    return present.empty() ? 0 : present.front().size();
+  }
+  /// Number of observed samples in view v.
+  std::size_t CountPresent(std::size_t view) const;
+
+  /// Structural consistency against a dataset: matching view/sample counts
+  /// and every sample observed in at least one view.
+  Status Validate(const MultiViewDataset& dataset) const;
+};
+
+/// Samples a presence pattern with roughly `missing_fraction` of the
+/// (sample, view) pairs absent, uniformly at random, under the standard
+/// partial-multi-view constraints: every sample stays present in at least
+/// one view and every view keeps at least `min_present_per_view` samples.
+/// Feature rows of absent samples are overwritten with scale-matched noise
+/// so accidental use of them is loud in experiments rather than silently
+/// informative. Requires missing_fraction in [0, 1).
+StatusOr<ViewPresence> MakeIncomplete(MultiViewDataset& dataset,
+                                      double missing_fraction,
+                                      std::uint64_t seed,
+                                      std::size_t min_present_per_view = 10);
+
+}  // namespace umvsc::data
+
+#endif  // UMVSC_DATA_INCOMPLETE_H_

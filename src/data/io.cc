@@ -1,0 +1,148 @@
+#include "data/io.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace umvsc::data {
+
+Status SaveMatrixCsv(const la::Matrix& m, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError(StrFormat("cannot open '%s' for writing",
+                                     path.c_str()));
+  }
+  out.precision(17);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      if (j > 0) out << ',';
+      out << m(i, j);
+    }
+    out << '\n';
+  }
+  out.flush();
+  if (!out) {
+    return Status::IoError(StrFormat("write to '%s' failed", path.c_str()));
+  }
+  return Status::OK();
+}
+
+StatusOr<la::Matrix> LoadMatrixCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError(StrFormat("cannot open '%s'", path.c_str()));
+  }
+  std::vector<std::vector<double>> rows;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (StripWhitespace(line).empty()) continue;
+    std::vector<double> row;
+    for (const std::string& field : Split(line, ',')) {
+      double value = 0.0;
+      if (!ParseDouble(field, &value)) {
+        return Status::InvalidArgument(StrFormat(
+            "%s:%zu: malformed number '%s'", path.c_str(), line_no,
+            field.c_str()));
+      }
+      row.push_back(value);
+    }
+    if (!rows.empty() && row.size() != rows.front().size()) {
+      return Status::InvalidArgument(StrFormat(
+          "%s:%zu: expected %zu fields, found %zu", path.c_str(), line_no,
+          rows.front().size(), row.size()));
+    }
+    rows.push_back(std::move(row));
+  }
+  if (rows.empty()) {
+    return Status::InvalidArgument(StrFormat("'%s' is empty", path.c_str()));
+  }
+  la::Matrix m(rows.size(), rows.front().size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    for (std::size_t j = 0; j < rows[i].size(); ++j) m(i, j) = rows[i][j];
+  }
+  return m;
+}
+
+Status SaveLabels(const std::vector<std::size_t>& labels,
+                  const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError(StrFormat("cannot open '%s' for writing",
+                                     path.c_str()));
+  }
+  for (std::size_t label : labels) out << label << '\n';
+  out.flush();
+  if (!out) {
+    return Status::IoError(StrFormat("write to '%s' failed", path.c_str()));
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<std::size_t>> LoadLabels(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError(StrFormat("cannot open '%s'", path.c_str()));
+  }
+  std::vector<std::size_t> labels;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (StripWhitespace(line).empty()) continue;
+    long long value = 0;
+    if (!ParseInt(line, &value) || value < 0) {
+      return Status::InvalidArgument(StrFormat(
+          "%s:%zu: malformed label '%s'", path.c_str(), line_no, line.c_str()));
+    }
+    labels.push_back(static_cast<std::size_t>(value));
+  }
+  if (labels.empty()) {
+    return Status::InvalidArgument(StrFormat("'%s' is empty", path.c_str()));
+  }
+  return labels;
+}
+
+Status SaveDataset(const MultiViewDataset& dataset, const std::string& dir) {
+  UMVSC_RETURN_IF_ERROR(dataset.Validate());
+  for (std::size_t v = 0; v < dataset.views.size(); ++v) {
+    UMVSC_RETURN_IF_ERROR(SaveMatrixCsv(
+        dataset.views[v], StrFormat("%s/view_%zu.csv", dir.c_str(), v)));
+  }
+  if (!dataset.labels.empty()) {
+    UMVSC_RETURN_IF_ERROR(
+        SaveLabels(dataset.labels, StrFormat("%s/labels.txt", dir.c_str())));
+  }
+  return Status::OK();
+}
+
+StatusOr<MultiViewDataset> LoadDataset(const std::string& dir,
+                                       const std::string& name) {
+  MultiViewDataset dataset;
+  dataset.name = name;
+  for (std::size_t v = 0;; ++v) {
+    const std::string path = StrFormat("%s/view_%zu.csv", dir.c_str(), v);
+    if (!std::filesystem::exists(path)) break;
+    StatusOr<la::Matrix> view = LoadMatrixCsv(path);
+    if (!view.ok()) return view.status();
+    dataset.views.push_back(std::move(*view));
+  }
+  if (dataset.views.empty()) {
+    return Status::NotFound(
+        StrFormat("no view_0.csv under '%s'", dir.c_str()));
+  }
+  const std::string labels_path = StrFormat("%s/labels.txt", dir.c_str());
+  if (std::filesystem::exists(labels_path)) {
+    StatusOr<std::vector<std::size_t>> labels = LoadLabels(labels_path);
+    if (!labels.ok()) return labels.status();
+    dataset.labels = std::move(*labels);
+  }
+  UMVSC_RETURN_IF_ERROR(dataset.Validate());
+  return dataset;
+}
+
+}  // namespace umvsc::data

@@ -1,0 +1,41 @@
+#ifndef UMVSC_DATA_IO_H_
+#define UMVSC_DATA_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "la/matrix.h"
+
+namespace umvsc::data {
+
+/// Writes a matrix as plain CSV (no header), one row per line.
+Status SaveMatrixCsv(const la::Matrix& m, const std::string& path);
+
+/// Reads a plain numeric CSV (no header) into a matrix. All rows must have
+/// the same number of fields.
+StatusOr<la::Matrix> LoadMatrixCsv(const std::string& path);
+
+/// Writes labels, one integer per line.
+Status SaveLabels(const std::vector<std::size_t>& labels,
+                  const std::string& path);
+
+/// Reads labels (one nonnegative integer per line).
+StatusOr<std::vector<std::size_t>> LoadLabels(const std::string& path);
+
+/// Persists a dataset as `<dir>/view_<v>.csv` plus `<dir>/labels.txt`
+/// (labels only when present). The directory must already exist.
+Status SaveDataset(const MultiViewDataset& dataset, const std::string& dir);
+
+/// Loads a dataset saved by SaveDataset: reads view_0.csv, view_1.csv, …
+/// until the first missing file, then labels.txt if present. This is also
+/// the interchange format for plugging real benchmark data into the
+/// library: export each view's feature matrix to CSV and drop it in a
+/// directory.
+StatusOr<MultiViewDataset> LoadDataset(const std::string& dir,
+                                       const std::string& name = "dataset");
+
+}  // namespace umvsc::data
+
+#endif  // UMVSC_DATA_IO_H_

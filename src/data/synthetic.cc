@@ -1,0 +1,356 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace umvsc::data {
+
+namespace {
+
+// Cluster sizes for n points in c clusters with geometric-decay imbalance.
+std::vector<std::size_t> ClusterSizes(std::size_t n, std::size_t c,
+                                      double imbalance) {
+  std::vector<double> weights(c);
+  const double decay = 1.0 - 0.75 * std::clamp(imbalance, 0.0, 1.0);
+  double w = 1.0, total = 0.0;
+  for (std::size_t k = 0; k < c; ++k) {
+    weights[k] = w;
+    total += w;
+    w *= decay;
+  }
+  std::vector<std::size_t> sizes(c);
+  std::size_t assigned = 0;
+  for (std::size_t k = 0; k < c; ++k) {
+    sizes[k] = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::floor(weights[k] / total *
+                                               static_cast<double>(n))));
+    assigned += sizes[k];
+  }
+  // Distribute the remainder (or remove the overshoot) round-robin.
+  std::size_t k = 0;
+  while (assigned < n) {
+    sizes[k % c]++;
+    ++assigned;
+    ++k;
+  }
+  while (assigned > n) {
+    if (sizes[k % c] > 1) {
+      sizes[k % c]--;
+      --assigned;
+    }
+    ++k;
+  }
+  return sizes;
+}
+
+}  // namespace
+
+StatusOr<MultiViewDataset> MakeGaussianMultiView(const MultiViewConfig& config) {
+  if (config.num_samples == 0) {
+    return Status::InvalidArgument("num_samples must be positive");
+  }
+  if (config.num_clusters < 1 || config.num_clusters > config.num_samples) {
+    return Status::InvalidArgument("need 1 <= num_clusters <= num_samples");
+  }
+  if (config.views.empty()) {
+    return Status::InvalidArgument("at least one view is required");
+  }
+  for (const ViewSpec& spec : config.views) {
+    if (spec.dim == 0) {
+      return Status::InvalidArgument("every view needs at least one feature");
+    }
+    if (spec.noise < 0.0) {
+      return Status::InvalidArgument("view noise must be nonnegative");
+    }
+    if (spec.strength < 0.0) {
+      return Status::InvalidArgument("view strength must be nonnegative");
+    }
+  }
+
+  const std::size_t n = config.num_samples;
+  const std::size_t c = config.num_clusters;
+  const std::size_t latent =
+      config.latent_dim > 0 ? config.latent_dim : c + 2;
+  Rng rng(config.seed);
+
+  // Latent centroids, scaled for separation.
+  la::Matrix centroids = la::Matrix::RandomGaussian(c, latent, rng);
+  centroids.Scale(config.cluster_separation / std::sqrt(2.0));
+
+  // Labels and latent points.
+  const std::vector<std::size_t> sizes = ClusterSizes(n, c, config.imbalance);
+  MultiViewDataset dataset;
+  dataset.name = config.name;
+  dataset.labels.reserve(n);
+  la::Matrix z(n, latent);
+  {
+    std::size_t row = 0;
+    for (std::size_t k = 0; k < c; ++k) {
+      for (std::size_t i = 0; i < sizes[k]; ++i, ++row) {
+        dataset.labels.push_back(k);
+        for (std::size_t j = 0; j < latent; ++j) {
+          z(row, j) = centroids(k, j) + rng.Gaussian();
+        }
+      }
+    }
+  }
+  // Shuffle rows so cluster blocks are not contiguous (some algorithms are
+  // accidentally order-sensitive; the generator must not hide that).
+  {
+    std::vector<std::size_t> perm(n);
+    for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+    rng.Shuffle(perm);
+    la::Matrix z_shuffled(n, latent);
+    std::vector<std::size_t> labels_shuffled(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      z_shuffled.SetRow(i, z.Row(perm[i]));
+      labels_shuffled[i] = dataset.labels[perm[i]];
+    }
+    z = std::move(z_shuffled);
+    dataset.labels = std::move(labels_shuffled);
+  }
+
+  // The projection shared by redundant views: that of the first
+  // informative view (or a fresh one if none exists).
+  la::Matrix shared_projection;
+  const double latent_scale = 1.0 / std::sqrt(static_cast<double>(latent));
+
+  for (const ViewSpec& spec : config.views) {
+    la::Matrix x(n, spec.dim);
+    if (spec.quality == ViewQuality::kNoisy) {
+      for (std::size_t i = 0; i < x.size(); ++i) {
+        x.data()[i] = rng.Gaussian(0.0, std::max(spec.noise, 1e-12));
+      }
+      dataset.views.push_back(std::move(x));
+      continue;
+    }
+
+    la::Matrix projection;
+    if (spec.quality == ViewQuality::kRedundant &&
+        shared_projection.rows() == latent &&
+        shared_projection.cols() >= spec.dim) {
+      projection = shared_projection.Block(0, 0, latent, spec.dim);
+    } else {
+      projection = la::Matrix::RandomGaussian(latent, spec.dim, rng);
+      projection.Scale(latent_scale);
+      if (shared_projection.empty() &&
+          spec.quality == ViewQuality::kInformative) {
+        shared_projection = projection;
+      }
+    }
+    const double strength =
+        spec.strength > 0.0
+            ? spec.strength
+            : (spec.quality == ViewQuality::kWeak ? 0.35 : 1.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double* zrow = z.RowPtr(i);
+      double* xrow = x.RowPtr(i);
+      for (std::size_t j = 0; j < spec.dim; ++j) {
+        double s = 0.0;
+        for (std::size_t p = 0; p < latent; ++p) {
+          s += zrow[p] * projection(p, j);
+        }
+        xrow[j] = strength * s + rng.Gaussian(0.0, spec.noise);
+      }
+    }
+    dataset.views.push_back(std::move(x));
+  }
+
+  UMVSC_RETURN_IF_ERROR(dataset.Validate());
+  return dataset;
+}
+
+StatusOr<MultiViewDataset> MakeTwoMoonsMultiView(std::size_t num_samples,
+                                                 double noise,
+                                                 bool add_noise_view,
+                                                 std::uint64_t seed) {
+  if (num_samples < 4) {
+    return Status::InvalidArgument("two moons needs at least 4 samples");
+  }
+  if (noise < 0.0) {
+    return Status::InvalidArgument("noise must be nonnegative");
+  }
+  Rng rng(seed);
+  const std::size_t n = num_samples;
+  MultiViewDataset dataset;
+  dataset.name = "two-moons";
+  la::Matrix coords(n, 2);
+  la::Matrix warped(n, 3);
+  dataset.labels.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t moon = i % 2;
+    dataset.labels[i] = moon;
+    const double t = rng.Uniform() * M_PI;
+    double x, y;
+    if (moon == 0) {
+      x = std::cos(t);
+      y = std::sin(t);
+    } else {
+      x = 1.0 - std::cos(t);
+      y = 0.5 - std::sin(t);
+    }
+    x += rng.Gaussian(0.0, noise);
+    y += rng.Gaussian(0.0, noise);
+    coords(i, 0) = x;
+    coords(i, 1) = y;
+    // Second view: a smooth (locally injective) polynomial re-embedding of
+    // the same sample. Neighborhoods are preserved, so the moon structure
+    // survives in view 1 even though coordinates look nothing alike.
+    const double cx = x - 0.5, cy = y - 0.25;
+    warped(i, 0) = cx + 0.4 * cy * cy + rng.Gaussian(0.0, noise * 0.5);
+    warped(i, 1) = cy - 0.4 * cx * cx + rng.Gaussian(0.0, noise * 0.5);
+    warped(i, 2) = 0.5 * (cx * cx - cy * cy) + cx * cy +
+                   rng.Gaussian(0.0, noise * 0.5);
+  }
+  dataset.views.push_back(std::move(coords));
+  dataset.views.push_back(std::move(warped));
+  if (add_noise_view) {
+    la::Matrix junk(n, 5);
+    for (std::size_t i = 0; i < junk.size(); ++i) junk.data()[i] = rng.Gaussian();
+    dataset.views.push_back(std::move(junk));
+  }
+  UMVSC_RETURN_IF_ERROR(dataset.Validate());
+  return dataset;
+}
+
+StatusOr<MultiViewDataset> MakeRingsMultiView(std::size_t num_samples,
+                                              double noise,
+                                              std::uint64_t seed) {
+  if (num_samples < 6) {
+    return Status::InvalidArgument("rings needs at least 6 samples");
+  }
+  if (noise < 0.0) {
+    return Status::InvalidArgument("noise must be nonnegative");
+  }
+  Rng rng(seed);
+  const std::size_t n = num_samples;
+  const double radii[3] = {1.0, 2.2, 3.4};
+  MultiViewDataset dataset;
+  dataset.name = "rings";
+  la::Matrix coords(n, 2);
+  la::Matrix radial(n, 2);
+  dataset.labels.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t ring = i % 3;
+    dataset.labels[i] = ring;
+    const double theta = rng.Uniform() * 2.0 * M_PI;
+    const double r = radii[ring] + rng.Gaussian(0.0, noise);
+    coords(i, 0) = r * std::cos(theta);
+    coords(i, 1) = r * std::sin(theta);
+    // The radius view is linearly separable; the second feature is noise.
+    radial(i, 0) = r + rng.Gaussian(0.0, noise * 0.5);
+    radial(i, 1) = rng.Gaussian();
+  }
+  dataset.views.push_back(std::move(coords));
+  dataset.views.push_back(std::move(radial));
+  UMVSC_RETURN_IF_ERROR(dataset.Validate());
+  return dataset;
+}
+
+namespace {
+
+// Published statistics of the famous benchmarks, with a view-quality
+// profile reflecting each dataset's known character (e.g. tiny
+// color-moment views are weak, text views of 3-Sources are all strong).
+struct BenchmarkSpec {
+  const char* name;
+  std::size_t n;
+  std::size_t c;
+  std::vector<ViewSpec> views;
+  double separation;
+  double imbalance;
+};
+
+std::vector<BenchmarkSpec> AllBenchmarks() {
+  // Noise levels are tuned so the simulated difficulty lands in the
+  // published range of each benchmark (high-dimensional views need far more
+  // per-feature noise to avoid distance concentration trivializing them).
+  using Q = ViewQuality;
+  return {
+      {"MSRC-v1", 210, 7,
+       {{24, Q::kWeak, 1.2, 0.45},          // color moments
+        {576, Q::kNoisy, 1.0},              // HOG (corrupted capture)
+        {512, Q::kInformative, 3.0, 0.7},   // GIST
+        {256, Q::kInformative, 2.2, 0.6},   // LBP
+        {254, Q::kRedundant, 3.0, 0.65}},   // CENTRIST (correlated with GIST)
+       2.2, 0.0},
+      {"Caltech101-7", 1474, 7,
+       {{48, Q::kWeak, 1.6, 0.35},          // Gabor
+        {40, Q::kWeak, 1.8, 0.35},          // wavelet moments
+        {254, Q::kInformative, 2.4, 0.6},   // CENTRIST
+        {512, Q::kInformative, 2.6, 0.65},  // GIST (HOG trimmed: see scale)
+        {928, Q::kNoisy, 1.0},              // LBP (degraded)
+        {256, Q::kRedundant, 2.8, 0.5}},    // secondary descriptor
+       2.1, 0.5},
+      {"Handwritten", 2000, 10,
+       {{216, Q::kWeak, 2.5, 0.3},          // profile correlations
+        {76, Q::kInformative, 2.2, 0.8},    // Fourier coefficients
+        {64, Q::kInformative, 2.2, 0.75},   // Karhunen-Love
+        {6, Q::kWeak, 1.2, 0.3},            // morphological
+        {240, Q::kNoisy, 1.0},              // pixel averages (corrupted)
+        {47, Q::kWeak, 2.0, 0.35}},         // Zernike moments
+       2.1, 0.0},
+      {"3-Sources", 169, 6,
+       {{3560, Q::kInformative, 7.0},  // BBC
+        {3631, Q::kWeak, 8.0, 0.25},   // Guardian (thin coverage)
+        {3068, Q::kWeak, 7.0, 0.35}},  // Reuters
+       2.6, 0.35},
+      {"BBCSport", 544, 5,
+       {{3183, Q::kInformative, 7.5},
+        {3203, Q::kWeak, 8.0, 0.3}},
+       2.5, 0.3},
+      {"ORL", 400, 40,
+       {{1024, Q::kInformative, 3.6, 0.7},  // intensity (4096 trimmed)
+        {944, Q::kInformative, 4.0, 0.7},   // LBP
+        {1350, Q::kNoisy, 1.0}},            // Gabor (degraded)
+       2.6, 0.0},
+  };
+}
+
+}  // namespace
+
+std::vector<std::string> BenchmarkNames() {
+  std::vector<std::string> names;
+  for (const BenchmarkSpec& spec : AllBenchmarks()) names.push_back(spec.name);
+  return names;
+}
+
+StatusOr<MultiViewDataset> SimulateBenchmark(const std::string& benchmark_name,
+                                             std::uint64_t seed, double scale) {
+  if (scale <= 0.0 || scale > 1.0) {
+    return Status::InvalidArgument("scale must be in (0, 1]");
+  }
+  for (const BenchmarkSpec& spec : AllBenchmarks()) {
+    if (benchmark_name != spec.name) continue;
+    MultiViewConfig config;
+    config.name = spec.name;
+    config.num_samples = std::max<std::size_t>(
+        spec.c * 3,
+        static_cast<std::size_t>(std::lround(scale * static_cast<double>(spec.n))));
+    config.num_clusters = spec.c;
+    config.views = spec.views;
+    if (scale < 1.0) {
+      // Trim very high-dimensional views proportionally (they only slow the
+      // distance computation; cluster geometry is preserved).
+      for (ViewSpec& view : config.views) {
+        if (view.dim > 64) {
+          view.dim = std::max<std::size_t>(
+              64, static_cast<std::size_t>(
+                      std::lround(scale * static_cast<double>(view.dim))));
+        }
+      }
+    }
+    config.cluster_separation = spec.separation;
+    config.imbalance = spec.imbalance;
+    config.latent_dim = spec.c + 4;
+    config.seed = seed;
+    return MakeGaussianMultiView(config);
+  }
+  return Status::NotFound(
+      StrFormat("unknown benchmark '%s'", benchmark_name.c_str()));
+}
+
+}  // namespace umvsc::data

@@ -1,0 +1,83 @@
+#include "eval/hungarian.h"
+
+#include <cmath>
+#include <limits>
+
+namespace umvsc::eval {
+
+StatusOr<Assignment> MinCostAssignment(const la::Matrix& cost) {
+  if (!cost.IsSquare() || cost.rows() == 0) {
+    return Status::InvalidArgument(
+        "assignment requires a non-empty square cost matrix");
+  }
+  for (std::size_t i = 0; i < cost.size(); ++i) {
+    if (!std::isfinite(cost.data()[i])) {
+      return Status::InvalidArgument("assignment costs must be finite");
+    }
+  }
+  const std::size_t n = cost.rows();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // Potentials u (rows), v (columns) and the column→row matching; index 0 is
+  // a sentinel (1-based internally, as in the classic formulation).
+  std::vector<double> u(n + 1, 0.0), v(n + 1, 0.0);
+  std::vector<std::size_t> match(n + 1, 0);  // match[col] = row
+  std::vector<std::size_t> way(n + 1, 0);
+
+  for (std::size_t i = 1; i <= n; ++i) {
+    match[0] = i;
+    std::size_t j0 = 0;
+    std::vector<double> minv(n + 1, kInf);
+    std::vector<bool> used(n + 1, false);
+    do {
+      used[j0] = true;
+      const std::size_t i0 = match[j0];
+      double delta = kInf;
+      std::size_t j1 = 0;
+      for (std::size_t j = 1; j <= n; ++j) {
+        if (used[j]) continue;
+        const double cur = cost(i0 - 1, j - 1) - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (std::size_t j = 0; j <= n; ++j) {
+        if (used[j]) {
+          u[match[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (match[j0] != 0);
+    // Augment along the alternating path.
+    do {
+      const std::size_t j1 = way[j0];
+      match[j0] = match[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  Assignment out;
+  out.row_to_col.assign(n, 0);
+  for (std::size_t j = 1; j <= n; ++j) out.row_to_col[match[j] - 1] = j - 1;
+  for (std::size_t i = 0; i < n; ++i) out.total += cost(i, out.row_to_col[i]);
+  return out;
+}
+
+StatusOr<Assignment> MaxProfitAssignment(const la::Matrix& profit) {
+  la::Matrix neg = profit;
+  neg.Scale(-1.0);
+  StatusOr<Assignment> res = MinCostAssignment(neg);
+  if (!res.ok()) return res.status();
+  res->total = -res->total;
+  return res;
+}
+
+}  // namespace umvsc::eval

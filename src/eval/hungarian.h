@@ -1,0 +1,30 @@
+#ifndef UMVSC_EVAL_HUNGARIAN_H_
+#define UMVSC_EVAL_HUNGARIAN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "la/matrix.h"
+
+namespace umvsc::eval {
+
+/// Solution of an assignment problem.
+struct Assignment {
+  /// row_to_col[i] = column assigned to row i.
+  std::vector<std::size_t> row_to_col;
+  /// Total cost (for MinCostAssignment) or profit (for MaxProfitAssignment).
+  double total = 0.0;
+};
+
+/// Exact minimum-cost perfect assignment on a square cost matrix, solved by
+/// the O(n³) shortest-augmenting-path Hungarian algorithm with potentials.
+/// Finite costs required.
+StatusOr<Assignment> MinCostAssignment(const la::Matrix& cost);
+
+/// Exact maximum-profit assignment (negates and delegates).
+StatusOr<Assignment> MaxProfitAssignment(const la::Matrix& profit);
+
+}  // namespace umvsc::eval
+
+#endif  // UMVSC_EVAL_HUNGARIAN_H_

@@ -1,0 +1,159 @@
+#include "eval/internal_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "graph/distance.h"
+
+namespace umvsc::eval {
+
+namespace {
+
+Status ValidateInput(const la::Matrix& features,
+                     const std::vector<std::size_t>& labels,
+                     std::size_t* num_clusters) {
+  if (features.rows() == 0 || features.cols() == 0) {
+    return Status::InvalidArgument("features must be non-empty");
+  }
+  if (labels.size() != features.rows()) {
+    return Status::InvalidArgument("label count must match feature rows");
+  }
+  std::size_t max_label = 0;
+  for (std::size_t l : labels) max_label = std::max(max_label, l);
+  *num_clusters = max_label + 1;
+  // At least two non-empty clusters.
+  std::vector<bool> seen(*num_clusters, false);
+  for (std::size_t l : labels) seen[l] = true;
+  std::size_t populated = 0;
+  for (bool s : seen) populated += s;
+  if (populated < 2) {
+    return Status::InvalidArgument(
+        "internal validation needs at least two non-empty clusters");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<double> SilhouetteScore(const la::Matrix& features,
+                                 const std::vector<std::size_t>& labels) {
+  std::size_t k = 0;
+  UMVSC_RETURN_IF_ERROR(ValidateInput(features, labels, &k));
+  const std::size_t n = features.rows();
+  la::Matrix dist = graph::PairwiseDistances(features);
+  std::vector<std::size_t> counts(k, 0);
+  for (std::size_t l : labels) counts[l]++;
+
+  double total = 0.0;
+  std::vector<double> mean_to_cluster(k);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (counts[labels[i]] <= 1) continue;  // singleton scores 0
+    std::fill(mean_to_cluster.begin(), mean_to_cluster.end(), 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      mean_to_cluster[labels[j]] += dist(i, j);
+    }
+    // Own cluster: exclude the point itself from the average.
+    const std::size_t own = labels[i];
+    const double a =
+        mean_to_cluster[own] / static_cast<double>(counts[own] - 1);
+    double b = std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < k; ++c) {
+      if (c == own || counts[c] == 0) continue;
+      b = std::min(b, mean_to_cluster[c] / static_cast<double>(counts[c]));
+    }
+    const double denom = std::max(a, b);
+    total += denom > 0.0 ? (b - a) / denom : 0.0;
+  }
+  return total / static_cast<double>(n);
+}
+
+StatusOr<double> DaviesBouldinIndex(const la::Matrix& features,
+                                    const std::vector<std::size_t>& labels) {
+  std::size_t k = 0;
+  UMVSC_RETURN_IF_ERROR(ValidateInput(features, labels, &k));
+  const std::size_t n = features.rows();
+  const std::size_t d = features.cols();
+
+  // Centroids and within-cluster mean centroid distances.
+  la::Matrix centroids(k, d);
+  std::vector<double> counts(k, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      centroids(labels[i], j) += features(i, j);
+    }
+    counts[labels[i]] += 1.0;
+  }
+  for (std::size_t c = 0; c < k; ++c) {
+    if (counts[c] > 0.0) {
+      for (std::size_t j = 0; j < d; ++j) centroids(c, j) /= counts[c];
+    }
+  }
+  std::vector<double> scatter(k, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double dist2 = 0.0;
+    for (std::size_t j = 0; j < d; ++j) {
+      const double diff = features(i, j) - centroids(labels[i], j);
+      dist2 += diff * diff;
+    }
+    scatter[labels[i]] += std::sqrt(dist2);
+  }
+  for (std::size_t c = 0; c < k; ++c) {
+    if (counts[c] > 0.0) scatter[c] /= counts[c];
+  }
+
+  double total = 0.0;
+  std::size_t populated = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    if (counts[i] == 0.0) continue;
+    ++populated;
+    double worst = 0.0;
+    for (std::size_t j = 0; j < k; ++j) {
+      if (j == i || counts[j] == 0.0) continue;
+      double sep2 = 0.0;
+      for (std::size_t p = 0; p < d; ++p) {
+        const double diff = centroids(i, p) - centroids(j, p);
+        sep2 += diff * diff;
+      }
+      const double sep = std::sqrt(sep2);
+      if (sep > 0.0) {
+        worst = std::max(worst, (scatter[i] + scatter[j]) / sep);
+      } else {
+        // Coincident centroids: maximally bad pair.
+        worst = std::numeric_limits<double>::infinity();
+      }
+    }
+    total += worst;
+  }
+  return total / static_cast<double>(populated);
+}
+
+StatusOr<ClusterCountSelection> SelectClusterCount(const la::Matrix& features,
+                                                   std::size_t min_k,
+                                                   std::size_t max_k,
+                                                   const ClusterAtK& cluster) {
+  if (min_k < 2 || min_k > max_k || max_k >= features.rows()) {
+    return Status::InvalidArgument(
+        "SelectClusterCount requires 2 <= min_k <= max_k < n");
+  }
+  ClusterCountSelection out;
+  double best = -std::numeric_limits<double>::infinity();
+  for (std::size_t k = min_k; k <= max_k; ++k) {
+    StatusOr<std::vector<std::size_t>> labels = cluster(k);
+    if (!labels.ok()) continue;  // caller opted out of this k
+    StatusOr<double> score = SilhouetteScore(features, *labels);
+    if (!score.ok()) continue;
+    out.candidate_ks.push_back(k);
+    out.silhouettes.push_back(*score);
+    if (*score > best) {
+      best = *score;
+      out.best_k = k;
+    }
+  }
+  if (out.candidate_ks.empty()) {
+    return Status::NotFound("no candidate cluster count produced a score");
+  }
+  return out;
+}
+
+}  // namespace umvsc::eval

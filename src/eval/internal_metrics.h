@@ -1,0 +1,53 @@
+#ifndef UMVSC_EVAL_INTERNAL_METRICS_H_
+#define UMVSC_EVAL_INTERNAL_METRICS_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "la/matrix.h"
+
+namespace umvsc::eval {
+
+/// Internal (ground-truth-free) cluster validation metrics, used to select
+/// the number of clusters when no labels exist.
+
+/// Mean silhouette coefficient over all points, in [−1, 1] (higher is
+/// better). For each point: (b − a) / max(a, b) with a = mean distance to
+/// its own cluster and b = the smallest mean distance to another cluster.
+/// Points in singleton clusters score 0 by convention. Requires at least
+/// two non-empty clusters.
+StatusOr<double> SilhouetteScore(const la::Matrix& features,
+                                 const std::vector<std::size_t>& labels);
+
+/// Davies–Bouldin index (lower is better): mean over clusters of the worst
+/// ratio (s_i + s_j) / d(μ_i, μ_j), with s = mean centroid distance within
+/// a cluster. Requires at least two non-empty clusters.
+StatusOr<double> DaviesBouldinIndex(const la::Matrix& features,
+                                    const std::vector<std::size_t>& labels);
+
+/// Result of a cluster-count selection sweep.
+struct ClusterCountSelection {
+  std::size_t best_k = 0;
+  /// silhouettes[i] is the score for candidate_ks[i].
+  std::vector<std::size_t> candidate_ks;
+  std::vector<double> silhouettes;
+};
+
+/// Selects the number of clusters by the silhouette criterion: runs the
+/// caller-provided clustering callback for each k in [min_k, max_k] and
+/// returns the k with the highest mean silhouette on `features` (typically
+/// a spectral embedding or the concatenated standardized views). The
+/// callback returns the label vector for a given k, or an error to skip
+/// that k. Requires 2 <= min_k <= max_k < n.
+using ClusterAtK =
+    std::function<StatusOr<std::vector<std::size_t>>(std::size_t k)>;
+StatusOr<ClusterCountSelection> SelectClusterCount(const la::Matrix& features,
+                                                   std::size_t min_k,
+                                                   std::size_t max_k,
+                                                   const ClusterAtK& cluster);
+
+}  // namespace umvsc::eval
+
+#endif  // UMVSC_EVAL_INTERNAL_METRICS_H_

@@ -1,0 +1,276 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "eval/hungarian.h"
+
+namespace umvsc::eval {
+
+namespace {
+
+Status ValidateLabelings(const std::vector<std::size_t>& predicted,
+                         const std::vector<std::size_t>& truth) {
+  if (predicted.empty()) {
+    return Status::InvalidArgument("labelings must be non-empty");
+  }
+  if (predicted.size() != truth.size()) {
+    return Status::InvalidArgument("labelings must have equal length");
+  }
+  return Status::OK();
+}
+
+double Entropy(const std::vector<double>& counts, double n) {
+  double h = 0.0;
+  for (double c : counts) {
+    if (c > 0.0) {
+      const double p = c / n;
+      h -= p * std::log(p);
+    }
+  }
+  return h;
+}
+
+double Choose2(double x) { return x * (x - 1.0) / 2.0; }
+
+}  // namespace
+
+StatusOr<la::Matrix> ContingencyTable(const std::vector<std::size_t>& predicted,
+                                      const std::vector<std::size_t>& truth) {
+  UMVSC_RETURN_IF_ERROR(ValidateLabelings(predicted, truth));
+  std::size_t rows = 0, cols = 0;
+  for (std::size_t v : predicted) rows = std::max(rows, v + 1);
+  for (std::size_t v : truth) cols = std::max(cols, v + 1);
+  la::Matrix table(rows, cols);
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    table(predicted[i], truth[i]) += 1.0;
+  }
+  return table;
+}
+
+StatusOr<double> ClusteringAccuracy(const std::vector<std::size_t>& predicted,
+                                    const std::vector<std::size_t>& truth) {
+  StatusOr<la::Matrix> table = ContingencyTable(predicted, truth);
+  if (!table.ok()) return table.status();
+  // Pad to square so clusterings with different counts still match.
+  const std::size_t dim = std::max(table->rows(), table->cols());
+  la::Matrix profit(dim, dim);
+  for (std::size_t i = 0; i < table->rows(); ++i) {
+    for (std::size_t j = 0; j < table->cols(); ++j) {
+      profit(i, j) = (*table)(i, j);
+    }
+  }
+  StatusOr<Assignment> best = MaxProfitAssignment(profit);
+  if (!best.ok()) return best.status();
+  return best->total / static_cast<double>(predicted.size());
+}
+
+StatusOr<double> NormalizedMutualInformation(
+    const std::vector<std::size_t>& predicted,
+    const std::vector<std::size_t>& truth, NmiNormalization normalization) {
+  StatusOr<la::Matrix> table = ContingencyTable(predicted, truth);
+  if (!table.ok()) return table.status();
+  const double n = static_cast<double>(predicted.size());
+
+  std::vector<double> row_sums(table->rows(), 0.0);
+  std::vector<double> col_sums(table->cols(), 0.0);
+  for (std::size_t i = 0; i < table->rows(); ++i) {
+    for (std::size_t j = 0; j < table->cols(); ++j) {
+      row_sums[i] += (*table)(i, j);
+      col_sums[j] += (*table)(i, j);
+    }
+  }
+  const double h_pred = Entropy(row_sums, n);
+  const double h_true = Entropy(col_sums, n);
+
+  double mi = 0.0;
+  for (std::size_t i = 0; i < table->rows(); ++i) {
+    for (std::size_t j = 0; j < table->cols(); ++j) {
+      const double nij = (*table)(i, j);
+      if (nij > 0.0) {
+        mi += (nij / n) * std::log(n * nij / (row_sums[i] * col_sums[j]));
+      }
+    }
+  }
+  mi = std::max(0.0, mi);  // clamp tiny negative rounding
+
+  double denom = 0.0;
+  switch (normalization) {
+    case NmiNormalization::kSqrt:
+      denom = std::sqrt(h_pred * h_true);
+      break;
+    case NmiNormalization::kMax:
+      denom = std::max(h_pred, h_true);
+      break;
+    case NmiNormalization::kArithmetic:
+      denom = 0.5 * (h_pred + h_true);
+      break;
+  }
+  if (denom <= 0.0) {
+    // Both labelings constant: identical iff both have a single cluster.
+    return (h_pred == 0.0 && h_true == 0.0) ? 1.0 : 0.0;
+  }
+  return std::min(1.0, mi / denom);
+}
+
+StatusOr<double> AdjustedRandIndex(const std::vector<std::size_t>& predicted,
+                                   const std::vector<std::size_t>& truth) {
+  StatusOr<la::Matrix> table = ContingencyTable(predicted, truth);
+  if (!table.ok()) return table.status();
+  const double n = static_cast<double>(predicted.size());
+
+  double sum_ij = 0.0, sum_rows = 0.0, sum_cols = 0.0;
+  std::vector<double> row_sums(table->rows(), 0.0);
+  std::vector<double> col_sums(table->cols(), 0.0);
+  for (std::size_t i = 0; i < table->rows(); ++i) {
+    for (std::size_t j = 0; j < table->cols(); ++j) {
+      const double nij = (*table)(i, j);
+      sum_ij += Choose2(nij);
+      row_sums[i] += nij;
+      col_sums[j] += nij;
+    }
+  }
+  for (double r : row_sums) sum_rows += Choose2(r);
+  for (double c : col_sums) sum_cols += Choose2(c);
+
+  const double total_pairs = Choose2(n);
+  const double expected = sum_rows * sum_cols / total_pairs;
+  const double max_index = 0.5 * (sum_rows + sum_cols);
+  if (max_index == expected) return 1.0;  // degenerate: perfect by convention
+  return (sum_ij - expected) / (max_index - expected);
+}
+
+StatusOr<double> RandIndex(const std::vector<std::size_t>& predicted,
+                           const std::vector<std::size_t>& truth) {
+  StatusOr<la::Matrix> table = ContingencyTable(predicted, truth);
+  if (!table.ok()) return table.status();
+  const double n = static_cast<double>(predicted.size());
+  double sum_ij = 0.0, sum_rows = 0.0, sum_cols = 0.0;
+  std::vector<double> row_sums(table->rows(), 0.0);
+  std::vector<double> col_sums(table->cols(), 0.0);
+  for (std::size_t i = 0; i < table->rows(); ++i) {
+    for (std::size_t j = 0; j < table->cols(); ++j) {
+      sum_ij += Choose2((*table)(i, j));
+      row_sums[i] += (*table)(i, j);
+      col_sums[j] += (*table)(i, j);
+    }
+  }
+  for (double r : row_sums) sum_rows += Choose2(r);
+  for (double c : col_sums) sum_cols += Choose2(c);
+  const double total = Choose2(n);
+  if (total == 0.0) return 1.0;  // a single point: trivially consistent
+  const double agree = total + 2.0 * sum_ij - sum_rows - sum_cols;
+  return agree / total;
+}
+
+StatusOr<double> Purity(const std::vector<std::size_t>& predicted,
+                        const std::vector<std::size_t>& truth) {
+  StatusOr<la::Matrix> table = ContingencyTable(predicted, truth);
+  if (!table.ok()) return table.status();
+  double correct = 0.0;
+  for (std::size_t i = 0; i < table->rows(); ++i) {
+    double best = 0.0;
+    for (std::size_t j = 0; j < table->cols(); ++j) {
+      best = std::max(best, (*table)(i, j));
+    }
+    correct += best;
+  }
+  return correct / static_cast<double>(predicted.size());
+}
+
+StatusOr<PairwiseScores> PairwiseFScore(
+    const std::vector<std::size_t>& predicted,
+    const std::vector<std::size_t>& truth) {
+  StatusOr<la::Matrix> table = ContingencyTable(predicted, truth);
+  if (!table.ok()) return table.status();
+
+  double tp = 0.0, pred_pairs = 0.0, true_pairs = 0.0;
+  std::vector<double> row_sums(table->rows(), 0.0);
+  std::vector<double> col_sums(table->cols(), 0.0);
+  for (std::size_t i = 0; i < table->rows(); ++i) {
+    for (std::size_t j = 0; j < table->cols(); ++j) {
+      tp += Choose2((*table)(i, j));
+      row_sums[i] += (*table)(i, j);
+      col_sums[j] += (*table)(i, j);
+    }
+  }
+  for (double r : row_sums) pred_pairs += Choose2(r);
+  for (double c : col_sums) true_pairs += Choose2(c);
+
+  PairwiseScores s;
+  s.precision = pred_pairs > 0.0 ? tp / pred_pairs : 1.0;
+  s.recall = true_pairs > 0.0 ? tp / true_pairs : 1.0;
+  s.f_score = (s.precision + s.recall) > 0.0
+                  ? 2.0 * s.precision * s.recall / (s.precision + s.recall)
+                  : 0.0;
+  return s;
+}
+
+StatusOr<double> FowlkesMallows(const std::vector<std::size_t>& predicted,
+                                const std::vector<std::size_t>& truth) {
+  StatusOr<PairwiseScores> s = PairwiseFScore(predicted, truth);
+  if (!s.ok()) return s.status();
+  return std::sqrt(s->precision * s->recall);
+}
+
+StatusOr<VMeasureScores> VMeasure(const std::vector<std::size_t>& predicted,
+                                  const std::vector<std::size_t>& truth) {
+  StatusOr<la::Matrix> table = ContingencyTable(predicted, truth);
+  if (!table.ok()) return table.status();
+  const double n = static_cast<double>(predicted.size());
+
+  std::vector<double> row_sums(table->rows(), 0.0);
+  std::vector<double> col_sums(table->cols(), 0.0);
+  for (std::size_t i = 0; i < table->rows(); ++i) {
+    for (std::size_t j = 0; j < table->cols(); ++j) {
+      row_sums[i] += (*table)(i, j);
+      col_sums[j] += (*table)(i, j);
+    }
+  }
+  const double h_pred = Entropy(row_sums, n);   // H(K): clusters
+  const double h_true = Entropy(col_sums, n);   // H(C): classes
+
+  // Conditional entropies H(C|K) and H(K|C) from the joint counts.
+  double h_true_given_pred = 0.0;
+  double h_pred_given_true = 0.0;
+  for (std::size_t i = 0; i < table->rows(); ++i) {
+    for (std::size_t j = 0; j < table->cols(); ++j) {
+      const double nij = (*table)(i, j);
+      if (nij <= 0.0) continue;
+      h_true_given_pred -= (nij / n) * std::log(nij / row_sums[i]);
+      h_pred_given_true -= (nij / n) * std::log(nij / col_sums[j]);
+    }
+  }
+
+  VMeasureScores out;
+  out.homogeneity = h_true > 0.0 ? 1.0 - h_true_given_pred / h_true : 1.0;
+  out.completeness = h_pred > 0.0 ? 1.0 - h_pred_given_true / h_pred : 1.0;
+  const double denom = out.homogeneity + out.completeness;
+  out.v_measure =
+      denom > 0.0 ? 2.0 * out.homogeneity * out.completeness / denom : 0.0;
+  return out;
+}
+
+StatusOr<ClusteringScores> ScoreClustering(
+    const std::vector<std::size_t>& predicted,
+    const std::vector<std::size_t>& truth) {
+  ClusteringScores out;
+  StatusOr<double> acc = ClusteringAccuracy(predicted, truth);
+  if (!acc.ok()) return acc.status();
+  out.accuracy = *acc;
+  StatusOr<double> nmi = NormalizedMutualInformation(predicted, truth);
+  if (!nmi.ok()) return nmi.status();
+  out.nmi = *nmi;
+  StatusOr<double> purity = Purity(predicted, truth);
+  if (!purity.ok()) return purity.status();
+  out.purity = *purity;
+  StatusOr<double> ari = AdjustedRandIndex(predicted, truth);
+  if (!ari.ok()) return ari.status();
+  out.ari = *ari;
+  StatusOr<PairwiseScores> f = PairwiseFScore(predicted, truth);
+  if (!f.ok()) return f.status();
+  out.f_score = f->f_score;
+  return out;
+}
+
+}  // namespace umvsc::eval

@@ -1,0 +1,87 @@
+#ifndef UMVSC_EVAL_METRICS_H_
+#define UMVSC_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "la/matrix.h"
+
+namespace umvsc::eval {
+
+/// Cross-tabulation of two labelings: entry (i, j) counts points with
+/// predicted label i and true label j. Labels must be dense ids starting at
+/// 0; the table shape is (max_pred + 1) × (max_true + 1).
+StatusOr<la::Matrix> ContingencyTable(const std::vector<std::size_t>& predicted,
+                                      const std::vector<std::size_t>& truth);
+
+/// Normalization used by NMI.
+enum class NmiNormalization {
+  kSqrt,       ///< I / sqrt(H_pred · H_true)   (the multi-view default)
+  kMax,        ///< I / max(H_pred, H_true)
+  kArithmetic, ///< 2·I / (H_pred + H_true)
+};
+
+/// Clustering accuracy: the best label permutation (optimal over the
+/// Hungarian matching of the contingency table) divided by n. In [0, 1].
+StatusOr<double> ClusteringAccuracy(const std::vector<std::size_t>& predicted,
+                                    const std::vector<std::size_t>& truth);
+
+/// Normalized mutual information, in [0, 1]. A single-cluster degenerate
+/// labeling has zero entropy; NMI is defined as 0 then (unless both sides
+/// are the same single cluster, which scores 1 by convention).
+StatusOr<double> NormalizedMutualInformation(
+    const std::vector<std::size_t>& predicted,
+    const std::vector<std::size_t>& truth,
+    NmiNormalization normalization = NmiNormalization::kSqrt);
+
+/// Adjusted Rand index, chance-corrected, in [−1, 1].
+StatusOr<double> AdjustedRandIndex(const std::vector<std::size_t>& predicted,
+                                   const std::vector<std::size_t>& truth);
+
+/// Unadjusted Rand index, in [0, 1].
+StatusOr<double> RandIndex(const std::vector<std::size_t>& predicted,
+                           const std::vector<std::size_t>& truth);
+
+/// Purity: each predicted cluster votes its majority true class. In [0, 1].
+StatusOr<double> Purity(const std::vector<std::size_t>& predicted,
+                        const std::vector<std::size_t>& truth);
+
+/// Pairwise precision/recall/F over same-cluster point pairs.
+struct PairwiseScores {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f_score = 0.0;
+};
+StatusOr<PairwiseScores> PairwiseFScore(const std::vector<std::size_t>& predicted,
+                                        const std::vector<std::size_t>& truth);
+
+/// Fowlkes–Mallows index: geometric mean of pairwise precision and recall.
+StatusOr<double> FowlkesMallows(const std::vector<std::size_t>& predicted,
+                                const std::vector<std::size_t>& truth);
+
+/// Homogeneity / completeness / V-measure (Rosenberg & Hirschberg '07):
+/// conditional-entropy based; V is their harmonic mean.
+struct VMeasureScores {
+  double homogeneity = 0.0;
+  double completeness = 0.0;
+  double v_measure = 0.0;
+};
+StatusOr<VMeasureScores> VMeasure(const std::vector<std::size_t>& predicted,
+                                  const std::vector<std::size_t>& truth);
+
+/// All the metrics the benchmark tables report, in one call.
+struct ClusteringScores {
+  double accuracy = 0.0;
+  double nmi = 0.0;
+  double purity = 0.0;
+  double ari = 0.0;
+  double f_score = 0.0;
+};
+StatusOr<ClusteringScores> ScoreClustering(
+    const std::vector<std::size_t>& predicted,
+    const std::vector<std::size_t>& truth);
+
+}  // namespace umvsc::eval
+
+#endif  // UMVSC_EVAL_METRICS_H_

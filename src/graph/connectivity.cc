@@ -1,0 +1,50 @@
+#include "graph/connectivity.h"
+
+#include <queue>
+
+#include "common/check.h"
+
+namespace umvsc::graph {
+
+std::vector<std::size_t> ConnectedComponents(const la::CsrMatrix& w) {
+  UMVSC_CHECK(w.rows() == w.cols(), "connectivity requires a square graph");
+  const std::size_t n = w.rows();
+  constexpr std::size_t kUnvisited = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> component(n, kUnvisited);
+  const auto& offsets = w.row_offsets();
+  const auto& cols = w.col_indices();
+  const auto& vals = w.values();
+
+  std::size_t next_id = 0;
+  std::queue<std::size_t> frontier;
+  for (std::size_t start = 0; start < n; ++start) {
+    if (component[start] != kUnvisited) continue;
+    component[start] = next_id;
+    frontier.push(start);
+    while (!frontier.empty()) {
+      const std::size_t u = frontier.front();
+      frontier.pop();
+      for (std::size_t k = offsets[u]; k < offsets[u + 1]; ++k) {
+        if (vals[k] == 0.0) continue;
+        const std::size_t v = cols[k];
+        if (component[v] == kUnvisited) {
+          component[v] = next_id;
+          frontier.push(v);
+        }
+      }
+    }
+    ++next_id;
+  }
+  return component;
+}
+
+std::size_t CountComponents(const la::CsrMatrix& w) {
+  const std::vector<std::size_t> comp = ConnectedComponents(w);
+  std::size_t max_id = 0;
+  for (std::size_t c : comp) max_id = std::max(max_id, c);
+  return comp.empty() ? 0 : max_id + 1;
+}
+
+bool IsConnected(const la::CsrMatrix& w) { return CountComponents(w) <= 1; }
+
+}  // namespace umvsc::graph

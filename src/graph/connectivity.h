@@ -1,0 +1,26 @@
+#ifndef UMVSC_GRAPH_CONNECTIVITY_H_
+#define UMVSC_GRAPH_CONNECTIVITY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "la/sparse.h"
+
+namespace umvsc::graph {
+
+/// Connected components of an undirected graph given by a symmetric CSR
+/// affinity (edges are nonzero entries). Returns a component id in
+/// [0, NumComponents) per vertex, ids assigned in order of first visit.
+std::vector<std::size_t> ConnectedComponents(const la::CsrMatrix& w);
+
+/// Number of connected components.
+std::size_t CountComponents(const la::CsrMatrix& w);
+
+/// True when the graph is a single connected component. Spectral clustering
+/// with the normalized Laplacian silently degrades on disconnected graphs —
+/// callers use this as a diagnostic before embedding.
+bool IsConnected(const la::CsrMatrix& w);
+
+}  // namespace umvsc::graph
+
+#endif  // UMVSC_GRAPH_CONNECTIVITY_H_

@@ -1,0 +1,48 @@
+#include "graph/distance.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "la/ops.h"
+
+namespace umvsc::graph {
+
+la::Matrix PairwiseSquaredDistances(const la::Matrix& x) {
+  const std::size_t n = x.rows();
+  la::Matrix gram = la::OuterGram(x);
+  la::Matrix d2(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double gii = gram(i, i);
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double v = std::max(0.0, gii + gram(j, j) - 2.0 * gram(i, j));
+      d2(i, j) = v;
+      d2(j, i) = v;
+    }
+  }
+  return d2;
+}
+
+la::Matrix PairwiseDistances(const la::Matrix& x) {
+  la::Matrix d = PairwiseSquaredDistances(x);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    d.data()[i] = std::sqrt(d.data()[i]);
+  }
+  return d;
+}
+
+la::Matrix CosineSimilarity(const la::Matrix& x) {
+  const std::size_t n = x.rows();
+  la::Matrix gram = la::OuterGram(x);
+  la::Vector norms(n);
+  for (std::size_t i = 0; i < n; ++i) norms[i] = std::sqrt(gram(i, i));
+  la::Matrix s(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double denom = norms[i] * norms[j];
+      s(i, j) = denom > 0.0 ? gram(i, j) / denom : 0.0;
+    }
+  }
+  return s;
+}
+
+}  // namespace umvsc::graph

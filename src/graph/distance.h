@@ -1,0 +1,23 @@
+#ifndef UMVSC_GRAPH_DISTANCE_H_
+#define UMVSC_GRAPH_DISTANCE_H_
+
+#include "la/matrix.h"
+
+namespace umvsc::graph {
+
+/// Pairwise squared Euclidean distances between the rows of `x`:
+/// D²_ij = ‖x_i − x_j‖². Computed via the Gram expansion
+/// ‖x_i‖² + ‖x_j‖² − 2·x_iᵀx_j with clamping at zero, so it is O(n²·d)
+/// with a single GEMM-shaped pass. The diagonal is exactly zero.
+la::Matrix PairwiseSquaredDistances(const la::Matrix& x);
+
+/// Pairwise Euclidean distances (element-wise sqrt of the above).
+la::Matrix PairwiseDistances(const la::Matrix& x);
+
+/// Pairwise cosine similarity between rows, in [−1, 1]. Zero rows get
+/// similarity 0 against everything (including themselves).
+la::Matrix CosineSimilarity(const la::Matrix& x);
+
+}  // namespace umvsc::graph
+
+#endif  // UMVSC_GRAPH_DISTANCE_H_

@@ -1,0 +1,27 @@
+#ifndef UMVSC_GRAPH_KERNELS_H_
+#define UMVSC_GRAPH_KERNELS_H_
+
+#include "common/status.h"
+#include "la/matrix.h"
+
+namespace umvsc::graph {
+
+/// Gaussian (RBF) affinity from squared distances:
+/// W_ij = exp(−D²_ij / (2σ²)), diagonal forced to 0 (no self-loop), as is
+/// conventional for spectral clustering graphs. Requires σ > 0.
+StatusOr<la::Matrix> GaussianKernel(const la::Matrix& sq_dists, double sigma);
+
+/// Self-tuning affinity of Zelnik-Manor & Perona: per-point scales σ_i set
+/// to the distance to the k-th nearest neighbor, W_ij = exp(−D²_ij/(σ_i·σ_j)).
+/// Robust to clusters of different densities — the default graph builder for
+/// the multi-view benchmarks. Requires 1 <= k < n.
+StatusOr<la::Matrix> SelfTuningKernel(const la::Matrix& sq_dists,
+                                      std::size_t k);
+
+/// The median heuristic bandwidth: σ = median of nonzero pairwise distances.
+/// Returns an error when every pairwise distance is zero.
+StatusOr<double> MedianHeuristicSigma(const la::Matrix& sq_dists);
+
+}  // namespace umvsc::graph
+
+#endif  // UMVSC_GRAPH_KERNELS_H_

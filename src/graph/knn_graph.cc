@@ -1,0 +1,127 @@
+#include "graph/knn_graph.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+namespace umvsc::graph {
+
+namespace {
+
+// Indices of the k largest off-diagonal entries of row i.
+std::vector<std::size_t> TopKNeighbors(const la::Matrix& affinity,
+                                       std::size_t i, std::size_t k) {
+  const std::size_t n = affinity.cols();
+  std::vector<std::size_t> idx;
+  idx.reserve(n - 1);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (j != i) idx.push_back(j);
+  }
+  std::partial_sort(idx.begin(), idx.begin() + k, idx.end(),
+                    [&](std::size_t a, std::size_t b) {
+                      return affinity(i, a) > affinity(i, b);
+                    });
+  idx.resize(k);
+  return idx;
+}
+
+}  // namespace
+
+StatusOr<la::CsrMatrix> BuildKnnGraph(const la::Matrix& affinity,
+                                      std::size_t k,
+                                      KnnSymmetrization symmetrization) {
+  if (!affinity.IsSquare()) {
+    return Status::InvalidArgument("BuildKnnGraph requires a square affinity");
+  }
+  const std::size_t n = affinity.rows();
+  if (k < 1 || k >= n) {
+    return Status::InvalidArgument("BuildKnnGraph requires 1 <= k < n");
+  }
+  for (std::size_t i = 0; i < affinity.size(); ++i) {
+    if (affinity.data()[i] < 0.0) {
+      return Status::InvalidArgument("affinities must be nonnegative");
+    }
+  }
+
+  // Directed selection mask: selected(i, j) = affinity if j is a kNN of i.
+  // Kept dense (n² bools worth of doubles) for simplicity at library scale.
+  la::Matrix selected(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j : TopKNeighbors(affinity, i, k)) {
+      selected(i, j) = affinity(i, j);
+    }
+  }
+
+  std::vector<la::Triplet> triplets;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double a = selected(i, j);
+      const double b = selected(j, i);
+      double w = 0.0;
+      switch (symmetrization) {
+        case KnnSymmetrization::kUnion:
+          w = std::max(a, b);
+          break;
+        case KnnSymmetrization::kMutual:
+          w = (a > 0.0 && b > 0.0) ? std::min(a, b) : 0.0;
+          break;
+        case KnnSymmetrization::kAverage:
+          w = 0.5 * (a + b);
+          break;
+      }
+      if (w > 0.0) {
+        triplets.push_back({i, j, w});
+        triplets.push_back({j, i, w});
+      }
+    }
+  }
+  return la::CsrMatrix::FromTriplets(n, n, std::move(triplets));
+}
+
+StatusOr<la::CsrMatrix> AdaptiveNeighborGraph(const la::Matrix& sq_dists,
+                                              std::size_t k) {
+  if (!sq_dists.IsSquare()) {
+    return Status::InvalidArgument(
+        "AdaptiveNeighborGraph requires a square distance matrix");
+  }
+  const std::size_t n = sq_dists.rows();
+  if (k < 1 || k + 1 >= n) {
+    return Status::InvalidArgument(
+        "AdaptiveNeighborGraph requires 1 <= k < n - 1");
+  }
+
+  std::vector<la::Triplet> triplets;
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Sort the k+1 smallest distances among other points.
+    idx.clear();
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != i) idx.push_back(j);
+    }
+    std::partial_sort(idx.begin(), idx.begin() + (k + 1), idx.end(),
+                      [&](std::size_t a, std::size_t b) {
+                        return sq_dists(i, a) < sq_dists(i, b);
+                      });
+    const double d_kplus1 = sq_dists(i, idx[k]);
+    double sum_k = 0.0;
+    for (std::size_t j = 0; j < k; ++j) sum_k += sq_dists(i, idx[j]);
+    const double denom = static_cast<double>(k) * d_kplus1 - sum_k;
+    for (std::size_t j = 0; j < k; ++j) {
+      double w;
+      if (denom > 1e-300) {
+        w = (d_kplus1 - sq_dists(i, idx[j])) / denom;
+      } else {
+        // All k+1 nearest distances tie: fall back to uniform weights.
+        w = 1.0 / static_cast<double>(k);
+      }
+      if (w > 0.0) {
+        // Symmetrized as (W + Wᵀ)/2: emit half from each endpoint.
+        triplets.push_back({i, idx[j], 0.5 * w});
+        triplets.push_back({idx[j], i, 0.5 * w});
+      }
+    }
+  }
+  return la::CsrMatrix::FromTriplets(n, n, std::move(triplets));
+}
+
+}  // namespace umvsc::graph

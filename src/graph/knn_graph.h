@@ -1,0 +1,37 @@
+#ifndef UMVSC_GRAPH_KNN_GRAPH_H_
+#define UMVSC_GRAPH_KNN_GRAPH_H_
+
+#include <cstddef>
+
+#include "common/status.h"
+#include "la/matrix.h"
+#include "la/sparse.h"
+
+namespace umvsc::graph {
+
+/// How a directed kNN selection is turned into an undirected graph.
+enum class KnnSymmetrization {
+  kUnion,    ///< keep an edge if either endpoint selected it (max weight)
+  kMutual,   ///< keep an edge only if both endpoints selected it (min weight)
+  kAverage,  ///< (W + Wᵀ)/2 on the union of selections
+};
+
+/// Sparsifies a dense affinity matrix to the k strongest neighbors per node
+/// and symmetrizes. Diagonal entries are ignored (no self-loops). Requires
+/// a square nonnegative affinity and 1 <= k < n.
+StatusOr<la::CsrMatrix> BuildKnnGraph(
+    const la::Matrix& affinity, std::size_t k,
+    KnnSymmetrization symmetrization = KnnSymmetrization::kUnion);
+
+/// Adaptive-neighbor graph (the probabilistic-neighbors closed form of
+/// Nie et al., CAN): row i gets weights over its k nearest neighbors
+/// proportional to (d_{i,k+1} − d_{i,j}), which solves
+/// min_w Σ_j d_ij·w_ij + γ‖w_i‖² on the probability simplex with the γ that
+/// makes exactly k weights nonzero. Rows sum to 1; output is symmetrized
+/// with (W + Wᵀ)/2. Input: squared distances; requires 1 <= k < n − 1.
+StatusOr<la::CsrMatrix> AdaptiveNeighborGraph(const la::Matrix& sq_dists,
+                                              std::size_t k);
+
+}  // namespace umvsc::graph
+
+#endif  // UMVSC_GRAPH_KNN_GRAPH_H_

@@ -1,0 +1,148 @@
+#include "graph/laplacian.h"
+
+#include <cmath>
+
+namespace umvsc::graph {
+
+namespace {
+
+Status ValidateAffinity(const la::Matrix& w, double symmetry_tol) {
+  if (!w.IsSquare()) {
+    return Status::InvalidArgument("affinity must be square");
+  }
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    if (w.data()[i] < 0.0) {
+      return Status::InvalidArgument("affinity must be nonnegative");
+    }
+  }
+  if (!w.IsSymmetric(symmetry_tol * std::max(1.0, w.MaxAbs()))) {
+    return Status::InvalidArgument("affinity must be symmetric");
+  }
+  return Status::OK();
+}
+
+Status ValidateAffinity(const la::CsrMatrix& w, double symmetry_tol) {
+  if (w.rows() != w.cols()) {
+    return Status::InvalidArgument("affinity must be square");
+  }
+  for (double v : w.values()) {
+    if (v < 0.0) return Status::InvalidArgument("affinity must be nonnegative");
+  }
+  if (!w.IsSymmetric(symmetry_tol)) {
+    return Status::InvalidArgument("affinity must be symmetric");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+la::Vector Degrees(const la::Matrix& w) {
+  la::Vector d(w.rows());
+  for (std::size_t i = 0; i < w.rows(); ++i) {
+    double s = 0.0;
+    const double* row = w.RowPtr(i);
+    for (std::size_t j = 0; j < w.cols(); ++j) s += row[j];
+    d[i] = s;
+  }
+  return d;
+}
+
+la::Vector Degrees(const la::CsrMatrix& w) { return w.RowSums(); }
+
+StatusOr<la::Matrix> Laplacian(const la::Matrix& w, LaplacianKind kind,
+                               double symmetry_tol) {
+  UMVSC_RETURN_IF_ERROR(ValidateAffinity(w, symmetry_tol));
+  const std::size_t n = w.rows();
+  la::Vector deg = Degrees(w);
+  la::Matrix l(n, n);
+  switch (kind) {
+    case LaplacianKind::kUnnormalized:
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) l(i, j) = -w(i, j);
+        l(i, i) += deg[i];
+      }
+      break;
+    case LaplacianKind::kSymmetric: {
+      la::Vector inv_sqrt(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        inv_sqrt[i] = deg[i] > 0.0 ? 1.0 / std::sqrt(deg[i]) : 0.0;
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+          l(i, j) = -inv_sqrt[i] * w(i, j) * inv_sqrt[j];
+        }
+        l(i, i) += 1.0;
+      }
+      break;
+    }
+    case LaplacianKind::kRandomWalk: {
+      for (std::size_t i = 0; i < n; ++i) {
+        const double inv = deg[i] > 0.0 ? 1.0 / deg[i] : 0.0;
+        for (std::size_t j = 0; j < n; ++j) l(i, j) = -inv * w(i, j);
+        l(i, i) += 1.0;
+      }
+      break;
+    }
+  }
+  return l;
+}
+
+StatusOr<la::CsrMatrix> Laplacian(const la::CsrMatrix& w, LaplacianKind kind,
+                                  double symmetry_tol) {
+  UMVSC_RETURN_IF_ERROR(ValidateAffinity(w, symmetry_tol));
+  const std::size_t n = w.rows();
+  la::Vector deg = Degrees(w);
+  std::vector<la::Triplet> triplets;
+  triplets.reserve(w.NumNonZeros() + n);
+  const auto& offsets = w.row_offsets();
+  const auto& cols = w.col_indices();
+  const auto& vals = w.values();
+
+  la::Vector inv_sqrt(n);
+  if (kind == LaplacianKind::kSymmetric) {
+    for (std::size_t i = 0; i < n; ++i) {
+      inv_sqrt[i] = deg[i] > 0.0 ? 1.0 / std::sqrt(deg[i]) : 0.0;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = offsets[i]; k < offsets[i + 1]; ++k) {
+      const std::size_t j = cols[k];
+      double v = vals[k];
+      switch (kind) {
+        case LaplacianKind::kUnnormalized:
+          break;
+        case LaplacianKind::kSymmetric:
+          v *= inv_sqrt[i] * inv_sqrt[j];
+          break;
+        case LaplacianKind::kRandomWalk:
+          v *= deg[i] > 0.0 ? 1.0 / deg[i] : 0.0;
+          break;
+      }
+      if (v != 0.0) triplets.push_back({i, j, -v});
+    }
+    const double diag =
+        kind == LaplacianKind::kUnnormalized ? deg[i] : 1.0;
+    triplets.push_back({i, i, diag});
+  }
+  return la::CsrMatrix::FromTriplets(n, n, std::move(triplets));
+}
+
+StatusOr<la::Matrix> NormalizedAdjacency(const la::Matrix& w,
+                                         double symmetry_tol) {
+  UMVSC_RETURN_IF_ERROR(ValidateAffinity(w, symmetry_tol));
+  const std::size_t n = w.rows();
+  la::Vector deg = Degrees(w);
+  la::Vector inv_sqrt(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    inv_sqrt[i] = deg[i] > 0.0 ? 1.0 / std::sqrt(deg[i]) : 0.0;
+  }
+  la::Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      a(i, j) = inv_sqrt[i] * w(i, j) * inv_sqrt[j];
+    }
+  }
+  return a;
+}
+
+}  // namespace umvsc::graph

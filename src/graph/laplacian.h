@@ -1,0 +1,40 @@
+#ifndef UMVSC_GRAPH_LAPLACIAN_H_
+#define UMVSC_GRAPH_LAPLACIAN_H_
+
+#include "common/status.h"
+#include "la/matrix.h"
+#include "la/sparse.h"
+
+namespace umvsc::graph {
+
+/// Which graph Laplacian to build.
+enum class LaplacianKind {
+  kUnnormalized,  ///< L = D − W
+  kSymmetric,     ///< L = I − D^{−1/2}·W·D^{−1/2}
+  kRandomWalk,    ///< L = I − D^{−1}·W
+};
+
+/// Weighted degree vector d_i = Σ_j W_ij of a symmetric affinity.
+la::Vector Degrees(const la::Matrix& w);
+la::Vector Degrees(const la::CsrMatrix& w);
+
+/// Dense Laplacian of a symmetric nonnegative affinity matrix. Isolated
+/// vertices (zero degree) contribute identity rows in the normalized kinds,
+/// matching the convention that an isolated vertex is its own component.
+/// Fails on non-square, negative, or (beyond tol) asymmetric input.
+StatusOr<la::Matrix> Laplacian(const la::Matrix& w, LaplacianKind kind,
+                               double symmetry_tol = 1e-9);
+
+/// Sparse Laplacian of a symmetric CSR affinity (same conventions).
+StatusOr<la::CsrMatrix> Laplacian(const la::CsrMatrix& w, LaplacianKind kind,
+                                  double symmetry_tol = 1e-9);
+
+/// The normalized adjacency D^{−1/2}·W·D^{−1/2} (dense), whose top
+/// eigenvectors equal the bottom eigenvectors of the symmetric Laplacian —
+/// handy for Lanczos on the better-conditioned operator.
+StatusOr<la::Matrix> NormalizedAdjacency(const la::Matrix& w,
+                                         double symmetry_tol = 1e-9);
+
+}  // namespace umvsc::graph
+
+#endif  // UMVSC_GRAPH_LAPLACIAN_H_

@@ -1,0 +1,79 @@
+#include "la/cholesky.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace umvsc::la {
+
+StatusOr<Matrix> CholeskyFactor(const Matrix& a) {
+  if (!a.IsSquare()) {
+    return Status::InvalidArgument("Cholesky requires a square matrix");
+  }
+  const std::size_t n = a.rows();
+  Matrix l(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (diag <= 0.0 || !std::isfinite(diag)) {
+      return Status::NumericalError(StrFormat(
+          "matrix not positive definite at pivot %zu (value %g)", j, diag));
+    }
+    const double ljj = std::sqrt(diag);
+    l(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
+      l(i, j) = s / ljj;
+    }
+  }
+  return l;
+}
+
+namespace {
+
+Vector SolveWithFactor(const Matrix& l, const Vector& b) {
+  const std::size_t n = l.rows();
+  // Forward substitution L·y = b.
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= l(i, k) * y[k];
+    y[i] = s / l(i, i);
+  }
+  // Back substitution Lᵀ·x = y.
+  Vector x(n);
+  for (std::size_t j = n; j > 0; --j) {
+    const std::size_t i = j - 1;
+    double s = y[i];
+    for (std::size_t k = i + 1; k < n; ++k) s -= l(k, i) * x[k];
+    x[i] = s / l(i, i);
+  }
+  return x;
+}
+
+}  // namespace
+
+StatusOr<Vector> CholeskySolve(const Matrix& a, const Vector& b) {
+  if (a.rows() != b.size()) {
+    return Status::InvalidArgument("CholeskySolve dimension mismatch");
+  }
+  StatusOr<Matrix> factor = CholeskyFactor(a);
+  if (!factor.ok()) return factor.status();
+  return SolveWithFactor(*factor, b);
+}
+
+StatusOr<Matrix> CholeskySolveMatrix(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows()) {
+    return Status::InvalidArgument("CholeskySolveMatrix dimension mismatch");
+  }
+  StatusOr<Matrix> factor = CholeskyFactor(a);
+  if (!factor.ok()) return factor.status();
+  Matrix x(b.rows(), b.cols());
+  for (std::size_t j = 0; j < b.cols(); ++j) {
+    x.SetCol(j, SolveWithFactor(*factor, b.Col(j)));
+  }
+  return x;
+}
+
+}  // namespace umvsc::la

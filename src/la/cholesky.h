@@ -1,0 +1,22 @@
+#ifndef UMVSC_LA_CHOLESKY_H_
+#define UMVSC_LA_CHOLESKY_H_
+
+#include "common/status.h"
+#include "la/matrix.h"
+
+namespace umvsc::la {
+
+/// Lower-triangular Cholesky factor L with A = L·Lᵀ. Fails with
+/// NumericalError when `a` is not (numerically) positive definite.
+/// Requires a symmetric square input.
+StatusOr<Matrix> CholeskyFactor(const Matrix& a);
+
+/// Solves A·x = b for symmetric positive-definite A via Cholesky.
+StatusOr<Vector> CholeskySolve(const Matrix& a, const Vector& b);
+
+/// Solves A·X = B column-wise for symmetric positive-definite A.
+StatusOr<Matrix> CholeskySolveMatrix(const Matrix& a, const Matrix& b);
+
+}  // namespace umvsc::la
+
+#endif  // UMVSC_LA_CHOLESKY_H_

@@ -1,0 +1,20 @@
+#ifndef UMVSC_LA_JACOBI_EIGEN_H_
+#define UMVSC_LA_JACOBI_EIGEN_H_
+
+#include "common/status.h"
+#include "la/sym_eigen.h"
+
+namespace umvsc::la {
+
+/// Cyclic Jacobi eigensolver for symmetric matrices. Slower than the
+/// tridiagonal pipeline (O(n³) with a larger constant) but exceptionally
+/// accurate; kept as an independent implementation to cross-validate
+/// SymmetricEigen in tests and for small, accuracy-critical problems.
+/// Eigenvalues ascending, eigenvectors in matching columns.
+StatusOr<SymEigenResult> JacobiEigen(const Matrix& a,
+                                     double symmetry_tol = 1e-8,
+                                     int max_sweeps = 64);
+
+}  // namespace umvsc::la
+
+#endif  // UMVSC_LA_JACOBI_EIGEN_H_

@@ -1,0 +1,186 @@
+#include "la/lanczos.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace umvsc::la {
+
+namespace {
+
+// Re-orthogonalizes w against every column stored in `basis` (two classical
+// Gram–Schmidt passes, which in double precision is as good as modified GS
+// with full reorthogonalization).
+void Reorthogonalize(const std::vector<Vector>& basis, Vector& w) {
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const Vector& q : basis) {
+      const double dot = Dot(q, w);
+      if (dot != 0.0) w.Axpy(-dot, q);
+    }
+  }
+}
+
+}  // namespace
+
+StatusOr<SymEigenResult> LanczosLargest(const SymmetricOperator& op,
+                                        std::size_t n, std::size_t k,
+                                        const LanczosOptions& options) {
+  if (k == 0 || k > n) {
+    return Status::InvalidArgument("LanczosLargest requires 0 < k <= n");
+  }
+  const std::size_t max_m = std::min(n, options.max_subspace);
+  if (max_m < k) {
+    return Status::InvalidArgument("max_subspace smaller than k");
+  }
+
+  Rng rng(options.seed);
+  std::vector<Vector> basis;  // Lanczos vectors q_0 … q_{m−1}
+  basis.reserve(max_m);
+  std::vector<double> alpha;  // diagonal of T
+  std::vector<double> beta;   // subdiagonal of T
+
+  Vector q(n);
+  for (std::size_t i = 0; i < n; ++i) q[i] = rng.Gaussian();
+  q.Normalize();
+  basis.push_back(q);
+
+  double spectral_scale = 1.0;
+  SymEigenResult small;  // eigen-decomposition of the current tridiagonal
+
+  for (std::size_t m = 1; m <= max_m; ++m) {
+    // Expand the Krylov basis: w = A·q_{m−1} − β_{m−2}·q_{m−2}.
+    Vector w(n);
+    op(basis.back(), w);
+    const double a = Dot(basis.back(), w);
+    alpha.push_back(a);
+    spectral_scale = std::max(spectral_scale, std::fabs(a));
+    Reorthogonalize(basis, w);
+    const double b = w.Norm2();
+
+    // Solve the small tridiagonal problem.
+    Vector d(alpha.size());
+    for (std::size_t i = 0; i < alpha.size(); ++i) d[i] = alpha[i];
+    Vector e(beta.size());
+    for (std::size_t i = 0; i < beta.size(); ++i) e[i] = beta[i];
+    StatusOr<SymEigenResult> tri = TridiagonalEigen(d, e);
+    if (!tri.ok()) return tri.status();
+    small = std::move(*tri);
+
+    // A Ritz pair's residual is |β_m · s_{m−1,j}| (last component of the
+    // tridiagonal eigenvector scaled by the new off-diagonal norm). This is
+    // also ≈0 whenever the basis spans an invariant subspace, which happens
+    // *before* convergence for eigenvalues with multiplicity > 1 (a single
+    // Krylov sequence sees one copy of each eigenspace). Guard against that
+    // trap by requiring the subspace to grow past k by a safety margin
+    // before accepting, and by restarting with fresh random directions on
+    // every breakdown — restarts re-sample the missed eigenspace copies.
+    const std::size_t min_dim = std::min(n, k + std::max<std::size_t>(k, 8));
+    bool all_converged = false;
+    if (m >= k) {
+      all_converged = true;
+      for (std::size_t j = 0; j < k; ++j) {
+        const std::size_t col = m - 1 - j;  // largest Ritz values
+        const double resid = std::fabs(b * small.eigenvectors(m - 1, col));
+        if (resid > options.tolerance * spectral_scale) {
+          all_converged = false;
+          break;
+        }
+      }
+    }
+    if ((all_converged && m >= min_dim) || m == n) {
+      // Assemble the Ritz vectors X = Q · S for the k largest values.
+      SymEigenResult out;
+      out.eigenvalues = Vector(k);
+      out.eigenvectors = Matrix(n, k);
+      for (std::size_t j = 0; j < k; ++j) {
+        const std::size_t col = m - 1 - j;
+        out.eigenvalues[j] = small.eigenvalues[col];
+        for (std::size_t i = 0; i < n; ++i) {
+          double s = 0.0;
+          for (std::size_t p = 0; p < m; ++p) {
+            s += basis[p][i] * small.eigenvectors(p, col);
+          }
+          out.eigenvectors(i, j) = s;
+        }
+      }
+      return out;
+    }
+    if (m == max_m) {
+      return Status::NumericalError(StrFormat(
+          "Lanczos did not converge within a subspace of %zu", max_m));
+    }
+
+    if (b <= 1e-12 * spectral_scale) {
+      // Breakdown (invariant subspace): extend with a fresh random direction
+      // orthogonal to everything found so far.
+      Vector fresh(n);
+      for (std::size_t i = 0; i < n; ++i) fresh[i] = rng.Gaussian();
+      Reorthogonalize(basis, fresh);
+      const double norm = fresh.Norm2();
+      if (norm <= 1e-12) {
+        return Status::NumericalError(
+            "Lanczos: could not extend the Krylov basis");
+      }
+      fresh.Scale(1.0 / norm);
+      beta.push_back(0.0);
+      basis.push_back(fresh);
+    } else {
+      w.Scale(1.0 / b);
+      beta.push_back(b);
+      basis.push_back(w);
+    }
+  }
+  return Status::NumericalError("Lanczos subspace exhausted");
+}
+
+StatusOr<SymEigenResult> LanczosSmallest(const SymmetricOperator& op,
+                                         std::size_t n, std::size_t k,
+                                         double spectral_bound,
+                                         const LanczosOptions& options) {
+  if (spectral_bound <= 0.0) {
+    return Status::InvalidArgument("spectral_bound must be positive");
+  }
+  SymmetricOperator complement = [&op, spectral_bound](const Vector& x,
+                                                       Vector& y) {
+    // y += (bound·I − A)·x
+    Vector ax(x.size());
+    op(x, ax);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      y[i] += spectral_bound * x[i] - ax[i];
+    }
+  };
+  StatusOr<SymEigenResult> res = LanczosLargest(complement, n, k, options);
+  if (!res.ok()) return res.status();
+  // Map back: λ_A = bound − λ_complement; order flips to ascending.
+  for (std::size_t j = 0; j < k; ++j) {
+    res->eigenvalues[j] = spectral_bound - res->eigenvalues[j];
+  }
+  return res;
+}
+
+StatusOr<SymEigenResult> LanczosLargest(const CsrMatrix& a, std::size_t k,
+                                        const LanczosOptions& options) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("Lanczos requires a square matrix");
+  }
+  SymmetricOperator op = [&a](const Vector& x, Vector& y) {
+    a.MultiplyInto(x, y);
+  };
+  return LanczosLargest(op, a.rows(), k, options);
+}
+
+StatusOr<SymEigenResult> LanczosSmallest(const CsrMatrix& a, std::size_t k,
+                                         double spectral_bound,
+                                         const LanczosOptions& options) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("Lanczos requires a square matrix");
+  }
+  SymmetricOperator op = [&a](const Vector& x, Vector& y) {
+    a.MultiplyInto(x, y);
+  };
+  return LanczosSmallest(op, a.rows(), k, spectral_bound, options);
+}
+
+}  // namespace umvsc::la

@@ -1,0 +1,55 @@
+#ifndef UMVSC_LA_LANCZOS_H_
+#define UMVSC_LA_LANCZOS_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/status.h"
+#include "la/sparse.h"
+#include "la/sym_eigen.h"
+
+namespace umvsc::la {
+
+/// Abstract symmetric linear operator y += A·x used by the Lanczos solver,
+/// so callers can pass sparse matrices, dense matrices, or matrix-free
+/// products (e.g. shifted Laplacians) without materializing anything.
+using SymmetricOperator =
+    std::function<void(const Vector& x, Vector& y)>;
+
+/// Options for the Lanczos eigensolver.
+struct LanczosOptions {
+  /// Maximum Krylov subspace dimension before declaring non-convergence.
+  std::size_t max_subspace = 300;
+  /// Residual tolerance on ‖A·v − λ·v‖ relative to the spectral scale.
+  double tolerance = 1e-9;
+  /// Seed for the random start vector.
+  std::uint64_t seed = 19;
+};
+
+/// Computes the `k` algebraically largest eigenpairs of an n × n symmetric
+/// operator with Lanczos + full reorthogonalization. Suitable for the large
+/// sparse graph matrices in this library where only a few extreme eigenpairs
+/// are needed. Eigenvalues are returned descending.
+StatusOr<SymEigenResult> LanczosLargest(const SymmetricOperator& op,
+                                        std::size_t n, std::size_t k,
+                                        const LanczosOptions& options = {});
+
+/// The `k` smallest eigenpairs of a symmetric operator whose spectrum lies
+/// in [0, spectral_bound] (e.g. a normalized Laplacian with bound 2): runs
+/// Lanczos on the complement `spectral_bound·I − A`, whose largest pairs are
+/// A's smallest. Eigenvalues are returned ascending.
+StatusOr<SymEigenResult> LanczosSmallest(const SymmetricOperator& op,
+                                         std::size_t n, std::size_t k,
+                                         double spectral_bound,
+                                         const LanczosOptions& options = {});
+
+/// Convenience overloads for CSR matrices.
+StatusOr<SymEigenResult> LanczosLargest(const CsrMatrix& a, std::size_t k,
+                                        const LanczosOptions& options = {});
+StatusOr<SymEigenResult> LanczosSmallest(const CsrMatrix& a, std::size_t k,
+                                         double spectral_bound,
+                                         const LanczosOptions& options = {});
+
+}  // namespace umvsc::la
+
+#endif  // UMVSC_LA_LANCZOS_H_

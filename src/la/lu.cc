@@ -1,0 +1,101 @@
+#include "la/lu.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace umvsc::la {
+
+StatusOr<LuDecomposition> LuDecomposition::Compute(const Matrix& a) {
+  if (!a.IsSquare()) {
+    return Status::InvalidArgument("LU requires a square matrix");
+  }
+  const std::size_t n = a.rows();
+  Matrix lu = a;
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+  int parity = 1;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot: largest |entry| in column k at or below the diagonal.
+    std::size_t pivot = k;
+    double best = std::fabs(lu(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double v = std::fabs(lu(i, k));
+      if (v > best) {
+        best = v;
+        pivot = i;
+      }
+    }
+    if (best == 0.0 || !std::isfinite(best)) {
+      return Status::NumericalError(
+          StrFormat("singular matrix at elimination step %zu", k));
+    }
+    if (pivot != k) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(lu(k, j), lu(pivot, j));
+      std::swap(perm[k], perm[pivot]);
+      parity = -parity;
+    }
+    const double inv_pivot = 1.0 / lu(k, k);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double factor = lu(i, k) * inv_pivot;
+      lu(i, k) = factor;
+      if (factor == 0.0) continue;
+      for (std::size_t j = k + 1; j < n; ++j) lu(i, j) -= factor * lu(k, j);
+    }
+  }
+  return LuDecomposition(std::move(lu), std::move(perm), parity);
+}
+
+Vector LuDecomposition::Solve(const Vector& b) const {
+  const std::size_t n = dim();
+  UMVSC_CHECK(b.size() == n, "LU solve dimension mismatch");
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[perm_[i]];
+    for (std::size_t k = 0; k < i; ++k) s -= lu_(i, k) * y[k];
+    y[i] = s;
+  }
+  Vector x(n);
+  for (std::size_t j = n; j > 0; --j) {
+    const std::size_t i = j - 1;
+    double s = y[i];
+    for (std::size_t k = j; k < n; ++k) s -= lu_(i, k) * x[k];
+    x[i] = s / lu_(i, i);
+  }
+  return x;
+}
+
+Matrix LuDecomposition::Solve(const Matrix& b) const {
+  UMVSC_CHECK(b.rows() == dim(), "LU solve dimension mismatch");
+  Matrix x(b.rows(), b.cols());
+  for (std::size_t j = 0; j < b.cols(); ++j) x.SetCol(j, Solve(b.Col(j)));
+  return x;
+}
+
+double LuDecomposition::Determinant() const {
+  double det = parity_;
+  for (std::size_t i = 0; i < dim(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+Matrix LuDecomposition::Inverse() const {
+  return Solve(Matrix::Identity(dim()));
+}
+
+StatusOr<Vector> LuSolve(const Matrix& a, const Vector& b) {
+  if (a.rows() != b.size()) {
+    return Status::InvalidArgument("LuSolve dimension mismatch");
+  }
+  StatusOr<LuDecomposition> lu = LuDecomposition::Compute(a);
+  if (!lu.ok()) return lu.status();
+  return lu->Solve(b);
+}
+
+StatusOr<Matrix> Inverse(const Matrix& a) {
+  StatusOr<LuDecomposition> lu = LuDecomposition::Compute(a);
+  if (!lu.ok()) return lu.status();
+  return lu->Inverse();
+}
+
+}  // namespace umvsc::la

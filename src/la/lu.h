@@ -1,0 +1,46 @@
+#ifndef UMVSC_LA_LU_H_
+#define UMVSC_LA_LU_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "la/matrix.h"
+
+namespace umvsc::la {
+
+/// LU factorization with partial pivoting: P·A = L·U, stored packed in a
+/// single matrix (unit lower triangle implicit).
+class LuDecomposition {
+ public:
+  /// Factors `a`. Fails with NumericalError on (numerically) singular input.
+  static StatusOr<LuDecomposition> Compute(const Matrix& a);
+
+  /// Solves A·x = b.
+  Vector Solve(const Vector& b) const;
+  /// Solves A·X = B column-wise.
+  Matrix Solve(const Matrix& b) const;
+  /// det(A), including the pivot-parity sign.
+  double Determinant() const;
+  /// A⁻¹ (solve against the identity).
+  Matrix Inverse() const;
+
+  std::size_t dim() const { return lu_.rows(); }
+
+ private:
+  LuDecomposition(Matrix lu, std::vector<std::size_t> perm, int parity)
+      : lu_(std::move(lu)), perm_(std::move(perm)), parity_(parity) {}
+
+  Matrix lu_;
+  std::vector<std::size_t> perm_;
+  int parity_;
+};
+
+/// One-shot convenience: solve A·x = b by LU with partial pivoting.
+StatusOr<Vector> LuSolve(const Matrix& a, const Vector& b);
+
+/// One-shot convenience: A⁻¹.
+StatusOr<Matrix> Inverse(const Matrix& a);
+
+}  // namespace umvsc::la
+
+#endif  // UMVSC_LA_LU_H_

@@ -1,0 +1,85 @@
+#include "la/nmf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+#include "la/ops.h"
+
+namespace umvsc::la {
+
+namespace {
+
+// Guard against division by exactly zero in the multiplicative updates.
+constexpr double kEps = 1e-12;
+
+// Normalizes W's columns to unit L2 norm and scales H's rows inversely, so
+// the factorization is unchanged but W stays bounded.
+void NormalizeColumns(Matrix& w, Matrix& h) {
+  for (std::size_t j = 0; j < w.cols(); ++j) {
+    double norm = 0.0;
+    for (std::size_t i = 0; i < w.rows(); ++i) norm += w(i, j) * w(i, j);
+    norm = std::sqrt(norm);
+    if (norm <= kEps) continue;
+    for (std::size_t i = 0; i < w.rows(); ++i) w(i, j) /= norm;
+    for (std::size_t d = 0; d < h.cols(); ++d) h(j, d) *= norm;
+  }
+}
+
+}  // namespace
+
+StatusOr<NmfResult> Nmf(const Matrix& a, const NmfOptions& options) {
+  const std::size_t n = a.rows(), d = a.cols();
+  if (n == 0 || d == 0) {
+    return Status::InvalidArgument("NMF requires a non-empty matrix");
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a.data()[i] < 0.0) {
+      return Status::InvalidArgument("NMF requires a nonnegative matrix");
+    }
+  }
+  const std::size_t r = options.rank;
+  if (r < 1 || r > std::min(n, d)) {
+    return Status::InvalidArgument("NMF requires 1 <= rank <= min(n, d)");
+  }
+
+  Rng rng(options.seed);
+  Matrix w = Matrix::RandomUniform(n, r, rng, 0.1, 1.0);
+  Matrix h = Matrix::RandomUniform(r, d, rng, 0.1, 1.0);
+
+  const double a_norm = std::max(a.FrobeniusNorm(), kEps);
+  double prev_err = std::numeric_limits<double>::infinity();
+  NmfResult out;
+  std::size_t iter = 0;
+  for (; iter < options.max_iterations; ++iter) {
+    // H ← H ∘ (WᵀA) ⊘ (WᵀW·H).
+    Matrix wta = MatTMul(w, a);
+    Matrix wtwh = MatMul(Gram(w), h);
+    for (std::size_t i = 0; i < h.size(); ++i) {
+      h.data()[i] *= wta.data()[i] / (wtwh.data()[i] + kEps);
+    }
+    // W ← W ∘ (A·Hᵀ) ⊘ (W·HHᵀ).
+    Matrix aht = MatMulT(a, h);
+    Matrix whht = MatMul(w, OuterGram(h));
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      w.data()[i] *= aht.data()[i] / (whht.data()[i] + kEps);
+    }
+    NormalizeColumns(w, h);
+
+    const double err = Add(a, MatMul(w, h), -1.0).FrobeniusNorm() / a_norm;
+    if (iter > 0 && prev_err - err <= options.tolerance * std::max(prev_err, kEps)) {
+      out.relative_error = err;
+      ++iter;
+      break;
+    }
+    prev_err = err;
+    out.relative_error = err;
+  }
+  out.w = std::move(w);
+  out.h = std::move(h);
+  out.iterations = iter;
+  return out;
+}
+
+}  // namespace umvsc::la

@@ -1,0 +1,39 @@
+#ifndef UMVSC_LA_NMF_H_
+#define UMVSC_LA_NMF_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "la/matrix.h"
+
+namespace umvsc::la {
+
+/// Options for nonnegative matrix factorization.
+struct NmfOptions {
+  std::size_t rank = 2;
+  std::size_t max_iterations = 200;
+  /// Stop when the relative Frobenius-error improvement falls below this.
+  double tolerance = 1e-5;
+  std::uint64_t seed = 0;
+};
+
+/// Result of an NMF run: A ≈ W·H with W (n × r), H (r × d), both ≥ 0.
+struct NmfResult {
+  Matrix w;
+  Matrix h;
+  /// Final relative reconstruction error ‖A − WH‖_F / ‖A‖_F.
+  double relative_error = 0.0;
+  std::size_t iterations = 0;
+};
+
+/// Frobenius-loss NMF by the multiplicative updates of Lee & Seung:
+///   H ← H ∘ (WᵀA) ⊘ (WᵀWH),  W ← W ∘ (AHᵀ) ⊘ (WHHᵀ),
+/// with uniform-random nonnegative initialization and per-iteration column
+/// normalization of W (the scale ambiguity is pushed into H). Monotone
+/// non-increasing loss. Requires a nonnegative input and 1 <= rank <=
+/// min(n, d).
+StatusOr<NmfResult> Nmf(const Matrix& a, const NmfOptions& options);
+
+}  // namespace umvsc::la
+
+#endif  // UMVSC_LA_NMF_H_

@@ -1,0 +1,229 @@
+#include "la/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace umvsc::la {
+
+namespace {
+// Block edge for the cache-blocked GEMM. 64 doubles = 512 bytes per row
+// strip, comfortably inside L1 for three blocks.
+constexpr std::size_t kBlock = 64;
+}  // namespace
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  UMVSC_CHECK(a.cols() == b.rows(), "MatMul inner dimension mismatch");
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  Matrix c(m, n);
+  for (std::size_t ii = 0; ii < m; ii += kBlock) {
+    const std::size_t iend = std::min(ii + kBlock, m);
+    for (std::size_t kk = 0; kk < k; kk += kBlock) {
+      const std::size_t kend = std::min(kk + kBlock, k);
+      for (std::size_t i = ii; i < iend; ++i) {
+        const double* arow = a.RowPtr(i);
+        double* crow = c.RowPtr(i);
+        for (std::size_t p = kk; p < kend; ++p) {
+          const double aip = arow[p];
+          if (aip == 0.0) continue;
+          const double* brow = b.RowPtr(p);
+          for (std::size_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
+        }
+      }
+    }
+  }
+  return c;
+}
+
+Matrix MatTMul(const Matrix& a, const Matrix& b) {
+  UMVSC_CHECK(a.rows() == b.rows(), "MatTMul dimension mismatch");
+  const std::size_t m = a.cols(), k = a.rows(), n = b.cols();
+  Matrix c(m, n);
+  // Accumulate rank-1 updates row by row of A and B: cache-friendly for
+  // row-major storage and never forms the transpose.
+  for (std::size_t p = 0; p < k; ++p) {
+    const double* arow = a.RowPtr(p);
+    const double* brow = b.RowPtr(p);
+    for (std::size_t i = 0; i < m; ++i) {
+      const double aip = arow[i];
+      if (aip == 0.0) continue;
+      double* crow = c.RowPtr(i);
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix MatMulT(const Matrix& a, const Matrix& b) {
+  UMVSC_CHECK(a.cols() == b.cols(), "MatMulT dimension mismatch");
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  Matrix c(m, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* arow = a.RowPtr(i);
+    double* crow = c.RowPtr(i);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double* brow = b.RowPtr(j);
+      double s = 0.0;
+      for (std::size_t p = 0; p < k; ++p) s += arow[p] * brow[p];
+      crow[j] = s;
+    }
+  }
+  return c;
+}
+
+Vector MatVec(const Matrix& a, const Vector& x) {
+  UMVSC_CHECK(a.cols() == x.size(), "MatVec dimension mismatch");
+  Vector y(a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.RowPtr(i);
+    double s = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) s += arow[j] * x[j];
+    y[i] = s;
+  }
+  return y;
+}
+
+Vector MatTVec(const Matrix& a, const Vector& x) {
+  UMVSC_CHECK(a.rows() == x.size(), "MatTVec dimension mismatch");
+  Vector y(a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.RowPtr(i);
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    for (std::size_t j = 0; j < a.cols(); ++j) y[j] += arow[j] * xi;
+  }
+  return y;
+}
+
+Matrix Transpose(const Matrix& a) {
+  Matrix t(a.cols(), a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.RowPtr(i);
+    for (std::size_t j = 0; j < a.cols(); ++j) t(j, i) = arow[j];
+  }
+  return t;
+}
+
+Matrix Gram(const Matrix& a) {
+  const std::size_t n = a.cols();
+  Matrix g(n, n);
+  for (std::size_t p = 0; p < a.rows(); ++p) {
+    const double* row = a.RowPtr(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double ri = row[i];
+      if (ri == 0.0) continue;
+      double* grow = g.RowPtr(i);
+      for (std::size_t j = i; j < n; ++j) grow[j] += ri * row[j];
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < i; ++j) g(i, j) = g(j, i);
+  }
+  return g;
+}
+
+Matrix OuterGram(const Matrix& a) {
+  const std::size_t n = a.rows();
+  Matrix g(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* ri = a.RowPtr(i);
+    for (std::size_t j = i; j < n; ++j) {
+      const double* rj = a.RowPtr(j);
+      double s = 0.0;
+      for (std::size_t p = 0; p < a.cols(); ++p) s += ri[p] * rj[p];
+      g(i, j) = s;
+      g(j, i) = s;
+    }
+  }
+  return g;
+}
+
+double TraceOfProduct(const Matrix& a, const Matrix& b) {
+  UMVSC_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),
+              "TraceOfProduct shape mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a.data()[i] * b.data()[i];
+  return s;
+}
+
+double QuadraticTrace(const Matrix& l, const Matrix& f) {
+  UMVSC_CHECK(l.IsSquare(), "QuadraticTrace requires square L");
+  UMVSC_CHECK(l.cols() == f.rows(), "QuadraticTrace dimension mismatch");
+  // Tr(Fᵀ L F) = Σ_i (L F)_i · F_i without forming Fᵀ.
+  double s = 0.0;
+  for (std::size_t i = 0; i < l.rows(); ++i) {
+    const double* lrow = l.RowPtr(i);
+    const double* frow_i = f.RowPtr(i);
+    for (std::size_t j = 0; j < l.cols(); ++j) {
+      const double lij = lrow[j];
+      if (lij == 0.0) continue;
+      const double* frow_j = f.RowPtr(j);
+      double dot = 0.0;
+      for (std::size_t p = 0; p < f.cols(); ++p) dot += frow_i[p] * frow_j[p];
+      s += lij * dot;
+    }
+  }
+  return s;
+}
+
+double QuadraticTrace(const CsrMatrix& l, const Matrix& f) {
+  UMVSC_CHECK(l.rows() == l.cols(), "QuadraticTrace requires square L");
+  UMVSC_CHECK(l.cols() == f.rows(), "QuadraticTrace dimension mismatch");
+  const auto& offsets = l.row_offsets();
+  const auto& cols = l.col_indices();
+  const auto& vals = l.values();
+  double s = 0.0;
+  for (std::size_t i = 0; i < l.rows(); ++i) {
+    const double* frow_i = f.RowPtr(i);
+    for (std::size_t k = offsets[i]; k < offsets[i + 1]; ++k) {
+      const double* frow_j = f.RowPtr(cols[k]);
+      double dot = 0.0;
+      for (std::size_t p = 0; p < f.cols(); ++p) dot += frow_i[p] * frow_j[p];
+      s += vals[k] * dot;
+    }
+  }
+  return s;
+}
+
+Matrix Hadamard(const Matrix& a, const Matrix& b) {
+  UMVSC_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),
+              "Hadamard shape mismatch");
+  Matrix c(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    c.data()[i] = a.data()[i] * b.data()[i];
+  }
+  return c;
+}
+
+Matrix Add(const Matrix& a, const Matrix& b, double alpha) {
+  Matrix c = a;
+  c.Add(b, alpha);
+  return c;
+}
+
+Matrix HConcat(const std::vector<Matrix>& blocks) {
+  UMVSC_CHECK(!blocks.empty(), "HConcat requires at least one block");
+  const std::size_t rows = blocks.front().rows();
+  std::size_t cols = 0;
+  for (const Matrix& b : blocks) {
+    UMVSC_CHECK(b.rows() == rows, "HConcat row-count mismatch");
+    cols += b.cols();
+  }
+  Matrix out(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    double* dst = out.RowPtr(i);
+    for (const Matrix& b : blocks) {
+      const double* src = b.RowPtr(i);
+      std::copy(src, src + b.cols(), dst);
+      dst += b.cols();
+    }
+  }
+  return out;
+}
+
+double OrthonormalityError(const Matrix& q) {
+  Matrix g = Gram(q);
+  for (std::size_t i = 0; i < g.rows(); ++i) g(i, i) -= 1.0;
+  return g.MaxAbs();
+}
+
+}  // namespace umvsc::la

@@ -1,0 +1,60 @@
+#ifndef UMVSC_LA_OPS_H_
+#define UMVSC_LA_OPS_H_
+
+#include "la/matrix.h"
+#include "la/sparse.h"
+#include "la/vector.h"
+
+namespace umvsc::la {
+
+/// C = A · B. Requires A.cols() == B.rows(). Cache-blocked i-k-j loop order.
+Matrix MatMul(const Matrix& a, const Matrix& b);
+
+/// C = Aᵀ · B. Requires A.rows() == B.rows(). Avoids materializing Aᵀ.
+Matrix MatTMul(const Matrix& a, const Matrix& b);
+
+/// C = A · Bᵀ. Requires A.cols() == B.cols(). Avoids materializing Bᵀ.
+Matrix MatMulT(const Matrix& a, const Matrix& b);
+
+/// y = A · x. Requires A.cols() == x.size().
+Vector MatVec(const Matrix& a, const Vector& x);
+
+/// y = Aᵀ · x. Requires A.rows() == x.size().
+Vector MatTVec(const Matrix& a, const Vector& x);
+
+/// Aᵀ as a new matrix.
+Matrix Transpose(const Matrix& a);
+
+/// Gram matrix Aᵀ·A (symmetric, computed via the upper triangle).
+Matrix Gram(const Matrix& a);
+
+/// Outer-product Gram A·Aᵀ.
+Matrix OuterGram(const Matrix& a);
+
+/// Tr(Aᵀ · B) = Σ_ij A_ij·B_ij. Requires matching shapes.
+double TraceOfProduct(const Matrix& a, const Matrix& b);
+
+/// Tr(Fᵀ · L · F) for symmetric L — the smoothness term of spectral
+/// clustering objectives. Requires L square with L.cols() == F.rows().
+double QuadraticTrace(const Matrix& l, const Matrix& f);
+
+/// Sparse variant: Tr(Fᵀ·L·F) = Σ_{(i,j) ∈ nnz(L)} L_ij · (F_i·F_j),
+/// O(nnz·k) — the fast path for kNN-graph Laplacians.
+double QuadraticTrace(const CsrMatrix& l, const Matrix& f);
+
+/// Elementwise (Hadamard) product. Requires matching shapes.
+Matrix Hadamard(const Matrix& a, const Matrix& b);
+
+/// A + alpha·B as a new matrix. Requires matching shapes.
+Matrix Add(const Matrix& a, const Matrix& b, double alpha = 1.0);
+
+/// Concatenates blocks left-to-right. All must share the row count.
+Matrix HConcat(const std::vector<Matrix>& blocks);
+
+/// Max-norm distance of Qᵀ·Q from the identity — 0 for a perfectly
+/// orthonormal-column matrix. Handy for test assertions and invariants.
+double OrthonormalityError(const Matrix& q);
+
+}  // namespace umvsc::la
+
+#endif  // UMVSC_LA_OPS_H_

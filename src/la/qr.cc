@@ -1,0 +1,123 @@
+#include "la/qr.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "la/ops.h"
+
+namespace umvsc::la {
+
+namespace {
+
+// Applies the Householder reflector H = I − tau·v·vᵀ (v implicit in
+// work[j..m)) to columns [col0, n) of `a`, rows [j, m).
+void ApplyReflectorLeft(Matrix& a, const std::vector<double>& v,
+                        std::size_t j, double tau, std::size_t col0) {
+  const std::size_t m = a.rows(), n = a.cols();
+  for (std::size_t c = col0; c < n; ++c) {
+    double dot = 0.0;
+    for (std::size_t r = j; r < m; ++r) dot += v[r] * a(r, c);
+    const double scale = tau * dot;
+    for (std::size_t r = j; r < m; ++r) a(r, c) -= scale * v[r];
+  }
+}
+
+}  // namespace
+
+QrResult QrDecompose(const Matrix& a) {
+  const std::size_t m = a.rows(), n = a.cols();
+  UMVSC_CHECK(m >= n, "thin QR requires rows >= cols");
+  Matrix r = a;
+  // Accumulate Q by applying the reflectors to an m×n identity pad.
+  Matrix q(m, n);
+  for (std::size_t i = 0; i < n; ++i) q(i, i) = 1.0;
+
+  std::vector<double> v(m, 0.0);
+  std::vector<double> taus;
+  std::vector<std::vector<double>> reflectors;
+  taus.reserve(n);
+  reflectors.reserve(n);
+
+  for (std::size_t j = 0; j < n; ++j) {
+    // Build the reflector that annihilates r(j+1..m, j).
+    double norm = 0.0;
+    for (std::size_t i = j; i < m; ++i) norm += r(i, j) * r(i, j);
+    norm = std::sqrt(norm);
+    std::fill(v.begin(), v.end(), 0.0);
+    double tau = 0.0;
+    if (norm > 0.0) {
+      const double alpha = r(j, j) >= 0.0 ? -norm : norm;
+      for (std::size_t i = j; i < m; ++i) v[i] = r(i, j);
+      v[j] -= alpha;
+      double vnorm2 = 0.0;
+      for (std::size_t i = j; i < m; ++i) vnorm2 += v[i] * v[i];
+      if (vnorm2 > 0.0) {
+        tau = 2.0 / vnorm2;
+        ApplyReflectorLeft(r, v, j, tau, j);
+      }
+      r(j, j) = alpha;
+      for (std::size_t i = j + 1; i < m; ++i) r(i, j) = 0.0;
+    }
+    taus.push_back(tau);
+    reflectors.push_back(v);
+  }
+
+  // Q = H_0 · H_1 · … · H_{n−1} · [I; 0]: apply reflectors in reverse.
+  for (std::size_t j = n; j > 0; --j) {
+    const std::size_t k = j - 1;
+    if (taus[k] != 0.0) ApplyReflectorLeft(q, reflectors[k], k, taus[k], 0);
+  }
+
+  QrResult out;
+  out.q = std::move(q);
+  out.r = r.Block(0, 0, n, n);
+  return out;
+}
+
+Matrix Orthonormalize(const Matrix& a) {
+  const std::size_t m = a.rows(), n = a.cols();
+  UMVSC_CHECK(m >= n, "Orthonormalize requires rows >= cols");
+  QrResult qr = QrDecompose(a);
+  // Detect numerically dependent columns and replace them by re-running QR
+  // with random completions until every diagonal of R is healthy.
+  const double tol = 1e-12 * std::max(1.0, a.MaxAbs()) *
+                     static_cast<double>(std::max(m, n));
+  bool deficient = false;
+  for (std::size_t j = 0; j < n; ++j) {
+    if (std::fabs(qr.r(j, j)) <= tol) {
+      deficient = true;
+      break;
+    }
+  }
+  if (!deficient) return qr.q;
+
+  // Rank-deficient: project random vectors against the found basis via a
+  // second QR over [A | randoms] — in practice a single retry suffices.
+  Rng rng(0xC0FFEE);
+  Matrix padded = a;
+  for (std::size_t j = 0; j < n; ++j) {
+    if (std::fabs(qr.r(j, j)) <= tol) {
+      for (std::size_t i = 0; i < m; ++i) padded(i, j) = rng.Gaussian();
+    }
+  }
+  QrResult retry = QrDecompose(padded);
+  return retry.q;
+}
+
+Vector LeastSquares(const Matrix& a, const Vector& b) {
+  UMVSC_CHECK(a.rows() == b.size(), "LeastSquares dimension mismatch");
+  QrResult qr = QrDecompose(a);
+  Vector qtb = MatTVec(qr.q, b);
+  const std::size_t n = a.cols();
+  Vector x(n);
+  for (std::size_t j = n; j > 0; --j) {
+    const std::size_t i = j - 1;
+    double s = qtb[i];
+    for (std::size_t k = j; k < n; ++k) s -= qr.r(i, k) * x[k];
+    UMVSC_CHECK(qr.r(i, i) != 0.0, "LeastSquares: rank-deficient system");
+    x[i] = s / qr.r(i, i);
+  }
+  return x;
+}
+
+}  // namespace umvsc::la

@@ -1,0 +1,31 @@
+#ifndef UMVSC_LA_QR_H_
+#define UMVSC_LA_QR_H_
+
+#include "la/matrix.h"
+
+namespace umvsc::la {
+
+/// Thin QR factorization A = Q·R with Q ∈ R^{m×n} orthonormal columns and
+/// R ∈ R^{n×n} upper triangular (requires m >= n).
+struct QrResult {
+  Matrix q;
+  Matrix r;
+};
+
+/// Householder QR. Requires a.rows() >= a.cols(). Numerically stable for
+/// rank-deficient inputs (R then has ~zero diagonal entries).
+QrResult QrDecompose(const Matrix& a);
+
+/// Orthonormal basis for the column space of `a`: the thin Q factor. For a
+/// (numerically) rank-deficient input the trailing columns are completed to
+/// an orthonormal set, so the result always has exactly a.cols() orthonormal
+/// columns. Requires a.rows() >= a.cols().
+Matrix Orthonormalize(const Matrix& a);
+
+/// Solves the least-squares problem min ‖A·x − b‖₂ via QR. Requires
+/// a.rows() >= a.cols() and full column rank.
+Vector LeastSquares(const Matrix& a, const Vector& b);
+
+}  // namespace umvsc::la
+
+#endif  // UMVSC_LA_QR_H_

@@ -1,0 +1,36 @@
+#include "la/simplex.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace umvsc::la {
+
+Vector ProjectToSimplex(const Vector& v, double radius) {
+  UMVSC_CHECK(!v.empty(), "cannot project an empty vector");
+  UMVSC_CHECK(radius > 0.0, "simplex radius must be positive");
+  const std::size_t n = v.size();
+  std::vector<double> sorted(v.begin(), v.end());
+  std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+
+  // Largest rho with sorted[rho−1] − (prefix(rho) − radius)/rho > 0.
+  double prefix = 0.0;
+  double theta = 0.0;
+  std::size_t rho = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    prefix += sorted[i];
+    const double candidate =
+        (prefix - radius) / static_cast<double>(i + 1);
+    if (sorted[i] - candidate > 0.0) {
+      rho = i + 1;
+      theta = candidate;
+    }
+  }
+  UMVSC_CHECK(rho > 0, "simplex projection failed to find a support");
+  Vector out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = std::max(0.0, v[i] - theta);
+  }
+  return out;
+}
+
+}  // namespace umvsc::la

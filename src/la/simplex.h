@@ -1,0 +1,16 @@
+#ifndef UMVSC_LA_SIMPLEX_H_
+#define UMVSC_LA_SIMPLEX_H_
+
+#include "la/vector.h"
+
+namespace umvsc::la {
+
+/// Euclidean projection of `v` onto the probability simplex
+/// {x : x ≥ 0, Σ x_i = radius} by the O(n log n) sort-and-threshold
+/// algorithm (Held–Wolfe–Crowder / Duchi et al.). Requires radius > 0 and a
+/// non-empty input. The building block of adaptive-neighbor graph learning.
+Vector ProjectToSimplex(const Vector& v, double radius = 1.0);
+
+}  // namespace umvsc::la
+
+#endif  // UMVSC_LA_SIMPLEX_H_

@@ -1,0 +1,179 @@
+#include "la/sparse.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace umvsc::la {
+
+CsrMatrix CsrMatrix::FromTriplets(std::size_t rows, std::size_t cols,
+                                  std::vector<Triplet> triplets) {
+  for (const Triplet& t : triplets) {
+    UMVSC_CHECK(t.row < rows && t.col < cols, "triplet index out of range");
+  }
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_offsets_.assign(rows + 1, 0);
+  m.col_indices_.reserve(triplets.size());
+  m.values_.reserve(triplets.size());
+
+  std::size_t i = 0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    m.row_offsets_[r] = m.values_.size();
+    while (i < triplets.size() && triplets[i].row == r) {
+      const std::size_t c = triplets[i].col;
+      double v = triplets[i].value;
+      ++i;
+      while (i < triplets.size() && triplets[i].row == r &&
+             triplets[i].col == c) {
+        v += triplets[i].value;
+        ++i;
+      }
+      m.col_indices_.push_back(c);
+      m.values_.push_back(v);
+    }
+  }
+  m.row_offsets_[rows] = m.values_.size();
+  return m;
+}
+
+CsrMatrix CsrMatrix::FromDense(const Matrix& dense, double drop_tol) {
+  std::vector<Triplet> triplets;
+  for (std::size_t i = 0; i < dense.rows(); ++i) {
+    for (std::size_t j = 0; j < dense.cols(); ++j) {
+      const double v = dense(i, j);
+      if (std::fabs(v) > drop_tol) triplets.push_back({i, j, v});
+    }
+  }
+  return FromTriplets(dense.rows(), dense.cols(), std::move(triplets));
+}
+
+CsrMatrix CsrMatrix::Identity(std::size_t n) {
+  std::vector<Triplet> triplets;
+  triplets.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) triplets.push_back({i, i, 1.0});
+  return FromTriplets(n, n, std::move(triplets));
+}
+
+Vector CsrMatrix::Multiply(const Vector& x) const {
+  Vector y(rows_);
+  MultiplyInto(x, y);
+  return y;
+}
+
+void CsrMatrix::MultiplyInto(const Vector& x, Vector& y, double alpha) const {
+  UMVSC_CHECK(x.size() == cols_, "spmv dimension mismatch (x)");
+  UMVSC_CHECK(y.size() == rows_, "spmv dimension mismatch (y)");
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double s = 0.0;
+    for (std::size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
+      s += values_[k] * x[col_indices_[k]];
+    }
+    y[r] += alpha * s;
+  }
+}
+
+Matrix CsrMatrix::Multiply(const Matrix& b) const {
+  UMVSC_CHECK(b.rows() == cols_, "sparse·dense dimension mismatch");
+  Matrix c(rows_, b.cols());
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double* crow = c.RowPtr(r);
+    for (std::size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
+      const double v = values_[k];
+      const double* brow = b.RowPtr(col_indices_[k]);
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += v * brow[j];
+    }
+  }
+  return c;
+}
+
+CsrMatrix CsrMatrix::Transposed() const {
+  std::vector<Triplet> triplets;
+  triplets.reserve(values_.size());
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
+      triplets.push_back({col_indices_[k], r, values_[k]});
+    }
+  }
+  return FromTriplets(cols_, rows_, std::move(triplets));
+}
+
+Vector CsrMatrix::RowSums() const {
+  Vector sums(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double s = 0.0;
+    for (std::size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
+      s += values_[k];
+    }
+    sums[r] = s;
+  }
+  return sums;
+}
+
+double CsrMatrix::At(std::size_t row, std::size_t col) const {
+  UMVSC_CHECK(row < rows_ && col < cols_, "CsrMatrix::At index out of range");
+  const auto begin = col_indices_.begin() + row_offsets_[row];
+  const auto end = col_indices_.begin() + row_offsets_[row + 1];
+  const auto it = std::lower_bound(begin, end, col);
+  if (it == end || *it != col) return 0.0;
+  return values_[static_cast<std::size_t>(it - col_indices_.begin())];
+}
+
+Matrix CsrMatrix::ToDense() const {
+  Matrix dense(rows_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
+      dense(r, col_indices_[k]) += values_[k];
+    }
+  }
+  return dense;
+}
+
+void CsrMatrix::Scale(double alpha) {
+  for (double& v : values_) v *= alpha;
+}
+
+bool CsrMatrix::IsSymmetric(double tol) const {
+  if (rows_ != cols_) return false;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
+      if (std::fabs(values_[k] - At(col_indices_[k], r)) > tol) return false;
+    }
+  }
+  return true;
+}
+
+CsrMatrix WeightedSum(const std::vector<CsrMatrix>& matrices,
+                      const std::vector<double>& weights) {
+  UMVSC_CHECK(!matrices.empty(), "WeightedSum requires at least one matrix");
+  UMVSC_CHECK(matrices.size() == weights.size(),
+              "WeightedSum weight count mismatch");
+  const std::size_t rows = matrices.front().rows();
+  const std::size_t cols = matrices.front().cols();
+  std::vector<Triplet> triplets;
+  std::size_t total_nnz = 0;
+  for (const CsrMatrix& m : matrices) total_nnz += m.NumNonZeros();
+  triplets.reserve(total_nnz);
+  for (std::size_t v = 0; v < matrices.size(); ++v) {
+    const CsrMatrix& m = matrices[v];
+    UMVSC_CHECK(m.rows() == rows && m.cols() == cols,
+                "WeightedSum shape mismatch");
+    const double w = weights[v];
+    if (w == 0.0) continue;
+    const auto& offsets = m.row_offsets();
+    const auto& idx = m.col_indices();
+    const auto& vals = m.values();
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t k = offsets[r]; k < offsets[r + 1]; ++k) {
+        triplets.push_back({r, idx[k], w * vals[k]});
+      }
+    }
+  }
+  return CsrMatrix::FromTriplets(rows, cols, std::move(triplets));
+}
+
+}  // namespace umvsc::la

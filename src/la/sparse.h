@@ -1,0 +1,83 @@
+#ifndef UMVSC_LA_SPARSE_H_
+#define UMVSC_LA_SPARSE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+#include "la/matrix.h"
+#include "la/vector.h"
+
+namespace umvsc::la {
+
+/// A (row, col, value) entry used to assemble sparse matrices.
+struct Triplet {
+  std::size_t row;
+  std::size_t col;
+  double value;
+};
+
+/// Compressed sparse row matrix (double). Immutable after construction;
+/// assemble via the triplet factory, which sorts and merges duplicates by
+/// summation (the usual finite-element / graph-assembly convention).
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Assembles from triplets; duplicate (row, col) entries are summed and
+  /// explicit zeros produced by cancellation are kept (they are harmless).
+  static CsrMatrix FromTriplets(std::size_t rows, std::size_t cols,
+                                std::vector<Triplet> triplets);
+
+  /// Dense-to-sparse conversion, dropping entries with |x| <= drop_tol.
+  static CsrMatrix FromDense(const Matrix& dense, double drop_tol = 0.0);
+
+  /// n × n identity.
+  static CsrMatrix Identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t NumNonZeros() const { return values_.size(); }
+
+  /// CSR internals (for tight loops in callers).
+  const std::vector<std::size_t>& row_offsets() const { return row_offsets_; }
+  const std::vector<std::size_t>& col_indices() const { return col_indices_; }
+  const std::vector<double>& values() const { return values_; }
+
+  /// y = A·x. Requires x.size() == cols().
+  Vector Multiply(const Vector& x) const;
+  /// y += alpha · A·x, writing into a caller-provided buffer (no alloc).
+  void MultiplyInto(const Vector& x, Vector& y, double alpha = 1.0) const;
+  /// C = A·B for a dense right factor.
+  Matrix Multiply(const Matrix& b) const;
+
+  /// Aᵀ as a new CSR matrix.
+  CsrMatrix Transposed() const;
+  /// Per-row sums (the weighted degree vector when A is an adjacency).
+  Vector RowSums() const;
+  /// Entry lookup; O(log nnz-in-row). Returns 0 for absent entries.
+  double At(std::size_t row, std::size_t col) const;
+  /// Dense copy (for tests and small problems).
+  Matrix ToDense() const;
+  /// this *= alpha.
+  void Scale(double alpha);
+
+  /// True when the sparsity pattern and values are symmetric within tol.
+  bool IsSymmetric(double tol = 1e-12) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> row_offsets_;  // length rows_ + 1
+  std::vector<std::size_t> col_indices_;  // length nnz, sorted within a row
+  std::vector<double> values_;            // length nnz
+};
+
+/// Weighted sum Σ_v weights[v]·matrices[v] of equally-shaped CSR matrices.
+/// Requires at least one matrix and matching weight count/shapes.
+CsrMatrix WeightedSum(const std::vector<CsrMatrix>& matrices,
+                      const std::vector<double>& weights);
+
+}  // namespace umvsc::la
+
+#endif  // UMVSC_LA_SPARSE_H_

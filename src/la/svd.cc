@@ -1,0 +1,166 @@
+#include "la/svd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.h"
+#include "la/ops.h"
+
+namespace umvsc::la {
+
+namespace {
+
+// One-sided Jacobi on a tall (m >= n) matrix: rotates column pairs of `u`
+// until all pairs are orthogonal, accumulating rotations into `v`.
+// Afterwards the column norms of `u` are the singular values.
+Status OneSidedJacobi(Matrix& u, Matrix& v, int max_sweeps) {
+  const std::size_t m = u.rows(), n = u.cols();
+  const double eps = 1e-15;
+  bool converged = n < 2;
+  for (int sweep = 0; sweep < max_sweeps && !converged; ++sweep) {
+    converged = true;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        double alpha = 0.0, beta = 0.0, gamma = 0.0;
+        for (std::size_t i = 0; i < m; ++i) {
+          const double up = u(i, p);
+          const double uq = u(i, q);
+          alpha += up * up;
+          beta += uq * uq;
+          gamma += up * uq;
+        }
+        if (std::fabs(gamma) <= eps * std::sqrt(alpha * beta) ||
+            gamma == 0.0) {
+          continue;
+        }
+        converged = false;
+        const double zeta = (beta - alpha) / (2.0 * gamma);
+        const double t = (zeta >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(zeta) + std::sqrt(1.0 + zeta * zeta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        for (std::size_t i = 0; i < m; ++i) {
+          const double up = u(i, p);
+          const double uq = u(i, q);
+          u(i, p) = c * up - s * uq;
+          u(i, q) = s * up + c * uq;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double vp = v(i, p);
+          const double vq = v(i, q);
+          v(i, p) = c * vp - s * vq;
+          v(i, q) = s * vp + c * vq;
+        }
+      }
+    }
+  }
+  if (!converged) {
+    return Status::NumericalError("one-sided Jacobi SVD did not converge");
+  }
+  return Status::OK();
+}
+
+StatusOr<SvdResult> SvdTall(const Matrix& a, int max_sweeps) {
+  const std::size_t m = a.rows(), n = a.cols();
+  Matrix u = a;
+  Matrix v = Matrix::Identity(n);
+  Status s = OneSidedJacobi(u, v, max_sweeps);
+  if (!s.ok()) return s;
+
+  // Extract singular values as column norms; normalize U's columns.
+  Vector sigma(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double norm = 0.0;
+    for (std::size_t i = 0; i < m; ++i) norm += u(i, j) * u(i, j);
+    norm = std::sqrt(norm);
+    sigma[j] = norm;
+    if (norm > 0.0) {
+      for (std::size_t i = 0; i < m; ++i) u(i, j) /= norm;
+    }
+  }
+
+  // Sort descending by singular value.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return sigma[x] > sigma[y];
+  });
+  SvdResult out;
+  out.u = Matrix(m, n);
+  out.v = Matrix(n, n);
+  out.singular_values = Vector(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    out.singular_values[j] = sigma[order[j]];
+    for (std::size_t i = 0; i < m; ++i) out.u(i, j) = u(i, order[j]);
+    for (std::size_t i = 0; i < n; ++i) out.v(i, j) = v(i, order[j]);
+  }
+
+  // Zero singular values leave null columns in U: complete just those
+  // columns to an orthonormal basis (leaving valid columns — and hence the
+  // U·Σ·Vᵀ reconstruction — untouched) so U is always a valid Stiefel point.
+  const double tol = out.singular_values.size() > 0
+                         ? 1e-13 * std::max(1.0, out.singular_values[0])
+                         : 0.0;
+  Rng rng(0x5EEDF00D);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (out.singular_values[j] > tol) continue;
+    // Draw a random vector and orthogonalize it against every other column
+    // (two Gram–Schmidt passes for numerical safety), retrying on the
+    // vanishingly unlikely event of a near-zero residual.
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      Vector w(m);
+      for (std::size_t i = 0; i < m; ++i) w[i] = rng.Gaussian();
+      for (int pass = 0; pass < 2; ++pass) {
+        for (std::size_t k = 0; k < n; ++k) {
+          if (k == j) continue;
+          double dot = 0.0;
+          for (std::size_t i = 0; i < m; ++i) dot += w[i] * out.u(i, k);
+          for (std::size_t i = 0; i < m; ++i) w[i] -= dot * out.u(i, k);
+        }
+      }
+      const double norm = w.Norm2();
+      if (norm > 1e-8) {
+        for (std::size_t i = 0; i < m; ++i) out.u(i, j) = w[i] / norm;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<SvdResult> Svd(const Matrix& a, int max_sweeps) {
+  if (a.rows() == 0 || a.cols() == 0) {
+    return Status::InvalidArgument("SVD of an empty matrix");
+  }
+  if (a.rows() >= a.cols()) return SvdTall(a, max_sweeps);
+  StatusOr<SvdResult> t = SvdTall(Transpose(a), max_sweeps);
+  if (!t.ok()) return t.status();
+  SvdResult out;
+  out.u = std::move(t->v);
+  out.v = std::move(t->u);
+  out.singular_values = std::move(t->singular_values);
+  return out;
+}
+
+StatusOr<Matrix> ProcrustesRotation(const Matrix& m) {
+  if (!m.IsSquare()) {
+    return Status::InvalidArgument("ProcrustesRotation requires a square input");
+  }
+  StatusOr<SvdResult> svd = Svd(m);
+  if (!svd.ok()) return svd.status();
+  return MatMulT(svd->u, svd->v);
+}
+
+StatusOr<Matrix> StiefelProjection(const Matrix& m) {
+  if (m.rows() < m.cols()) {
+    return Status::InvalidArgument("StiefelProjection requires rows >= cols");
+  }
+  StatusOr<SvdResult> svd = Svd(m);
+  if (!svd.ok()) return svd.status();
+  return MatMulT(svd->u, svd->v);
+}
+
+}  // namespace umvsc::la

@@ -1,0 +1,34 @@
+#ifndef UMVSC_LA_SVD_H_
+#define UMVSC_LA_SVD_H_
+
+#include "common/status.h"
+#include "la/matrix.h"
+
+namespace umvsc::la {
+
+/// Thin singular value decomposition A = U·diag(σ)·Vᵀ with
+/// U ∈ R^{m×r}, V ∈ R^{n×r}, r = min(m, n), singular values descending.
+struct SvdResult {
+  Matrix u;
+  Vector singular_values;
+  Matrix v;
+};
+
+/// One-sided Jacobi SVD. High relative accuracy for small singular values;
+/// O(m·n²) per sweep, which is ideal for the tall-skinny (n×c, c small)
+/// matrices this library manipulates. For wide inputs the transpose is
+/// decomposed and factors swapped.
+StatusOr<SvdResult> Svd(const Matrix& a, int max_sweeps = 64);
+
+/// Solution of the orthogonal Procrustes problem
+/// `max_R Tr(Rᵀ·M) s.t. RᵀR = RRᵀ = I`, namely R = U·Vᵀ from the SVD of M.
+/// Requires a square M (the c×c case used by spectral rotation).
+StatusOr<Matrix> ProcrustesRotation(const Matrix& m);
+
+/// Projection onto the Stiefel manifold: the nearest matrix with orthonormal
+/// columns in Frobenius norm, U·Vᵀ from the thin SVD. Requires rows >= cols.
+StatusOr<Matrix> StiefelProjection(const Matrix& m);
+
+}  // namespace umvsc::la
+
+#endif  // UMVSC_LA_SVD_H_

@@ -1,0 +1,250 @@
+#include "la/sym_eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/strings.h"
+
+namespace umvsc::la {
+
+namespace {
+
+double Hypot(double a, double b) { return std::hypot(a, b); }
+
+// Householder reduction of symmetric `a` (overwritten) to tridiagonal form.
+// On exit: d = diagonal, e = subdiagonal (e[0] unused, e[i] couples i−1,i in
+// the NR convention; we shift to e[i] coupling i,i+1 before returning), and
+// `a` holds the accumulated orthogonal transform Q with A = Q·T·Qᵀ.
+void Tred2(Matrix& a, Vector& d, Vector& e) {
+  const std::size_t n = a.rows();
+  for (std::size_t i = n - 1; i >= 1; --i) {
+    const std::size_t l = i - 1;
+    double h = 0.0;
+    double scale = 0.0;
+    if (i > 1) {
+      for (std::size_t k = 0; k <= l; ++k) scale += std::fabs(a(i, k));
+      if (scale == 0.0) {
+        e[i] = a(i, l);
+      } else {
+        for (std::size_t k = 0; k <= l; ++k) {
+          a(i, k) /= scale;
+          h += a(i, k) * a(i, k);
+        }
+        double f = a(i, l);
+        double g = f >= 0.0 ? -std::sqrt(h) : std::sqrt(h);
+        e[i] = scale * g;
+        h -= f * g;
+        a(i, l) = f - g;
+        f = 0.0;
+        for (std::size_t j = 0; j <= l; ++j) {
+          a(j, i) = a(i, j) / h;
+          g = 0.0;
+          for (std::size_t k = 0; k <= j; ++k) g += a(j, k) * a(i, k);
+          for (std::size_t k = j + 1; k <= l; ++k) g += a(k, j) * a(i, k);
+          e[j] = g / h;
+          f += e[j] * a(i, j);
+        }
+        const double hh = f / (h + h);
+        for (std::size_t j = 0; j <= l; ++j) {
+          f = a(i, j);
+          e[j] = g = e[j] - hh * f;
+          for (std::size_t k = 0; k <= j; ++k) {
+            a(j, k) -= f * e[k] + g * a(i, k);
+          }
+        }
+      }
+    } else {
+      e[i] = a(i, l);
+    }
+    d[i] = h;
+  }
+  d[0] = 0.0;
+  e[0] = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (d[i] != 0.0) {
+      for (std::size_t j = 0; j < i; ++j) {
+        double g = 0.0;
+        for (std::size_t k = 0; k < i; ++k) g += a(i, k) * a(k, j);
+        for (std::size_t k = 0; k < i; ++k) a(k, j) -= g * a(k, i);
+      }
+    }
+    d[i] = a(i, i);
+    a(i, i) = 1.0;
+    for (std::size_t j = 0; j < i; ++j) {
+      a(j, i) = 0.0;
+      a(i, j) = 0.0;
+    }
+  }
+}
+
+// Implicit-shift QL iteration on the tridiagonal (d, e); accumulates the
+// rotations into `z` (which enters holding the tridiagonalizing transform).
+// e uses the NR layout: e[i] couples rows i−1 and i. Returns false if any
+// eigenvalue needs more than `kMaxIter` sweeps.
+bool Tqli(Vector& d, Vector& e, Matrix& z) {
+  constexpr int kMaxIter = 50;
+  const std::size_t n = d.size();
+  for (std::size_t i = 1; i < n; ++i) e[i - 1] = e[i];
+  e[n - 1] = 0.0;
+  for (std::size_t l = 0; l < n; ++l) {
+    int iter = 0;
+    std::size_t m;
+    do {
+      for (m = l; m + 1 < n; ++m) {
+        const double dd = std::fabs(d[m]) + std::fabs(d[m + 1]);
+        if (std::fabs(e[m]) <= 1e-300 ||
+            std::fabs(e[m]) <= std::numeric_limits<double>::epsilon() * dd) {
+          break;
+        }
+      }
+      if (m != l) {
+        if (iter++ == kMaxIter) return false;
+        double g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+        double r = Hypot(g, 1.0);
+        g = d[m] - d[l] + e[l] / (g + (g >= 0.0 ? std::fabs(r) : -std::fabs(r)));
+        double s = 1.0;
+        double c = 1.0;
+        double p = 0.0;
+        bool underflow_break = false;
+        for (std::size_t i = m; i > l; --i) {
+          const std::size_t im1 = i - 1;
+          double f = s * e[im1];
+          const double b = c * e[im1];
+          r = Hypot(f, g);
+          e[i] = r;
+          if (r == 0.0) {
+            d[i] -= p;
+            e[m] = 0.0;
+            underflow_break = true;
+            break;
+          }
+          s = f / r;
+          c = g / r;
+          g = d[i] - p;
+          r = (d[im1] - g) * s + 2.0 * c * b;
+          p = s * r;
+          d[i] = g + p;
+          g = c * r - b;
+          for (std::size_t k = 0; k < n; ++k) {
+            f = z(k, i);
+            z(k, i) = s * z(k, im1) + c * f;
+            z(k, im1) = c * z(k, im1) - s * f;
+          }
+        }
+        if (underflow_break) continue;
+        d[l] -= p;
+        e[l] = g;
+        e[m] = 0.0;
+      }
+    } while (m != l);
+  }
+  return true;
+}
+
+// Sorts eigenpairs ascending by eigenvalue (stable on ties).
+SymEigenResult SortedResult(Vector d, Matrix z) {
+  const std::size_t n = d.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return d[a] < d[b]; });
+  SymEigenResult out;
+  out.eigenvalues = Vector(n);
+  out.eigenvectors = Matrix(z.rows(), n);
+  for (std::size_t j = 0; j < n; ++j) {
+    out.eigenvalues[j] = d[order[j]];
+    for (std::size_t i = 0; i < z.rows(); ++i) {
+      out.eigenvectors(i, j) = z(i, order[j]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<SymEigenResult> SymmetricEigen(const Matrix& a, double symmetry_tol) {
+  if (!a.IsSquare()) {
+    return Status::InvalidArgument("SymmetricEigen requires a square matrix");
+  }
+  const double scale = std::max(1.0, a.MaxAbs());
+  if (!a.IsSymmetric(symmetry_tol * scale)) {
+    return Status::InvalidArgument("SymmetricEigen requires a symmetric matrix");
+  }
+  const std::size_t n = a.rows();
+  if (n == 0) {
+    return SymEigenResult{Vector(), Matrix()};
+  }
+  if (n == 1) {
+    SymEigenResult out;
+    out.eigenvalues = Vector(1);
+    out.eigenvalues[0] = a(0, 0);
+    out.eigenvectors = Matrix::Identity(1);
+    return out;
+  }
+  Matrix z = a;
+  z.Symmetrize();  // Remove tiny asymmetries before factorizing.
+  Vector d(n);
+  Vector e(n);
+  Tred2(z, d, e);
+  if (!Tqli(d, e, z)) {
+    return Status::NumericalError("QL iteration failed to converge");
+  }
+  return SortedResult(std::move(d), std::move(z));
+}
+
+StatusOr<SymEigenResult> TridiagonalEigen(const Vector& d, const Vector& e) {
+  const std::size_t n = d.size();
+  if (n == 0) return SymEigenResult{Vector(), Matrix()};
+  if (e.size() + 1 != n) {
+    return Status::InvalidArgument(
+        "TridiagonalEigen: subdiagonal must have length n-1");
+  }
+  Vector dd = d;
+  // Shift into the NR layout where e[i] couples rows i−1 and i.
+  Vector ee(n);
+  for (std::size_t i = 1; i < n; ++i) ee[i] = e[i - 1];
+  Matrix z = Matrix::Identity(n);
+  if (!Tqli(dd, ee, z)) {
+    return Status::NumericalError("QL iteration failed to converge");
+  }
+  return SortedResult(std::move(dd), std::move(z));
+}
+
+StatusOr<SymEigenResult> SmallestEigenpairs(const Matrix& a, std::size_t k,
+                                            double symmetry_tol) {
+  if (k > a.rows()) {
+    return Status::InvalidArgument("requested more eigenpairs than dimension");
+  }
+  StatusOr<SymEigenResult> full = SymmetricEigen(a, symmetry_tol);
+  if (!full.ok()) return full.status();
+  SymEigenResult out;
+  out.eigenvalues = Vector(k);
+  out.eigenvectors = full->eigenvectors.LeftCols(k);
+  for (std::size_t i = 0; i < k; ++i) out.eigenvalues[i] = full->eigenvalues[i];
+  return out;
+}
+
+StatusOr<SymEigenResult> LargestEigenpairs(const Matrix& a, std::size_t k,
+                                           double symmetry_tol) {
+  if (k > a.rows()) {
+    return Status::InvalidArgument("requested more eigenpairs than dimension");
+  }
+  StatusOr<SymEigenResult> full = SymmetricEigen(a, symmetry_tol);
+  if (!full.ok()) return full.status();
+  const std::size_t n = a.rows();
+  SymEigenResult out;
+  out.eigenvalues = Vector(k);
+  out.eigenvectors = Matrix(n, k);
+  for (std::size_t j = 0; j < k; ++j) {
+    const std::size_t src = n - 1 - j;
+    out.eigenvalues[j] = full->eigenvalues[src];
+    for (std::size_t i = 0; i < n; ++i) {
+      out.eigenvectors(i, j) = full->eigenvectors(i, src);
+    }
+  }
+  return out;
+}
+
+}  // namespace umvsc::la

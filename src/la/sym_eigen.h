@@ -1,0 +1,42 @@
+#ifndef UMVSC_LA_SYM_EIGEN_H_
+#define UMVSC_LA_SYM_EIGEN_H_
+
+#include "common/status.h"
+#include "la/matrix.h"
+
+namespace umvsc::la {
+
+/// Full eigendecomposition of a symmetric matrix: A = V·diag(λ)·Vᵀ with
+/// eigenvalues sorted ascending and eigenvectors in the matching columns
+/// of `eigenvectors`.
+struct SymEigenResult {
+  Vector eigenvalues;
+  Matrix eigenvectors;
+};
+
+/// Dense symmetric eigensolver: Householder tridiagonalization followed by
+/// the implicit-shift QL iteration. O(n³), numerically robust — the standard
+/// LAPACK-style pipeline. Fails with NumericalError if the QL iteration does
+/// not converge (pathological inputs only). Requires a symmetric input
+/// (validated up to `symmetry_tol`).
+StatusOr<SymEigenResult> SymmetricEigen(const Matrix& a,
+                                        double symmetry_tol = 1e-8);
+
+/// Eigendecomposition of a symmetric tridiagonal matrix given its diagonal
+/// `d` (length n) and subdiagonal `e` (length n−1), used directly by the
+/// Lanczos solver. On success the returned eigenvectors are those of the
+/// tridiagonal matrix itself.
+StatusOr<SymEigenResult> TridiagonalEigen(const Vector& d, const Vector& e);
+
+/// The `k` eigenpairs with the smallest eigenvalues (ascending) of a dense
+/// symmetric matrix — the spectral-embedding primitive. Requires k <= n.
+StatusOr<SymEigenResult> SmallestEigenpairs(const Matrix& a, std::size_t k,
+                                            double symmetry_tol = 1e-8);
+
+/// The `k` eigenpairs with the largest eigenvalues (descending).
+StatusOr<SymEigenResult> LargestEigenpairs(const Matrix& a, std::size_t k,
+                                           double symmetry_tol = 1e-8);
+
+}  // namespace umvsc::la
+
+#endif  // UMVSC_LA_SYM_EIGEN_H_

@@ -1,0 +1,92 @@
+#include "la/vector.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace umvsc::la {
+
+void Vector::Fill(double value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+double Vector::Norm2() const {
+  // Scaled accumulation to avoid overflow/underflow on extreme inputs.
+  double scale = 0.0;
+  double ssq = 1.0;
+  for (double x : data_) {
+    if (x == 0.0) continue;
+    double ax = std::fabs(x);
+    if (scale < ax) {
+      ssq = 1.0 + ssq * (scale / ax) * (scale / ax);
+      scale = ax;
+    } else {
+      ssq += (ax / scale) * (ax / scale);
+    }
+  }
+  return scale * std::sqrt(ssq);
+}
+
+double Vector::Sum() const {
+  double s = 0.0;
+  for (double x : data_) s += x;
+  return s;
+}
+
+double Vector::MaxAbs() const {
+  double m = 0.0;
+  for (double x : data_) m = std::max(m, std::fabs(x));
+  return m;
+}
+
+void Vector::Scale(double alpha) {
+  for (double& x : data_) x *= alpha;
+}
+
+void Vector::Axpy(double alpha, const Vector& x) {
+  UMVSC_CHECK(size() == x.size(), "Axpy dimension mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * x[i];
+}
+
+double Vector::Normalize() {
+  double norm = Norm2();
+  UMVSC_CHECK(norm > 0.0, "cannot normalize the zero vector");
+  Scale(1.0 / norm);
+  return norm;
+}
+
+double Dot(const Vector& a, const Vector& b) {
+  UMVSC_CHECK(a.size() == b.size(), "Dot dimension mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+Vector operator+(const Vector& a, const Vector& b) {
+  UMVSC_CHECK(a.size() == b.size(), "vector sum dimension mismatch");
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Vector operator-(const Vector& a, const Vector& b) {
+  UMVSC_CHECK(a.size() == b.size(), "vector difference dimension mismatch");
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Vector operator*(double alpha, const Vector& v) {
+  Vector out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) out[i] = alpha * v[i];
+  return out;
+}
+
+bool AlmostEqual(const Vector& a, const Vector& b, double tol) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::fabs(a[i] - b[i]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace umvsc::la

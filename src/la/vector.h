@@ -1,0 +1,88 @@
+#ifndef UMVSC_LA_VECTOR_H_
+#define UMVSC_LA_VECTOR_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "common/check.h"
+
+namespace umvsc::la {
+
+/// Dense double-precision vector. A thin wrapper over contiguous storage
+/// with bounds-checked (debug) element access and the handful of BLAS-1
+/// operations the library needs.
+class Vector {
+ public:
+  Vector() = default;
+  /// Zero vector of dimension n.
+  explicit Vector(std::size_t n) : data_(n, 0.0) {}
+  /// Constant vector of dimension n.
+  Vector(std::size_t n, double value) : data_(n, value) {}
+  Vector(std::initializer_list<double> values) : data_(values) {}
+  /// Adopts an existing buffer.
+  explicit Vector(std::vector<double> values) : data_(std::move(values)) {}
+
+  Vector(const Vector&) = default;
+  Vector& operator=(const Vector&) = default;
+  Vector(Vector&&) = default;
+  Vector& operator=(Vector&&) = default;
+
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double operator[](std::size_t i) const {
+    UMVSC_DCHECK(i < data_.size(), "vector index out of range");
+    return data_[i];
+  }
+  double& operator[](std::size_t i) {
+    UMVSC_DCHECK(i < data_.size(), "vector index out of range");
+    return data_[i];
+  }
+
+  const double* data() const { return data_.data(); }
+  double* data() { return data_.data(); }
+  const std::vector<double>& raw() const { return data_; }
+
+  auto begin() { return data_.begin(); }
+  auto end() { return data_.end(); }
+  auto begin() const { return data_.begin(); }
+  auto end() const { return data_.end(); }
+
+  /// Sets every entry to `value`.
+  void Fill(double value);
+
+  /// Euclidean norm.
+  double Norm2() const;
+  /// Sum of entries.
+  double Sum() const;
+  /// Largest absolute entry (0 for the empty vector).
+  double MaxAbs() const;
+
+  /// In-place scaling: this *= alpha.
+  void Scale(double alpha);
+  /// In-place axpy: this += alpha * x. Requires matching sizes.
+  void Axpy(double alpha, const Vector& x);
+  /// Normalizes to unit Euclidean length; returns the original norm.
+  /// Requires a nonzero vector.
+  double Normalize();
+
+ private:
+  std::vector<double> data_;
+};
+
+/// Dot product. Requires matching sizes.
+double Dot(const Vector& a, const Vector& b);
+
+/// Elementwise sum / difference. Require matching sizes.
+Vector operator+(const Vector& a, const Vector& b);
+Vector operator-(const Vector& a, const Vector& b);
+/// Scalar multiple.
+Vector operator*(double alpha, const Vector& v);
+
+/// True when ‖a − b‖_∞ <= tol.
+bool AlmostEqual(const Vector& a, const Vector& b, double tol);
+
+}  // namespace umvsc::la
+
+#endif  // UMVSC_LA_VECTOR_H_

@@ -1,0 +1,29 @@
+#include "mvsc/amgl.h"
+
+#include "mvsc/two_stage.h"
+
+namespace umvsc::mvsc {
+
+StatusOr<AmglResult> Amgl(const MultiViewGraphs& graphs,
+                          const AmglOptions& options) {
+  // AMGL is exactly the two-stage pipeline under the parameter-free
+  // self-weighting; delegate so both share one tested implementation.
+  TwoStageOptions two_stage;
+  two_stage.num_clusters = options.num_clusters;
+  two_stage.weighting = ViewWeighting::kAmgl;
+  two_stage.max_iterations = options.max_iterations;
+  two_stage.tolerance = options.tolerance;
+  two_stage.kmeans_restarts = options.kmeans_restarts;
+  two_stage.seed = options.seed;
+  StatusOr<TwoStageResult> result = TwoStageMVSC(graphs, two_stage);
+  if (!result.ok()) return result.status();
+
+  AmglResult out;
+  out.labels = std::move(result->labels);
+  out.embedding = std::move(result->embedding);
+  out.view_weights = std::move(result->view_weights);
+  out.iterations = result->iterations;
+  return out;
+}
+
+}  // namespace umvsc::mvsc

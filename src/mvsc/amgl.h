@@ -1,0 +1,39 @@
+#ifndef UMVSC_MVSC_AMGL_H_
+#define UMVSC_MVSC_AMGL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "la/matrix.h"
+#include "mvsc/graphs.h"
+
+namespace umvsc::mvsc {
+
+/// Options for AMGL.
+struct AmglOptions {
+  std::size_t num_clusters = 2;
+  std::size_t max_iterations = 20;
+  double tolerance = 1e-6;
+  std::size_t kmeans_restarts = 10;
+  std::uint64_t seed = 0;
+};
+
+/// Result of AMGL.
+struct AmglResult {
+  std::vector<std::size_t> labels;
+  la::Matrix embedding;
+  std::vector<double> view_weights;  ///< normalized self-weights
+  std::size_t iterations = 0;
+};
+
+/// Auto-Weighted Multiple Graph Learning (Nie, Li & Li, IJCAI 2016): the
+/// parameter-free baseline minimizing Σ_v √Tr(Fᵀ L_v F) by alternating the
+/// implicit self-weights w_v = 1/(2√Tr(Fᵀ L_v F)) with the embedding
+/// eigenproblem, followed by K-means on the embedding.
+StatusOr<AmglResult> Amgl(const MultiViewGraphs& graphs,
+                          const AmglOptions& options);
+
+}  // namespace umvsc::mvsc
+
+#endif  // UMVSC_MVSC_AMGL_H_

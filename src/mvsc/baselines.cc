@@ -1,0 +1,103 @@
+#include "mvsc/baselines.h"
+
+#include <cmath>
+
+#include "cluster/ensemble.h"
+#include "cluster/kmeans.h"
+#include "cluster/spectral.h"
+#include "la/ops.h"
+
+namespace umvsc::mvsc {
+
+namespace {
+
+// Spectral clustering on one sparse affinity: Lanczos embedding of the
+// normalized Laplacian, row normalization, K-means.
+StatusOr<std::vector<std::size_t>> SparseSpectralLabels(
+    const la::CsrMatrix& affinity, std::size_t c, std::size_t kmeans_restarts,
+    std::uint64_t seed) {
+  StatusOr<la::Matrix> embedding = cluster::SpectralEmbeddingSparse(
+      affinity, c, /*normalize_rows=*/true, seed + 19);
+  if (!embedding.ok()) return embedding.status();
+  cluster::KMeansOptions km;
+  km.num_clusters = c;
+  km.restarts = kmeans_restarts;
+  km.seed = seed;
+  StatusOr<cluster::KMeansResult> clustered = cluster::KMeans(*embedding, km);
+  if (!clustered.ok()) return clustered.status();
+  return std::move(clustered->labels);
+}
+
+}  // namespace
+
+StatusOr<std::vector<std::vector<std::size_t>>> PerViewSpectral(
+    const MultiViewGraphs& graphs, const BaselineOptions& options) {
+  if (graphs.NumViews() == 0) {
+    return Status::InvalidArgument("PerViewSpectral requires at least one view");
+  }
+  std::vector<std::vector<std::size_t>> all_labels;
+  all_labels.reserve(graphs.NumViews());
+  for (std::size_t v = 0; v < graphs.NumViews(); ++v) {
+    StatusOr<std::vector<std::size_t>> labels =
+        SparseSpectralLabels(graphs.affinities[v], options.num_clusters,
+                             options.kmeans_restarts, options.seed + 7 * v);
+    if (!labels.ok()) return labels.status();
+    all_labels.push_back(std::move(*labels));
+  }
+  return all_labels;
+}
+
+StatusOr<std::vector<std::size_t>> ConcatFeatureSC(
+    const data::MultiViewDataset& dataset, const BaselineOptions& options) {
+  UMVSC_RETURN_IF_ERROR(dataset.Validate());
+  data::MultiViewDataset working = dataset;
+  if (options.graph.standardize) working.StandardizeViews();
+  la::Matrix stacked = la::HConcat(working.views);
+  GraphOptions graph_options = options.graph;
+  graph_options.standardize = false;  // already standardized per view
+  StatusOr<MultiViewGraphs> graph = BuildSingleGraph(stacked, graph_options);
+  if (!graph.ok()) return graph.status();
+  return SparseSpectralLabels(graph->affinities.front(), options.num_clusters,
+                              options.kmeans_restarts, options.seed);
+}
+
+StatusOr<std::vector<std::size_t>> KernelAdditionSC(
+    const MultiViewGraphs& graphs, const BaselineOptions& options) {
+  if (graphs.NumViews() == 0) {
+    return Status::InvalidArgument("KernelAdditionSC requires at least one view");
+  }
+  std::vector<double> uniform(graphs.NumViews(),
+                              1.0 / static_cast<double>(graphs.NumViews()));
+  la::CsrMatrix average = la::WeightedSum(graphs.affinities, uniform);
+  return SparseSpectralLabels(average, options.num_clusters,
+                              options.kmeans_restarts, options.seed);
+}
+
+StatusOr<std::vector<std::size_t>> EnsembleSC(const MultiViewGraphs& graphs,
+                                              const BaselineOptions& options) {
+  StatusOr<std::vector<std::vector<std::size_t>>> per_view =
+      PerViewSpectral(graphs, options);
+  if (!per_view.ok()) return per_view.status();
+  cluster::ConsensusOptions consensus;
+  consensus.num_clusters = options.num_clusters;
+  consensus.seed = options.seed + 101;
+  consensus.kmeans_restarts = options.kmeans_restarts;
+  return cluster::ConsensusClustering(*per_view, consensus);
+}
+
+StatusOr<std::vector<std::size_t>> ConcatKMeans(
+    const data::MultiViewDataset& dataset, const BaselineOptions& options) {
+  UMVSC_RETURN_IF_ERROR(dataset.Validate());
+  data::MultiViewDataset working = dataset;
+  working.StandardizeViews();
+  la::Matrix stacked = la::HConcat(working.views);
+  cluster::KMeansOptions km;
+  km.num_clusters = options.num_clusters;
+  km.restarts = options.kmeans_restarts;
+  km.seed = options.seed;
+  StatusOr<cluster::KMeansResult> clustered = cluster::KMeans(stacked, km);
+  if (!clustered.ok()) return clustered.status();
+  return std::move(clustered->labels);
+}
+
+}  // namespace umvsc::mvsc

@@ -1,0 +1,51 @@
+#ifndef UMVSC_MVSC_BASELINES_H_
+#define UMVSC_MVSC_BASELINES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "mvsc/graphs.h"
+
+namespace umvsc::mvsc {
+
+/// Options shared by the single-graph baselines.
+struct BaselineOptions {
+  std::size_t num_clusters = 2;
+  std::size_t kmeans_restarts = 10;
+  std::uint64_t seed = 0;
+  GraphOptions graph;
+};
+
+/// Labels from spectral clustering on each view's graph independently.
+/// The harness reports the best view post hoc ("SC-best", the strongest
+/// single-view baseline of the comparison tables).
+StatusOr<std::vector<std::vector<std::size_t>>> PerViewSpectral(
+    const MultiViewGraphs& graphs, const BaselineOptions& options);
+
+/// Feature-concatenation baseline: stack all (standardized) views into one
+/// wide matrix, build a single graph, and run spectral clustering.
+StatusOr<std::vector<std::size_t>> ConcatFeatureSC(
+    const data::MultiViewDataset& dataset, const BaselineOptions& options);
+
+/// Kernel/graph-addition baseline: average the per-view affinities into one
+/// graph and run spectral clustering on it (uniform, non-adaptive fusion).
+StatusOr<std::vector<std::size_t>> KernelAdditionSC(
+    const MultiViewGraphs& graphs, const BaselineOptions& options);
+
+/// Multi-view K-means baseline: K-means on the concatenated standardized
+/// features — no graphs at all; calibrates how much spectral geometry buys.
+StatusOr<std::vector<std::size_t>> ConcatKMeans(
+    const data::MultiViewDataset& dataset, const BaselineOptions& options);
+
+/// Late-fusion ensemble baseline: spectral clustering per view, then
+/// consensus clustering on the ensemble's co-association matrix (evidence
+/// accumulation). Fuses decisions instead of graphs — the other end of the
+/// fusion spectrum from the unified model.
+StatusOr<std::vector<std::size_t>> EnsembleSC(const MultiViewGraphs& graphs,
+                                              const BaselineOptions& options);
+
+}  // namespace umvsc::mvsc
+
+#endif  // UMVSC_MVSC_BASELINES_H_

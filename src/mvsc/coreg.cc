@@ -1,0 +1,177 @@
+#include "mvsc/coreg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "cluster/kmeans.h"
+#include "la/lanczos.h"
+#include "la/ops.h"
+
+namespace umvsc::mvsc {
+
+namespace {
+
+// y += (L − λ·Σ_u U_u·U_uᵀ)·x over a set of coupling embeddings without
+// materializing the dense rank-c updates.
+la::SymmetricOperator ModifiedLaplacianOperator(
+    const la::CsrMatrix& lap, std::vector<const la::Matrix*> couplings,
+    double lambda) {
+  return [&lap, couplings = std::move(couplings), lambda](const la::Vector& x,
+                                                          la::Vector& y) {
+    lap.MultiplyInto(x, y);
+    if (lambda == 0.0) return;
+    for (const la::Matrix* u : couplings) {
+      if (u->cols() == 0) continue;
+      la::Vector proj = la::MatTVec(*u, x);  // Uᵀ·x (c-dim)
+      la::Vector back = la::MatVec(*u, proj);
+      for (std::size_t i = 0; i < y.size(); ++i) y[i] -= lambda * back[i];
+    }
+  };
+}
+
+// Row-normalizes a matrix in place (unit Euclidean rows; zero rows stay).
+void NormalizeRows(la::Matrix& m) {
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    double norm = 0.0;
+    for (std::size_t j = 0; j < m.cols(); ++j) norm += m(i, j) * m(i, j);
+    norm = std::sqrt(norm);
+    if (norm > 0.0) {
+      for (std::size_t j = 0; j < m.cols(); ++j) m(i, j) /= norm;
+    }
+  }
+}
+
+StatusOr<std::vector<std::size_t>> KMeansLabels(const la::Matrix& features,
+                                                std::size_t c,
+                                                std::size_t restarts,
+                                                std::uint64_t seed) {
+  cluster::KMeansOptions km;
+  km.num_clusters = c;
+  km.restarts = restarts;
+  km.seed = seed;
+  StatusOr<cluster::KMeansResult> clustered = cluster::KMeans(features, km);
+  if (!clustered.ok()) return clustered.status();
+  return std::move(clustered->labels);
+}
+
+}  // namespace
+
+StatusOr<CoRegResult> CoRegSpectral(const MultiViewGraphs& graphs,
+                                    const CoRegOptions& options) {
+  const std::size_t num_views = graphs.laplacians.size();
+  const std::size_t n = graphs.NumSamples();
+  const std::size_t c = options.num_clusters;
+  if (num_views == 0) {
+    return Status::InvalidArgument("CoRegSpectral requires at least one view");
+  }
+  if (c < 2 || c >= n) {
+    return Status::InvalidArgument("CoRegSpectral requires 2 <= c < n");
+  }
+  if (options.lambda < 0.0) {
+    return Status::InvalidArgument("lambda must be nonnegative");
+  }
+
+  la::LanczosOptions lanczos;
+  lanczos.seed = options.seed + 43;
+  lanczos.max_subspace = std::min(n, std::max<std::size_t>(12 * c + 100, 250));
+  lanczos.tolerance = 3e-6;
+
+  // Init: independent per-view spectral embeddings.
+  std::vector<la::Matrix> embeddings(num_views);
+  for (std::size_t v = 0; v < num_views; ++v) {
+    StatusOr<la::SymEigenResult> eig =
+        la::LanczosSmallest(graphs.laplacians[v], c, 2.0 + 1e-9, lanczos);
+    if (!eig.ok()) return eig.status();
+    embeddings[v] = std::move(eig->eigenvectors);
+  }
+
+  la::Matrix consensus;
+  double prev_obj = std::numeric_limits<double>::infinity();
+  std::size_t iterations = 0;
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    if (options.mode == CoRegMode::kCentroid) {
+      // Consensus step: top-c eigenvectors of Σ_v U_v·U_vᵀ (matrix-free).
+      la::SymmetricOperator sum_op = [&embeddings](const la::Vector& x,
+                                                   la::Vector& y) {
+        for (const la::Matrix& u : embeddings) {
+          la::Vector proj = la::MatTVec(u, x);
+          la::Vector back = la::MatVec(u, proj);
+          for (std::size_t i = 0; i < y.size(); ++i) y[i] += back[i];
+        }
+      };
+      StatusOr<la::SymEigenResult> top =
+          la::LanczosLargest(sum_op, n, c, lanczos);
+      if (!top.ok()) return top.status();
+      consensus = std::move(top->eigenvectors);
+    }
+
+    // Per-view step: smallest c eigenvectors of the modified operator. The
+    // couplings are rank-c projectors, so the spectrum stays within
+    // [−λ·(#couplings), 2] and 2 + ε remains a valid complement bound.
+    for (std::size_t v = 0; v < num_views; ++v) {
+      std::vector<const la::Matrix*> couplings;
+      if (options.mode == CoRegMode::kCentroid) {
+        couplings.push_back(&consensus);
+      } else {
+        for (std::size_t w = 0; w < num_views; ++w) {
+          if (w != v) couplings.push_back(&embeddings[w]);
+        }
+      }
+      la::SymmetricOperator op = ModifiedLaplacianOperator(
+          graphs.laplacians[v], std::move(couplings), options.lambda);
+      StatusOr<la::SymEigenResult> eig =
+          la::LanczosSmallest(op, n, c, 2.0 + 1e-9, lanczos);
+      if (!eig.ok()) return eig.status();
+      embeddings[v] = std::move(eig->eigenvectors);
+    }
+
+    // Objective: Σ_v Tr(U_vᵀ L_v U_v) − λ·(agreement terms).
+    double obj = 0.0;
+    for (std::size_t v = 0; v < num_views; ++v) {
+      obj += la::QuadraticTrace(graphs.laplacians[v], embeddings[v]);
+      if (options.mode == CoRegMode::kCentroid) {
+        const double agree =
+            la::MatTMul(embeddings[v], consensus).FrobeniusNorm();
+        obj -= options.lambda * agree * agree;
+      } else {
+        for (std::size_t w = v + 1; w < num_views; ++w) {
+          const double agree =
+              la::MatTMul(embeddings[v], embeddings[w]).FrobeniusNorm();
+          obj -= 2.0 * options.lambda * agree * agree;
+        }
+      }
+    }
+    iterations = iter + 1;
+    if (iter > 0 && std::fabs(prev_obj - obj) <=
+                        options.tolerance * std::max(std::fabs(prev_obj), 1e-12)) {
+      break;
+    }
+    prev_obj = obj;
+  }
+
+  CoRegResult out;
+  if (options.mode == CoRegMode::kCentroid) {
+    la::Matrix normalized = consensus;
+    NormalizeRows(normalized);
+    StatusOr<std::vector<std::size_t>> labels =
+        KMeansLabels(normalized, c, options.kmeans_restarts, options.seed);
+    if (!labels.ok()) return labels.status();
+    out.labels = std::move(*labels);
+    out.consensus = std::move(consensus);
+  } else {
+    // Pairwise mode: K-means on the row-normalized concatenation of all the
+    // co-regularized view embeddings.
+    la::Matrix stacked = la::HConcat(embeddings);
+    NormalizeRows(stacked);
+    StatusOr<std::vector<std::size_t>> labels =
+        KMeansLabels(stacked, c, options.kmeans_restarts, options.seed);
+    if (!labels.ok()) return labels.status();
+    out.labels = std::move(*labels);
+  }
+  out.view_embeddings = std::move(embeddings);
+  out.iterations = iterations;
+  return out;
+}
+
+}  // namespace umvsc::mvsc

@@ -1,0 +1,56 @@
+#ifndef UMVSC_MVSC_COREG_H_
+#define UMVSC_MVSC_COREG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "la/matrix.h"
+#include "mvsc/graphs.h"
+
+namespace umvsc::mvsc {
+
+/// Which co-regularization coupling to use.
+enum class CoRegMode {
+  /// Each view agrees with a shared consensus embedding (the "centroid"
+  /// scheme of Kumar et al.; one extra eigensolve per iteration).
+  kCentroid,
+  /// Each view agrees with every other view directly (the "pairwise"
+  /// scheme; final labels from the concatenated view embeddings).
+  kPairwise,
+};
+
+/// Options for co-regularized spectral clustering.
+struct CoRegOptions {
+  std::size_t num_clusters = 2;
+  CoRegMode mode = CoRegMode::kCentroid;
+  /// Co-regularization strength λ (the paper's default regime is ~0.01–0.1
+  /// on normalized kernels; the embeddings here are orthonormal so 0.5 is a
+  /// comparable default).
+  double lambda = 0.5;
+  std::size_t max_iterations = 15;
+  double tolerance = 1e-6;
+  std::size_t kmeans_restarts = 10;
+  std::uint64_t seed = 0;
+};
+
+/// Result of co-regularized spectral clustering.
+struct CoRegResult {
+  std::vector<std::size_t> labels;
+  /// Consensus embedding U* (centroid mode only; empty in pairwise mode).
+  la::Matrix consensus;
+  std::vector<la::Matrix> view_embeddings;
+  std::size_t iterations = 0;
+};
+
+/// Centroid-based co-regularized spectral clustering (Kumar, Rai & Daumé,
+/// NIPS 2011): alternately refresh each view's embedding from the modified
+/// operator L_v − λ·U*U*ᵀ (agreement with the consensus lowers the
+/// effective Laplacian energy) and the consensus U* from the top
+/// eigenvectors of Σ_v U_v U_vᵀ; final labels by K-means on U*.
+StatusOr<CoRegResult> CoRegSpectral(const MultiViewGraphs& graphs,
+                                    const CoRegOptions& options);
+
+}  // namespace umvsc::mvsc
+
+#endif  // UMVSC_MVSC_COREG_H_

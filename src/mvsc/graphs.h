@@ -1,0 +1,86 @@
+#ifndef UMVSC_MVSC_GRAPHS_H_
+#define UMVSC_MVSC_GRAPHS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "data/incomplete.h"
+#include "graph/knn_graph.h"
+#include "la/sparse.h"
+
+namespace umvsc::mvsc {
+
+/// How per-view similarity graphs are constructed from raw features. Every
+/// multi-view method in this library consumes the same MultiViewGraphs, so
+/// comparisons never mix graph constructions.
+struct GraphOptions {
+  /// Neighbors for both the self-tuning bandwidth and the kNN sparsifier.
+  std::size_t knn = 10;
+  /// Symmetrization of the directed kNN selection.
+  graph::KnnSymmetrization symmetrization = graph::KnnSymmetrization::kUnion;
+  /// Standardize each view's features before computing distances.
+  bool standardize = true;
+  /// Use the adaptive-neighbor (CAN) construction instead of the
+  /// self-tuning Gaussian kernel.
+  bool adaptive_neighbors = false;
+  /// Bridge disconnected graph components with their shortest
+  /// inter-component edge (weakest existing weight), so every per-view
+  /// Laplacian has exactly one zero eigenvalue and spectral embeddings are
+  /// well defined. Matches scikit-learn's kNN-graph connectivity fix.
+  bool bridge_components = true;
+};
+
+/// Per-view graphs shared by all methods: symmetric sparse affinities and
+/// the matching symmetric-normalized Laplacians (spectrum in [0, 2]).
+struct MultiViewGraphs {
+  std::vector<la::CsrMatrix> affinities;
+  std::vector<la::CsrMatrix> laplacians;
+
+  std::size_t NumViews() const { return affinities.size(); }
+  std::size_t NumSamples() const {
+    return affinities.empty() ? 0 : affinities.front().rows();
+  }
+};
+
+/// Builds per-view graphs: (standardize →) pairwise squared distances →
+/// self-tuning Gaussian kernel (or adaptive neighbors) → kNN sparsification
+/// → symmetric-normalized Laplacian.
+StatusOr<MultiViewGraphs> BuildGraphs(const data::MultiViewDataset& dataset,
+                                      const GraphOptions& options = {});
+
+/// Builds a single graph+Laplacian from one feature matrix with the same
+/// recipe (used by the feature-concatenation baseline).
+StatusOr<MultiViewGraphs> BuildSingleGraph(const la::Matrix& features,
+                                           const GraphOptions& options = {});
+
+/// Mass-renormalized Laplacian combination
+///   L̃ = D^{−1/2}·(Σ_v c_v·L_v)·D^{−1/2},  D = diag(Σ_v c_v·diag(L_v)),
+/// used for the combined-graph eigensolves. With complete views every
+/// normalized Laplacian has a unit diagonal, so D is a multiple of the
+/// identity and the eigenvectors are EXACTLY those of the plain weighted
+/// sum. With incomplete views (zero Laplacian rows for absent samples) the
+/// renormalization equalizes per-sample mass, keeping the spectrum in
+/// [0, 2] and the bottom eigengap resolvable — the plain sum develops a
+/// cluster of near-zero eigenvalues at poorly-covered samples that stalls
+/// any iterative eigensolver. Zero-mass rows (a sample absent everywhere,
+/// excluded by ViewPresence::Validate) would become zero rows.
+la::CsrMatrix MassNormalizedCombination(
+    const std::vector<la::CsrMatrix>& laplacians,
+    const std::vector<double>& coefficients);
+
+/// Incomplete (partial) multi-view graphs: each view's graph is built only
+/// over its OBSERVED samples; absent samples become fully isolated vertices
+/// with ZERO Laplacian rows, i.e. the view places no constraint on them and
+/// contributes no spurious trace. Spectra stay within [0, 2], so every
+/// solver in this library runs unchanged on the result — the per-view
+/// weights absorb the differing observation counts. The presence mask must
+/// validate against the dataset.
+StatusOr<MultiViewGraphs> BuildGraphsIncomplete(
+    const data::MultiViewDataset& dataset, const data::ViewPresence& presence,
+    const GraphOptions& options = {});
+
+}  // namespace umvsc::mvsc
+
+#endif  // UMVSC_MVSC_GRAPHS_H_

@@ -1,0 +1,250 @@
+#include "mvsc/mlan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "cluster/kmeans.h"
+#include "graph/connectivity.h"
+#include "graph/distance.h"
+#include "graph/laplacian.h"
+#include "la/lanczos.h"
+#include "la/ops.h"
+#include "la/simplex.h"
+#include "la/sparse.h"
+
+namespace umvsc::mvsc {
+
+namespace {
+
+// Per-row candidate neighborhoods: indices of the k+1 nearest points under
+// the uniformly averaged view distances (candidate sets stay fixed across
+// iterations, as in the reference implementation).
+std::vector<std::vector<std::size_t>> CandidateSets(
+    const la::Matrix& mean_dist, std::size_t k) {
+  const std::size_t n = mean_dist.rows();
+  std::vector<std::vector<std::size_t>> candidates(n);
+  std::vector<std::size_t> idx;
+  for (std::size_t i = 0; i < n; ++i) {
+    idx.clear();
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != i) idx.push_back(j);
+    }
+    std::partial_sort(idx.begin(), idx.begin() + (k + 1), idx.end(),
+                      [&](std::size_t a, std::size_t b) {
+                        return mean_dist(i, a) < mean_dist(i, b);
+                      });
+    candidates[i].assign(idx.begin(), idx.begin() + (k + 1));
+  }
+  return candidates;
+}
+
+}  // namespace
+
+StatusOr<MlanResult> Mlan(const data::MultiViewDataset& dataset,
+                          const MlanOptions& options) {
+  UMVSC_RETURN_IF_ERROR(dataset.Validate());
+  const std::size_t n = dataset.NumSamples();
+  const std::size_t num_views = dataset.NumViews();
+  const std::size_t c = options.num_clusters;
+  if (c < 2 || c >= n) {
+    return Status::InvalidArgument("MLAN requires 2 <= c < n");
+  }
+  if (options.knn < 1 || options.knn + 2 >= n) {
+    return Status::InvalidArgument("MLAN requires 1 <= knn < n - 2");
+  }
+
+  // Per-view squared distances on standardized features.
+  data::MultiViewDataset working = dataset;
+  working.StandardizeViews();
+  std::vector<la::Matrix> dists;
+  dists.reserve(num_views);
+  la::Matrix mean_dist(n, n);
+  for (const la::Matrix& view : working.views) {
+    la::Matrix d = graph::PairwiseSquaredDistances(view);
+    // Normalize each view's distance scale so no view dominates by units.
+    double scale = 0.0;
+    for (std::size_t i = 0; i < d.size(); ++i) scale += d.data()[i];
+    scale /= static_cast<double>(d.size());
+    if (scale > 0.0) d.Scale(1.0 / scale);
+    mean_dist.Add(d, 1.0 / static_cast<double>(num_views));
+    dists.push_back(std::move(d));
+  }
+
+  const std::size_t k = options.knn;
+  const std::vector<std::vector<std::size_t>> candidates =
+      CandidateSets(mean_dist, k);
+
+  // γ from the CAN closed form on the mean distances: the value that makes
+  // each row's simplex solution have exactly k nonzeros, averaged over rows.
+  double gamma = 0.0;
+  {
+    std::vector<double> row;
+    for (std::size_t i = 0; i < n; ++i) {
+      row.clear();
+      for (std::size_t j : candidates[i]) row.push_back(mean_dist(i, j));
+      std::sort(row.begin(), row.end());
+      double sum_k = 0.0;
+      for (std::size_t j = 0; j < k; ++j) sum_k += row[j];
+      gamma += 0.5 * (static_cast<double>(k) * row[k] - sum_k);
+    }
+    gamma /= static_cast<double>(n);
+    gamma = std::max(gamma, 1e-12);
+  }
+
+  std::vector<double> w(num_views, 1.0 / static_cast<double>(num_views));
+  double lambda = gamma;  // the reference code starts λ at γ
+  // λ is adapted multiplicatively toward rank(L_S) = n − c, but clamped:
+  // letting it grow unboundedly makes the embedding term dominate the data
+  // term and the graph collapses into degenerate splits (tiny shaved-off
+  // components that satisfy the rank test without matching any cluster).
+  const double lambda_min = gamma / 8.0;
+  const double lambda_max = gamma * 8.0;
+  la::Matrix s(n, n);
+  la::Matrix prev_s;
+  la::Matrix f;
+  la::LanczosOptions lanczos;
+  lanczos.seed = options.seed + 59;
+  lanczos.max_subspace = std::min(n, std::max<std::size_t>(12 * c + 100, 250));
+  lanczos.tolerance = 3e-6;
+
+  std::size_t iterations = 0;
+  bool exact_components = false;
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    // --- S-step: per row, project the negative combined cost onto the
+    // simplex over the candidate set:
+    //   s_i = Π_Δ( −(Σ_v w_v d_i^v + λ·f_i) / (2γ) ).
+    s.Fill(0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      la::Vector cost(candidates[i].size());
+      for (std::size_t a = 0; a < candidates[i].size(); ++a) {
+        const std::size_t j = candidates[i][a];
+        double combined = 0.0;
+        for (std::size_t v = 0; v < num_views; ++v) {
+          combined += w[v] * dists[v](i, j);
+        }
+        if (!f.empty()) {
+          double fd = 0.0;
+          for (std::size_t p = 0; p < c; ++p) {
+            const double diff = f(i, p) - f(j, p);
+            fd += diff * diff;
+          }
+          combined += lambda * fd;
+        }
+        cost[a] = -combined / (2.0 * gamma);
+      }
+      la::Vector row = la::ProjectToSimplex(cost);
+      for (std::size_t a = 0; a < candidates[i].size(); ++a) {
+        s(i, candidates[i][a]) = row[a];
+      }
+    }
+
+    // --- F-step: smallest c eigenvectors of the Laplacian of (S + Sᵀ)/2.
+    la::Matrix sym = s;
+    sym.Symmetrize();
+    la::CsrMatrix sparse_s = la::CsrMatrix::FromDense(sym, 1e-14);
+    StatusOr<la::CsrMatrix> lap =
+        graph::Laplacian(sparse_s, graph::LaplacianKind::kUnnormalized, 1e-6);
+    if (!lap.ok()) return lap.status();
+    // Unnormalized Laplacian spectral bound: Gershgorin = 2·max degree.
+    double bound = 0.0;
+    la::Vector degrees = sparse_s.RowSums();
+    for (std::size_t i = 0; i < n; ++i) bound = std::max(bound, degrees[i]);
+    bound = 2.0 * bound + 1e-6;
+    // c+1 smallest pairs: the (c+1)-th eigenvalue drives the λ adaptation.
+    StatusOr<la::SymEigenResult> eig =
+        la::LanczosSmallest(*lap, c + 1, bound, lanczos);
+    if (!eig.ok()) return eig.status();
+    f = eig->eigenvectors.LeftCols(c);
+
+    // --- w-step: parameter-free self-weighting.
+    for (std::size_t v = 0; v < num_views; ++v) {
+      double fit = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j : candidates[i]) {
+          fit += dists[v](i, j) * s(i, j);
+        }
+      }
+      w[v] = 0.5 / std::sqrt(std::max(fit, 1e-12));
+    }
+
+    // --- λ adaptation toward rank(L_S) = n − c: too few zero eigenvalues
+    // (graph too connected) → grow λ; too many → shrink.
+    const double zero_tol = 1e-8 * std::max(1.0, bound);
+    std::size_t zeros = 0;
+    for (std::size_t j = 0; j < c + 1; ++j) {
+      if (eig->eigenvalues[j] <= zero_tol) ++zeros;
+    }
+    iterations = iter + 1;
+    if (zeros == c) {
+      exact_components = true;
+      break;
+    }
+    if (zeros < c) {
+      lambda = std::min(lambda * 2.0, lambda_max);
+    } else {
+      lambda = std::max(lambda / 2.0, lambda_min);
+    }
+    // Stop when the learned graph stalls.
+    if (!prev_s.empty() &&
+        la::Add(s, prev_s, -1.0).FrobeniusNorm() <=
+            1e-6 * std::max(1.0, s.FrobeniusNorm())) {
+      break;
+    }
+    prev_s = s;
+  }
+
+  MlanResult out;
+  la::Matrix sym = s;
+  sym.Symmetrize();
+  if (exact_components) {
+    // The c components of the learned graph are the clusters.
+    la::CsrMatrix sparse_s = la::CsrMatrix::FromDense(sym, 1e-12);
+    std::vector<std::size_t> component = graph::ConnectedComponents(sparse_s);
+    std::size_t num_components = 0;
+    for (std::size_t comp : component) {
+      num_components = std::max(num_components, comp + 1);
+    }
+    if (num_components == c) {
+      out.labels = std::move(component);
+    } else {
+      exact_components = false;  // numerical rank vs. topology mismatch
+    }
+  }
+  if (!exact_components) {
+    // Fall back to K-means on the row-normalized embedding.
+    la::Matrix normalized = f;
+    for (std::size_t i = 0; i < n; ++i) {
+      double norm = 0.0;
+      for (std::size_t j = 0; j < c; ++j) {
+        norm += normalized(i, j) * normalized(i, j);
+      }
+      norm = std::sqrt(norm);
+      if (norm > 0.0) {
+        for (std::size_t j = 0; j < c; ++j) normalized(i, j) /= norm;
+      }
+    }
+    cluster::KMeansOptions km;
+    km.num_clusters = c;
+    km.restarts = options.kmeans_restarts;
+    km.seed = options.seed;
+    StatusOr<cluster::KMeansResult> clustered = cluster::KMeans(normalized, km);
+    if (!clustered.ok()) return clustered.status();
+    out.labels = std::move(clustered->labels);
+  }
+
+  out.learned_graph = std::move(sym);
+  out.embedding = std::move(f);
+  out.iterations = iterations;
+  out.exact_components = exact_components;
+  double total = 0.0;
+  for (double weight : w) total += weight;
+  out.view_weights.resize(num_views);
+  for (std::size_t v = 0; v < num_views; ++v) {
+    out.view_weights[v] = total > 0.0 ? w[v] / total : 1.0 / num_views;
+  }
+  return out;
+}
+
+}  // namespace umvsc::mvsc

@@ -1,0 +1,52 @@
+#ifndef UMVSC_MVSC_MLAN_H_
+#define UMVSC_MVSC_MLAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "la/matrix.h"
+
+namespace umvsc::mvsc {
+
+/// Options for MLAN.
+struct MlanOptions {
+  std::size_t num_clusters = 2;
+  /// Neighbors per row of the learned graph.
+  std::size_t knn = 10;
+  std::size_t max_iterations = 25;
+  std::size_t kmeans_restarts = 10;
+  std::uint64_t seed = 0;
+};
+
+/// Result of MLAN.
+struct MlanResult {
+  std::vector<std::size_t> labels;
+  /// The learned unified graph (symmetrized), n × n.
+  la::Matrix learned_graph;
+  la::Matrix embedding;
+  std::vector<double> view_weights;
+  std::size_t iterations = 0;
+  /// True when the learned graph ended with exactly c connected components
+  /// (labels then come straight from the components, no K-means).
+  bool exact_components = false;
+};
+
+/// Multi-view Learning with Adaptive Neighbours (Nie, Cai & Li, AAAI 2017),
+/// the graph-learning baseline: learns a single similarity graph S shared
+/// by all views,
+///
+///   min_{S,F}  Σ_v w_v Σ_ij d_ij^v·s_ij + γ·‖S‖²_F + 2λ·Tr(Fᵀ L_S F)
+///   s.t. every row of S on the probability simplex, FᵀF = I,
+///
+/// with parameter-free view weights w_v = 1/(2√(Σ_ij d_ij^v s_ij)) and λ
+/// adapted so L_S approaches rank n − c (then the c components of S ARE the
+/// clusters). Row updates are closed-form simplex projections restricted to
+/// each point's k nearest candidates.
+StatusOr<MlanResult> Mlan(const data::MultiViewDataset& dataset,
+                          const MlanOptions& options);
+
+}  // namespace umvsc::mvsc
+
+#endif  // UMVSC_MVSC_MLAN_H_

@@ -1,0 +1,140 @@
+#include "mvsc/multi_nmf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "cluster/kmeans.h"
+#include "common/rng.h"
+#include "la/ops.h"
+
+namespace umvsc::mvsc {
+
+namespace {
+
+constexpr double kEps = 1e-12;
+
+// Shifts each feature to be nonnegative (subtract its minimum) and scales
+// the view to unit Frobenius norm so λ is comparable across views.
+la::Matrix NonnegativeView(const la::Matrix& view) {
+  la::Matrix x = view;
+  for (std::size_t j = 0; j < x.cols(); ++j) {
+    double min_value = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+      min_value = std::min(min_value, x(i, j));
+    }
+    for (std::size_t i = 0; i < x.rows(); ++i) x(i, j) -= min_value;
+  }
+  const double norm = x.FrobeniusNorm();
+  if (norm > 0.0) x.Scale(1.0 / norm);
+  return x;
+}
+
+}  // namespace
+
+StatusOr<MultiNmfResult> MultiViewNmf(const data::MultiViewDataset& dataset,
+                                      const MultiNmfOptions& options) {
+  UMVSC_RETURN_IF_ERROR(dataset.Validate());
+  const std::size_t n = dataset.NumSamples();
+  const std::size_t c = options.num_clusters;
+  if (c < 2 || c > n) {
+    return Status::InvalidArgument("MultiViewNmf requires 2 <= c <= n");
+  }
+  if (options.lambda < 0.0) {
+    return Status::InvalidArgument("lambda must be nonnegative");
+  }
+
+  // A rank-c factorization needs at least c features; views too thin to
+  // factorize are skipped (they could not carry c-cluster structure in an
+  // NMF representation anyway). At least one view must survive.
+  std::vector<la::Matrix> x;
+  x.reserve(dataset.NumViews());
+  for (const la::Matrix& view : dataset.views) {
+    if (view.cols() >= c) x.push_back(NonnegativeView(view));
+  }
+  if (x.empty()) {
+    return Status::InvalidArgument(
+        "no view has at least num_clusters features for MultiViewNmf");
+  }
+
+  const std::size_t active_views = x.size();
+  Rng rng(options.seed);
+  std::vector<la::Matrix> w(active_views), h(active_views);
+  for (std::size_t v = 0; v < active_views; ++v) {
+    w[v] = la::Matrix::RandomUniform(n, c, rng, 0.1, 1.0);
+    h[v] = la::Matrix::RandomUniform(c, x[v].cols(), rng, 0.1, 1.0);
+  }
+  la::Matrix consensus(n, c, 0.5);
+
+  auto objective = [&]() {
+    double obj = 0.0;
+    for (std::size_t v = 0; v < active_views; ++v) {
+      const double fit =
+          la::Add(x[v], la::MatMul(w[v], h[v]), -1.0).FrobeniusNorm();
+      const double agree = la::Add(w[v], consensus, -1.0).FrobeniusNorm();
+      obj += fit * fit + options.lambda * agree * agree;
+    }
+    return obj;
+  };
+
+  MultiNmfResult out;
+  double prev_obj = std::numeric_limits<double>::infinity();
+  std::size_t iter = 0;
+  for (; iter < options.max_iterations; ++iter) {
+    for (std::size_t v = 0; v < active_views; ++v) {
+      // H_v ← H_v ∘ (W_vᵀX_v) ⊘ (W_vᵀW_v·H_v).
+      la::Matrix wtx = la::MatTMul(w[v], x[v]);
+      la::Matrix wtwh = la::MatMul(la::Gram(w[v]), h[v]);
+      for (std::size_t i = 0; i < h[v].size(); ++i) {
+        h[v].data()[i] *= wtx.data()[i] / (wtwh.data()[i] + kEps);
+      }
+      // W_v ← W_v ∘ (X_vH_vᵀ + λW*) ⊘ (W_vH_vH_vᵀ + λW_v).
+      la::Matrix numerator = la::MatMulT(x[v], h[v]);
+      numerator.Add(consensus, options.lambda);
+      la::Matrix denominator = la::MatMul(w[v], la::OuterGram(h[v]));
+      denominator.Add(w[v], options.lambda);
+      for (std::size_t i = 0; i < w[v].size(); ++i) {
+        w[v].data()[i] *=
+            numerator.data()[i] / (denominator.data()[i] + kEps);
+      }
+    }
+    // W* ← mean of the view factors (the closed-form minimizer; stays ≥ 0).
+    consensus.Fill(0.0);
+    for (std::size_t v = 0; v < active_views; ++v) {
+      consensus.Add(w[v], 1.0 / static_cast<double>(active_views));
+    }
+
+    const double obj = objective();
+    out.iterations = iter + 1;
+    if (iter > 0 && prev_obj - obj <=
+                        options.tolerance * std::max(prev_obj, kEps)) {
+      out.objective = obj;
+      break;
+    }
+    prev_obj = obj;
+    out.objective = obj;
+  }
+
+  // Labels: K-means over the L1-normalized consensus rows (the usual
+  // MultiNMF read-out; normalization removes per-sample scale).
+  la::Matrix normalized = consensus;
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < c; ++j) sum += normalized(i, j);
+    if (sum > 0.0) {
+      for (std::size_t j = 0; j < c; ++j) normalized(i, j) /= sum;
+    }
+  }
+  cluster::KMeansOptions km;
+  km.num_clusters = c;
+  km.restarts = options.kmeans_restarts;
+  km.seed = options.seed;
+  StatusOr<cluster::KMeansResult> clustered = cluster::KMeans(normalized, km);
+  if (!clustered.ok()) return clustered.status();
+  out.labels = std::move(clustered->labels);
+  out.consensus = std::move(consensus);
+  out.view_factors = std::move(w);
+  return out;
+}
+
+}  // namespace umvsc::mvsc

@@ -1,0 +1,50 @@
+#ifndef UMVSC_MVSC_MULTI_NMF_H_
+#define UMVSC_MVSC_MULTI_NMF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "la/matrix.h"
+
+namespace umvsc::mvsc {
+
+/// Options for multi-view NMF.
+struct MultiNmfOptions {
+  std::size_t num_clusters = 2;
+  /// Consensus-coupling strength λ.
+  double lambda = 0.1;
+  std::size_t max_iterations = 100;
+  double tolerance = 1e-5;
+  std::size_t kmeans_restarts = 10;
+  std::uint64_t seed = 0;
+};
+
+/// Result of multi-view NMF.
+struct MultiNmfResult {
+  std::vector<std::size_t> labels;
+  /// Consensus representation W* (n × c, nonnegative).
+  la::Matrix consensus;
+  std::vector<la::Matrix> view_factors;  ///< per-view W_v
+  double objective = 0.0;
+  std::size_t iterations = 0;
+};
+
+/// Multi-view NMF with a consensus coefficient matrix (the MultiNMF family
+/// of Liu et al., SDM 2013): per view, X_v ≈ W_v·H_v with all factors
+/// nonnegative, and the W_v are pulled toward a shared W*:
+///
+///   min Σ_v ‖X_v − W_v H_v‖²_F + λ·Σ_v ‖W_v − W*‖²_F,  all factors ≥ 0.
+///
+/// Multiplicative updates for H_v and W_v (the λ term adds λW* to the
+/// numerator and λW_v to the denominator of the W update, preserving
+/// nonnegativity and monotonicity), closed-form W* = mean_v W_v. Views are
+/// shifted to be nonnegative per feature before factorization. Final labels
+/// by K-means on the rows of W*.
+StatusOr<MultiNmfResult> MultiViewNmf(const data::MultiViewDataset& dataset,
+                                      const MultiNmfOptions& options);
+
+}  // namespace umvsc::mvsc
+
+#endif  // UMVSC_MVSC_MULTI_NMF_H_

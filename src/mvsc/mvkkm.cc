@@ -1,0 +1,110 @@
+#include "mvsc/mvkkm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "cluster/kernel_kmeans.h"
+#include "graph/distance.h"
+#include "graph/kernels.h"
+#include "la/ops.h"
+
+namespace umvsc::mvsc {
+
+namespace {
+
+// Kernel K-means objective of one view's Gram matrix under fixed labels:
+// Σ_c [ Σ_{i∈c} K_ii − (Σ_{i,j∈c} K_ij)/|c| ].
+double ViewObjective(const la::Matrix& gram,
+                     const std::vector<std::size_t>& labels, std::size_t k) {
+  std::vector<double> within(k, 0.0);
+  std::vector<double> self(k, 0.0);
+  std::vector<double> counts(k, 0.0);
+  const std::size_t n = gram.rows();
+  for (std::size_t i = 0; i < n; ++i) {
+    self[labels[i]] += gram(i, i);
+    counts[labels[i]] += 1.0;
+    const double* row = gram.RowPtr(i);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (labels[j] == labels[i]) within[labels[i]] += row[j];
+    }
+  }
+  double objective = 0.0;
+  for (std::size_t c = 0; c < k; ++c) {
+    if (counts[c] > 0.0) objective += self[c] - within[c] / counts[c];
+  }
+  return std::max(objective, 1e-12);
+}
+
+}  // namespace
+
+StatusOr<MvkkmResult> MultiViewKernelKMeans(const data::MultiViewDataset& dataset,
+                                            const MvkkmOptions& options) {
+  UMVSC_RETURN_IF_ERROR(dataset.Validate());
+  const std::size_t n = dataset.NumSamples();
+  const std::size_t num_views = dataset.NumViews();
+  const std::size_t c = options.num_clusters;
+  if (c < 2 || c > n) {
+    return Status::InvalidArgument("MVKKM requires 2 <= c <= n");
+  }
+  if (options.p <= 1.0) {
+    return Status::InvalidArgument("MVKKM requires exponent p > 1");
+  }
+
+  // Per-view Gaussian Grams with the median-heuristic bandwidth; unit
+  // diagonal keeps each Gram PSD.
+  data::MultiViewDataset working = dataset;
+  working.StandardizeViews();
+  std::vector<la::Matrix> grams;
+  grams.reserve(num_views);
+  for (const la::Matrix& view : working.views) {
+    la::Matrix sq = graph::PairwiseSquaredDistances(view);
+    StatusOr<double> sigma = graph::MedianHeuristicSigma(sq);
+    if (!sigma.ok()) return sigma.status();
+    StatusOr<la::Matrix> kernel = graph::GaussianKernel(sq, *sigma);
+    if (!kernel.ok()) return kernel.status();
+    for (std::size_t i = 0; i < n; ++i) (*kernel)(i, i) = 1.0;
+    grams.push_back(std::move(*kernel));
+  }
+
+  std::vector<double> weights(num_views, 1.0 / static_cast<double>(num_views));
+  MvkkmResult out;
+  double prev_obj = std::numeric_limits<double>::infinity();
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    // Fused Gram with the current weights.
+    la::Matrix fused(n, n);
+    for (std::size_t v = 0; v < num_views; ++v) {
+      fused.Add(grams[v], std::pow(weights[v], options.p));
+    }
+    cluster::KernelKMeansOptions kkm;
+    kkm.num_clusters = c;
+    kkm.restarts = options.kernel_kmeans_restarts;
+    kkm.seed = options.seed + iter;
+    StatusOr<cluster::KernelKMeansResult> clustered =
+        cluster::KernelKMeans(fused, kkm);
+    if (!clustered.ok()) return clustered.status();
+    out.labels = std::move(clustered->labels);
+    out.objective = clustered->objective;
+    out.iterations = iter + 1;
+
+    // Closed-form weight update from per-view objectives.
+    const double exponent = 1.0 / (1.0 - options.p);
+    double total = 0.0;
+    std::vector<double> next(num_views);
+    for (std::size_t v = 0; v < num_views; ++v) {
+      next[v] = std::pow(ViewObjective(grams[v], out.labels, c), exponent);
+      total += next[v];
+    }
+    for (std::size_t v = 0; v < num_views; ++v) weights[v] = next[v] / total;
+
+    if (iter > 0 && std::fabs(prev_obj - out.objective) <=
+                        options.tolerance * std::max(prev_obj, 1e-12)) {
+      break;
+    }
+    prev_obj = out.objective;
+  }
+  out.view_weights = std::move(weights);
+  return out;
+}
+
+}  // namespace umvsc::mvsc

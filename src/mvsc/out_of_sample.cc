@@ -1,0 +1,174 @@
+#include "mvsc/out_of_sample.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/strings.h"
+#include "graph/distance.h"
+
+namespace umvsc::mvsc {
+
+namespace {
+
+// Per-feature mean and inverse standard deviation of a matrix's columns.
+void ColumnStats(const la::Matrix& m, la::Vector* means, la::Vector* inv_stds) {
+  const std::size_t n = m.rows(), d = m.cols();
+  *means = la::Vector(d);
+  *inv_stds = la::Vector(d);
+  for (std::size_t j = 0; j < d; ++j) {
+    double mean = 0.0;
+    for (std::size_t i = 0; i < n; ++i) mean += m(i, j);
+    mean /= static_cast<double>(n);
+    double var = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double centered = m(i, j) - mean;
+      var += centered * centered;
+    }
+    var /= static_cast<double>(n);
+    (*means)[j] = mean;
+    (*inv_stds)[j] = var > 0.0 ? 1.0 / std::sqrt(var) : 1.0;
+  }
+}
+
+la::Matrix ApplyStandardization(const la::Matrix& m, const la::Vector& means,
+                                const la::Vector& inv_stds) {
+  la::Matrix out = m;
+  for (std::size_t i = 0; i < out.rows(); ++i) {
+    double* row = out.RowPtr(i);
+    for (std::size_t j = 0; j < out.cols(); ++j) {
+      row[j] = (row[j] - means[j]) * inv_stds[j];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<OutOfSampleModel> OutOfSampleModel::Fit(
+    const data::MultiViewDataset& training,
+    const std::vector<std::size_t>& labels,
+    const std::vector<double>& view_weights,
+    const OutOfSampleOptions& options) {
+  UMVSC_RETURN_IF_ERROR(training.Validate());
+  const std::size_t n = training.NumSamples();
+  const std::size_t num_views = training.NumViews();
+  if (labels.size() != n) {
+    return Status::InvalidArgument("label count must match training samples");
+  }
+  if (view_weights.size() != num_views) {
+    return Status::InvalidArgument("one view weight per view required");
+  }
+  for (double w : view_weights) {
+    if (w < 0.0) {
+      return Status::InvalidArgument("view weights must be nonnegative");
+    }
+  }
+  if (options.knn < 1 || options.knn >= n) {
+    return Status::InvalidArgument("out-of-sample knn must satisfy 1 <= k < n");
+  }
+
+  OutOfSampleModel model;
+  model.options_ = options;
+  model.labels_ = labels;
+  model.view_weights_ = view_weights;
+  model.num_clusters_ = *std::max_element(labels.begin(), labels.end()) + 1;
+
+  for (std::size_t v = 0; v < num_views; ++v) {
+    la::Vector means, inv_stds;
+    ColumnStats(training.views[v], &means, &inv_stds);
+    la::Matrix standardized =
+        ApplyStandardization(training.views[v], means, inv_stds);
+    // Self-tuning bandwidth per training point: distance to its k-th NN.
+    la::Matrix sq = graph::PairwiseSquaredDistances(standardized);
+    la::Vector scales(n);
+    std::vector<double> row;
+    for (std::size_t i = 0; i < n; ++i) {
+      row.clear();
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j != i) row.push_back(sq(i, j));
+      }
+      std::nth_element(row.begin(), row.begin() + (options.knn - 1), row.end());
+      scales[i] = std::sqrt(std::max(row[options.knn - 1], 1e-300));
+    }
+    model.views_.push_back(std::move(standardized));
+    model.feature_means_.push_back(std::move(means));
+    model.feature_inv_stds_.push_back(std::move(inv_stds));
+    model.train_scales_.push_back(std::move(scales));
+  }
+  return model;
+}
+
+StatusOr<std::vector<std::size_t>> OutOfSampleModel::Predict(
+    const data::MultiViewDataset& batch) const {
+  UMVSC_RETURN_IF_ERROR(batch.Validate());
+  if (batch.NumViews() != views_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("batch has %zu views, model expects %zu", batch.NumViews(),
+                  views_.size()));
+  }
+  for (std::size_t v = 0; v < views_.size(); ++v) {
+    if (batch.views[v].cols() != views_[v].cols()) {
+      return Status::InvalidArgument(
+          StrFormat("view %zu has %zu features, model expects %zu", v,
+                    batch.views[v].cols(), views_[v].cols()));
+    }
+  }
+
+  const std::size_t m = batch.NumSamples();
+  const std::size_t n = views_.front().rows();
+  const std::size_t k = options_.knn;
+  std::vector<std::size_t> predictions(m, 0);
+
+  // Fused affinity of each new point to every training point.
+  la::Matrix fused(m, n);
+  for (std::size_t v = 0; v < views_.size(); ++v) {
+    if (view_weights_[v] == 0.0) continue;
+    la::Matrix x = ApplyStandardization(batch.views[v], feature_means_[v],
+                                        feature_inv_stds_[v]);
+    const la::Matrix& train = views_[v];
+    for (std::size_t i = 0; i < m; ++i) {
+      // Squared distances from new point i to all training points.
+      la::Vector d2(n);
+      const double* xi = x.RowPtr(i);
+      for (std::size_t t = 0; t < n; ++t) {
+        const double* tr = train.RowPtr(t);
+        double s = 0.0;
+        for (std::size_t j = 0; j < train.cols(); ++j) {
+          const double diff = xi[j] - tr[j];
+          s += diff * diff;
+        }
+        d2[t] = s;
+      }
+      // Self-tuning bandwidth of the new point: its k-th NN distance.
+      std::vector<double> copy(d2.begin(), d2.end());
+      std::nth_element(copy.begin(), copy.begin() + (k - 1), copy.end());
+      const double own_scale = std::sqrt(std::max(copy[k - 1], 1e-300));
+      double* out = fused.RowPtr(i);
+      for (std::size_t t = 0; t < n; ++t) {
+        out[t] += view_weights_[v] *
+                  std::exp(-d2[t] / (own_scale * train_scales_[v][t]));
+      }
+    }
+  }
+
+  // Vote: strongest fused affinity mass among the k nearest training points.
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < m; ++i) {
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    const double* row = fused.RowPtr(i);
+    std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                      [&](std::size_t a, std::size_t b) {
+                        return row[a] > row[b];
+                      });
+    std::vector<double> votes(num_clusters_, 0.0);
+    for (std::size_t a = 0; a < k; ++a) {
+      votes[labels_[order[a]]] += row[order[a]];
+    }
+    predictions[i] = static_cast<std::size_t>(
+        std::max_element(votes.begin(), votes.end()) - votes.begin());
+  }
+  return predictions;
+}
+
+}  // namespace umvsc::mvsc

@@ -1,0 +1,65 @@
+#ifndef UMVSC_MVSC_OUT_OF_SAMPLE_H_
+#define UMVSC_MVSC_OUT_OF_SAMPLE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "la/matrix.h"
+
+namespace umvsc::mvsc {
+
+/// Options for the out-of-sample extension.
+struct OutOfSampleOptions {
+  /// Neighbors used for both the adaptive bandwidth and the vote.
+  std::size_t knn = 10;
+};
+
+/// Out-of-sample extension of a fitted multi-view clustering: assigns NEW
+/// points to the learned clusters without re-running the solver.
+///
+/// Mechanism (the standard graph-transduction recipe): the model stores the
+/// standardization parameters, the training features, the learned view
+/// weights α, and the training labels. A new point is connected to its k
+/// nearest training points per view with a self-tuning Gaussian affinity,
+/// the per-view affinities are fused with α, and the point takes the
+/// cluster with the largest fused affinity mass.
+class OutOfSampleModel {
+ public:
+  /// Fits the model from the training dataset, the labels produced by any
+  /// solver in this library, and the learned view weights (pass uniform
+  /// weights for weightless baselines). Training features are standardized
+  /// internally; new points are mapped with the SAME statistics.
+  static StatusOr<OutOfSampleModel> Fit(const data::MultiViewDataset& training,
+                                        const std::vector<std::size_t>& labels,
+                                        const std::vector<double>& view_weights,
+                                        const OutOfSampleOptions& options = {});
+
+  /// Predicts cluster ids for new points given as a multi-view batch with
+  /// the same number and dimensionality of views as the training data
+  /// (labels in the batch, if any, are ignored).
+  StatusOr<std::vector<std::size_t>> Predict(
+      const data::MultiViewDataset& batch) const;
+
+  std::size_t num_clusters() const { return num_clusters_; }
+
+ private:
+  OutOfSampleModel() = default;
+
+  OutOfSampleOptions options_;
+  std::size_t num_clusters_ = 0;
+  std::vector<std::size_t> labels_;
+  std::vector<double> view_weights_;
+  /// Standardized training views.
+  std::vector<la::Matrix> views_;
+  /// Per-view, per-feature standardization parameters.
+  std::vector<la::Vector> feature_means_;
+  std::vector<la::Vector> feature_inv_stds_;
+  /// Per-view self-tuning bandwidth of each training point (k-NN distance).
+  std::vector<la::Vector> train_scales_;
+};
+
+}  // namespace umvsc::mvsc
+
+#endif  // UMVSC_MVSC_OUT_OF_SAMPLE_H_

@@ -1,0 +1,151 @@
+#include "mvsc/two_stage.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "cluster/gpi.h"
+#include "cluster/kmeans.h"
+#include "la/lanczos.h"
+#include "la/ops.h"
+
+namespace umvsc::mvsc {
+
+namespace {
+
+constexpr double kTraceFloor = 1e-12;
+
+// See FloorCoefficients in unified.cc: degenerate views (graph fragmenting
+// into more than c components) would otherwise dominate the combination and
+// blow up the weighted Laplacian's null space.
+constexpr double kCoefficientFloorRatio = 1e-3;
+
+std::vector<double> Coefficients(const std::vector<double>& h,
+                                 ViewWeighting mode, double gamma) {
+  const std::size_t num_views = h.size();
+  std::vector<double> coeff(num_views, 1.0 / static_cast<double>(num_views));
+  if (mode == ViewWeighting::kUniform) return coeff;
+  if (mode == ViewWeighting::kAmgl) {
+    for (std::size_t v = 0; v < num_views; ++v) {
+      coeff[v] = 0.5 / std::sqrt(std::max(h[v], kTraceFloor));
+    }
+  } else {
+    const double exponent = 1.0 / (1.0 - gamma);
+    double total = 0.0;
+    std::vector<double> alpha(num_views);
+    for (std::size_t v = 0; v < num_views; ++v) {
+      alpha[v] = std::pow(std::max(h[v], kTraceFloor), exponent);
+      total += alpha[v];
+    }
+    for (std::size_t v = 0; v < num_views; ++v) {
+      coeff[v] = std::pow(alpha[v] / total, gamma);
+    }
+  }
+  double cmax = 0.0;
+  for (double c : coeff) cmax = std::max(cmax, c);
+  if (cmax > 0.0) {
+    for (double& c : coeff) c = std::max(c, kCoefficientFloorRatio * cmax);
+  }
+  return coeff;
+}
+
+}  // namespace
+
+StatusOr<TwoStageResult> TwoStageMVSC(const MultiViewGraphs& graphs,
+                                      const TwoStageOptions& options) {
+  const std::size_t num_views = graphs.laplacians.size();
+  const std::size_t n = graphs.NumSamples();
+  const std::size_t c = options.num_clusters;
+  if (num_views == 0) {
+    return Status::InvalidArgument("TwoStageMVSC requires at least one view");
+  }
+  if (c < 2 || c >= n) {
+    return Status::InvalidArgument("TwoStageMVSC requires 2 <= c < n");
+  }
+  if (options.weighting == ViewWeighting::kGammaPower && options.gamma <= 1.0) {
+    return Status::InvalidArgument("gamma-power weighting requires gamma > 1");
+  }
+
+  la::LanczosOptions lanczos;
+  lanczos.seed = options.seed + 17;
+  lanczos.max_subspace = std::min(n, std::max<std::size_t>(12 * c + 100, 250));
+  lanczos.tolerance = 3e-6;
+
+  // Per-view spectral floors for the kExcess smoothness normalization (see
+  // unified.h — discounts each view's own achievable optimum so fragmented
+  // graphs cannot soak up weight).
+  std::vector<double> floors(num_views, 0.0);
+  if (options.smoothness == SmoothnessNormalization::kExcess) {
+    for (std::size_t v = 0; v < num_views; ++v) {
+      StatusOr<la::SymEigenResult> eig =
+          la::LanczosSmallest(graphs.laplacians[v], c, 2.0 + 1e-9, lanczos);
+      if (!eig.ok()) return eig.status();
+      for (std::size_t j = 0; j < c; ++j) {
+        floors[v] += std::max(0.0, eig->eigenvalues[j]);
+      }
+    }
+  }
+
+  // Stage 1: alternate the continuous embedding and the view weights.
+  std::vector<double> coeff(num_views, 1.0 / static_cast<double>(num_views));
+  la::Matrix f;
+  double prev_obj = std::numeric_limits<double>::infinity();
+  std::size_t iterations = 0;
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    // See MassNormalizedCombination: identical eigenvectors on complete
+    // data, well-conditioned bottom spectrum on incomplete data.
+    la::CsrMatrix combined = MassNormalizedCombination(graphs.laplacians, coeff);
+    StatusOr<la::SymEigenResult> eig = la::LanczosSmallest(
+        combined, c, cluster::GershgorinUpperBound(combined) + 1e-9, lanczos);
+    if (!eig.ok()) return eig.status();
+    f = std::move(eig->eigenvectors);
+
+    std::vector<double> h(num_views);
+    double obj = 0.0;
+    for (std::size_t v = 0; v < num_views; ++v) {
+      h[v] = std::max(kTraceFloor,
+                      la::QuadraticTrace(graphs.laplacians[v], f) - floors[v]);
+      obj += coeff[v] * h[v];
+    }
+    coeff = Coefficients(h, options.weighting, options.gamma);
+    iterations = iter + 1;
+    if (iter > 0 && std::fabs(prev_obj - obj) <=
+                        options.tolerance * std::max(std::fabs(prev_obj), 1e-12)) {
+      break;
+    }
+    prev_obj = obj;
+  }
+
+  // Stage 2: K-means on the row-normalized embedding — the step the
+  // unified method eliminates.
+  la::Matrix normalized = f;
+  for (std::size_t i = 0; i < n; ++i) {
+    double norm = 0.0;
+    for (std::size_t j = 0; j < c; ++j) norm += normalized(i, j) * normalized(i, j);
+    norm = std::sqrt(norm);
+    if (norm > 0.0) {
+      for (std::size_t j = 0; j < c; ++j) normalized(i, j) /= norm;
+    }
+  }
+  cluster::KMeansOptions km;
+  km.num_clusters = c;
+  km.restarts = options.kmeans_restarts;
+  km.seed = options.seed;
+  StatusOr<cluster::KMeansResult> clustered = cluster::KMeans(normalized, km);
+  if (!clustered.ok()) return clustered.status();
+
+  TwoStageResult out;
+  out.labels = std::move(clustered->labels);
+  out.embedding = std::move(f);
+  out.iterations = iterations;
+  // Report normalized coefficients as weights.
+  double total = 0.0;
+  for (double w : coeff) total += w;
+  out.view_weights.resize(num_views);
+  for (std::size_t v = 0; v < num_views; ++v) {
+    out.view_weights[v] = total > 0.0 ? coeff[v] / total : 1.0 / num_views;
+  }
+  return out;
+}
+
+}  // namespace umvsc::mvsc

@@ -1,0 +1,330 @@
+#include "mvsc/unified.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "cluster/gpi.h"
+#include "cluster/rotation.h"
+#include "la/lanczos.h"
+#include "la/ops.h"
+#include "la/svd.h"
+
+namespace umvsc::mvsc {
+
+namespace {
+
+constexpr double kTraceFloor = 1e-12;
+
+// Per-view smoothness h_v = Tr(Fᵀ L_v F) − offset_v, floored away from zero
+// so the weight updates stay finite on views the embedding fits perfectly.
+// With the kExcess normalization the offsets are each view's own spectral
+// optimum, making the weights scale-invariant across views.
+std::vector<double> ViewSmoothness(const std::vector<la::CsrMatrix>& laplacians,
+                                   const la::Matrix& f,
+                                   const std::vector<double>& offsets) {
+  std::vector<double> h(laplacians.size());
+  for (std::size_t v = 0; v < laplacians.size(); ++v) {
+    h[v] = std::max(kTraceFloor,
+                    la::QuadraticTrace(laplacians[v], f) - offsets[v]);
+  }
+  return h;
+}
+
+// ĉ_v per view: the sum of the c smallest eigenvalues of L_v (the best
+// smoothness any orthonormal F could achieve on that view alone).
+StatusOr<std::vector<double>> SpectralFloors(
+    const std::vector<la::CsrMatrix>& laplacians, std::size_t c,
+    const la::LanczosOptions& lanczos) {
+  std::vector<double> floors(laplacians.size(), 0.0);
+  for (std::size_t v = 0; v < laplacians.size(); ++v) {
+    StatusOr<la::SymEigenResult> eig =
+        la::LanczosSmallest(laplacians[v], c, 2.0 + 1e-9, lanczos);
+    if (!eig.ok()) return eig.status();
+    double sum = 0.0;
+    for (std::size_t j = 0; j < c; ++j) {
+      sum += std::max(0.0, eig->eigenvalues[j]);
+    }
+    floors[v] = sum;
+  }
+  return floors;
+}
+
+// Returns {normalized α for reporting, Laplacian combination coefficients}.
+struct Weights {
+  std::vector<double> alpha;
+  std::vector<double> coefficients;
+};
+
+// Floors combination coefficients at a fraction of their maximum. A view
+// whose graph fragments into more than c components has Tr(FᵀL_vF) ≈ 0, so
+// its raw coefficient explodes and the weighted Laplacian's null space grows
+// past c dimensions — the eigensolver then returns arbitrary directions.
+// Keeping every view at ≥ 1e-3 of the dominant one preserves the weight
+// ordering while the other views' connectivity disambiguates the embedding.
+constexpr double kCoefficientFloorRatio = 1e-3;
+
+void FloorCoefficients(std::vector<double>& coefficients) {
+  double cmax = 0.0;
+  for (double c : coefficients) cmax = std::max(cmax, c);
+  if (cmax <= 0.0) return;
+  for (double& c : coefficients) {
+    c = std::max(c, kCoefficientFloorRatio * cmax);
+  }
+}
+
+Weights UpdateWeights(const std::vector<double>& h, ViewWeighting mode,
+                      double gamma) {
+  const std::size_t num_views = h.size();
+  Weights w;
+  w.alpha.assign(num_views, 1.0 / static_cast<double>(num_views));
+  w.coefficients.assign(num_views, 1.0 / static_cast<double>(num_views));
+  switch (mode) {
+    case ViewWeighting::kUniform:
+      break;
+    case ViewWeighting::kGammaPower: {
+      // α_v ∝ h_v^{1/(1−γ)} minimizes Σ α_v^γ h_v over the simplex.
+      const double exponent = 1.0 / (1.0 - gamma);
+      double total = 0.0;
+      for (std::size_t v = 0; v < num_views; ++v) {
+        w.alpha[v] = std::pow(h[v], exponent);
+        total += w.alpha[v];
+      }
+      for (std::size_t v = 0; v < num_views; ++v) {
+        w.alpha[v] /= total;
+        w.coefficients[v] = std::pow(w.alpha[v], gamma);
+      }
+      break;
+    }
+    case ViewWeighting::kAmgl: {
+      // The derivative trick of AMGL: Σ√h_v is minimized by iterating with
+      // coefficients 1/(2√h_v). Report the normalized coefficients as α.
+      double total = 0.0;
+      for (std::size_t v = 0; v < num_views; ++v) {
+        w.coefficients[v] = 0.5 / std::sqrt(h[v]);
+        total += w.coefficients[v];
+      }
+      for (std::size_t v = 0; v < num_views; ++v) {
+        w.alpha[v] = w.coefficients[v] / total;
+      }
+      break;
+    }
+  }
+  FloorCoefficients(w.coefficients);
+  return w;
+}
+
+// Row-argmax discretization with empty-cluster repair: an empty column j
+// steals the row with the largest affinity F·R(:, j) among rows whose
+// cluster keeps >= 2 members, so the solver cannot silently collapse
+// clusters (mirrors the K-means empty-cluster convention).
+std::vector<std::size_t> DiscretizeRows(const la::Matrix& fr,
+                                        std::size_t num_clusters) {
+  const std::size_t n = fr.rows();
+  std::vector<std::size_t> labels(n, 0);
+  std::vector<std::size_t> counts(num_clusters, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double best = -std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < num_clusters; ++j) {
+      if (fr(i, j) > best) {
+        best = fr(i, j);
+        labels[i] = j;
+      }
+    }
+    counts[labels[i]]++;
+  }
+  for (std::size_t j = 0; j < num_clusters; ++j) {
+    if (counts[j] != 0) continue;
+    double best = -std::numeric_limits<double>::infinity();
+    std::size_t best_i = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (counts[labels[i]] < 2) continue;
+      if (fr(i, j) > best) {
+        best = fr(i, j);
+        best_i = i;
+      }
+    }
+    if (best_i < n) {
+      counts[labels[best_i]]--;
+      labels[best_i] = j;
+      counts[j] = 1;
+    }
+  }
+  return labels;
+}
+
+}  // namespace
+
+double UnifiedObjective(const std::vector<la::CsrMatrix>& laplacians,
+                        const std::vector<double>& weight_coefficients,
+                        double beta, const la::Matrix& f,
+                        const la::Matrix& rotation,
+                        const la::Matrix& indicator_scaled) {
+  double obj = 0.0;
+  for (std::size_t v = 0; v < laplacians.size(); ++v) {
+    obj += weight_coefficients[v] * la::QuadraticTrace(laplacians[v], f);
+  }
+  la::Matrix residual = la::Add(indicator_scaled, la::MatMul(f, rotation), -1.0);
+  const double r = residual.FrobeniusNorm();
+  return obj + beta * r * r;
+}
+
+StatusOr<UnifiedResult> UnifiedMVSC::Run(const MultiViewGraphs& graphs) const {
+  const std::size_t num_views = graphs.laplacians.size();
+  const std::size_t n = graphs.NumSamples();
+  const std::size_t c = options_.num_clusters;
+  if (num_views == 0) {
+    return Status::InvalidArgument("UnifiedMVSC requires at least one view");
+  }
+  if (c < 2 || c >= n) {
+    return Status::InvalidArgument("UnifiedMVSC requires 2 <= c < n");
+  }
+  if (options_.beta < 0.0) {
+    return Status::InvalidArgument("beta must be nonnegative");
+  }
+  if (options_.weighting == ViewWeighting::kGammaPower &&
+      options_.gamma <= 1.0) {
+    return Status::InvalidArgument("gamma-power weighting requires gamma > 1");
+  }
+
+  // --- Initialization: warm-start with a few weight↔embedding alternations
+  // (fresh eigensolves, no discrete coupling). A single embedding of the
+  // uniform average is fragile — one adversarial view can wreck it, and the
+  // Y↔F alternation below would then lock onto the bad partition. The
+  // alternations let the auto-weighting suppress such views first.
+  la::LanczosOptions lanczos;
+  lanczos.seed = options_.seed + 17;
+  lanczos.max_subspace = std::min(n, std::max<std::size_t>(12 * c + 100, 250));
+  lanczos.tolerance = 3e-6;
+  UnifiedResult out;
+  std::vector<double> floors(num_views, 0.0);
+  if (options_.smoothness == SmoothnessNormalization::kExcess) {
+    StatusOr<std::vector<double>> spectral = SpectralFloors(
+        graphs.laplacians, c, lanczos);
+    if (!spectral.ok()) return spectral.status();
+    floors = std::move(*spectral);
+  }
+  Weights weights;
+  weights.coefficients.assign(num_views, 1.0 / static_cast<double>(num_views));
+  la::Matrix f;
+  const std::size_t warmups = std::max<std::size_t>(1, options_.init_alternations);
+  for (std::size_t warm = 0; warm < warmups; ++warm) {
+    // Mass-renormalized combination: exact eigenvectors of the plain
+    // weighted sum on complete data, and a resolvable bottom eigengap on
+    // incomplete data (see MassNormalizedCombination).
+    la::CsrMatrix combined =
+        MassNormalizedCombination(graphs.laplacians, weights.coefficients);
+    StatusOr<la::SymEigenResult> init_eig = la::LanczosSmallest(
+        combined, c, cluster::GershgorinUpperBound(combined) + 1e-9, lanczos);
+    if (!init_eig.ok()) return init_eig.status();
+    f = std::move(init_eig->eigenvectors);
+    const std::vector<double> h = ViewSmoothness(graphs.laplacians, f, floors);
+    weights = UpdateWeights(h, options_.weighting, options_.gamma);
+    double smoothness = 0.0;
+    for (std::size_t v = 0; v < num_views; ++v) {
+      smoothness += weights.coefficients[v] * h[v];
+    }
+    out.warmup_trace.push_back(smoothness);
+  }
+
+  cluster::RotationOptions rot_init;
+  rot_init.seed = options_.seed + 31;
+  rot_init.restarts = 8;
+  rot_init.scale_indicator = options_.scale_indicator;
+  StatusOr<cluster::RotationResult> init_disc =
+      cluster::DiscretizeEmbedding(f, rot_init);
+  if (!init_disc.ok()) return init_disc.status();
+  la::Matrix rotation = std::move(init_disc->rotation);
+  la::Matrix indicator = std::move(init_disc->indicator);
+  la::Matrix y_hat = options_.scale_indicator
+                         ? cluster::ScaledIndicator(indicator)
+                         : indicator;
+
+  double prev_obj = std::numeric_limits<double>::infinity();
+  for (std::size_t iter = 0; iter < options_.max_iterations; ++iter) {
+    // --- F-step: min Tr(FᵀAF) − 2β·Tr(Fᵀ Ŷ Rᵀ) on the Stiefel manifold.
+    la::CsrMatrix a = la::WeightedSum(graphs.laplacians, weights.coefficients);
+    la::Matrix b = la::MatMulT(y_hat, rotation);
+    b.Scale(options_.beta);
+    cluster::GpiOptions gpi;
+    gpi.max_iterations = options_.gpi_iterations;
+    StatusOr<cluster::GpiResult> fstep =
+        cluster::GeneralizedPowerIteration(a, b, f, gpi);
+    if (!fstep.ok()) return fstep.status();
+    f = std::move(fstep->f);
+
+    // --- R-step: orthogonal Procrustes on FᵀŶ.
+    StatusOr<la::Matrix> rstep =
+        la::ProcrustesRotation(la::MatTMul(f, y_hat));
+    if (!rstep.ok()) return rstep.status();
+    rotation = std::move(*rstep);
+
+    // --- Y-step: row-wise argmax of F·R (exact given F, R).
+    la::Matrix fr = la::MatMul(f, rotation);
+    std::vector<std::size_t> labels = DiscretizeRows(fr, c);
+    indicator = cluster::LabelsToIndicator(labels, c);
+    y_hat = options_.scale_indicator ? cluster::ScaledIndicator(indicator)
+                                     : indicator;
+
+    // --- α-step: closed form from the fresh smoothness values.
+    weights = UpdateWeights(ViewSmoothness(graphs.laplacians, f, floors),
+                            options_.weighting, options_.gamma);
+
+    const double obj =
+        UnifiedObjective(graphs.laplacians, weights.coefficients, options_.beta,
+                         f, rotation, y_hat);
+    out.objective_trace.push_back(obj);
+    out.iterations = iter + 1;
+    if (iter > 0 && std::fabs(prev_obj - obj) <=
+                        options_.tolerance * std::max(std::fabs(prev_obj), 1e-12)) {
+      out.converged = true;
+      break;
+    }
+    prev_obj = obj;
+  }
+
+  // Final polish: re-search the (Y, R) pair for the converged F with fresh
+  // rotation restarts — the alternation only ever refined the incumbent
+  // rotation, and a restarted search occasionally finds a strictly better
+  // discretization. Accepted only when the full objective improves.
+  {
+    cluster::RotationOptions rot_final;
+    rot_final.seed = options_.seed + 97;
+    rot_final.restarts = 8;
+    rot_final.scale_indicator = options_.scale_indicator;
+    StatusOr<cluster::RotationResult> polished =
+        cluster::DiscretizeEmbedding(f, rot_final);
+    if (polished.ok()) {
+      la::Matrix polished_y_hat =
+          options_.scale_indicator ? cluster::ScaledIndicator(polished->indicator)
+                                   : polished->indicator;
+      const double incumbent =
+          UnifiedObjective(graphs.laplacians, weights.coefficients,
+                           options_.beta, f, rotation, y_hat);
+      const double candidate = UnifiedObjective(
+          graphs.laplacians, weights.coefficients, options_.beta, f,
+          polished->rotation, polished_y_hat);
+      if (candidate < incumbent) {
+        rotation = std::move(polished->rotation);
+        indicator = std::move(polished->indicator);
+      }
+    }
+  }
+
+  out.labels = cluster::IndicatorToLabels(indicator);
+  out.indicator = std::move(indicator);
+  out.embedding = std::move(f);
+  out.rotation = std::move(rotation);
+  out.view_weights = std::move(weights.alpha);
+  return out;
+}
+
+StatusOr<UnifiedResult> UnifiedMVSC::Run(
+    const data::MultiViewDataset& dataset,
+    const GraphOptions& graph_options) const {
+  StatusOr<MultiViewGraphs> graphs = BuildGraphs(dataset, graph_options);
+  if (!graphs.ok()) return graphs.status();
+  return Run(*graphs);
+}
+
+}  // namespace umvsc::mvsc

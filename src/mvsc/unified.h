@@ -1,0 +1,114 @@
+#ifndef UMVSC_MVSC_UNIFIED_H_
+#define UMVSC_MVSC_UNIFIED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "la/matrix.h"
+#include "mvsc/graphs.h"
+
+namespace umvsc::mvsc {
+
+/// How per-view smoothness h_v = Tr(Fᵀ L_v F) enters the weight update.
+enum class SmoothnessNormalization {
+  /// Raw h_v (the textbook update). Vulnerable to intrinsically fragmented
+  /// graphs: a view whose Laplacian has many near-zero eigenvalues looks
+  /// spuriously "smooth" and soaks up weight even when uninformative.
+  kAbsolute,
+  /// Excess smoothness h_v − ĉ_v, with ĉ_v the sum of L_v's c smallest
+  /// eigenvalues (that view's own optimum). Since ĉ_v is constant in F,
+  /// the F-step is unchanged; only the α-step becomes scale-invariant
+  /// across views. Markedly more robust to corrupted or degenerate views.
+  kExcess,
+};
+
+/// View-weighting scheme of the unified model.
+enum class ViewWeighting {
+  /// α_v^γ coefficients with the closed-form update
+  /// α_v ∝ h_v^{1/(1−γ)}, h_v = Tr(Fᵀ L_v F); γ > 1 controls smoothness.
+  kGammaPower,
+  /// Parameter-free AMGL self-weighting w_v = 1/(2√h_v).
+  kAmgl,
+  /// Fixed uniform weights (ablation).
+  kUniform,
+};
+
+/// Options for the unified one-stage multi-view spectral clustering solver.
+struct UnifiedOptions {
+  std::size_t num_clusters = 2;
+  /// Weight of the discretization term β·‖Ŷ − F·R‖²_F.
+  double beta = 1.0;
+  /// Exponent of the γ-power view weighting (> 1). Ignored by other modes.
+  double gamma = 2.0;
+  ViewWeighting weighting = ViewWeighting::kGammaPower;
+  SmoothnessNormalization smoothness = SmoothnessNormalization::kAbsolute;
+  /// Outer alternating iterations.
+  std::size_t max_iterations = 50;
+  /// Relative objective-change stopping threshold.
+  double tolerance = 1e-6;
+  /// Column-normalize the indicator (scaled indicator Ŷ) in the
+  /// discretization term, as in Yu–Shi.
+  bool scale_indicator = true;
+  /// Inner GPI iterations for the F-step.
+  std::size_t gpi_iterations = 30;
+  /// Warm-start alternations (fresh eigensolve ↔ weight update, no discrete
+  /// coupling) before the joint loop. Without this, a bad uniform-average
+  /// embedding can lock the Y↔F alternation into a poor fixed point.
+  std::size_t init_alternations = 4;
+  std::uint64_t seed = 0;
+};
+
+/// Result of the unified solver. The labels come directly from the learned
+/// discrete indicator — no K-means anywhere.
+struct UnifiedResult {
+  std::vector<std::size_t> labels;
+  la::Matrix indicator;       ///< learned discrete Y (n × c, one 1 per row)
+  la::Matrix embedding;       ///< continuous F (n × c, orthonormal columns)
+  la::Matrix rotation;        ///< learned rotation R (c × c, orthogonal)
+  std::vector<double> view_weights;      ///< final α (normalized to sum 1)
+  std::vector<double> objective_trace;   ///< objective after each outer iter
+  /// Weighted smoothness Σ_v α_v^γ·Tr(FᵀL_vF) after each warm-start
+  /// alternation (the joint objective is undefined before Y and R exist).
+  std::vector<double> warmup_trace;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// The paper's unified one-stage multi-view spectral clustering:
+///
+///   min_{F,R,Y,α}  Σ_v α_v^γ·Tr(Fᵀ L_v F) + β·‖Ŷ − F·R‖²_F
+///   s.t. FᵀF = I, RᵀR = I, Y ∈ Ind, α ∈ Δ_V,
+///
+/// solved by four-block alternating minimization (GPI F-step, Procrustes
+/// R-step, row-argmax Y-step, closed-form α-step). See DESIGN.md for the
+/// derivation and provenance of each block.
+class UnifiedMVSC {
+ public:
+  explicit UnifiedMVSC(UnifiedOptions options) : options_(options) {}
+
+  /// Runs the solver on prebuilt per-view graphs (the shared-graph protocol
+  /// of the benchmark harness).
+  StatusOr<UnifiedResult> Run(const MultiViewGraphs& graphs) const;
+
+  /// Convenience: builds graphs from raw features, then runs.
+  StatusOr<UnifiedResult> Run(const data::MultiViewDataset& dataset,
+                              const GraphOptions& graph_options = {}) const;
+
+  const UnifiedOptions& options() const { return options_; }
+
+ private:
+  UnifiedOptions options_;
+};
+
+/// The solver's objective value for a given state — exposed for tests of
+/// the monotone-descent property and for the convergence-figure bench.
+double UnifiedObjective(const std::vector<la::CsrMatrix>& laplacians,
+                        const std::vector<double>& weight_coefficients,
+                        double beta, const la::Matrix& f,
+                        const la::Matrix& rotation,
+                        const la::Matrix& indicator_scaled);
+
+}  // namespace umvsc::mvsc
+
+#endif  // UMVSC_MVSC_UNIFIED_H_

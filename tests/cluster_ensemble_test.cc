@@ -1,0 +1,102 @@
+#include "cluster/ensemble.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "eval/metrics.h"
+
+namespace umvsc::cluster {
+namespace {
+
+using Labels = std::vector<std::size_t>;
+
+TEST(CoAssociationTest, SingleLabelingGivesBinaryMatrix) {
+  Labels labels{0, 0, 1, 1};
+  StatusOr<la::Matrix> co = CoAssociationMatrix({labels});
+  ASSERT_TRUE(co.ok());
+  EXPECT_DOUBLE_EQ((*co)(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ((*co)(0, 2), 0.0);
+  EXPECT_DOUBLE_EQ((*co)(2, 3), 1.0);
+  EXPECT_DOUBLE_EQ((*co)(1, 1), 1.0);
+  EXPECT_TRUE(co->IsSymmetric(0.0));
+}
+
+TEST(CoAssociationTest, FractionsCountAgreements) {
+  Labels a{0, 0, 1};
+  Labels b{0, 1, 1};
+  StatusOr<la::Matrix> co = CoAssociationMatrix({a, b});
+  ASSERT_TRUE(co.ok());
+  EXPECT_DOUBLE_EQ((*co)(0, 1), 0.5);  // together in a only
+  EXPECT_DOUBLE_EQ((*co)(1, 2), 0.5);  // together in b only
+  EXPECT_DOUBLE_EQ((*co)(0, 2), 0.0);
+}
+
+TEST(CoAssociationTest, PermutedIdsAreEquivalent) {
+  Labels a{0, 0, 1, 1};
+  Labels b{1, 1, 0, 0};  // identical clustering, renamed ids
+  StatusOr<la::Matrix> one = CoAssociationMatrix({a});
+  StatusOr<la::Matrix> both = CoAssociationMatrix({a, b});
+  ASSERT_TRUE(one.ok() && both.ok());
+  EXPECT_TRUE(la::AlmostEqual(*one, *both, 1e-15));
+}
+
+TEST(CoAssociationTest, RejectsInvalidEnsembles) {
+  EXPECT_FALSE(CoAssociationMatrix({}).ok());
+  EXPECT_FALSE(CoAssociationMatrix({Labels{}}).ok());
+  EXPECT_FALSE(CoAssociationMatrix({Labels{0, 1}, Labels{0}}).ok());
+}
+
+TEST(ConsensusTest, RecoversSharedStructureFromNoisyEnsemble) {
+  // Ground truth: 3 clusters of 20. Each ensemble member is the truth with
+  // 15% of points flipped to random clusters.
+  Rng rng(10);
+  const std::size_t n = 60;
+  Labels truth(n);
+  for (std::size_t i = 0; i < n; ++i) truth[i] = i / 20;
+  std::vector<Labels> ensemble;
+  for (int member = 0; member < 9; ++member) {
+    Labels noisy = truth;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rng.Uniform() < 0.15) {
+        noisy[i] = static_cast<std::size_t>(rng.UniformInt(3));
+      }
+    }
+    ensemble.push_back(std::move(noisy));
+  }
+  ConsensusOptions options;
+  options.num_clusters = 3;
+  options.seed = 11;
+  StatusOr<Labels> consensus = ConsensusClustering(ensemble, options);
+  ASSERT_TRUE(consensus.ok()) << consensus.status().ToString();
+  auto acc = eval::ClusteringAccuracy(*consensus, truth);
+  ASSERT_TRUE(acc.ok());
+  EXPECT_GT(*acc, 0.95);
+  // Consensus should beat the average ensemble member.
+  double mean_member = 0.0;
+  for (const Labels& member : ensemble) {
+    auto member_acc = eval::ClusteringAccuracy(member, truth);
+    mean_member += *member_acc;
+  }
+  mean_member /= static_cast<double>(ensemble.size());
+  EXPECT_GT(*acc, mean_member);
+}
+
+TEST(ConsensusTest, DisagreeingEnsembleStillProducesValidLabels) {
+  Rng rng(12);
+  std::vector<Labels> ensemble;
+  for (int member = 0; member < 5; ++member) {
+    Labels random(30);
+    for (auto& l : random) l = static_cast<std::size_t>(rng.UniformInt(3));
+    ensemble.push_back(std::move(random));
+  }
+  ConsensusOptions options;
+  options.num_clusters = 3;
+  options.seed = 13;
+  StatusOr<Labels> consensus = ConsensusClustering(ensemble, options);
+  ASSERT_TRUE(consensus.ok());
+  EXPECT_EQ(consensus->size(), 30u);
+  for (std::size_t l : *consensus) EXPECT_LT(l, 3u);
+}
+
+}  // namespace
+}  // namespace umvsc::cluster

@@ -1,0 +1,114 @@
+#include "cluster/gpi.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "la/svd.h"
+
+#include "common/rng.h"
+#include "la/ops.h"
+#include "la/sym_eigen.h"
+#include "test_util.h"
+
+namespace umvsc::cluster {
+namespace {
+
+TEST(GershgorinTest, BoundsLargestEigenvalue) {
+  la::Matrix a = test::RandomSymmetric(12, 50);
+  StatusOr<la::SymEigenResult> eig = la::SymmetricEigen(a);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_GE(GershgorinUpperBound(a), eig->eigenvalues[11]);
+  la::CsrMatrix sparse = la::CsrMatrix::FromDense(a);
+  EXPECT_NEAR(GershgorinUpperBound(sparse), GershgorinUpperBound(a), 1e-12);
+}
+
+TEST(GpiTest, ZeroBRecoversSmallestEigenspace) {
+  // With B = 0, min Tr(FᵀAF) over the Stiefel manifold is spanned by the
+  // k smallest eigenvectors; compare the attained objective.
+  la::Matrix a = test::RandomSpd(20, 51);
+  const std::size_t k = 3;
+  StatusOr<la::SymEigenResult> eig = la::SmallestEigenpairs(a, k);
+  ASSERT_TRUE(eig.ok());
+  const double optimal =
+      eig->eigenvalues[0] + eig->eigenvalues[1] + eig->eigenvalues[2];
+
+  la::Matrix f0 = test::RandomOrthonormal(20, k, 52);
+  GpiOptions options;
+  options.max_iterations = 2000;
+  options.tolerance = 1e-14;
+  StatusOr<GpiResult> result =
+      GeneralizedPowerIteration(a, la::Matrix(20, k), f0, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_NEAR(result->objective, optimal, 1e-5 * std::max(1.0, optimal));
+  EXPECT_LT(la::OrthonormalityError(result->f), 1e-9);
+}
+
+TEST(GpiTest, ObjectiveDecreasesMonotonically) {
+  la::Matrix a = test::RandomSymmetric(15, 53);
+  Rng rng(54);
+  la::Matrix b = la::Matrix::RandomGaussian(15, 3, rng);
+  la::Matrix f = test::RandomOrthonormal(15, 3, 55);
+
+  auto objective = [&](const la::Matrix& m) {
+    return la::QuadraticTrace(a, m) - 2.0 * la::TraceOfProduct(m, b);
+  };
+  double prev = objective(f);
+  // Run GPI one step at a time and confirm descent.
+  for (int step = 0; step < 10; ++step) {
+    GpiOptions one;
+    one.max_iterations = 1;
+    one.tolerance = 0.0;
+    StatusOr<GpiResult> result = GeneralizedPowerIteration(a, b, f, one);
+    ASSERT_TRUE(result.ok());
+    const double obj = objective(result->f);
+    EXPECT_LE(obj, prev + 1e-9) << "step " << step;
+    prev = obj;
+    f = result->f;
+  }
+}
+
+TEST(GpiTest, StrongBPullsTowardItsStiefelProjection) {
+  // With A = 0 the solution is the Procrustes projection of B.
+  Rng rng(56);
+  la::Matrix b = la::Matrix::RandomGaussian(12, 3, rng);
+  la::Matrix f0 = test::RandomOrthonormal(12, 3, 57);
+  GpiOptions options;
+  options.max_iterations = 500;
+  StatusOr<GpiResult> result =
+      GeneralizedPowerIteration(la::Matrix(12, 12), b, f0, options);
+  ASSERT_TRUE(result.ok());
+  StatusOr<la::Matrix> expected = la::StiefelProjection(b);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_TRUE(la::AlmostEqual(result->f, *expected, 1e-6));
+}
+
+TEST(GpiTest, SparseMatchesDense) {
+  la::Matrix a = test::RandomSpd(18, 58);
+  la::CsrMatrix a_sparse = la::CsrMatrix::FromDense(a);
+  Rng rng(59);
+  la::Matrix b = la::Matrix::RandomGaussian(18, 2, rng);
+  la::Matrix f0 = test::RandomOrthonormal(18, 2, 60);
+  GpiOptions options;
+  options.max_iterations = 300;
+  StatusOr<GpiResult> dense = GeneralizedPowerIteration(a, b, f0, options);
+  StatusOr<GpiResult> sparse =
+      GeneralizedPowerIteration(a_sparse, b, f0, options);
+  ASSERT_TRUE(dense.ok() && sparse.ok());
+  EXPECT_NEAR(dense->objective, sparse->objective,
+              1e-6 * std::max(1.0, std::fabs(dense->objective)));
+}
+
+TEST(GpiTest, RejectsInvalidInputs) {
+  la::Matrix a = test::RandomSymmetric(6, 61);
+  la::Matrix b(6, 2);
+  la::Matrix f0 = test::RandomOrthonormal(6, 2, 62);
+  EXPECT_FALSE(GeneralizedPowerIteration(la::Matrix(5, 6), b, f0).ok());
+  EXPECT_FALSE(GeneralizedPowerIteration(a, la::Matrix(5, 2), f0).ok());
+  EXPECT_FALSE(GeneralizedPowerIteration(a, b, la::Matrix(6, 3)).ok());
+  la::Matrix not_orthonormal(6, 2, 0.8);
+  EXPECT_FALSE(GeneralizedPowerIteration(a, b, not_orthonormal).ok());
+}
+
+}  // namespace
+}  // namespace umvsc::cluster

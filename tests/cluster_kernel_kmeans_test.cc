@@ -1,0 +1,139 @@
+#include "cluster/kernel_kmeans.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "eval/metrics.h"
+#include "graph/distance.h"
+#include "graph/kernels.h"
+#include "la/ops.h"
+
+namespace umvsc::cluster {
+namespace {
+
+struct Blobs {
+  la::Matrix data;
+  std::vector<std::size_t> labels;
+};
+
+Blobs MakeBlobs(std::size_t per_cluster, std::size_t k, double separation,
+                std::uint64_t seed) {
+  Rng rng(seed);
+  Blobs blobs;
+  blobs.data = la::Matrix(per_cluster * k, 2);
+  for (std::size_t c = 0; c < k; ++c) {
+    for (std::size_t i = 0; i < per_cluster; ++i) {
+      const std::size_t row = c * per_cluster + i;
+      blobs.data(row, 0) = rng.Gaussian(separation * static_cast<double>(c), 0.3);
+      blobs.data(row, 1) = rng.Gaussian(0.0, 0.3);
+      blobs.labels.push_back(c);
+    }
+  }
+  return blobs;
+}
+
+// Linear kernel K = X·Xᵀ makes kernel K-means equal plain K-means.
+TEST(KernelKMeansTest, LinearKernelRecoversBlobs) {
+  Blobs blobs = MakeBlobs(25, 3, 8.0, 60);
+  la::Matrix gram = la::OuterGram(blobs.data);
+  KernelKMeansOptions options;
+  options.num_clusters = 3;
+  options.seed = 1;
+  StatusOr<KernelKMeansResult> result = KernelKMeans(gram, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto acc = eval::ClusteringAccuracy(result->labels, blobs.labels);
+  ASSERT_TRUE(acc.ok());
+  EXPECT_DOUBLE_EQ(*acc, 1.0);
+}
+
+TEST(KernelKMeansTest, GaussianKernelSeparatesRings) {
+  // Two concentric rings: linearly inseparable, but a Gaussian kernel makes
+  // kernel K-means succeed where plain K-means cannot.
+  Rng rng(61);
+  const std::size_t n = 120;
+  la::Matrix x(n, 2);
+  std::vector<std::size_t> truth(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t ring = i % 2;
+    truth[i] = ring;
+    const double r = ring == 0 ? 1.0 : 4.0;
+    const double theta = rng.Uniform() * 2.0 * M_PI;
+    x(i, 0) = r * std::cos(theta) + rng.Gaussian(0.0, 0.08);
+    x(i, 1) = r * std::sin(theta) + rng.Gaussian(0.0, 0.08);
+  }
+  la::Matrix sq = graph::PairwiseSquaredDistances(x);
+  StatusOr<la::Matrix> kernel = graph::GaussianKernel(sq, 0.8);
+  ASSERT_TRUE(kernel.ok());
+  for (std::size_t i = 0; i < n; ++i) (*kernel)(i, i) = 1.0;
+
+  KernelKMeansOptions options;
+  options.num_clusters = 2;
+  options.restarts = 20;
+  options.seed = 2;
+  StatusOr<KernelKMeansResult> result = KernelKMeans(*kernel, options);
+  ASSERT_TRUE(result.ok());
+  auto acc = eval::ClusteringAccuracy(result->labels, truth);
+  ASSERT_TRUE(acc.ok());
+  EXPECT_GT(*acc, 0.95);
+}
+
+TEST(KernelKMeansTest, ObjectiveImprovesWithRestarts) {
+  Blobs blobs = MakeBlobs(20, 4, 2.0, 62);
+  la::Matrix gram = la::OuterGram(blobs.data);
+  KernelKMeansOptions one;
+  one.num_clusters = 4;
+  one.restarts = 1;
+  one.seed = 3;
+  KernelKMeansOptions many = one;
+  many.restarts = 15;
+  StatusOr<KernelKMeansResult> r1 = KernelKMeans(gram, one);
+  StatusOr<KernelKMeansResult> r2 = KernelKMeans(gram, many);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_LE(r2->objective, r1->objective + 1e-9);
+}
+
+TEST(KernelKMeansTest, DeterministicForSeed) {
+  Blobs blobs = MakeBlobs(15, 3, 4.0, 63);
+  la::Matrix gram = la::OuterGram(blobs.data);
+  KernelKMeansOptions options;
+  options.num_clusters = 3;
+  options.seed = 4;
+  StatusOr<KernelKMeansResult> a = KernelKMeans(gram, options);
+  StatusOr<KernelKMeansResult> b = KernelKMeans(gram, options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->labels, b->labels);
+}
+
+TEST(KernelKMeansTest, AllClustersPopulated) {
+  Blobs blobs = MakeBlobs(30, 2, 20.0, 64);
+  la::Matrix gram = la::OuterGram(blobs.data);
+  KernelKMeansOptions options;
+  options.num_clusters = 4;  // more clusters than natural groups
+  options.seed = 5;
+  StatusOr<KernelKMeansResult> result = KernelKMeans(gram, options);
+  ASSERT_TRUE(result.ok());
+  std::vector<std::size_t> counts(4, 0);
+  for (std::size_t l : result->labels) counts[l]++;
+  for (std::size_t c = 0; c < 4; ++c) EXPECT_GT(counts[c], 0u);
+}
+
+TEST(KernelKMeansTest, RejectsInvalidInputs) {
+  KernelKMeansOptions options;
+  options.num_clusters = 2;
+  EXPECT_FALSE(KernelKMeans(la::Matrix(), options).ok());
+  EXPECT_FALSE(KernelKMeans(la::Matrix(2, 3), options).ok());
+  la::Matrix asym(3, 3);
+  asym(0, 1) = 1.0;
+  EXPECT_FALSE(KernelKMeans(asym, options).ok());
+  la::Matrix gram = la::Matrix::Identity(3);
+  options.num_clusters = 4;
+  EXPECT_FALSE(KernelKMeans(gram, options).ok());
+  options.num_clusters = 2;
+  options.restarts = 0;
+  EXPECT_FALSE(KernelKMeans(gram, options).ok());
+}
+
+}  // namespace
+}  // namespace umvsc::cluster

@@ -1,0 +1,156 @@
+#include "cluster/kmeans.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "eval/metrics.h"
+
+namespace umvsc::cluster {
+namespace {
+
+// Well-separated Gaussian blobs with ground-truth labels.
+struct Blobs {
+  la::Matrix data;
+  std::vector<std::size_t> labels;
+};
+
+Blobs MakeBlobs(std::size_t per_cluster, std::size_t k, double separation,
+                std::uint64_t seed) {
+  Rng rng(seed);
+  Blobs blobs;
+  blobs.data = la::Matrix(per_cluster * k, 2);
+  for (std::size_t c = 0; c < k; ++c) {
+    const double cx = separation * static_cast<double>(c);
+    for (std::size_t i = 0; i < per_cluster; ++i) {
+      const std::size_t row = c * per_cluster + i;
+      blobs.data(row, 0) = rng.Gaussian(cx, 0.3);
+      blobs.data(row, 1) = rng.Gaussian(0.0, 0.3);
+      blobs.labels.push_back(c);
+    }
+  }
+  return blobs;
+}
+
+TEST(KMeansTest, RecoversWellSeparatedBlobs) {
+  Blobs blobs = MakeBlobs(30, 3, 10.0, 20);
+  KMeansOptions options;
+  options.num_clusters = 3;
+  options.seed = 1;
+  StatusOr<KMeansResult> result = KMeans(blobs.data, options);
+  ASSERT_TRUE(result.ok());
+  StatusOr<double> acc = eval::ClusteringAccuracy(result->labels, blobs.labels);
+  ASSERT_TRUE(acc.ok());
+  EXPECT_DOUBLE_EQ(*acc, 1.0);
+}
+
+TEST(KMeansTest, InertiaIsSumOfSquaredResiduals) {
+  Blobs blobs = MakeBlobs(10, 2, 8.0, 21);
+  KMeansOptions options;
+  options.num_clusters = 2;
+  options.seed = 2;
+  StatusOr<KMeansResult> result = KMeans(blobs.data, options);
+  ASSERT_TRUE(result.ok());
+  double recomputed = 0.0;
+  for (std::size_t i = 0; i < blobs.data.rows(); ++i) {
+    const std::size_t c = result->labels[i];
+    for (std::size_t j = 0; j < 2; ++j) {
+      const double diff = blobs.data(i, j) - result->centroids(c, j);
+      recomputed += diff * diff;
+    }
+  }
+  EXPECT_NEAR(result->inertia, recomputed, 1e-9);
+}
+
+TEST(KMeansTest, DeterministicForFixedSeed) {
+  Blobs blobs = MakeBlobs(20, 3, 4.0, 22);
+  KMeansOptions options;
+  options.num_clusters = 3;
+  options.seed = 77;
+  StatusOr<KMeansResult> a = KMeans(blobs.data, options);
+  StatusOr<KMeansResult> b = KMeans(blobs.data, options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->labels, b->labels);
+  EXPECT_DOUBLE_EQ(a->inertia, b->inertia);
+}
+
+TEST(KMeansTest, MoreRestartsNeverWorse) {
+  Blobs blobs = MakeBlobs(15, 4, 2.0, 23);  // mildly overlapping: harder
+  KMeansOptions one;
+  one.num_clusters = 4;
+  one.restarts = 1;
+  one.seed = 5;
+  KMeansOptions many = one;
+  many.restarts = 20;
+  StatusOr<KMeansResult> r1 = KMeans(blobs.data, one);
+  StatusOr<KMeansResult> r2 = KMeans(blobs.data, many);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_LE(r2->inertia, r1->inertia + 1e-9);
+}
+
+TEST(KMeansTest, KEqualsNGivesZeroInertia) {
+  Blobs blobs = MakeBlobs(2, 2, 5.0, 24);
+  KMeansOptions options;
+  options.num_clusters = 4;  // = n
+  options.seed = 3;
+  StatusOr<KMeansResult> result = KMeans(blobs.data, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->inertia, 0.0, 1e-12);
+  std::set<std::size_t> distinct(result->labels.begin(), result->labels.end());
+  EXPECT_EQ(distinct.size(), 4u);
+}
+
+TEST(KMeansTest, SingleClusterCentroidIsMean) {
+  Blobs blobs = MakeBlobs(25, 1, 0.0, 25);
+  KMeansOptions options;
+  options.num_clusters = 1;
+  StatusOr<KMeansResult> result = KMeans(blobs.data, options);
+  ASSERT_TRUE(result.ok());
+  for (std::size_t j = 0; j < 2; ++j) {
+    double mean = 0.0;
+    for (std::size_t i = 0; i < 25; ++i) mean += blobs.data(i, j);
+    mean /= 25.0;
+    EXPECT_NEAR(result->centroids(0, j), mean, 1e-9);
+  }
+}
+
+TEST(KMeansTest, DuplicatePointsDoNotCrash) {
+  la::Matrix data(10, 2, 1.0);  // all identical
+  KMeansOptions options;
+  options.num_clusters = 3;
+  options.seed = 9;
+  StatusOr<KMeansResult> result = KMeans(data, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->inertia, 0.0, 1e-12);
+}
+
+TEST(KMeansTest, EmptyClusterRepairKeepsAllClustersPopulated) {
+  // Far outlier pulls a centroid; k=3 on 2 tight groups forces repair paths.
+  Blobs blobs = MakeBlobs(20, 2, 50.0, 26);
+  KMeansOptions options;
+  options.num_clusters = 3;
+  options.seed = 11;
+  StatusOr<KMeansResult> result = KMeans(blobs.data, options);
+  ASSERT_TRUE(result.ok());
+  std::vector<std::size_t> counts(3, 0);
+  for (std::size_t l : result->labels) counts[l]++;
+  for (std::size_t c = 0; c < 3; ++c) EXPECT_GT(counts[c], 0u);
+}
+
+TEST(KMeansTest, InvalidArgumentsRejected) {
+  la::Matrix data(5, 2, 1.0);
+  KMeansOptions options;
+  options.num_clusters = 0;
+  EXPECT_FALSE(KMeans(data, options).ok());
+  options.num_clusters = 6;
+  EXPECT_FALSE(KMeans(data, options).ok());
+  options.num_clusters = 2;
+  options.restarts = 0;
+  EXPECT_FALSE(KMeans(data, options).ok());
+  EXPECT_FALSE(KMeans(la::Matrix(), options).ok());
+}
+
+}  // namespace
+}  // namespace umvsc::cluster

@@ -1,0 +1,133 @@
+#include "cluster/nystrom.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "eval/metrics.h"
+#include "la/ops.h"
+
+namespace umvsc::cluster {
+namespace {
+
+struct Blobs {
+  la::Matrix data;
+  std::vector<std::size_t> labels;
+};
+
+Blobs MakeBlobs(std::size_t per_cluster, std::size_t k, double separation,
+                std::uint64_t seed) {
+  Rng rng(seed);
+  Blobs blobs;
+  blobs.data = la::Matrix(per_cluster * k, 3);
+  for (std::size_t c = 0; c < k; ++c) {
+    for (std::size_t i = 0; i < per_cluster; ++i) {
+      const std::size_t row = c * per_cluster + i;
+      blobs.data(row, 0) =
+          rng.Gaussian(separation * static_cast<double>(c), 0.4);
+      blobs.data(row, 1) = rng.Gaussian(0.0, 0.4);
+      blobs.data(row, 2) = rng.Gaussian(0.0, 0.4);
+      blobs.labels.push_back(c);
+    }
+  }
+  return blobs;
+}
+
+TEST(NystromTest, RecoversBlobsWithFewLandmarks) {
+  Blobs blobs = MakeBlobs(150, 3, 8.0, 1);  // n = 450
+  NystromOptions options;
+  options.num_clusters = 3;
+  options.landmarks = 40;
+  options.seed = 2;
+  StatusOr<NystromResult> result =
+      NystromSpectralClustering(blobs.data, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto acc = eval::ClusteringAccuracy(result->labels, blobs.labels);
+  ASSERT_TRUE(acc.ok());
+  EXPECT_GT(*acc, 0.95);
+}
+
+TEST(NystromTest, EmbeddingHasNearOrthonormalColumns) {
+  Blobs blobs = MakeBlobs(80, 3, 8.0, 3);
+  NystromOptions options;
+  options.num_clusters = 3;
+  options.landmarks = 60;
+  options.seed = 4;
+  StatusOr<NystromResult> result =
+      NystromSpectralClustering(blobs.data, options);
+  ASSERT_TRUE(result.ok());
+  // Orthonormality holds up to the Nyström approximation error.
+  la::Matrix gram = la::Gram(result->embedding);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(gram(i, i), 1.0, 0.1);
+    for (std::size_t j = i + 1; j < 3; ++j) {
+      EXPECT_NEAR(gram(i, j), 0.0, 0.1);
+    }
+  }
+  // Top eigenvalue of the normalized affinity is ≈ 1.
+  EXPECT_NEAR(result->eigenvalues[0], 1.0, 0.1);
+}
+
+TEST(NystromTest, MoreLandmarksNotWorse) {
+  Blobs blobs = MakeBlobs(100, 4, 5.0, 5);
+  double few_acc = 0.0, many_acc = 0.0;
+  for (auto [landmarks, out] :
+       {std::pair<std::size_t, double*>{16, &few_acc},
+        std::pair<std::size_t, double*>{120, &many_acc}}) {
+    NystromOptions options;
+    options.num_clusters = 4;
+    options.landmarks = landmarks;
+    options.seed = 6;
+    auto result = NystromSpectralClustering(blobs.data, options);
+    ASSERT_TRUE(result.ok());
+    auto acc = eval::ClusteringAccuracy(result->labels, blobs.labels);
+    ASSERT_TRUE(acc.ok());
+    *out = *acc;
+  }
+  EXPECT_GE(many_acc + 0.05, few_acc);
+  EXPECT_GT(many_acc, 0.9);
+}
+
+TEST(NystromTest, DeterministicForSeed) {
+  Blobs blobs = MakeBlobs(60, 2, 8.0, 7);
+  NystromOptions options;
+  options.num_clusters = 2;
+  options.landmarks = 25;
+  options.seed = 8;
+  auto a = NystromSpectralClustering(blobs.data, options);
+  auto b = NystromSpectralClustering(blobs.data, options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->labels, b->labels);
+}
+
+TEST(NystromTest, ExplicitSigmaAccepted) {
+  Blobs blobs = MakeBlobs(50, 2, 10.0, 9);
+  NystromOptions options;
+  options.num_clusters = 2;
+  options.landmarks = 20;
+  options.sigma = 1.0;
+  options.seed = 10;
+  auto result = NystromSpectralClustering(blobs.data, options);
+  ASSERT_TRUE(result.ok());
+  auto acc = eval::ClusteringAccuracy(result->labels, blobs.labels);
+  ASSERT_TRUE(acc.ok());
+  EXPECT_GT(*acc, 0.95);
+}
+
+TEST(NystromTest, RejectsInvalidOptions) {
+  Blobs blobs = MakeBlobs(20, 2, 5.0, 11);
+  NystromOptions options;
+  options.num_clusters = 2;
+  options.landmarks = 40;  // >= n
+  EXPECT_FALSE(NystromSpectralClustering(blobs.data, options).ok());
+  options.landmarks = 10;
+  options.num_clusters = 11;  // > landmarks
+  EXPECT_FALSE(NystromSpectralClustering(blobs.data, options).ok());
+  options.num_clusters = 1;
+  EXPECT_FALSE(NystromSpectralClustering(blobs.data, options).ok());
+  EXPECT_FALSE(NystromSpectralClustering(la::Matrix(), options).ok());
+}
+
+}  // namespace
+}  // namespace umvsc::cluster

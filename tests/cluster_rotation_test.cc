@@ -1,0 +1,115 @@
+#include "cluster/rotation.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "eval/metrics.h"
+#include "la/ops.h"
+#include "la/qr.h"
+#include "test_util.h"
+
+namespace umvsc::cluster {
+namespace {
+
+TEST(IndicatorTest, RoundTripLabelsIndicator) {
+  std::vector<std::size_t> labels{0, 2, 1, 1, 0};
+  la::Matrix y = LabelsToIndicator(labels, 3);
+  EXPECT_EQ(y.rows(), 5u);
+  EXPECT_EQ(y.cols(), 3u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < 3; ++j) row_sum += y(i, j);
+    EXPECT_DOUBLE_EQ(row_sum, 1.0);
+    EXPECT_DOUBLE_EQ(y(i, labels[i]), 1.0);
+  }
+  EXPECT_EQ(IndicatorToLabels(y), labels);
+}
+
+TEST(IndicatorTest, ScaledIndicatorHasUnitColumns) {
+  std::vector<std::size_t> labels{0, 0, 0, 0, 1};
+  la::Matrix y = LabelsToIndicator(labels, 2);
+  la::Matrix y_hat = ScaledIndicator(y);
+  // Column norms are 1 regardless of cluster size.
+  for (std::size_t j = 0; j < 2; ++j) {
+    double norm2 = 0.0;
+    for (std::size_t i = 0; i < 5; ++i) norm2 += y_hat(i, j) * y_hat(i, j);
+    EXPECT_NEAR(norm2, 1.0, 1e-12);
+  }
+  EXPECT_NEAR(y_hat(0, 0), 0.5, 1e-12);  // 1/sqrt(4)
+  EXPECT_NEAR(y_hat(4, 1), 1.0, 1e-12);
+}
+
+TEST(IndicatorTest, ScaledIndicatorEmptyColumnStaysZero) {
+  la::Matrix y(3, 2);
+  y(0, 0) = 1.0;
+  y(1, 0) = 1.0;
+  y(2, 0) = 1.0;  // column 1 empty
+  la::Matrix y_hat = ScaledIndicator(y);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(y_hat(i, 1), 0.0);
+}
+
+// Builds an embedding that IS a rotated scaled indicator: discretization
+// must recover the planted clusters exactly.
+TEST(DiscretizeTest, RecoversPlantedRotatedIndicator) {
+  const std::size_t n = 60, c = 4;
+  Rng rng(40);
+  std::vector<std::size_t> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    labels[i] = static_cast<std::size_t>(rng.UniformInt(c));
+  }
+  // Guarantee every cluster is non-empty.
+  for (std::size_t j = 0; j < c; ++j) labels[j] = j;
+  la::Matrix y_hat = ScaledIndicator(LabelsToIndicator(labels, c));
+  la::Matrix rot = test::RandomOrthonormal(c, c, 41);
+  la::Matrix f = la::MatMulT(y_hat, rot);  // F = Ŷ·Rᵀ, so F·R = Ŷ
+
+  RotationOptions options;
+  options.seed = 42;
+  StatusOr<RotationResult> result = DiscretizeEmbedding(f, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  StatusOr<double> acc = eval::ClusteringAccuracy(result->labels, labels);
+  ASSERT_TRUE(acc.ok());
+  EXPECT_DOUBLE_EQ(*acc, 1.0);
+  EXPECT_LT(la::OrthonormalityError(result->rotation), 1e-9);
+}
+
+TEST(DiscretizeTest, IndicatorRowsAreOneHot) {
+  la::Matrix f = test::RandomOrthonormal(30, 3, 43);
+  RotationOptions options;
+  options.seed = 1;
+  StatusOr<RotationResult> result = DiscretizeEmbedding(f, options);
+  ASSERT_TRUE(result.ok());
+  for (std::size_t i = 0; i < 30; ++i) {
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_TRUE(result->indicator(i, j) == 0.0 ||
+                  result->indicator(i, j) == 1.0);
+      row_sum += result->indicator(i, j);
+    }
+    EXPECT_DOUBLE_EQ(row_sum, 1.0);
+  }
+}
+
+TEST(DiscretizeTest, MoreRestartsNeverWorseObjective) {
+  la::Matrix f = test::RandomOrthonormal(40, 4, 44);
+  RotationOptions one;
+  one.restarts = 1;
+  one.seed = 7;
+  RotationOptions many = one;
+  many.restarts = 10;
+  StatusOr<RotationResult> r1 = DiscretizeEmbedding(f, one);
+  StatusOr<RotationResult> r10 = DiscretizeEmbedding(f, many);
+  ASSERT_TRUE(r1.ok() && r10.ok());
+  EXPECT_LE(r10->objective, r1->objective + 1e-9);
+}
+
+TEST(DiscretizeTest, InvalidInputsRejected) {
+  EXPECT_FALSE(DiscretizeEmbedding(la::Matrix(2, 3), {}).ok());  // n < c
+  RotationOptions zero_restarts;
+  zero_restarts.restarts = 0;
+  EXPECT_FALSE(
+      DiscretizeEmbedding(la::Matrix(5, 2), zero_restarts).ok());
+}
+
+}  // namespace
+}  // namespace umvsc::cluster

@@ -1,0 +1,153 @@
+#include "cluster/spectral.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "eval/metrics.h"
+#include "graph/distance.h"
+#include "graph/kernels.h"
+#include "graph/knn_graph.h"
+#include "la/ops.h"
+
+namespace umvsc::cluster {
+namespace {
+
+struct Moons {
+  la::Matrix data;
+  std::vector<std::size_t> labels;
+};
+
+// Interleaved half-moons: the canonical K-means-fails / spectral-wins case.
+Moons MakeMoons(std::size_t n, double noise, std::uint64_t seed) {
+  Rng rng(seed);
+  Moons moons;
+  moons.data = la::Matrix(n, 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t moon = i % 2;
+    moons.labels.push_back(moon);
+    const double t = rng.Uniform() * M_PI;
+    if (moon == 0) {
+      moons.data(i, 0) = std::cos(t) + rng.Gaussian(0.0, noise);
+      moons.data(i, 1) = std::sin(t) + rng.Gaussian(0.0, noise);
+    } else {
+      moons.data(i, 0) = 1.0 - std::cos(t) + rng.Gaussian(0.0, noise);
+      moons.data(i, 1) = 0.5 - std::sin(t) + rng.Gaussian(0.0, noise);
+    }
+  }
+  return moons;
+}
+
+la::Matrix MoonsAffinity(const Moons& moons) {
+  la::Matrix d2 = graph::PairwiseSquaredDistances(moons.data);
+  auto kernel = graph::SelfTuningKernel(d2, 7);
+  UMVSC_CHECK(kernel.ok(), "kernel construction failed in test");
+  // kNN sparsification is the standard recipe for interleaved shapes: the
+  // dense kernel keeps weak cross-moon links that blur the cut.
+  auto graph = graph::BuildKnnGraph(*kernel, 7);
+  UMVSC_CHECK(graph.ok(), "kNN graph construction failed in test");
+  return graph->ToDense();
+}
+
+TEST(SpectralEmbeddingTest, OrthonormalColumns) {
+  Moons moons = MakeMoons(60, 0.05, 30);
+  StatusOr<la::Matrix> f =
+      SpectralEmbedding(MoonsAffinity(moons), 2,
+                        graph::LaplacianKind::kSymmetric, false);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->cols(), 2u);
+  EXPECT_LT(la::OrthonormalityError(*f), 1e-8);
+}
+
+TEST(SpectralEmbeddingTest, RowNormalizationMakesUnitRows) {
+  Moons moons = MakeMoons(50, 0.05, 31);
+  StatusOr<la::Matrix> f = SpectralEmbedding(
+      MoonsAffinity(moons), 2, graph::LaplacianKind::kSymmetric, true);
+  ASSERT_TRUE(f.ok());
+  for (std::size_t i = 0; i < f->rows(); ++i) {
+    double norm = 0.0;
+    for (std::size_t j = 0; j < 2; ++j) norm += (*f)(i, j) * (*f)(i, j);
+    EXPECT_NEAR(std::sqrt(norm), 1.0, 1e-9);
+  }
+}
+
+TEST(SpectralClusteringTest, SeparatesMoons) {
+  Moons moons = MakeMoons(120, 0.04, 32);
+  SpectralOptions options;
+  options.num_clusters = 2;
+  options.seed = 4;
+  StatusOr<SpectralResult> result =
+      SpectralClustering(MoonsAffinity(moons), options);
+  ASSERT_TRUE(result.ok());
+  StatusOr<double> acc = eval::ClusteringAccuracy(result->labels, moons.labels);
+  ASSERT_TRUE(acc.ok());
+  EXPECT_GT(*acc, 0.95);
+}
+
+TEST(SpectralClusteringTest, RandomWalkLaplacianAlsoWorks) {
+  Moons moons = MakeMoons(100, 0.04, 33);
+  SpectralOptions options;
+  options.num_clusters = 2;
+  options.laplacian = graph::LaplacianKind::kRandomWalk;
+  options.seed = 5;
+  StatusOr<SpectralResult> result =
+      SpectralClustering(MoonsAffinity(moons), options);
+  ASSERT_TRUE(result.ok());
+  StatusOr<double> acc = eval::ClusteringAccuracy(result->labels, moons.labels);
+  ASSERT_TRUE(acc.ok());
+  EXPECT_GT(*acc, 0.95);
+}
+
+TEST(SpectralEmbeddingSparseTest, MatchesDenseSubspace) {
+  Moons moons = MakeMoons(80, 0.05, 34);
+  la::Matrix affinity = MoonsAffinity(moons);
+  StatusOr<la::CsrMatrix> sparse_w = graph::BuildKnnGraph(affinity, 7);
+  ASSERT_TRUE(sparse_w.ok());
+  StatusOr<la::Matrix> sparse_f =
+      SpectralEmbeddingSparse(*sparse_w, 2, false);
+  ASSERT_TRUE(sparse_f.ok()) << sparse_f.status().ToString();
+  StatusOr<la::Matrix> dense_f = SpectralEmbedding(
+      sparse_w->ToDense(), 2, graph::LaplacianKind::kSymmetric, false);
+  ASSERT_TRUE(dense_f.ok());
+  // Subspaces agree: the projector onto each embedding is identical.
+  la::Matrix p_sparse = la::MatMulT(*sparse_f, *sparse_f);
+  la::Matrix p_dense = la::MatMulT(*dense_f, *dense_f);
+  EXPECT_TRUE(la::AlmostEqual(p_sparse, p_dense, 1e-5));
+}
+
+TEST(SpectralEmbeddingSparseTest, DisconnectedComponentsGiveIndicatorSubspace) {
+  // Two cliques: embedding must span the component indicator space, making
+  // the two groups linearly separable rows.
+  std::vector<la::Triplet> t;
+  for (std::size_t b = 0; b < 2; ++b) {
+    for (std::size_t i = 0; i < 5; ++i) {
+      for (std::size_t j = 0; j < 5; ++j) {
+        if (i != j) t.push_back({5 * b + i, 5 * b + j, 1.0});
+      }
+    }
+  }
+  la::CsrMatrix w = la::CsrMatrix::FromTriplets(10, 10, std::move(t));
+  StatusOr<la::Matrix> f = SpectralEmbeddingSparse(w, 2, true);
+  ASSERT_TRUE(f.ok()) << f.status().ToString();
+  // Rows within a component coincide; across components they differ.
+  for (std::size_t i = 1; i < 5; ++i) {
+    EXPECT_TRUE(la::AlmostEqual(f->Row(i), f->Row(0), 1e-6));
+    EXPECT_TRUE(la::AlmostEqual(f->Row(5 + i), f->Row(5), 1e-6));
+  }
+  EXPECT_FALSE(la::AlmostEqual(f->Row(0), f->Row(5), 1e-3));
+}
+
+TEST(SpectralEmbeddingTest, InvalidKRejected) {
+  Moons moons = MakeMoons(20, 0.05, 35);
+  la::Matrix affinity = MoonsAffinity(moons);
+  EXPECT_FALSE(SpectralEmbedding(affinity, 0,
+                                 graph::LaplacianKind::kSymmetric, true)
+                   .ok());
+  EXPECT_FALSE(SpectralEmbedding(affinity, 20,
+                                 graph::LaplacianKind::kSymmetric, true)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace umvsc::cluster

@@ -1,0 +1,134 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace umvsc {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) differing += (a.Next() != b.Next());
+  EXPECT_GT(differing, 60);
+}
+
+TEST(RngTest, ZeroSeedIsValid) {
+  Rng r(0);
+  // SplitMix64 seeding must not produce the all-zero (absorbing) state.
+  bool any_nonzero = false;
+  for (int i = 0; i < 10; ++i) any_nonzero |= (r.Next() != 0);
+  EXPECT_TRUE(any_nonzero);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    double u = r.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanIsHalf) {
+  Rng r(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.Uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntRespectsBound) {
+  Rng r(13);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 100000; ++i) {
+    std::uint64_t v = r.UniformInt(10);
+    ASSERT_LT(v, 10u);
+    counts[v]++;
+  }
+  // Each bucket should hold about 10000 draws; 4-sigma band.
+  for (int c : counts) EXPECT_NEAR(c, 10000, 400);
+}
+
+TEST(RngTest, GaussianMomentsMatchStandardNormal) {
+  Rng r(17);
+  const int n = 200000;
+  double sum = 0.0, sumsq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double g = r.Gaussian();
+    sum += g;
+    sumsq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.02);
+}
+
+TEST(RngTest, GaussianWithParamsScales) {
+  Rng r(19);
+  const int n = 100000;
+  double sum = 0.0, sumsq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double g = r.Gaussian(3.0, 0.5);
+    sum += g;
+    sumsq += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.02);
+  EXPECT_NEAR(var, 0.25, 0.02);
+}
+
+TEST(RngTest, ShuffleIsAPermutation) {
+  Rng r(23);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  r.Shuffle(v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinctAndInRange) {
+  Rng r(29);
+  auto idx = r.SampleWithoutReplacement(100, 30);
+  ASSERT_EQ(idx.size(), 30u);
+  std::set<std::size_t> unique(idx.begin(), idx.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (std::size_t i : idx) EXPECT_LT(i, 100u);
+}
+
+TEST(RngTest, SampleWithoutReplacementFullPopulation) {
+  Rng r(31);
+  auto idx = r.SampleWithoutReplacement(5, 5);
+  std::set<std::size_t> unique(idx.begin(), idx.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(RngTest, SampleDiscreteFollowsWeights) {
+  Rng r(37);
+  std::vector<double> w{1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 40000; ++i) counts[r.SampleDiscrete(w)]++;
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[0], 10000, 500);
+  EXPECT_NEAR(counts[2], 30000, 500);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng parent(41);
+  Rng child = parent.Split();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (parent.Next() == child.Next());
+  EXPECT_LT(equal, 4);
+}
+
+}  // namespace
+}  // namespace umvsc

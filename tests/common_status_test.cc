@@ -1,0 +1,73 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace umvsc {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad k");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad k");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidArgument), "InvalidArgument");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kFailedPrecondition),
+               "FailedPrecondition");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOutOfRange), "OutOfRange");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNumericalError), "NumericalError");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kIoError), "IoError");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_TRUE(v.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::NotFound("missing");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> v = std::string("payload");
+  std::string taken = std::move(v).value();
+  EXPECT_EQ(taken, "payload");
+}
+
+TEST(StatusOrTest, ArrowOperator) {
+  StatusOr<std::string> v = std::string("abc");
+  EXPECT_EQ(v->size(), 3u);
+}
+
+Status FailingStep() { return Status::IoError("disk"); }
+
+Status Pipeline() {
+  UMVSC_RETURN_IF_ERROR(Status::OK());
+  UMVSC_RETURN_IF_ERROR(FailingStep());
+  return Status::Internal("unreachable");
+}
+
+TEST(StatusTest, ReturnIfErrorPropagatesFirstFailure) {
+  Status s = Pipeline();
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace umvsc

@@ -1,0 +1,89 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace umvsc {
+namespace {
+
+TEST(SplitTest, BasicFields) {
+  auto fields = Split("a,b,c", ',');
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  auto fields = Split("a,,c,", ',');
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(SplitTest, NoSeparator) {
+  auto fields = Split("abc", ',');
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "abc");
+}
+
+TEST(SplitTest, EmptyInput) {
+  auto fields = Split("", ',');
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "");
+}
+
+TEST(StripWhitespaceTest, StripsBothEnds) {
+  EXPECT_EQ(StripWhitespace("  x y \t\n"), "x y");
+  EXPECT_EQ(StripWhitespace("xy"), "xy");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace(""), "");
+}
+
+TEST(ParseDoubleTest, ValidInputs) {
+  double v = 0.0;
+  EXPECT_TRUE(ParseDouble("3.5", &v));
+  EXPECT_DOUBLE_EQ(v, 3.5);
+  EXPECT_TRUE(ParseDouble(" -1e-3 ", &v));
+  EXPECT_DOUBLE_EQ(v, -1e-3);
+  EXPECT_TRUE(ParseDouble("0", &v));
+  EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(ParseDoubleTest, RejectsMalformed) {
+  double v = 0.0;
+  EXPECT_FALSE(ParseDouble("", &v));
+  EXPECT_FALSE(ParseDouble("abc", &v));
+  EXPECT_FALSE(ParseDouble("1.5x", &v));
+  EXPECT_FALSE(ParseDouble("1.5 2.5", &v));
+}
+
+TEST(ParseIntTest, ValidInputs) {
+  long long v = 0;
+  EXPECT_TRUE(ParseInt("42", &v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(ParseInt(" -7 ", &v));
+  EXPECT_EQ(v, -7);
+}
+
+TEST(ParseIntTest, RejectsMalformed) {
+  long long v = 0;
+  EXPECT_FALSE(ParseInt("", &v));
+  EXPECT_FALSE(ParseInt("3.5", &v));
+  EXPECT_FALSE(ParseInt("12a", &v));
+}
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d-%s-%.2f", 7, "x", 1.5), "7-x-1.50");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StrFormatTest, LongOutput) {
+  std::string long_arg(500, 'y');
+  std::string out = StrFormat("[%s]", long_arg.c_str());
+  EXPECT_EQ(out.size(), 502u);
+  EXPECT_EQ(out.front(), '[');
+  EXPECT_EQ(out.back(), ']');
+}
+
+}  // namespace
+}  // namespace umvsc

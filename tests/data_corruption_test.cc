@@ -1,0 +1,109 @@
+#include "data/corruption.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace umvsc::data {
+namespace {
+
+MultiViewDataset SmallDataset(std::uint64_t seed) {
+  MultiViewConfig config;
+  config.num_samples = 60;
+  config.num_clusters = 3;
+  config.views = {{8, ViewQuality::kInformative, 0.4},
+                  {5, ViewQuality::kWeak, 1.0}};
+  config.seed = seed;
+  auto d = MakeGaussianMultiView(config);
+  UMVSC_CHECK(d.ok(), "dataset generation failed");
+  return std::move(*d);
+}
+
+TEST(CorruptionTest, AddRelativeNoiseChangesEntriesProportionally) {
+  MultiViewDataset d = SmallDataset(1);
+  la::Matrix before = d.views[0];
+  ASSERT_TRUE(AddRelativeNoise(d, 0, 0.5, 7).ok());
+  EXPECT_TRUE(d.Validate().ok());
+  // The injected noise variance should be ~ (0.5·s)² with s the view scale.
+  double diff2 = 0.0, scale2 = 0.0;
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    const double diff = d.views[0].data()[i] - before.data()[i];
+    diff2 += diff * diff;
+    scale2 += before.data()[i] * before.data()[i];
+  }
+  diff2 /= static_cast<double>(before.size());
+  scale2 /= static_cast<double>(before.size());
+  EXPECT_GT(diff2, 0.05 * scale2);
+  EXPECT_LT(diff2, 1.0 * scale2);
+  // Other views untouched.
+  EXPECT_TRUE(la::AlmostEqual(d.views[1], SmallDataset(1).views[1], 0.0));
+}
+
+TEST(CorruptionTest, ZeroNoiseIsNoop) {
+  MultiViewDataset d = SmallDataset(2);
+  la::Matrix before = d.views[0];
+  ASSERT_TRUE(AddRelativeNoise(d, 0, 0.0, 7).ok());
+  EXPECT_TRUE(la::AlmostEqual(d.views[0], before, 0.0));
+}
+
+TEST(CorruptionTest, CorruptSampleRowsTouchesExactFraction) {
+  MultiViewDataset d = SmallDataset(3);
+  la::Matrix before = d.views[0];
+  ASSERT_TRUE(CorruptSampleRows(d, 0, 0.25, 9).ok());
+  std::size_t changed = 0;
+  for (std::size_t i = 0; i < d.views[0].rows(); ++i) {
+    bool row_changed = false;
+    for (std::size_t j = 0; j < d.views[0].cols(); ++j) {
+      row_changed |= d.views[0](i, j) != before(i, j);
+    }
+    changed += row_changed;
+  }
+  EXPECT_EQ(changed, 15u);  // 25% of 60
+}
+
+TEST(CorruptionTest, CorruptAllAndNone) {
+  MultiViewDataset d = SmallDataset(4);
+  la::Matrix before = d.views[0];
+  ASSERT_TRUE(CorruptSampleRows(d, 0, 0.0, 9).ok());
+  EXPECT_TRUE(la::AlmostEqual(d.views[0], before, 0.0));
+  ASSERT_TRUE(CorruptSampleRows(d, 0, 1.0, 9).ok());
+  EXPECT_FALSE(la::AlmostEqual(d.views[0], before, 1e-6));
+}
+
+TEST(CorruptionTest, ReplaceViewWithNoiseDestroysStructureKeepsScale) {
+  MultiViewDataset d = SmallDataset(5);
+  la::Matrix before = d.views[0];
+  ASSERT_TRUE(ReplaceViewWithNoise(d, 0, 11).ok());
+  EXPECT_FALSE(la::AlmostEqual(d.views[0], before, 1e-3));
+  // Scale preserved within a factor ~2.
+  double var_before = 0.0, var_after = 0.0;
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    var_before += before.data()[i] * before.data()[i];
+    var_after += d.views[0].data()[i] * d.views[0].data()[i];
+  }
+  EXPECT_GT(var_after, 0.25 * var_before);
+  EXPECT_LT(var_after, 4.0 * var_before);
+}
+
+TEST(CorruptionTest, DeterministicForSeed) {
+  MultiViewDataset a = SmallDataset(6);
+  MultiViewDataset b = SmallDataset(6);
+  ASSERT_TRUE(AddRelativeNoise(a, 1, 0.3, 42).ok());
+  ASSERT_TRUE(AddRelativeNoise(b, 1, 0.3, 42).ok());
+  EXPECT_TRUE(la::AlmostEqual(a.views[1], b.views[1], 0.0));
+}
+
+TEST(CorruptionTest, InvalidArgumentsRejected) {
+  MultiViewDataset d = SmallDataset(7);
+  EXPECT_EQ(AddRelativeNoise(d, 5, 0.1, 1).code(), StatusCode::kOutOfRange);
+  EXPECT_FALSE(AddRelativeNoise(d, 0, -0.1, 1).ok());
+  EXPECT_FALSE(CorruptSampleRows(d, 0, 1.5, 1).ok());
+  EXPECT_FALSE(CorruptSampleRows(d, 0, -0.1, 1).ok());
+  MultiViewDataset broken;
+  EXPECT_FALSE(ReplaceViewWithNoise(broken, 0, 1).ok());
+}
+
+}  // namespace
+}  // namespace umvsc::data

@@ -1,0 +1,91 @@
+#include "data/dataset.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace umvsc::data {
+namespace {
+
+MultiViewDataset SmallValidDataset() {
+  MultiViewDataset d;
+  d.name = "test";
+  d.views.push_back(la::Matrix{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}});
+  d.views.push_back(la::Matrix{{1.0}, {0.0}, {2.0}});
+  d.labels = {0, 1, 0};
+  return d;
+}
+
+TEST(DatasetTest, AccessorsOnValidDataset) {
+  MultiViewDataset d = SmallValidDataset();
+  EXPECT_TRUE(d.Validate().ok());
+  EXPECT_EQ(d.NumViews(), 2u);
+  EXPECT_EQ(d.NumSamples(), 3u);
+  EXPECT_EQ(d.NumClusters(), 2u);
+}
+
+TEST(DatasetTest, UnlabeledDatasetIsValid) {
+  MultiViewDataset d = SmallValidDataset();
+  d.labels.clear();
+  EXPECT_TRUE(d.Validate().ok());
+  EXPECT_EQ(d.NumClusters(), 0u);
+}
+
+TEST(DatasetTest, ValidateRejectsBrokenStructures) {
+  MultiViewDataset empty;
+  EXPECT_FALSE(empty.Validate().ok());
+
+  MultiViewDataset mismatched = SmallValidDataset();
+  mismatched.views[1] = la::Matrix(2, 1);
+  EXPECT_FALSE(mismatched.Validate().ok());
+
+  MultiViewDataset bad_labels = SmallValidDataset();
+  bad_labels.labels = {0, 1};
+  EXPECT_FALSE(bad_labels.Validate().ok());
+
+  MultiViewDataset sparse_labels = SmallValidDataset();
+  sparse_labels.labels = {0, 2, 0};  // label 1 missing
+  EXPECT_FALSE(sparse_labels.Validate().ok());
+
+  MultiViewDataset nan_view = SmallValidDataset();
+  nan_view.views[0](0, 0) = std::nan("");
+  EXPECT_FALSE(nan_view.Validate().ok());
+
+  MultiViewDataset zero_features = SmallValidDataset();
+  zero_features.views[0] = la::Matrix(3, 0);
+  EXPECT_FALSE(zero_features.Validate().ok());
+}
+
+TEST(DatasetTest, StandardizeProducesZeroMeanUnitVariance) {
+  Rng rng(90);
+  MultiViewDataset d;
+  d.views.push_back(la::Matrix::RandomGaussian(50, 4, rng));
+  d.views[0].Scale(7.0);
+  d.StandardizeViews();
+  for (std::size_t j = 0; j < 4; ++j) {
+    double mean = 0.0, var = 0.0;
+    for (std::size_t i = 0; i < 50; ++i) mean += d.views[0](i, j);
+    mean /= 50.0;
+    for (std::size_t i = 0; i < 50; ++i) {
+      var += (d.views[0](i, j) - mean) * (d.views[0](i, j) - mean);
+    }
+    var /= 50.0;
+    EXPECT_NEAR(mean, 0.0, 1e-10);
+    EXPECT_NEAR(var, 1.0, 1e-10);
+  }
+}
+
+TEST(DatasetTest, StandardizeHandlesConstantFeatures) {
+  MultiViewDataset d;
+  d.views.push_back(la::Matrix(4, 2, 3.0));
+  d.StandardizeViews();
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(d.views[0](i, 0), 0.0);
+    EXPECT_DOUBLE_EQ(d.views[0](i, 1), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace umvsc::data

@@ -1,0 +1,128 @@
+#include "data/io.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/synthetic.h"
+
+namespace umvsc::data {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("umvsc_io_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(IoTest, MatrixRoundTrip) {
+  Rng rng(100);
+  la::Matrix m = la::Matrix::RandomGaussian(7, 4, rng);
+  ASSERT_TRUE(SaveMatrixCsv(m, Path("m.csv")).ok());
+  StatusOr<la::Matrix> loaded = LoadMatrixCsv(Path("m.csv"));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(la::AlmostEqual(*loaded, m, 1e-15));
+}
+
+TEST_F(IoTest, LabelsRoundTrip) {
+  std::vector<std::size_t> labels{0, 2, 1, 1, 0, 3};
+  ASSERT_TRUE(SaveLabels(labels, Path("labels.txt")).ok());
+  StatusOr<std::vector<std::size_t>> loaded = LoadLabels(Path("labels.txt"));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, labels);
+}
+
+TEST_F(IoTest, DatasetRoundTrip) {
+  MultiViewConfig config;
+  config.num_samples = 30;
+  config.num_clusters = 3;
+  config.views = {{4, ViewQuality::kInformative, 0.5},
+                  {3, ViewQuality::kWeak, 1.0}};
+  config.seed = 5;
+  StatusOr<MultiViewDataset> dataset = MakeGaussianMultiView(config);
+  ASSERT_TRUE(dataset.ok());
+  ASSERT_TRUE(SaveDataset(*dataset, dir_.string()).ok());
+
+  StatusOr<MultiViewDataset> loaded = LoadDataset(dir_.string(), "reloaded");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->name, "reloaded");
+  EXPECT_EQ(loaded->NumViews(), 2u);
+  EXPECT_EQ(loaded->labels, dataset->labels);
+  EXPECT_TRUE(la::AlmostEqual(loaded->views[0], dataset->views[0], 1e-12));
+  EXPECT_TRUE(la::AlmostEqual(loaded->views[1], dataset->views[1], 1e-12));
+}
+
+TEST_F(IoTest, DatasetWithoutLabelsLoads) {
+  MultiViewDataset d;
+  d.views.push_back(la::Matrix{{1.0, 2.0}, {3.0, 4.0}, {0.0, 1.0}});
+  ASSERT_TRUE(SaveDataset(d, dir_.string()).ok());
+  StatusOr<MultiViewDataset> loaded = LoadDataset(dir_.string());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->labels.empty());
+}
+
+TEST_F(IoTest, MissingFilesReported) {
+  EXPECT_EQ(LoadMatrixCsv(Path("absent.csv")).status().code(),
+            StatusCode::kIoError);
+  EXPECT_EQ(LoadLabels(Path("absent.txt")).status().code(),
+            StatusCode::kIoError);
+  EXPECT_EQ(LoadDataset(dir_.string()).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(IoTest, MalformedCsvReported) {
+  {
+    std::ofstream out(Path("bad.csv"));
+    out << "1.0,2.0\n3.0,oops\n";
+  }
+  StatusOr<la::Matrix> r = LoadMatrixCsv(Path("bad.csv"));
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+
+  {
+    std::ofstream out(Path("ragged.csv"));
+    out << "1.0,2.0\n3.0\n";
+  }
+  EXPECT_EQ(LoadMatrixCsv(Path("ragged.csv")).status().code(),
+            StatusCode::kInvalidArgument);
+
+  {
+    std::ofstream out(Path("empty.csv"));
+  }
+  EXPECT_EQ(LoadMatrixCsv(Path("empty.csv")).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(IoTest, MalformedLabelsReported) {
+  {
+    std::ofstream out(Path("neg.txt"));
+    out << "0\n-3\n";
+  }
+  EXPECT_EQ(LoadLabels(Path("neg.txt")).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(IoTest, BlankLinesSkipped) {
+  {
+    std::ofstream out(Path("blank.csv"));
+    out << "1.0,2.0\n\n3.0,4.0\n\n";
+  }
+  StatusOr<la::Matrix> m = LoadMatrixCsv(Path("blank.csv"));
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->rows(), 2u);
+}
+
+}  // namespace
+}  // namespace umvsc::data

@@ -1,0 +1,168 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace umvsc::data {
+namespace {
+
+MultiViewConfig BasicConfig() {
+  MultiViewConfig config;
+  config.num_samples = 90;
+  config.num_clusters = 3;
+  config.views = {{8, ViewQuality::kInformative, 0.5},
+                  {5, ViewQuality::kWeak, 1.0},
+                  {6, ViewQuality::kNoisy, 1.0}};
+  config.seed = 7;
+  return config;
+}
+
+TEST(GaussianMultiViewTest, ShapesAndLabels) {
+  StatusOr<MultiViewDataset> d = MakeGaussianMultiView(BasicConfig());
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_EQ(d->NumSamples(), 90u);
+  EXPECT_EQ(d->NumViews(), 3u);
+  EXPECT_EQ(d->NumClusters(), 3u);
+  EXPECT_EQ(d->views[0].cols(), 8u);
+  EXPECT_EQ(d->views[1].cols(), 5u);
+  EXPECT_TRUE(d->Validate().ok());
+  // Balanced by default: 30 per cluster.
+  std::vector<std::size_t> counts(3, 0);
+  for (std::size_t l : d->labels) counts[l]++;
+  for (std::size_t c = 0; c < 3; ++c) EXPECT_EQ(counts[c], 30u);
+}
+
+TEST(GaussianMultiViewTest, DeterministicForSeed) {
+  StatusOr<MultiViewDataset> a = MakeGaussianMultiView(BasicConfig());
+  StatusOr<MultiViewDataset> b = MakeGaussianMultiView(BasicConfig());
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->labels, b->labels);
+  EXPECT_TRUE(la::AlmostEqual(a->views[0], b->views[0], 0.0));
+  MultiViewConfig other = BasicConfig();
+  other.seed = 8;
+  StatusOr<MultiViewDataset> c = MakeGaussianMultiView(other);
+  ASSERT_TRUE(c.ok());
+  EXPECT_FALSE(la::AlmostEqual(a->views[0], c->views[0], 1e-6));
+}
+
+TEST(GaussianMultiViewTest, ImbalanceSkewsClusterSizes) {
+  MultiViewConfig config = BasicConfig();
+  config.imbalance = 1.0;
+  StatusOr<MultiViewDataset> d = MakeGaussianMultiView(config);
+  ASSERT_TRUE(d.ok());
+  std::vector<std::size_t> counts(3, 0);
+  for (std::size_t l : d->labels) counts[l]++;
+  EXPECT_GT(counts[0], counts[2]);
+  EXPECT_EQ(counts[0] + counts[1] + counts[2], 90u);
+  for (std::size_t c = 0; c < 3; ++c) EXPECT_GE(counts[c], 1u);
+}
+
+TEST(GaussianMultiViewTest, InformativeViewSeparatesNoisyDoesNot) {
+  // Between/within scatter ratio should be large for the informative view
+  // and ~0 for the noisy one.
+  MultiViewConfig config = BasicConfig();
+  config.cluster_separation = 6.0;
+  StatusOr<MultiViewDataset> d = MakeGaussianMultiView(config);
+  ASSERT_TRUE(d.ok());
+  auto separation_score = [&](const la::Matrix& x) {
+    // Distance between cluster means relative to within-cluster spread.
+    const std::size_t dims = x.cols();
+    std::vector<la::Vector> means(3, la::Vector(dims));
+    std::vector<std::size_t> counts(3, 0);
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+      const std::size_t c = d->labels[i];
+      for (std::size_t j = 0; j < dims; ++j) means[c][j] += x(i, j);
+      counts[c]++;
+    }
+    for (std::size_t c = 0; c < 3; ++c) {
+      means[c].Scale(1.0 / static_cast<double>(counts[c]));
+    }
+    double between = 0.0;
+    for (std::size_t a = 0; a < 3; ++a) {
+      for (std::size_t b = a + 1; b < 3; ++b) {
+        between += (means[a] - means[b]).Norm2();
+      }
+    }
+    double within = 0.0;
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+      within += (x.Row(i) - means[d->labels[i]]).Norm2();
+    }
+    return between / (within / static_cast<double>(x.rows()));
+  };
+  EXPECT_GT(separation_score(d->views[0]), 5.0 * separation_score(d->views[2]));
+}
+
+TEST(GaussianMultiViewTest, RejectsBadConfigs) {
+  MultiViewConfig config = BasicConfig();
+  config.num_samples = 0;
+  EXPECT_FALSE(MakeGaussianMultiView(config).ok());
+  config = BasicConfig();
+  config.num_clusters = 0;
+  EXPECT_FALSE(MakeGaussianMultiView(config).ok());
+  config = BasicConfig();
+  config.views.clear();
+  EXPECT_FALSE(MakeGaussianMultiView(config).ok());
+  config = BasicConfig();
+  config.views[0].dim = 0;
+  EXPECT_FALSE(MakeGaussianMultiView(config).ok());
+  config = BasicConfig();
+  config.views[0].noise = -1.0;
+  EXPECT_FALSE(MakeGaussianMultiView(config).ok());
+}
+
+TEST(TwoMoonsTest, StructureAndNoiseView) {
+  StatusOr<MultiViewDataset> d = MakeTwoMoonsMultiView(100, 0.05, true, 9);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->NumViews(), 3u);
+  EXPECT_EQ(d->NumClusters(), 2u);
+  EXPECT_EQ(d->views[0].cols(), 2u);
+  EXPECT_TRUE(d->Validate().ok());
+  StatusOr<MultiViewDataset> no_noise = MakeTwoMoonsMultiView(50, 0.05, false, 9);
+  ASSERT_TRUE(no_noise.ok());
+  EXPECT_EQ(no_noise->NumViews(), 2u);
+}
+
+TEST(RingsTest, ThreeBalancedRings) {
+  StatusOr<MultiViewDataset> d = MakeRingsMultiView(90, 0.05, 10);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->NumClusters(), 3u);
+  // Radius view feature 0 orders the rings.
+  double max_r0 = 0.0, min_r2 = 1e9;
+  for (std::size_t i = 0; i < 90; ++i) {
+    if (d->labels[i] == 0) max_r0 = std::max(max_r0, d->views[1](i, 0));
+    if (d->labels[i] == 2) min_r2 = std::min(min_r2, d->views[1](i, 0));
+  }
+  EXPECT_LT(max_r0, min_r2);
+}
+
+TEST(SimulateBenchmarkTest, AllNamesProduceValidDatasets) {
+  for (const std::string& name : BenchmarkNames()) {
+    StatusOr<MultiViewDataset> d = SimulateBenchmark(name, 3, 0.15);
+    ASSERT_TRUE(d.ok()) << name << ": " << d.status().ToString();
+    EXPECT_TRUE(d->Validate().ok()) << name;
+    EXPECT_GE(d->NumViews(), 2u) << name;
+    EXPECT_GE(d->NumClusters(), 5u) << name;
+  }
+}
+
+TEST(SimulateBenchmarkTest, FullScaleMatchesPublishedStats) {
+  StatusOr<MultiViewDataset> d = SimulateBenchmark("MSRC-v1", 1, 1.0);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->NumSamples(), 210u);
+  EXPECT_EQ(d->NumClusters(), 7u);
+  EXPECT_EQ(d->NumViews(), 5u);
+  EXPECT_EQ(d->views[0].cols(), 24u);
+  EXPECT_EQ(d->views[1].cols(), 576u);
+}
+
+TEST(SimulateBenchmarkTest, UnknownNameAndBadScaleRejected) {
+  EXPECT_EQ(SimulateBenchmark("NoSuchSet", 1).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_FALSE(SimulateBenchmark("MSRC-v1", 1, 0.0).ok());
+  EXPECT_FALSE(SimulateBenchmark("MSRC-v1", 1, 1.5).ok());
+}
+
+}  // namespace
+}  // namespace umvsc::data

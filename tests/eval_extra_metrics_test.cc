@@ -1,0 +1,106 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "eval/metrics.h"
+
+namespace umvsc::eval {
+namespace {
+
+using Labels = std::vector<std::size_t>;
+
+TEST(FowlkesMallowsTest, PerfectClusteringIsOne) {
+  Labels truth{0, 0, 1, 1, 2};
+  StatusOr<double> fm = FowlkesMallows(truth, truth);
+  ASSERT_TRUE(fm.ok());
+  EXPECT_DOUBLE_EQ(*fm, 1.0);
+}
+
+TEST(FowlkesMallowsTest, IsGeometricMeanOfPairwiseScores) {
+  Labels truth{0, 0, 0, 1, 1, 2};
+  Labels pred{0, 0, 1, 1, 1, 1};
+  StatusOr<double> fm = FowlkesMallows(pred, truth);
+  StatusOr<PairwiseScores> s = PairwiseFScore(pred, truth);
+  ASSERT_TRUE(fm.ok() && s.ok());
+  EXPECT_NEAR(*fm, std::sqrt(s->precision * s->recall), 1e-12);
+}
+
+TEST(FowlkesMallowsTest, KnownValues) {
+  // Permuted ids are a perfect clustering.
+  EXPECT_NEAR(*FowlkesMallows({1, 1, 0, 0}, {0, 0, 1, 1}), 1.0, 1e-12);
+  // All-merged vs two pairs: TP = 2, predicted pairs = 6, true pairs = 2,
+  // so FM = √(2/6 · 2/2) = √(1/3).
+  EXPECT_NEAR(*FowlkesMallows({0, 0, 0, 0}, {0, 0, 1, 1}),
+              std::sqrt(1.0 / 3.0), 1e-9);
+}
+
+TEST(VMeasureTest, PerfectClusteringAllOnes) {
+  Labels truth{0, 1, 2, 0, 1, 2};
+  StatusOr<VMeasureScores> v = VMeasure(truth, truth);
+  ASSERT_TRUE(v.ok());
+  EXPECT_NEAR(v->homogeneity, 1.0, 1e-12);
+  EXPECT_NEAR(v->completeness, 1.0, 1e-12);
+  EXPECT_NEAR(v->v_measure, 1.0, 1e-12);
+}
+
+TEST(VMeasureTest, OverSplittingKeepsHomogeneityHurtsCompleteness) {
+  // Singleton predicted clusters: perfectly homogeneous, poor completeness.
+  Labels truth{0, 0, 0, 1, 1, 1};
+  Labels singletons{0, 1, 2, 3, 4, 5};
+  StatusOr<VMeasureScores> v = VMeasure(singletons, truth);
+  ASSERT_TRUE(v.ok());
+  EXPECT_NEAR(v->homogeneity, 1.0, 1e-12);
+  EXPECT_LT(v->completeness, 0.5);
+}
+
+TEST(VMeasureTest, MergingKeepsCompletenessHurtsHomogeneity) {
+  Labels truth{0, 0, 0, 1, 1, 1};
+  Labels merged{0, 0, 0, 0, 0, 0};
+  StatusOr<VMeasureScores> v = VMeasure(merged, truth);
+  ASSERT_TRUE(v.ok());
+  EXPECT_NEAR(v->completeness, 1.0, 1e-12);
+  EXPECT_NEAR(v->homogeneity, 0.0, 1e-12);
+  EXPECT_NEAR(v->v_measure, 0.0, 1e-12);
+}
+
+TEST(VMeasureTest, VIsHarmonicMean) {
+  Labels truth{0, 0, 1, 1, 2, 2, 0, 1};
+  Labels pred{0, 1, 1, 1, 2, 0, 0, 2};
+  StatusOr<VMeasureScores> v = VMeasure(pred, truth);
+  ASSERT_TRUE(v.ok());
+  const double expected = 2.0 * v->homogeneity * v->completeness /
+                          (v->homogeneity + v->completeness);
+  EXPECT_NEAR(v->v_measure, expected, 1e-12);
+}
+
+TEST(VMeasureTest, BoundedInUnitInterval) {
+  Rng rng(90);
+  for (int trial = 0; trial < 30; ++trial) {
+    Labels a(30), b(30);
+    for (std::size_t i = 0; i < 30; ++i) {
+      a[i] = static_cast<std::size_t>(rng.UniformInt(4));
+      b[i] = static_cast<std::size_t>(rng.UniformInt(5));
+    }
+    StatusOr<VMeasureScores> v = VMeasure(a, b);
+    ASSERT_TRUE(v.ok());
+    EXPECT_GE(v->homogeneity, -1e-12);
+    EXPECT_LE(v->homogeneity, 1.0 + 1e-12);
+    EXPECT_GE(v->completeness, -1e-12);
+    EXPECT_LE(v->completeness, 1.0 + 1e-12);
+    EXPECT_GE(v->v_measure, -1e-12);
+    EXPECT_LE(v->v_measure, 1.0 + 1e-12);
+    // V-measure is symmetric under argument swap.
+    StatusOr<VMeasureScores> vswap = VMeasure(b, a);
+    ASSERT_TRUE(vswap.ok());
+    EXPECT_NEAR(v->v_measure, vswap->v_measure, 1e-12);
+  }
+}
+
+TEST(ExtraMetricsTest, InvalidInputsRejected) {
+  EXPECT_FALSE(FowlkesMallows({}, {}).ok());
+  EXPECT_FALSE(VMeasure({0, 1}, {0}).ok());
+}
+
+}  // namespace
+}  // namespace umvsc::eval

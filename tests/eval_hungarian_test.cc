@@ -1,0 +1,94 @@
+#include "eval/hungarian.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace umvsc::eval {
+namespace {
+
+// Brute-force reference over all permutations (n <= 8).
+double BruteForceMinCost(const la::Matrix& cost) {
+  const std::size_t n = cost.rows();
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  double best = std::numeric_limits<double>::infinity();
+  do {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) total += cost(i, perm[i]);
+    best = std::min(best, total);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+TEST(HungarianTest, KnownThreeByThree) {
+  la::Matrix cost{{4.0, 1.0, 3.0}, {2.0, 0.0, 5.0}, {3.0, 2.0, 2.0}};
+  StatusOr<Assignment> result = MinCostAssignment(cost);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->total, 5.0);  // 1 + 2 + 2
+}
+
+TEST(HungarianTest, AssignmentIsAPermutation) {
+  Rng rng(70);
+  la::Matrix cost = la::Matrix::RandomUniform(10, 10, rng, 0.0, 100.0);
+  StatusOr<Assignment> result = MinCostAssignment(cost);
+  ASSERT_TRUE(result.ok());
+  std::set<std::size_t> cols(result->row_to_col.begin(),
+                             result->row_to_col.end());
+  EXPECT_EQ(cols.size(), 10u);
+}
+
+class HungarianRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HungarianRandomTest, MatchesBruteForce) {
+  const int n = GetParam() % 7 + 2;  // sizes 2..8
+  Rng rng(static_cast<std::uint64_t>(1000 + GetParam()));
+  la::Matrix cost = la::Matrix::RandomUniform(n, n, rng, -10.0, 10.0);
+  StatusOr<Assignment> result = MinCostAssignment(cost);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->total, BruteForceMinCost(cost), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, HungarianRandomTest,
+                         ::testing::Range(0, 24));
+
+TEST(HungarianTest, MaxProfitComplementsMinCost) {
+  Rng rng(71);
+  la::Matrix profit = la::Matrix::RandomUniform(6, 6, rng, 0.0, 5.0);
+  StatusOr<Assignment> max = MaxProfitAssignment(profit);
+  ASSERT_TRUE(max.ok());
+  la::Matrix neg = profit;
+  neg.Scale(-1.0);
+  EXPECT_NEAR(max->total, -BruteForceMinCost(neg), 1e-9);
+}
+
+TEST(HungarianTest, OneByOne) {
+  la::Matrix cost{{7.5}};
+  StatusOr<Assignment> result = MinCostAssignment(cost);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->total, 7.5);
+  EXPECT_EQ(result->row_to_col[0], 0u);
+}
+
+TEST(HungarianTest, TiesProduceSomeOptimalAssignment) {
+  la::Matrix cost(4, 4, 1.0);  // everything ties
+  StatusOr<Assignment> result = MinCostAssignment(cost);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->total, 4.0);
+}
+
+TEST(HungarianTest, RejectsInvalidInputs) {
+  EXPECT_FALSE(MinCostAssignment(la::Matrix()).ok());
+  EXPECT_FALSE(MinCostAssignment(la::Matrix(2, 3)).ok());
+  la::Matrix inf_cost(2, 2);
+  inf_cost(0, 0) = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(MinCostAssignment(inf_cost).ok());
+}
+
+}  // namespace
+}  // namespace umvsc::eval

@@ -1,0 +1,156 @@
+#include "eval/internal_metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "cluster/kmeans.h"
+#include "common/rng.h"
+
+namespace umvsc::eval {
+namespace {
+
+struct Blobs {
+  la::Matrix data;
+  std::vector<std::size_t> labels;
+};
+
+Blobs MakeBlobs(std::size_t per_cluster, std::size_t k, double separation,
+                std::uint64_t seed) {
+  Rng rng(seed);
+  Blobs blobs;
+  blobs.data = la::Matrix(per_cluster * k, 2);
+  for (std::size_t c = 0; c < k; ++c) {
+    for (std::size_t i = 0; i < per_cluster; ++i) {
+      const std::size_t row = c * per_cluster + i;
+      blobs.data(row, 0) =
+          rng.Gaussian(separation * static_cast<double>(c), 0.3);
+      blobs.data(row, 1) = rng.Gaussian(0.0, 0.3);
+      blobs.labels.push_back(c);
+    }
+  }
+  return blobs;
+}
+
+TEST(SilhouetteTest, WellSeparatedBlobsScoreHigh) {
+  Blobs blobs = MakeBlobs(25, 3, 10.0, 1);
+  StatusOr<double> score = SilhouetteScore(blobs.data, blobs.labels);
+  ASSERT_TRUE(score.ok()) << score.status().ToString();
+  EXPECT_GT(*score, 0.85);
+}
+
+TEST(SilhouetteTest, RandomLabelsScoreNearZeroOrNegative) {
+  Blobs blobs = MakeBlobs(25, 3, 10.0, 2);
+  Rng rng(3);
+  std::vector<std::size_t> random(blobs.labels.size());
+  for (auto& l : random) l = static_cast<std::size_t>(rng.UniformInt(3));
+  StatusOr<double> good = SilhouetteScore(blobs.data, blobs.labels);
+  StatusOr<double> bad = SilhouetteScore(blobs.data, random);
+  ASSERT_TRUE(good.ok() && bad.ok());
+  EXPECT_LT(*bad, 0.2);
+  EXPECT_GT(*good, *bad + 0.5);
+}
+
+TEST(SilhouetteTest, TwoPointsTwoClusters) {
+  la::Matrix x{{0.0}, {1.0}};
+  std::vector<std::size_t> labels{0, 1};
+  // Both points are singletons: score 0 by convention.
+  StatusOr<double> score = SilhouetteScore(x, labels);
+  ASSERT_TRUE(score.ok());
+  EXPECT_DOUBLE_EQ(*score, 0.0);
+}
+
+TEST(SilhouetteTest, KnownHandComputedValue) {
+  // Two clusters on a line: {0, 1} and {10, 11}.
+  la::Matrix x{{0.0}, {1.0}, {10.0}, {11.0}};
+  std::vector<std::size_t> labels{0, 0, 1, 1};
+  // Point 0: a = 1, b = (10+11)/2 = 10.5 → s = 9.5/10.5. Point 1:
+  // a = 1, b = 9.5 → 8.5/9.5; symmetric on the right.
+  const double expected =
+      0.5 * (9.5 / 10.5 + 8.5 / 9.5);
+  StatusOr<double> score = SilhouetteScore(x, labels);
+  ASSERT_TRUE(score.ok());
+  EXPECT_NEAR(*score, expected, 1e-12);
+}
+
+TEST(SilhouetteTest, RejectsInvalidInputs) {
+  la::Matrix x(4, 2);
+  EXPECT_FALSE(SilhouetteScore(x, {0, 0, 0}).ok());           // length
+  EXPECT_FALSE(SilhouetteScore(x, {0, 0, 0, 0}).ok());        // one cluster
+  EXPECT_FALSE(SilhouetteScore(la::Matrix(), {}).ok());       // empty
+}
+
+TEST(DaviesBouldinTest, BetterClusteringScoresLower) {
+  Blobs blobs = MakeBlobs(25, 3, 10.0, 4);
+  Rng rng(5);
+  std::vector<std::size_t> random(blobs.labels.size());
+  for (auto& l : random) l = static_cast<std::size_t>(rng.UniformInt(3));
+  StatusOr<double> good = DaviesBouldinIndex(blobs.data, blobs.labels);
+  StatusOr<double> bad = DaviesBouldinIndex(blobs.data, random);
+  ASSERT_TRUE(good.ok() && bad.ok());
+  EXPECT_LT(*good, *bad);
+  EXPECT_GT(*good, 0.0);
+}
+
+TEST(DaviesBouldinTest, ScaleInvarianceOfOrdering) {
+  // Scaling all features by a constant scales scatter and separation
+  // equally: the index is exactly invariant.
+  Blobs blobs = MakeBlobs(20, 3, 6.0, 6);
+  StatusOr<double> base = DaviesBouldinIndex(blobs.data, blobs.labels);
+  la::Matrix scaled = blobs.data;
+  scaled.Scale(7.5);
+  StatusOr<double> after = DaviesBouldinIndex(scaled, blobs.labels);
+  ASSERT_TRUE(base.ok() && after.ok());
+  EXPECT_NEAR(*base, *after, 1e-12);
+}
+
+TEST(SelectClusterCountTest, FindsPlantedK) {
+  Blobs blobs = MakeBlobs(30, 4, 8.0, 7);
+  auto cluster_at_k =
+      [&](std::size_t k) -> StatusOr<std::vector<std::size_t>> {
+    cluster::KMeansOptions options;
+    options.num_clusters = k;
+    options.seed = 11;
+    auto r = cluster::KMeans(blobs.data, options);
+    if (!r.ok()) return r.status();
+    return std::move(r->labels);
+  };
+  StatusOr<ClusterCountSelection> selection =
+      SelectClusterCount(blobs.data, 2, 8, cluster_at_k);
+  ASSERT_TRUE(selection.ok()) << selection.status().ToString();
+  EXPECT_EQ(selection->best_k, 4u);
+  ASSERT_EQ(selection->candidate_ks.size(), 7u);
+  ASSERT_EQ(selection->silhouettes.size(), 7u);
+}
+
+TEST(SelectClusterCountTest, SkipsFailingCandidates) {
+  Blobs blobs = MakeBlobs(20, 3, 8.0, 8);
+  auto cluster_at_k =
+      [&](std::size_t k) -> StatusOr<std::vector<std::size_t>> {
+    if (k != 3) return Status::FailedPrecondition("only k=3 supported");
+    cluster::KMeansOptions options;
+    options.num_clusters = k;
+    options.seed = 1;
+    auto r = cluster::KMeans(blobs.data, options);
+    if (!r.ok()) return r.status();
+    return std::move(r->labels);
+  };
+  StatusOr<ClusterCountSelection> selection =
+      SelectClusterCount(blobs.data, 2, 6, cluster_at_k);
+  ASSERT_TRUE(selection.ok());
+  EXPECT_EQ(selection->best_k, 3u);
+  EXPECT_EQ(selection->candidate_ks.size(), 1u);
+}
+
+TEST(SelectClusterCountTest, RejectsBadRange) {
+  Blobs blobs = MakeBlobs(10, 2, 5.0, 9);
+  auto noop = [](std::size_t) -> StatusOr<std::vector<std::size_t>> {
+    return Status::Internal("unused");
+  };
+  EXPECT_FALSE(SelectClusterCount(blobs.data, 1, 5, noop).ok());
+  EXPECT_FALSE(SelectClusterCount(blobs.data, 5, 4, noop).ok());
+  EXPECT_FALSE(SelectClusterCount(blobs.data, 2, 20, noop).ok());
+}
+
+}  // namespace
+}  // namespace umvsc::eval

@@ -1,0 +1,216 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace umvsc::eval {
+namespace {
+
+using Labels = std::vector<std::size_t>;
+
+TEST(ContingencyTest, CountsPairs) {
+  Labels pred{0, 0, 1, 1};
+  Labels truth{0, 1, 1, 1};
+  StatusOr<la::Matrix> table = ContingencyTable(pred, truth);
+  ASSERT_TRUE(table.ok());
+  EXPECT_DOUBLE_EQ((*table)(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ((*table)(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ((*table)(1, 1), 2.0);
+  EXPECT_DOUBLE_EQ((*table)(1, 0), 0.0);
+}
+
+TEST(ContingencyTest, RejectsBadInputs) {
+  EXPECT_FALSE(ContingencyTable({}, {}).ok());
+  EXPECT_FALSE(ContingencyTable({0, 1}, {0}).ok());
+}
+
+TEST(AccuracyTest, PerfectAndPermuted) {
+  Labels truth{0, 0, 1, 1, 2, 2};
+  StatusOr<double> same = ClusteringAccuracy(truth, truth);
+  ASSERT_TRUE(same.ok());
+  EXPECT_DOUBLE_EQ(*same, 1.0);
+  // Permuted cluster ids are equivalent clusterings: accuracy must be 1.
+  Labels permuted{2, 2, 0, 0, 1, 1};
+  StatusOr<double> perm = ClusteringAccuracy(permuted, truth);
+  ASSERT_TRUE(perm.ok());
+  EXPECT_DOUBLE_EQ(*perm, 1.0);
+}
+
+TEST(AccuracyTest, KnownPartialMatch) {
+  Labels truth{0, 0, 0, 1, 1, 1};
+  Labels pred{0, 0, 1, 1, 1, 1};  // one point misplaced
+  StatusOr<double> acc = ClusteringAccuracy(pred, truth);
+  ASSERT_TRUE(acc.ok());
+  EXPECT_NEAR(*acc, 5.0 / 6.0, 1e-12);
+}
+
+TEST(AccuracyTest, DifferentClusterCounts) {
+  // Predicted has 3 clusters, truth has 2: padding must handle it.
+  Labels truth{0, 0, 1, 1};
+  Labels pred{0, 1, 2, 2};
+  StatusOr<double> acc = ClusteringAccuracy(pred, truth);
+  ASSERT_TRUE(acc.ok());
+  EXPECT_NEAR(*acc, 0.75, 1e-12);
+}
+
+TEST(NmiTest, PerfectPermutedAndIndependent) {
+  Labels truth{0, 0, 1, 1, 2, 2};
+  Labels permuted{1, 1, 2, 2, 0, 0};
+  StatusOr<double> perfect = NormalizedMutualInformation(permuted, truth);
+  ASSERT_TRUE(perfect.ok());
+  EXPECT_NEAR(*perfect, 1.0, 1e-12);
+
+  // A constant labeling carries no information.
+  Labels constant{0, 0, 0, 0, 0, 0};
+  StatusOr<double> none = NormalizedMutualInformation(constant, truth);
+  ASSERT_TRUE(none.ok());
+  EXPECT_DOUBLE_EQ(*none, 0.0);
+}
+
+TEST(NmiTest, NormalizationsOrdered) {
+  Labels truth{0, 0, 0, 1, 1, 2};
+  Labels pred{0, 1, 0, 1, 1, 1};
+  StatusOr<double> sqrt_nmi =
+      NormalizedMutualInformation(pred, truth, NmiNormalization::kSqrt);
+  StatusOr<double> max_nmi =
+      NormalizedMutualInformation(pred, truth, NmiNormalization::kMax);
+  StatusOr<double> arith_nmi =
+      NormalizedMutualInformation(pred, truth, NmiNormalization::kArithmetic);
+  ASSERT_TRUE(sqrt_nmi.ok() && max_nmi.ok() && arith_nmi.ok());
+  // max-normalized NMI is the smallest; sqrt and arithmetic sit above it.
+  EXPECT_LE(*max_nmi, *sqrt_nmi + 1e-12);
+  EXPECT_LE(*max_nmi, *arith_nmi + 1e-12);
+  EXPECT_GT(*max_nmi, 0.0);
+  EXPECT_LT(*sqrt_nmi, 1.0);
+}
+
+TEST(NmiTest, SymmetricInArguments) {
+  Labels a{0, 0, 1, 1, 2, 2, 0, 1};
+  Labels b{0, 1, 1, 1, 2, 0, 0, 2};
+  StatusOr<double> ab = NormalizedMutualInformation(a, b);
+  StatusOr<double> ba = NormalizedMutualInformation(b, a);
+  ASSERT_TRUE(ab.ok() && ba.ok());
+  EXPECT_NEAR(*ab, *ba, 1e-12);
+}
+
+TEST(AriTest, PerfectIsOneRandomNearZero) {
+  Labels truth{0, 0, 1, 1, 2, 2};
+  StatusOr<double> perfect = AdjustedRandIndex(truth, truth);
+  ASSERT_TRUE(perfect.ok());
+  EXPECT_NEAR(*perfect, 1.0, 1e-12);
+
+  // Independent random labelings have ARI concentrated near 0.
+  Rng rng(80);
+  const std::size_t n = 2000;
+  Labels a(n), b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = static_cast<std::size_t>(rng.UniformInt(4));
+    b[i] = static_cast<std::size_t>(rng.UniformInt(4));
+  }
+  StatusOr<double> random = AdjustedRandIndex(a, b);
+  ASSERT_TRUE(random.ok());
+  EXPECT_NEAR(*random, 0.0, 0.05);
+}
+
+TEST(AriTest, KnownSklearnExample) {
+  // sklearn doc example: ARI([0,0,1,2], [0,0,1,1]) = 0.571428…
+  Labels truth{0, 0, 1, 1};
+  Labels pred{0, 0, 1, 2};
+  StatusOr<double> ari = AdjustedRandIndex(pred, truth);
+  ASSERT_TRUE(ari.ok());
+  EXPECT_NEAR(*ari, 0.5714285714, 1e-9);
+}
+
+TEST(RandIndexTest, BoundsAndPerfection) {
+  Labels truth{0, 1, 0, 1, 2};
+  StatusOr<double> perfect = RandIndex(truth, truth);
+  ASSERT_TRUE(perfect.ok());
+  EXPECT_DOUBLE_EQ(*perfect, 1.0);
+  Labels pred{0, 0, 1, 1, 1};
+  StatusOr<double> ri = RandIndex(pred, truth);
+  ASSERT_TRUE(ri.ok());
+  EXPECT_GE(*ri, 0.0);
+  EXPECT_LE(*ri, 1.0);
+}
+
+TEST(PurityTest, KnownValues) {
+  // Cluster 0: {0,0,1} → majority 2; cluster 1: {1,1} → 2. Purity 4/5.
+  Labels pred{0, 0, 0, 1, 1};
+  Labels truth{0, 0, 1, 1, 1};
+  StatusOr<double> purity = Purity(pred, truth);
+  ASSERT_TRUE(purity.ok());
+  EXPECT_NEAR(*purity, 0.8, 1e-12);
+  // Singleton clusters give perfect purity (the classic degenerate case).
+  Labels singletons{0, 1, 2, 3, 4};
+  StatusOr<double> degenerate = Purity(singletons, truth);
+  ASSERT_TRUE(degenerate.ok());
+  EXPECT_DOUBLE_EQ(*degenerate, 1.0);
+}
+
+TEST(PairwiseFScoreTest, PerfectClustering) {
+  Labels truth{0, 0, 1, 1};
+  StatusOr<PairwiseScores> s = PairwiseFScore(truth, truth);
+  ASSERT_TRUE(s.ok());
+  EXPECT_DOUBLE_EQ(s->precision, 1.0);
+  EXPECT_DOUBLE_EQ(s->recall, 1.0);
+  EXPECT_DOUBLE_EQ(s->f_score, 1.0);
+}
+
+TEST(PairwiseFScoreTest, OverSplittingHurtsRecallNotPrecision) {
+  Labels truth{0, 0, 0, 0};
+  Labels split{0, 0, 1, 1};
+  StatusOr<PairwiseScores> s = PairwiseFScore(split, truth);
+  ASSERT_TRUE(s.ok());
+  EXPECT_DOUBLE_EQ(s->precision, 1.0);
+  EXPECT_NEAR(s->recall, 2.0 / 6.0, 1e-12);
+}
+
+TEST(ScoreClusteringTest, AggregatesAllMetrics) {
+  Labels truth{0, 0, 1, 1, 2, 2};
+  Labels pred{1, 1, 2, 2, 0, 0};
+  StatusOr<ClusteringScores> s = ScoreClustering(pred, truth);
+  ASSERT_TRUE(s.ok());
+  EXPECT_DOUBLE_EQ(s->accuracy, 1.0);
+  EXPECT_NEAR(s->nmi, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s->purity, 1.0);
+  EXPECT_NEAR(s->ari, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s->f_score, 1.0);
+}
+
+TEST(MetricsPropertyTest, AccuracyAtLeastPurityComplementSanity) {
+  // Fuzz: metrics stay within [0, 1] and ACC <= Purity is NOT generally
+  // true, but both stay bounded, and identical labelings are perfect.
+  Rng rng(81);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t n = 40;
+    Labels a(n), b(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      a[i] = static_cast<std::size_t>(rng.UniformInt(5));
+      b[i] = static_cast<std::size_t>(rng.UniformInt(3));
+    }
+    StatusOr<ClusteringScores> s = ScoreClustering(a, b);
+    ASSERT_TRUE(s.ok());
+    EXPECT_GE(s->accuracy, 0.0);
+    EXPECT_LE(s->accuracy, 1.0);
+    EXPECT_GE(s->nmi, 0.0);
+    EXPECT_LE(s->nmi, 1.0);
+    EXPECT_GE(s->purity, 0.0);
+    EXPECT_LE(s->purity, 1.0);
+    EXPECT_GE(s->ari, -1.0);
+    EXPECT_LE(s->ari, 1.0);
+    // Purity never decreases when refining predicted clusters to singletons.
+    Labels singletons(n);
+    for (std::size_t i = 0; i < n; ++i) singletons[i] = i;
+    StatusOr<double> p_single = Purity(singletons, b);
+    StatusOr<double> p_orig = Purity(a, b);
+    ASSERT_TRUE(p_single.ok() && p_orig.ok());
+    EXPECT_GE(*p_single + 1e-12, *p_orig);
+  }
+}
+
+}  // namespace
+}  // namespace umvsc::eval

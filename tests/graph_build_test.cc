@@ -1,0 +1,154 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/connectivity.h"
+#include "graph/distance.h"
+#include "graph/kernels.h"
+#include "graph/knn_graph.h"
+
+namespace umvsc::graph {
+namespace {
+
+la::Matrix TwoBlobs(std::size_t per_cluster, double gap, std::uint64_t seed) {
+  Rng rng(seed);
+  la::Matrix x(2 * per_cluster, 2);
+  for (std::size_t i = 0; i < per_cluster; ++i) {
+    x(i, 0) = rng.Gaussian(0.0, 0.3);
+    x(i, 1) = rng.Gaussian(0.0, 0.3);
+    x(per_cluster + i, 0) = rng.Gaussian(gap, 0.3);
+    x(per_cluster + i, 1) = rng.Gaussian(0.0, 0.3);
+  }
+  return x;
+}
+
+TEST(KnnGraphTest, BasicPropertiesHold) {
+  la::Matrix x = TwoBlobs(15, 8.0, 4);
+  la::Matrix d2 = PairwiseSquaredDistances(x);
+  StatusOr<la::Matrix> kernel = SelfTuningKernel(d2, 5);
+  ASSERT_TRUE(kernel.ok());
+  StatusOr<la::CsrMatrix> w = BuildKnnGraph(*kernel, 5);
+  ASSERT_TRUE(w.ok());
+  EXPECT_TRUE(w->IsSymmetric(1e-12));
+  // No self loops.
+  for (std::size_t i = 0; i < w->rows(); ++i) EXPECT_DOUBLE_EQ(w->At(i, i), 0.0);
+  // Union symmetrization: each vertex keeps at least its own k edges.
+  for (std::size_t i = 0; i < w->rows(); ++i) {
+    std::size_t deg = w->row_offsets()[i + 1] - w->row_offsets()[i];
+    EXPECT_GE(deg, 5u);
+  }
+}
+
+TEST(KnnGraphTest, MutualIsSubsetOfUnion) {
+  la::Matrix x = TwoBlobs(12, 6.0, 5);
+  la::Matrix d2 = PairwiseSquaredDistances(x);
+  StatusOr<la::Matrix> kernel = SelfTuningKernel(d2, 4);
+  ASSERT_TRUE(kernel.ok());
+  StatusOr<la::CsrMatrix> u = BuildKnnGraph(*kernel, 4, KnnSymmetrization::kUnion);
+  StatusOr<la::CsrMatrix> m =
+      BuildKnnGraph(*kernel, 4, KnnSymmetrization::kMutual);
+  ASSERT_TRUE(u.ok() && m.ok());
+  EXPECT_LE(m->NumNonZeros(), u->NumNonZeros());
+  // Every mutual edge exists in the union graph.
+  for (std::size_t i = 0; i < m->rows(); ++i) {
+    for (std::size_t k = m->row_offsets()[i]; k < m->row_offsets()[i + 1]; ++k) {
+      EXPECT_GT(u->At(i, m->col_indices()[k]), 0.0);
+    }
+  }
+}
+
+TEST(KnnGraphTest, WellSeparatedBlobsDisconnect) {
+  la::Matrix x = TwoBlobs(15, 50.0, 6);
+  la::Matrix d2 = PairwiseSquaredDistances(x);
+  StatusOr<la::Matrix> kernel = SelfTuningKernel(d2, 4);
+  ASSERT_TRUE(kernel.ok());
+  StatusOr<la::CsrMatrix> w = BuildKnnGraph(*kernel, 4);
+  ASSERT_TRUE(w.ok());
+  // kNN selection keeps in-cluster edges only: exactly two components that
+  // match the blob split.
+  auto comp = ConnectedComponents(*w);
+  EXPECT_EQ(CountComponents(*w), 2u);
+  for (std::size_t i = 1; i < 15; ++i) {
+    EXPECT_EQ(comp[i], comp[0]);
+    EXPECT_EQ(comp[15 + i], comp[15]);
+  }
+  EXPECT_NE(comp[0], comp[15]);
+  EXPECT_FALSE(IsConnected(*w));
+}
+
+TEST(KnnGraphTest, RejectsBadInputs) {
+  la::Matrix rect(3, 4);
+  EXPECT_FALSE(BuildKnnGraph(rect, 1).ok());
+  la::Matrix neg(4, 4);
+  neg(0, 1) = -1.0;
+  EXPECT_FALSE(BuildKnnGraph(neg, 1).ok());
+  la::Matrix ok(4, 4, 0.5);
+  EXPECT_FALSE(BuildKnnGraph(ok, 0).ok());
+  EXPECT_FALSE(BuildKnnGraph(ok, 4).ok());
+}
+
+TEST(AdaptiveNeighborTest, RowsFormProbabilities) {
+  la::Matrix x = TwoBlobs(10, 5.0, 7);
+  la::Matrix d2 = PairwiseSquaredDistances(x);
+  StatusOr<la::CsrMatrix> w = AdaptiveNeighborGraph(d2, 4);
+  ASSERT_TRUE(w.ok());
+  EXPECT_TRUE(w->IsSymmetric(1e-12));
+  // Each row of the directed construction sums to 1; after (W + Wᵀ)/2 the
+  // TOTAL mass is n (each directed simplex contributes 1/2 twice).
+  la::Vector sums = w->RowSums();
+  EXPECT_NEAR(sums.Sum(), static_cast<double>(w->rows()), 1e-9);
+  for (double v : w->values()) EXPECT_GE(v, 0.0);
+}
+
+TEST(AdaptiveNeighborTest, CloserNeighborsGetMoreWeight) {
+  // Four collinear points; for point 0 with k=2 neighbors {1, 2}, the
+  // closed form weights the nearer one strictly higher.
+  la::Matrix x{{0.0}, {1.0}, {2.0}, {10.0}};
+  la::Matrix d2 = PairwiseSquaredDistances(x);
+  StatusOr<la::CsrMatrix> w = AdaptiveNeighborGraph(d2, 2);
+  ASSERT_TRUE(w.ok());
+  EXPECT_GT(w->At(0, 1), w->At(0, 2));
+}
+
+TEST(AdaptiveNeighborTest, TiedDistancesFallBackToUniform) {
+  // Equilateral configuration: all pairwise distances equal. Each directed
+  // simplex falls back to uniform 1/k weights; after (W + Wᵀ)/2 the total
+  // mass is still n and every edge weight is a multiple of 1/(2k).
+  la::Matrix d2(4, 4, 1.0);
+  for (std::size_t i = 0; i < 4; ++i) d2(i, i) = 0.0;
+  StatusOr<la::CsrMatrix> w = AdaptiveNeighborGraph(d2, 2);
+  ASSERT_TRUE(w.ok());
+  EXPECT_NEAR(w->RowSums().Sum(), 4.0, 1e-9);
+  for (double v : w->values()) {
+    EXPECT_NEAR(std::round(v * 4.0), v * 4.0, 1e-9);
+    EXPECT_GT(v, 0.0);
+  }
+}
+
+TEST(AdaptiveNeighborTest, RejectsBadK) {
+  la::Matrix d2(5, 5);
+  EXPECT_FALSE(AdaptiveNeighborGraph(d2, 0).ok());
+  EXPECT_FALSE(AdaptiveNeighborGraph(d2, 4).ok());
+}
+
+TEST(ConnectivityTest, SingletonAndEmptyGraph) {
+  la::CsrMatrix empty = la::CsrMatrix::FromTriplets(3, 3, {});
+  EXPECT_EQ(CountComponents(empty), 3u);
+  la::CsrMatrix one = la::CsrMatrix::FromTriplets(1, 1, {});
+  EXPECT_TRUE(IsConnected(one));
+}
+
+TEST(ConnectivityTest, ChainIsConnected) {
+  std::vector<la::Triplet> t;
+  for (std::size_t i = 0; i + 1 < 6; ++i) {
+    t.push_back({i, i + 1, 1.0});
+    t.push_back({i + 1, i, 1.0});
+  }
+  la::CsrMatrix chain = la::CsrMatrix::FromTriplets(6, 6, std::move(t));
+  EXPECT_TRUE(IsConnected(chain));
+  EXPECT_EQ(CountComponents(chain), 1u);
+}
+
+}  // namespace
+}  // namespace umvsc::graph

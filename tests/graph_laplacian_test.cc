@@ -1,0 +1,152 @@
+#include "graph/laplacian.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "la/ops.h"
+#include "la/sym_eigen.h"
+
+namespace umvsc::graph {
+namespace {
+
+// Symmetric random affinity with zero diagonal.
+la::Matrix RandomAffinity(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  la::Matrix w(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double v = rng.Uniform();
+      w(i, j) = v;
+      w(j, i) = v;
+    }
+  }
+  return w;
+}
+
+TEST(LaplacianTest, UnnormalizedRowSumsVanish) {
+  la::Matrix w = RandomAffinity(12, 10);
+  StatusOr<la::Matrix> l = Laplacian(w, LaplacianKind::kUnnormalized);
+  ASSERT_TRUE(l.ok());
+  for (std::size_t i = 0; i < 12; ++i) {
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < 12; ++j) row_sum += (*l)(i, j);
+    EXPECT_NEAR(row_sum, 0.0, 1e-12);
+  }
+}
+
+TEST(LaplacianTest, UnnormalizedIsPsdWithZeroEigenvalue) {
+  la::Matrix w = RandomAffinity(10, 11);
+  StatusOr<la::Matrix> l = Laplacian(w, LaplacianKind::kUnnormalized);
+  ASSERT_TRUE(l.ok());
+  StatusOr<la::SymEigenResult> eig = la::SymmetricEigen(*l);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_NEAR(eig->eigenvalues[0], 0.0, 1e-9);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_GE(eig->eigenvalues[i], -1e-9);
+  }
+}
+
+TEST(LaplacianTest, SymmetricNormalizedSpectrumInZeroTwo) {
+  la::Matrix w = RandomAffinity(15, 12);
+  StatusOr<la::Matrix> l = Laplacian(w, LaplacianKind::kSymmetric);
+  ASSERT_TRUE(l.ok());
+  EXPECT_TRUE(l->IsSymmetric(1e-12));
+  StatusOr<la::SymEigenResult> eig = la::SymmetricEigen(*l);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_NEAR(eig->eigenvalues[0], 0.0, 1e-9);
+  EXPECT_LE(eig->eigenvalues[14], 2.0 + 1e-9);
+}
+
+TEST(LaplacianTest, NullSpaceDimensionEqualsComponents) {
+  // Two disconnected triangles.
+  la::Matrix w(6, 6);
+  auto connect = [&](std::size_t a, std::size_t b) {
+    w(a, b) = 1.0;
+    w(b, a) = 1.0;
+  };
+  connect(0, 1);
+  connect(1, 2);
+  connect(0, 2);
+  connect(3, 4);
+  connect(4, 5);
+  connect(3, 5);
+  StatusOr<la::Matrix> l = Laplacian(w, LaplacianKind::kSymmetric);
+  ASSERT_TRUE(l.ok());
+  StatusOr<la::SymEigenResult> eig = la::SymmetricEigen(*l);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_NEAR(eig->eigenvalues[0], 0.0, 1e-10);
+  EXPECT_NEAR(eig->eigenvalues[1], 0.0, 1e-10);
+  EXPECT_GT(eig->eigenvalues[2], 0.1);
+}
+
+TEST(LaplacianTest, RandomWalkRowsSumToZero) {
+  la::Matrix w = RandomAffinity(8, 13);
+  StatusOr<la::Matrix> l = Laplacian(w, LaplacianKind::kRandomWalk);
+  ASSERT_TRUE(l.ok());
+  for (std::size_t i = 0; i < 8; ++i) {
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < 8; ++j) row_sum += (*l)(i, j);
+    EXPECT_NEAR(row_sum, 0.0, 1e-12);
+  }
+}
+
+TEST(LaplacianTest, IsolatedVertexGetsIdentityRow) {
+  la::Matrix w(3, 3);
+  w(0, 1) = 1.0;
+  w(1, 0) = 1.0;  // vertex 2 isolated
+  StatusOr<la::Matrix> l = Laplacian(w, LaplacianKind::kSymmetric);
+  ASSERT_TRUE(l.ok());
+  EXPECT_DOUBLE_EQ((*l)(2, 2), 1.0);
+  EXPECT_DOUBLE_EQ((*l)(2, 0), 0.0);
+}
+
+TEST(LaplacianTest, SparseMatchesDense) {
+  la::Matrix w = RandomAffinity(14, 14);
+  // Sparsify a bit.
+  for (std::size_t i = 0; i < 14; ++i) {
+    for (std::size_t j = 0; j < 14; ++j) {
+      if (w(i, j) < 0.5) w(i, j) = 0.0;
+    }
+  }
+  w.Symmetrize();
+  la::CsrMatrix ws = la::CsrMatrix::FromDense(w);
+  for (auto kind : {LaplacianKind::kUnnormalized, LaplacianKind::kSymmetric,
+                    LaplacianKind::kRandomWalk}) {
+    StatusOr<la::Matrix> dense = Laplacian(w, kind);
+    StatusOr<la::CsrMatrix> sparse = Laplacian(ws, kind);
+    ASSERT_TRUE(dense.ok());
+    ASSERT_TRUE(sparse.ok());
+    EXPECT_TRUE(la::AlmostEqual(sparse->ToDense(), *dense, 1e-12));
+  }
+}
+
+TEST(LaplacianTest, NormalizedAdjacencyComplementsSymmetricLaplacian) {
+  la::Matrix w = RandomAffinity(9, 15);
+  StatusOr<la::Matrix> a = NormalizedAdjacency(w);
+  StatusOr<la::Matrix> l = Laplacian(w, LaplacianKind::kSymmetric);
+  ASSERT_TRUE(a.ok() && l.ok());
+  // L_sym + A_norm = I.
+  la::Matrix sum = la::Add(*a, *l);
+  EXPECT_TRUE(la::AlmostEqual(sum, la::Matrix::Identity(9), 1e-12));
+}
+
+TEST(LaplacianTest, RejectsInvalidAffinities) {
+  la::Matrix rect(2, 3);
+  EXPECT_FALSE(Laplacian(rect, LaplacianKind::kSymmetric).ok());
+  la::Matrix neg(3, 3);
+  neg(0, 1) = -0.5;
+  neg(1, 0) = -0.5;
+  EXPECT_FALSE(Laplacian(neg, LaplacianKind::kSymmetric).ok());
+  la::Matrix asym(3, 3);
+  asym(0, 1) = 1.0;
+  EXPECT_FALSE(Laplacian(asym, LaplacianKind::kSymmetric).ok());
+}
+
+TEST(LaplacianTest, DegreesMatchBetweenDenseAndSparse) {
+  la::Matrix w = RandomAffinity(7, 16);
+  la::CsrMatrix ws = la::CsrMatrix::FromDense(w);
+  EXPECT_TRUE(la::AlmostEqual(Degrees(w), Degrees(ws), 1e-12));
+}
+
+}  // namespace
+}  // namespace umvsc::graph

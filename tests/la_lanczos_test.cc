@@ -1,0 +1,143 @@
+#include "la/lanczos.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "la/ops.h"
+#include "la/sym_eigen.h"
+#include "test_util.h"
+
+namespace umvsc::la {
+namespace {
+
+// Builds the symmetric adjacency of a cycle graph on n vertices.
+CsrMatrix CycleAdjacency(std::size_t n) {
+  std::vector<Triplet> t;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j = (i + 1) % n;
+    t.push_back({i, j, 1.0});
+    t.push_back({j, i, 1.0});
+  }
+  return CsrMatrix::FromTriplets(n, n, std::move(t));
+}
+
+// Unnormalized Laplacian of a disjoint union of `c` cliques of size `s`.
+CsrMatrix BlockCliqueLaplacian(std::size_t c, std::size_t s) {
+  std::vector<Triplet> t;
+  for (std::size_t b = 0; b < c; ++b) {
+    const std::size_t base = b * s;
+    for (std::size_t i = 0; i < s; ++i) {
+      t.push_back({base + i, base + i, static_cast<double>(s - 1)});
+      for (std::size_t j = 0; j < s; ++j) {
+        if (i != j) t.push_back({base + i, base + j, -1.0});
+      }
+    }
+  }
+  return CsrMatrix::FromTriplets(c * s, c * s, std::move(t));
+}
+
+TEST(LanczosTest, LargestEigenvaluesOfDenseReference) {
+  Matrix dense = test::RandomSymmetric(40, 90);
+  CsrMatrix sparse = CsrMatrix::FromDense(dense);
+  StatusOr<SymEigenResult> full = SymmetricEigen(dense);
+  StatusOr<SymEigenResult> lan = LanczosLargest(sparse, 4);
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(lan.ok()) << lan.status().ToString();
+  for (int j = 0; j < 4; ++j) {
+    EXPECT_NEAR(lan->eigenvalues[j], full->eigenvalues[39 - j], 1e-7);
+  }
+}
+
+TEST(LanczosTest, RitzVectorsAreEigenvectors) {
+  Matrix dense = test::RandomSymmetric(30, 91);
+  CsrMatrix sparse = CsrMatrix::FromDense(dense);
+  StatusOr<SymEigenResult> lan = LanczosLargest(sparse, 3);
+  ASSERT_TRUE(lan.ok());
+  EXPECT_LT(OrthonormalityError(lan->eigenvectors), 1e-8);
+  for (int j = 0; j < 3; ++j) {
+    Vector v = lan->eigenvectors.Col(j);
+    Vector av = sparse.Multiply(v);
+    av.Axpy(-lan->eigenvalues[j], v);
+    EXPECT_LT(av.Norm2(), 1e-6 * std::max(1.0, std::fabs(lan->eigenvalues[j])));
+  }
+}
+
+TEST(LanczosTest, CycleGraphSpectrumKnown) {
+  // Adjacency eigenvalues of a cycle: 2·cos(2πk/n); the largest is 2.
+  const std::size_t n = 50;
+  CsrMatrix a = CycleAdjacency(n);
+  StatusOr<SymEigenResult> lan = LanczosLargest(a, 1);
+  ASSERT_TRUE(lan.ok());
+  EXPECT_NEAR(lan->eigenvalues[0], 2.0, 1e-8);
+}
+
+TEST(LanczosTest, SmallestViaComplementOnLaplacian) {
+  // Disconnected graph with 4 components: smallest 4 Laplacian eigenvalues
+  // are all exactly 0 — the multiplicity case that naive Lanczos misses.
+  const std::size_t c = 4, s = 8;
+  CsrMatrix lap = BlockCliqueLaplacian(c, s);
+  // Spectral bound: unnormalized clique Laplacian has max eigenvalue s.
+  StatusOr<SymEigenResult> lan =
+      LanczosSmallest(lap, c, static_cast<double>(s) + 1.0);
+  ASSERT_TRUE(lan.ok()) << lan.status().ToString();
+  for (std::size_t j = 0; j < c; ++j) {
+    EXPECT_NEAR(lan->eigenvalues[j], 0.0, 1e-7) << "j=" << j;
+  }
+  // The 4-dimensional null space must be fully captured: Lap·V ≈ 0.
+  Matrix lv = lap.Multiply(lan->eigenvectors);
+  EXPECT_LT(lv.MaxAbs(), 1e-7);
+  EXPECT_LT(OrthonormalityError(lan->eigenvectors), 1e-8);
+}
+
+TEST(LanczosTest, SmallestMatchesDenseReference) {
+  Matrix dense = test::RandomSpd(35, 92);
+  CsrMatrix sparse = CsrMatrix::FromDense(dense);
+  StatusOr<SymEigenResult> full = SymmetricEigen(dense);
+  ASSERT_TRUE(full.ok());
+  const double bound = full->eigenvalues[34] * 1.01;
+  StatusOr<SymEigenResult> lan = LanczosSmallest(sparse, 3, bound);
+  ASSERT_TRUE(lan.ok()) << lan.status().ToString();
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_NEAR(lan->eigenvalues[j], full->eigenvalues[j], 1e-6);
+  }
+}
+
+TEST(LanczosTest, MatrixFreeOperatorWorks) {
+  // Operator for diag(1, 2, …, n) without materializing a matrix.
+  const std::size_t n = 25;
+  SymmetricOperator op = [n](const Vector& x, Vector& y) {
+    for (std::size_t i = 0; i < n; ++i) {
+      y[i] += static_cast<double>(i + 1) * x[i];
+    }
+  };
+  StatusOr<SymEigenResult> lan = LanczosLargest(op, n, 2);
+  ASSERT_TRUE(lan.ok());
+  EXPECT_NEAR(lan->eigenvalues[0], static_cast<double>(n), 1e-8);
+  EXPECT_NEAR(lan->eigenvalues[1], static_cast<double>(n - 1), 1e-8);
+}
+
+TEST(LanczosTest, InvalidArguments) {
+  CsrMatrix a = CycleAdjacency(10);
+  EXPECT_FALSE(LanczosLargest(a, 0).ok());
+  EXPECT_FALSE(LanczosLargest(a, 11).ok());
+  EXPECT_FALSE(LanczosSmallest(a, 2, -1.0).ok());
+  CsrMatrix rect = CsrMatrix::FromTriplets(2, 3, {{0, 0, 1.0}});
+  EXPECT_FALSE(LanczosLargest(rect, 1).ok());
+}
+
+TEST(LanczosTest, KEqualsNReturnsFullSpectrum) {
+  Matrix dense = test::RandomSymmetric(12, 93);
+  CsrMatrix sparse = CsrMatrix::FromDense(dense);
+  StatusOr<SymEigenResult> full = SymmetricEigen(dense);
+  StatusOr<SymEigenResult> lan = LanczosLargest(sparse, 12);
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(lan.ok()) << lan.status().ToString();
+  for (int j = 0; j < 12; ++j) {
+    EXPECT_NEAR(lan->eigenvalues[j], full->eigenvalues[11 - j], 1e-7);
+  }
+}
+
+}  // namespace
+}  // namespace umvsc::la

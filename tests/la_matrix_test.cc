@@ -1,0 +1,134 @@
+#include "la/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace umvsc::la {
+namespace {
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  m(1, 2) = 4.5;
+  EXPECT_DOUBLE_EQ(m(1, 2), 4.5);
+  EXPECT_DOUBLE_EQ(m(0, 0), 0.0);
+}
+
+TEST(MatrixTest, InitializerList) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(MatrixTest, RowMajorLayout) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m.data()[0], 1.0);
+  EXPECT_DOUBLE_EQ(m.data()[1], 2.0);
+  EXPECT_DOUBLE_EQ(m.data()[2], 3.0);
+  EXPECT_DOUBLE_EQ(m.RowPtr(1)[1], 4.0);
+}
+
+TEST(MatrixTest, IdentityAndDiagonal) {
+  Matrix eye = Matrix::Identity(3);
+  EXPECT_DOUBLE_EQ(eye(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(eye(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(eye.Trace(), 3.0);
+
+  Matrix d = Matrix::Diagonal(Vector{2.0, 5.0});
+  EXPECT_DOUBLE_EQ(d(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(d(1, 1), 5.0);
+  EXPECT_DOUBLE_EQ(d(0, 1), 0.0);
+}
+
+TEST(MatrixTest, RowColDiagAccessors) {
+  Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  Vector r = m.Row(1);
+  EXPECT_DOUBLE_EQ(r[0], 4.0);
+  Vector c = m.Col(2);
+  EXPECT_DOUBLE_EQ(c[1], 6.0);
+  Vector d = m.Diag();
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_DOUBLE_EQ(d[1], 5.0);
+}
+
+TEST(MatrixTest, SetRowSetCol) {
+  Matrix m(2, 2);
+  m.SetRow(0, Vector{1.0, 2.0});
+  m.SetCol(1, Vector{7.0, 8.0});
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 7.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 8.0);
+}
+
+TEST(MatrixTest, Block) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}};
+  Matrix b = m.Block(1, 1, 2, 2);
+  EXPECT_EQ(b.rows(), 2u);
+  EXPECT_DOUBLE_EQ(b(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(b(1, 1), 9.0);
+  Matrix left = m.LeftCols(2);
+  EXPECT_EQ(left.cols(), 2u);
+  EXPECT_DOUBLE_EQ(left(2, 1), 8.0);
+}
+
+TEST(MatrixTest, ScaleAddSymmetrize) {
+  Matrix m{{1.0, 2.0}, {4.0, 3.0}};
+  m.Scale(2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 8.0);
+  m.Add(Matrix::Identity(2), 1.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 3.0);
+  m.Symmetrize();
+  EXPECT_DOUBLE_EQ(m(0, 1), m(1, 0));
+  EXPECT_DOUBLE_EQ(m(0, 1), 6.0);
+}
+
+TEST(MatrixTest, Norms) {
+  Matrix m{{3.0, 0.0}, {0.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m.FrobeniusNorm(), 5.0);
+  EXPECT_DOUBLE_EQ(m.MaxAbs(), 4.0);
+}
+
+TEST(MatrixTest, IsSymmetric) {
+  Matrix sym{{1.0, 2.0}, {2.0, 3.0}};
+  EXPECT_TRUE(sym.IsSymmetric());
+  Matrix asym{{1.0, 2.0}, {2.1, 3.0}};
+  EXPECT_FALSE(asym.IsSymmetric(1e-3));
+  EXPECT_TRUE(asym.IsSymmetric(0.2));
+  Matrix rect(2, 3);
+  EXPECT_FALSE(rect.IsSymmetric());
+}
+
+TEST(MatrixTest, RandomMatricesUseRangeAndSeed) {
+  Rng rng(5);
+  Matrix u = Matrix::RandomUniform(50, 50, rng, -1.0, 1.0);
+  EXPECT_LE(u.MaxAbs(), 1.0);
+  Rng rng2(5);
+  Matrix u2 = Matrix::RandomUniform(50, 50, rng2, -1.0, 1.0);
+  EXPECT_TRUE(AlmostEqual(u, u2, 0.0));
+}
+
+TEST(MatrixTest, AlmostEqualRespectsShape) {
+  Matrix a(2, 2), b(2, 3);
+  EXPECT_FALSE(AlmostEqual(a, b, 1.0));
+}
+
+TEST(MatrixTest, ToStringContainsEntries) {
+  Matrix m{{1.5, 2.0}};
+  std::string s = m.ToString(1);
+  EXPECT_NE(s.find("1.5"), std::string::npos);
+  EXPECT_NE(s.find("2.0"), std::string::npos);
+}
+
+TEST(MatrixDeathTest, RaggedInitializerAborts) {
+  EXPECT_DEATH((Matrix{{1.0, 2.0}, {3.0}}), "ragged");
+}
+
+TEST(MatrixDeathTest, TraceOfRectangularAborts) {
+  Matrix m(2, 3);
+  EXPECT_DEATH(m.Trace(), "square");
+}
+
+}  // namespace
+}  // namespace umvsc::la

@@ -1,0 +1,114 @@
+#include "la/nmf.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "la/ops.h"
+
+namespace umvsc::la {
+namespace {
+
+// Exactly factorizable nonnegative matrix of known rank.
+Matrix LowRankNonnegative(std::size_t n, std::size_t d, std::size_t r,
+                          std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix w = Matrix::RandomUniform(n, r, rng, 0.0, 1.0);
+  Matrix h = Matrix::RandomUniform(r, d, rng, 0.0, 1.0);
+  return MatMul(w, h);
+}
+
+TEST(NmfTest, ReconstructsLowRankMatrix) {
+  Matrix a = LowRankNonnegative(30, 20, 3, 1);
+  NmfOptions options;
+  options.rank = 3;
+  options.max_iterations = 2000;
+  options.tolerance = 1e-10;
+  options.seed = 2;
+  StatusOr<NmfResult> r = Nmf(a, options);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_LT(r->relative_error, 0.02);
+  EXPECT_EQ(r->w.rows(), 30u);
+  EXPECT_EQ(r->w.cols(), 3u);
+  EXPECT_EQ(r->h.rows(), 3u);
+  EXPECT_EQ(r->h.cols(), 20u);
+}
+
+TEST(NmfTest, FactorsAreNonnegative) {
+  Matrix a = LowRankNonnegative(15, 12, 4, 3);
+  NmfOptions options;
+  options.rank = 4;
+  options.seed = 4;
+  StatusOr<NmfResult> r = Nmf(a, options);
+  ASSERT_TRUE(r.ok());
+  for (std::size_t i = 0; i < r->w.size(); ++i) EXPECT_GE(r->w.data()[i], 0.0);
+  for (std::size_t i = 0; i < r->h.size(); ++i) EXPECT_GE(r->h.data()[i], 0.0);
+}
+
+TEST(NmfTest, ErrorDecreasesWithRank) {
+  Rng rng(5);
+  Matrix a = Matrix::RandomUniform(25, 18, rng, 0.0, 1.0);
+  double prev = 1.0;
+  for (std::size_t rank : {1, 4, 12}) {
+    NmfOptions options;
+    options.rank = rank;
+    options.max_iterations = 500;
+    options.seed = 6;
+    StatusOr<NmfResult> r = Nmf(a, options);
+    ASSERT_TRUE(r.ok());
+    EXPECT_LE(r->relative_error, prev + 1e-6) << "rank " << rank;
+    prev = r->relative_error;
+  }
+}
+
+TEST(NmfTest, DeterministicForSeed) {
+  Matrix a = LowRankNonnegative(12, 10, 2, 7);
+  NmfOptions options;
+  options.rank = 2;
+  options.seed = 8;
+  StatusOr<NmfResult> r1 = Nmf(a, options);
+  StatusOr<NmfResult> r2 = Nmf(a, options);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_TRUE(AlmostEqual(r1->w, r2->w, 0.0));
+  EXPECT_DOUBLE_EQ(r1->relative_error, r2->relative_error);
+}
+
+TEST(NmfTest, ClusterStructureShowsInFactor) {
+  // Block-diagonal-ish matrix: rows of W should separate the two blocks.
+  Matrix a(20, 10);
+  for (std::size_t i = 0; i < 20; ++i) {
+    for (std::size_t j = 0; j < 10; ++j) {
+      const bool same_block = (i < 10) == (j < 5);
+      a(i, j) = same_block ? 1.0 : 0.01;
+    }
+  }
+  NmfOptions options;
+  options.rank = 2;
+  options.max_iterations = 500;
+  options.seed = 9;
+  StatusOr<NmfResult> r = Nmf(a, options);
+  ASSERT_TRUE(r.ok());
+  // Rows in the same block should pick the same dominant column of W.
+  auto dominant = [&](std::size_t i) {
+    return r->w(i, 0) > r->w(i, 1) ? 0 : 1;
+  };
+  for (std::size_t i = 1; i < 10; ++i) EXPECT_EQ(dominant(i), dominant(0));
+  for (std::size_t i = 11; i < 20; ++i) EXPECT_EQ(dominant(i), dominant(10));
+  EXPECT_NE(dominant(0), dominant(10));
+}
+
+TEST(NmfTest, RejectsInvalidInputs) {
+  NmfOptions options;
+  options.rank = 2;
+  EXPECT_FALSE(Nmf(Matrix(), options).ok());
+  Matrix neg(3, 3);
+  neg(0, 0) = -1.0;
+  EXPECT_FALSE(Nmf(neg, options).ok());
+  Matrix ok(3, 3, 1.0);
+  options.rank = 0;
+  EXPECT_FALSE(Nmf(ok, options).ok());
+  options.rank = 4;
+  EXPECT_FALSE(Nmf(ok, options).ok());
+}
+
+}  // namespace
+}  // namespace umvsc::la

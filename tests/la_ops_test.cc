@@ -1,0 +1,133 @@
+#include "la/ops.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "test_util.h"
+
+namespace umvsc::la {
+namespace {
+
+TEST(OpsTest, MatMulKnownProduct) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  Matrix c = MatMul(a, b);
+  Matrix expected{{19.0, 22.0}, {43.0, 50.0}};
+  EXPECT_TRUE(AlmostEqual(c, expected, 1e-14));
+}
+
+TEST(OpsTest, MatMulIdentityIsNoop) {
+  Rng rng(1);
+  Matrix a = Matrix::RandomGaussian(7, 5, rng);
+  EXPECT_TRUE(AlmostEqual(MatMul(Matrix::Identity(7), a), a, 1e-14));
+  EXPECT_TRUE(AlmostEqual(MatMul(a, Matrix::Identity(5)), a, 1e-14));
+}
+
+TEST(OpsTest, MatMulBlockedMatchesNaiveOnLargeSizes) {
+  // Exercise the blocking logic past the 64-wide block edge.
+  Rng rng(2);
+  Matrix a = Matrix::RandomGaussian(130, 70, rng);
+  Matrix b = Matrix::RandomGaussian(70, 95, rng);
+  Matrix c = MatMul(a, b);
+  // Naive reference.
+  Matrix ref(130, 95);
+  for (std::size_t i = 0; i < 130; ++i) {
+    for (std::size_t j = 0; j < 95; ++j) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < 70; ++k) s += a(i, k) * b(k, j);
+      ref(i, j) = s;
+    }
+  }
+  EXPECT_TRUE(AlmostEqual(c, ref, 1e-10));
+}
+
+TEST(OpsTest, TransposedProductsMatchExplicitTranspose) {
+  Rng rng(3);
+  Matrix a = Matrix::RandomGaussian(20, 8, rng);
+  Matrix b = Matrix::RandomGaussian(20, 6, rng);
+  EXPECT_TRUE(AlmostEqual(MatTMul(a, b), MatMul(Transpose(a), b), 1e-12));
+
+  Matrix c = Matrix::RandomGaussian(9, 8, rng);
+  EXPECT_TRUE(AlmostEqual(MatMulT(a, c), MatMul(a, Transpose(c)), 1e-12));
+}
+
+TEST(OpsTest, MatVecAndMatTVec) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  Vector x{1.0, -1.0};
+  Vector y = MatVec(a, x);
+  EXPECT_DOUBLE_EQ(y[0], -1.0);
+  EXPECT_DOUBLE_EQ(y[2], -1.0);
+
+  Vector z{1.0, 0.0, -1.0};
+  Vector w = MatTVec(a, z);
+  EXPECT_DOUBLE_EQ(w[0], -4.0);
+  EXPECT_DOUBLE_EQ(w[1], -4.0);
+}
+
+TEST(OpsTest, TransposeInvolution) {
+  Rng rng(4);
+  Matrix a = Matrix::RandomGaussian(6, 11, rng);
+  EXPECT_TRUE(AlmostEqual(Transpose(Transpose(a)), a, 0.0));
+}
+
+TEST(OpsTest, GramMatchesDefinition) {
+  Rng rng(5);
+  Matrix a = Matrix::RandomGaussian(12, 5, rng);
+  EXPECT_TRUE(AlmostEqual(Gram(a), MatMul(Transpose(a), a), 1e-12));
+  EXPECT_TRUE(Gram(a).IsSymmetric(1e-14));
+  EXPECT_TRUE(AlmostEqual(OuterGram(a), MatMul(a, Transpose(a)), 1e-12));
+}
+
+TEST(OpsTest, TraceOfProductMatchesTraceOfMatMul) {
+  Rng rng(6);
+  Matrix a = Matrix::RandomGaussian(7, 7, rng);
+  Matrix b = Matrix::RandomGaussian(7, 7, rng);
+  // Tr(AᵀB) via elementwise sum must equal Tr of the explicit product.
+  EXPECT_NEAR(TraceOfProduct(a, b), MatMul(Transpose(a), b).Trace(), 1e-10);
+}
+
+TEST(OpsTest, QuadraticTraceMatchesExplicitProduct) {
+  Matrix l = test::RandomSymmetric(9, 7);
+  Rng rng(8);
+  Matrix f = Matrix::RandomGaussian(9, 3, rng);
+  double direct = MatMul(Transpose(f), MatMul(l, f)).Trace();
+  EXPECT_NEAR(QuadraticTrace(l, f), direct, 1e-10);
+}
+
+TEST(OpsTest, HadamardAndAdd) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{2.0, 0.5}, {1.0, -1.0}};
+  Matrix h = Hadamard(a, b);
+  EXPECT_DOUBLE_EQ(h(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(h(1, 1), -4.0);
+  Matrix s = Add(a, b, 2.0);
+  EXPECT_DOUBLE_EQ(s(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(s(1, 1), 2.0);
+}
+
+TEST(OpsTest, HConcat) {
+  Matrix a{{1.0}, {2.0}};
+  Matrix b{{3.0, 4.0}, {5.0, 6.0}};
+  Matrix c = HConcat({a, b});
+  EXPECT_EQ(c.rows(), 2u);
+  EXPECT_EQ(c.cols(), 3u);
+  EXPECT_DOUBLE_EQ(c(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(c(1, 2), 6.0);
+}
+
+TEST(OpsTest, OrthonormalityErrorDetectsDeviation) {
+  EXPECT_NEAR(OrthonormalityError(Matrix::Identity(4)), 0.0, 1e-15);
+  Matrix skew = Matrix::Identity(4);
+  skew(0, 0) = 2.0;
+  EXPECT_NEAR(OrthonormalityError(skew), 3.0, 1e-15);
+}
+
+TEST(OpsDeathTest, DimensionMismatchesAbort) {
+  Matrix a(2, 3), b(2, 3);
+  EXPECT_DEATH(MatMul(a, b), "dimension mismatch");
+  Vector x(2);
+  EXPECT_DEATH(MatVec(a, x), "dimension mismatch");
+}
+
+}  // namespace
+}  // namespace umvsc::la

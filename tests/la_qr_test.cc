@@ -1,0 +1,100 @@
+#include "la/qr.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "la/ops.h"
+#include "test_util.h"
+
+namespace umvsc::la {
+namespace {
+
+class QrShapeTest : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(QrShapeTest, ReconstructsAndIsOrthonormal) {
+  auto [m, n] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 131 + n));
+  Matrix a = Matrix::RandomGaussian(m, n, rng);
+  QrResult qr = QrDecompose(a);
+
+  EXPECT_EQ(qr.q.rows(), static_cast<std::size_t>(m));
+  EXPECT_EQ(qr.q.cols(), static_cast<std::size_t>(n));
+  EXPECT_EQ(qr.r.rows(), static_cast<std::size_t>(n));
+
+  EXPECT_LT(OrthonormalityError(qr.q), 1e-12);
+  EXPECT_TRUE(AlmostEqual(MatMul(qr.q, qr.r), a, 1e-11));
+  // R upper triangular.
+  for (std::size_t i = 1; i < qr.r.rows(); ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      EXPECT_NEAR(qr.r(i, j), 0.0, 1e-14);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, QrShapeTest,
+    ::testing::Values(std::pair{1, 1}, std::pair{4, 4}, std::pair{10, 3},
+                      std::pair{25, 25}, std::pair{60, 12},
+                      std::pair{100, 40}, std::pair{7, 7}));
+
+TEST(QrTest, OrthonormalizeFullRank) {
+  Rng rng(9);
+  Matrix a = Matrix::RandomGaussian(30, 10, rng);
+  Matrix q = Orthonormalize(a);
+  EXPECT_LT(OrthonormalityError(q), 1e-12);
+  // Column space preserved: projecting A onto Q recovers A.
+  Matrix proj = MatMul(q, MatTMul(q, a));
+  EXPECT_TRUE(AlmostEqual(proj, a, 1e-10));
+}
+
+TEST(QrTest, OrthonormalizeRankDeficientStillOrthonormal) {
+  // Two identical columns: rank 1 out of 2.
+  Matrix a(6, 2);
+  for (std::size_t i = 0; i < 6; ++i) {
+    a(i, 0) = static_cast<double>(i + 1);
+    a(i, 1) = static_cast<double>(i + 1);
+  }
+  Matrix q = Orthonormalize(a);
+  EXPECT_EQ(q.cols(), 2u);
+  EXPECT_LT(OrthonormalityError(q), 1e-10);
+}
+
+TEST(QrTest, OrthonormalizeZeroMatrixProducesBasis) {
+  Matrix a(5, 3);
+  Matrix q = Orthonormalize(a);
+  EXPECT_LT(OrthonormalityError(q), 1e-10);
+}
+
+TEST(QrTest, LeastSquaresExactSystem) {
+  Matrix a{{2.0, 0.0}, {0.0, 3.0}};
+  Vector b{4.0, 9.0};
+  Vector x = LeastSquares(a, b);
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(QrTest, LeastSquaresOverdeterminedMatchesNormalEquations) {
+  Rng rng(10);
+  Matrix a = Matrix::RandomGaussian(40, 5, rng);
+  Vector b(40);
+  for (std::size_t i = 0; i < 40; ++i) b[i] = rng.Gaussian();
+  Vector x = LeastSquares(a, b);
+  // Optimality: residual is orthogonal to the column space (Aᵀr = 0).
+  Vector r = MatVec(a, x) - b;
+  Vector atr = MatTVec(a, r);
+  EXPECT_LT(atr.MaxAbs(), 1e-10);
+}
+
+TEST(QrTest, QrOfOrthonormalInputGivesIdentityLikeR) {
+  Matrix q0 = test::RandomOrthonormal(20, 6, 11);
+  QrResult qr = QrDecompose(q0);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_NEAR(std::abs(qr.r(i, i)), 1.0, 1e-12);
+    for (std::size_t j = i + 1; j < 6; ++j) {
+      EXPECT_NEAR(qr.r(i, j), 0.0, 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace umvsc::la

@@ -1,0 +1,94 @@
+#include "la/simplex.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace umvsc::la {
+namespace {
+
+void ExpectOnSimplex(const Vector& x, double radius) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_GE(x[i], 0.0);
+    sum += x[i];
+  }
+  EXPECT_NEAR(sum, radius, 1e-12);
+}
+
+TEST(SimplexTest, PointAlreadyOnSimplexIsFixed) {
+  Vector v{0.2, 0.5, 0.3};
+  Vector p = ProjectToSimplex(v);
+  EXPECT_TRUE(AlmostEqual(p, v, 1e-12));
+}
+
+TEST(SimplexTest, UniformInputProjectsToUniform) {
+  Vector v(4, 10.0);
+  Vector p = ProjectToSimplex(v);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(p[i], 0.25, 1e-12);
+}
+
+TEST(SimplexTest, DominantCoordinateWins) {
+  Vector v{100.0, 0.0, 0.0};
+  Vector p = ProjectToSimplex(v);
+  EXPECT_NEAR(p[0], 1.0, 1e-12);
+  EXPECT_NEAR(p[1], 0.0, 1e-12);
+}
+
+TEST(SimplexTest, KnownTwoDimensionalProjection) {
+  // Projecting (1, 0.5): both stay positive, shifted by θ = 0.25.
+  Vector p = ProjectToSimplex(Vector{1.0, 0.5});
+  EXPECT_NEAR(p[0], 0.75, 1e-12);
+  EXPECT_NEAR(p[1], 0.25, 1e-12);
+}
+
+TEST(SimplexTest, NegativeEntriesClampToZero) {
+  Vector p = ProjectToSimplex(Vector{1.0, -5.0, 0.9});
+  EXPECT_DOUBLE_EQ(p[1], 0.0);
+  ExpectOnSimplex(p, 1.0);
+}
+
+TEST(SimplexTest, CustomRadius) {
+  Vector p = ProjectToSimplex(Vector{3.0, 1.0}, 2.0);
+  ExpectOnSimplex(p, 2.0);
+  EXPECT_GT(p[0], p[1]);
+}
+
+TEST(SimplexTest, SingleElement) {
+  Vector p = ProjectToSimplex(Vector{-7.0});
+  EXPECT_DOUBLE_EQ(p[0], 1.0);
+}
+
+TEST(SimplexTest, ProjectionIsNearestPoint) {
+  // Fuzz: the projection must beat random simplex points in distance.
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.UniformInt(8));
+    Vector v(n);
+    for (std::size_t i = 0; i < n; ++i) v[i] = rng.Gaussian(0.0, 3.0);
+    Vector p = ProjectToSimplex(v);
+    ExpectOnSimplex(p, 1.0);
+    const double dist = (p - v).Norm2();
+    for (int probe = 0; probe < 20; ++probe) {
+      // Random simplex point via normalized exponentials.
+      Vector q(n);
+      double total = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        q[i] = -std::log(std::max(rng.Uniform(), 1e-300));
+        total += q[i];
+      }
+      q.Scale(1.0 / total);
+      EXPECT_LE(dist, (q - v).Norm2() + 1e-9);
+    }
+  }
+}
+
+TEST(SimplexDeathTest, InvalidInputsAbort) {
+  EXPECT_DEATH(ProjectToSimplex(Vector{}), "empty");
+  EXPECT_DEATH(ProjectToSimplex(Vector{1.0}, 0.0), "positive");
+}
+
+}  // namespace
+}  // namespace umvsc::la

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "la/cholesky.h"
+#include "la/lu.h"
+#include "la/ops.h"
+#include "test_util.h"
+
+namespace umvsc::la {
+namespace {
+
+// ---------------------------------------------------------------- Cholesky
+
+TEST(CholeskyTest, FactorReconstructs) {
+  Matrix a = test::RandomSpd(12, 21);
+  StatusOr<Matrix> l = CholeskyFactor(a);
+  ASSERT_TRUE(l.ok()) << l.status().ToString();
+  EXPECT_TRUE(AlmostEqual(MatMulT(*l, *l), a, 1e-9));
+  // Lower triangular with positive diagonal.
+  for (std::size_t i = 0; i < 12; ++i) {
+    EXPECT_GT((*l)(i, i), 0.0);
+    for (std::size_t j = i + 1; j < 12; ++j) EXPECT_DOUBLE_EQ((*l)(i, j), 0.0);
+  }
+}
+
+TEST(CholeskyTest, SolveRecoversKnownSolution) {
+  Matrix a = test::RandomSpd(9, 22);
+  Rng rng(23);
+  Vector x_true(9);
+  for (std::size_t i = 0; i < 9; ++i) x_true[i] = rng.Gaussian();
+  Vector b = MatVec(a, x_true);
+  StatusOr<Vector> x = CholeskySolve(a, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_TRUE(AlmostEqual(*x, x_true, 1e-8));
+}
+
+TEST(CholeskyTest, SolveMatrixSolvesAllColumns) {
+  Matrix a = test::RandomSpd(6, 24);
+  Rng rng(25);
+  Matrix x_true = Matrix::RandomGaussian(6, 3, rng);
+  Matrix b = MatMul(a, x_true);
+  StatusOr<Matrix> x = CholeskySolveMatrix(a, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_TRUE(AlmostEqual(*x, x_true, 1e-8));
+}
+
+TEST(CholeskyTest, RejectsIndefiniteMatrix) {
+  Matrix a{{1.0, 2.0}, {2.0, 1.0}};  // eigenvalues 3, −1
+  EXPECT_EQ(CholeskyFactor(a).status().code(), StatusCode::kNumericalError);
+}
+
+TEST(CholeskyTest, RejectsNonSquare) {
+  Matrix a(2, 3);
+  EXPECT_EQ(CholeskyFactor(a).status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------- LU
+
+TEST(LuTest, SolveRecoversKnownSolution) {
+  Rng rng(26);
+  Matrix a = Matrix::RandomGaussian(15, 15, rng);
+  Vector x_true(15);
+  for (std::size_t i = 0; i < 15; ++i) x_true[i] = rng.Gaussian();
+  Vector b = MatVec(a, x_true);
+  StatusOr<Vector> x = LuSolve(a, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_TRUE(AlmostEqual(*x, x_true, 1e-8));
+}
+
+TEST(LuTest, PivotingHandlesZeroLeadingEntry) {
+  Matrix a{{0.0, 1.0}, {1.0, 0.0}};
+  Vector b{2.0, 3.0};
+  StatusOr<Vector> x = LuSolve(a, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_DOUBLE_EQ((*x)[0], 3.0);
+  EXPECT_DOUBLE_EQ((*x)[1], 2.0);
+}
+
+TEST(LuTest, DeterminantOfKnownMatrices) {
+  Matrix a{{2.0, 0.0}, {0.0, 3.0}};
+  StatusOr<LuDecomposition> lu = LuDecomposition::Compute(a);
+  ASSERT_TRUE(lu.ok());
+  EXPECT_NEAR(lu->Determinant(), 6.0, 1e-12);
+
+  // Permutation matrix has determinant −1.
+  Matrix p{{0.0, 1.0}, {1.0, 0.0}};
+  StatusOr<LuDecomposition> lup = LuDecomposition::Compute(p);
+  ASSERT_TRUE(lup.ok());
+  EXPECT_NEAR(lup->Determinant(), -1.0, 1e-12);
+}
+
+TEST(LuTest, InverseTimesOriginalIsIdentity) {
+  Rng rng(27);
+  Matrix a = Matrix::RandomGaussian(10, 10, rng);
+  StatusOr<Matrix> inv = Inverse(a);
+  ASSERT_TRUE(inv.ok());
+  EXPECT_TRUE(AlmostEqual(MatMul(a, *inv), Matrix::Identity(10), 1e-9));
+  EXPECT_TRUE(AlmostEqual(MatMul(*inv, a), Matrix::Identity(10), 1e-9));
+}
+
+TEST(LuTest, SingularMatrixReported) {
+  Matrix a{{1.0, 2.0}, {2.0, 4.0}};
+  EXPECT_EQ(LuSolve(a, Vector{1.0, 1.0}).status().code(),
+            StatusCode::kNumericalError);
+}
+
+TEST(LuTest, MatrixSolveMatchesVectorSolve) {
+  Rng rng(28);
+  Matrix a = Matrix::RandomGaussian(8, 8, rng);
+  Matrix b = Matrix::RandomGaussian(8, 4, rng);
+  StatusOr<LuDecomposition> lu = LuDecomposition::Compute(a);
+  ASSERT_TRUE(lu.ok());
+  Matrix x = lu->Solve(b);
+  for (std::size_t j = 0; j < 4; ++j) {
+    EXPECT_TRUE(AlmostEqual(x.Col(j), lu->Solve(b.Col(j)), 1e-12));
+  }
+  EXPECT_TRUE(AlmostEqual(MatMul(a, x), b, 1e-8));
+}
+
+// Property sweep: solve/refactor across sizes.
+class LuSizeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LuSizeTest, ResidualIsTiny) {
+  const int n = GetParam();
+  Rng rng(static_cast<std::uint64_t>(100 + n));
+  Matrix a = Matrix::RandomGaussian(n, n, rng);
+  Vector b(n);
+  for (int i = 0; i < n; ++i) b[i] = rng.Gaussian();
+  StatusOr<Vector> x = LuSolve(a, b);
+  ASSERT_TRUE(x.ok());
+  Vector r = MatVec(a, *x) - b;
+  EXPECT_LT(r.MaxAbs(), 1e-8 * std::max(1.0, b.MaxAbs()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuSizeTest, ::testing::Values(1, 2, 3, 5, 8,
+                                                              13, 21, 34, 55));
+
+}  // namespace
+}  // namespace umvsc::la

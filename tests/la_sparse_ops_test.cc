@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "la/ops.h"
+#include "la/sparse.h"
+
+namespace umvsc::la {
+namespace {
+
+CsrMatrix RandomSparse(std::size_t n, double density, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Triplet> t;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (rng.Uniform() < density) t.push_back({i, j, rng.Gaussian()});
+    }
+  }
+  return CsrMatrix::FromTriplets(n, n, std::move(t));
+}
+
+TEST(WeightedSumTest, MatchesDenseCombination) {
+  std::vector<CsrMatrix> mats;
+  std::vector<double> weights{0.5, -2.0, 3.25};
+  for (std::uint64_t s = 0; s < 3; ++s) mats.push_back(RandomSparse(12, 0.3, s));
+  CsrMatrix sum = WeightedSum(mats, weights);
+  Matrix dense(12, 12);
+  for (std::size_t m = 0; m < 3; ++m) {
+    dense.Add(mats[m].ToDense(), weights[m]);
+  }
+  EXPECT_TRUE(AlmostEqual(sum.ToDense(), dense, 1e-12));
+}
+
+TEST(WeightedSumTest, ZeroWeightSkipsMatrix) {
+  std::vector<CsrMatrix> mats{RandomSparse(6, 0.5, 10), RandomSparse(6, 0.5, 11)};
+  CsrMatrix sum = WeightedSum(mats, {1.0, 0.0});
+  EXPECT_TRUE(AlmostEqual(sum.ToDense(), mats[0].ToDense(), 0.0));
+}
+
+TEST(WeightedSumTest, SingleMatrixScales) {
+  std::vector<CsrMatrix> mats{RandomSparse(5, 0.4, 12)};
+  CsrMatrix sum = WeightedSum(mats, {2.5});
+  Matrix expected = mats[0].ToDense();
+  expected.Scale(2.5);
+  EXPECT_TRUE(AlmostEqual(sum.ToDense(), expected, 1e-13));
+}
+
+TEST(WeightedSumDeathTest, MismatchedInputsAbort) {
+  std::vector<CsrMatrix> mats{RandomSparse(4, 0.5, 13)};
+  EXPECT_DEATH(WeightedSum(mats, {1.0, 2.0}), "weight count");
+  EXPECT_DEATH(WeightedSum({}, {}), "at least one");
+  std::vector<CsrMatrix> shapes{RandomSparse(4, 0.5, 14),
+                                RandomSparse(5, 0.5, 15)};
+  EXPECT_DEATH(WeightedSum(shapes, {1.0, 1.0}), "shape mismatch");
+}
+
+TEST(SparseQuadraticTraceTest, MatchesDense) {
+  CsrMatrix l = RandomSparse(10, 0.4, 20);
+  // Symmetrize so QuadraticTrace semantics match the dense overload.
+  Matrix dense = l.ToDense();
+  dense.Symmetrize();
+  CsrMatrix sym = CsrMatrix::FromDense(dense);
+  Rng rng(21);
+  Matrix f = Matrix::RandomGaussian(10, 3, rng);
+  EXPECT_NEAR(QuadraticTrace(sym, f), QuadraticTrace(dense, f), 1e-10);
+}
+
+TEST(SparseQuadraticTraceTest, ZeroRowsContributeNothing) {
+  // A Laplacian-like matrix with row 3 entirely absent.
+  CsrMatrix l = CsrMatrix::FromTriplets(
+      4, 4, {{0, 0, 1.0}, {0, 1, -1.0}, {1, 0, -1.0}, {1, 1, 1.0}});
+  Rng rng(22);
+  Matrix f = Matrix::RandomGaussian(4, 2, rng);
+  Matrix f2 = f;
+  f2(3, 0) = 99.0;  // changing an absent sample's row must not matter
+  f2(3, 1) = -99.0;
+  EXPECT_NEAR(QuadraticTrace(l, f), QuadraticTrace(l, f2), 1e-12);
+}
+
+}  // namespace
+}  // namespace umvsc::la

@@ -1,0 +1,163 @@
+#include "la/svd.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "la/ops.h"
+#include "test_util.h"
+
+namespace umvsc::la {
+namespace {
+
+void ExpectValidSvd(const Matrix& a, const SvdResult& r, double tol) {
+  const std::size_t rank_dim = std::min(a.rows(), a.cols());
+  ASSERT_EQ(r.singular_values.size(), rank_dim);
+  ASSERT_EQ(r.u.rows(), a.rows());
+  ASSERT_EQ(r.u.cols(), rank_dim);
+  ASSERT_EQ(r.v.rows(), a.cols());
+  ASSERT_EQ(r.v.cols(), rank_dim);
+
+  EXPECT_LT(OrthonormalityError(r.u), tol);
+  EXPECT_LT(OrthonormalityError(r.v), tol);
+  // Descending, nonnegative.
+  for (std::size_t i = 0; i < rank_dim; ++i) {
+    EXPECT_GE(r.singular_values[i], -1e-14);
+    if (i > 0) {
+      EXPECT_LE(r.singular_values[i], r.singular_values[i - 1] + 1e-12);
+    }
+  }
+  // Reconstruction U·Σ·Vᵀ = A.
+  Matrix us = r.u;
+  for (std::size_t i = 0; i < us.rows(); ++i) {
+    for (std::size_t j = 0; j < us.cols(); ++j) {
+      us(i, j) *= r.singular_values[j];
+    }
+  }
+  EXPECT_TRUE(AlmostEqual(MatMulT(us, r.v), a, tol * std::max(1.0, a.MaxAbs())));
+}
+
+class SvdShapeTest : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(SvdShapeTest, RandomMatrixDecomposes) {
+  auto [m, n] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 977 + n));
+  Matrix a = Matrix::RandomGaussian(m, n, rng);
+  StatusOr<SvdResult> r = Svd(a);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ExpectValidSvd(a, *r, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SvdShapeTest,
+    ::testing::Values(std::pair{1, 1}, std::pair{5, 5}, std::pair{12, 4},
+                      std::pair{4, 12}, std::pair{40, 10}, std::pair{10, 40},
+                      std::pair{30, 30}));
+
+TEST(SvdTest, KnownDiagonal) {
+  Matrix a = Matrix::Diagonal(Vector{3.0, 1.0, 2.0});
+  StatusOr<SvdResult> r = Svd(a);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->singular_values[0], 3.0, 1e-12);
+  EXPECT_NEAR(r->singular_values[1], 2.0, 1e-12);
+  EXPECT_NEAR(r->singular_values[2], 1.0, 1e-12);
+}
+
+TEST(SvdTest, NegativeDiagonalGivesPositiveSingularValues) {
+  Matrix a = Matrix::Diagonal(Vector{-5.0, 2.0});
+  StatusOr<SvdResult> r = Svd(a);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->singular_values[0], 5.0, 1e-12);
+  EXPECT_NEAR(r->singular_values[1], 2.0, 1e-12);
+  ExpectValidSvd(a, *r, 1e-10);
+}
+
+TEST(SvdTest, RankDeficientMatrix) {
+  // Rank-1 outer product: second singular value must be ~0 and U must still
+  // have orthonormal columns.
+  Matrix a(6, 3);
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      a(i, j) = static_cast<double>(i + 1) * static_cast<double>(j + 1);
+    }
+  }
+  StatusOr<SvdResult> r = Svd(a);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->singular_values[0], 1.0);
+  EXPECT_NEAR(r->singular_values[1], 0.0, 1e-10);
+  EXPECT_NEAR(r->singular_values[2], 0.0, 1e-10);
+  ExpectValidSvd(a, *r, 1e-9);
+}
+
+TEST(SvdTest, ZeroMatrix) {
+  Matrix a(4, 2);
+  StatusOr<SvdResult> r = Svd(a);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->singular_values[0], 0.0, 1e-14);
+  EXPECT_LT(OrthonormalityError(r->u), 1e-10);
+}
+
+TEST(SvdTest, SingularValuesMatchEigenvaluesOfGram) {
+  Rng rng(70);
+  Matrix a = Matrix::RandomGaussian(20, 6, rng);
+  StatusOr<SvdResult> r = Svd(a);
+  ASSERT_TRUE(r.ok());
+  Matrix g = Gram(a);
+  // σ_i² are the eigenvalues of AᵀA.
+  double frob2 = 0.0;
+  for (std::size_t i = 0; i < 6; ++i) {
+    frob2 += r->singular_values[i] * r->singular_values[i];
+  }
+  EXPECT_NEAR(frob2, g.Trace(), 1e-8 * g.Trace());
+}
+
+TEST(SvdTest, EmptyMatrixRejected) {
+  EXPECT_FALSE(Svd(Matrix()).ok());
+}
+
+TEST(ProcrustesTest, RecoversKnownRotation) {
+  // R* = argmax Tr(Rᵀ M); for M orthogonal the optimum is R = M.
+  Matrix m = test::RandomOrthonormal(5, 5, 71);
+  StatusOr<Matrix> r = ProcrustesRotation(m);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(AlmostEqual(*r, m, 1e-9));
+}
+
+TEST(ProcrustesTest, ResultIsOrthogonalAndOptimal) {
+  Rng rng(72);
+  Matrix m = Matrix::RandomGaussian(4, 4, rng);
+  StatusOr<Matrix> r = ProcrustesRotation(m);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LT(OrthonormalityError(*r), 1e-10);
+  const double opt = TraceOfProduct(*r, m);
+  // No random orthogonal matrix should beat the Procrustes solution.
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Matrix q = test::RandomOrthonormal(4, 4, 100 + seed);
+    EXPECT_LE(TraceOfProduct(q, m), opt + 1e-9);
+  }
+}
+
+TEST(StiefelProjectionTest, ProjectionIsOrthonormalAndNearest) {
+  Rng rng(73);
+  Matrix m = Matrix::RandomGaussian(10, 3, rng);
+  StatusOr<Matrix> p = StiefelProjection(m);
+  ASSERT_TRUE(p.ok());
+  EXPECT_LT(OrthonormalityError(*p), 1e-10);
+  // Nearest in Frobenius norm among sampled Stiefel points.
+  const double dist = Add(m, *p, -1.0).FrobeniusNorm();
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Matrix q = test::RandomOrthonormal(10, 3, 200 + seed);
+    EXPECT_LE(dist, Add(m, q, -1.0).FrobeniusNorm() + 1e-9);
+  }
+}
+
+TEST(StiefelProjectionTest, IdempotentOnStiefelPoints) {
+  Matrix q = test::RandomOrthonormal(8, 3, 74);
+  StatusOr<Matrix> p = StiefelProjection(q);
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(AlmostEqual(*p, q, 1e-9));
+}
+
+}  // namespace
+}  // namespace umvsc::la

@@ -1,0 +1,102 @@
+#include "la/vector.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace umvsc::la {
+namespace {
+
+TEST(VectorTest, ConstructionAndAccess) {
+  Vector v(3);
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+  v[1] = 2.5;
+  EXPECT_DOUBLE_EQ(v[1], 2.5);
+
+  Vector w{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(w[2], 3.0);
+
+  Vector filled(4, 7.0);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(filled[i], 7.0);
+}
+
+TEST(VectorTest, NormOfKnownVector) {
+  Vector v{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(v.Norm2(), 5.0);
+}
+
+TEST(VectorTest, NormAvoidsOverflow) {
+  Vector v{1e200, 1e200};
+  EXPECT_NEAR(v.Norm2(), std::sqrt(2.0) * 1e200, 1e188);
+}
+
+TEST(VectorTest, NormAvoidsUnderflow) {
+  Vector v{3e-200, 4e-200};
+  EXPECT_NEAR(v.Norm2(), 5e-200, 1e-212);
+}
+
+TEST(VectorTest, SumAndMaxAbs) {
+  Vector v{1.0, -5.0, 2.0};
+  EXPECT_DOUBLE_EQ(v.Sum(), -2.0);
+  EXPECT_DOUBLE_EQ(v.MaxAbs(), 5.0);
+}
+
+TEST(VectorTest, ScaleAxpy) {
+  Vector v{1.0, 2.0};
+  v.Scale(2.0);
+  EXPECT_DOUBLE_EQ(v[0], 2.0);
+  EXPECT_DOUBLE_EQ(v[1], 4.0);
+  Vector x{1.0, 1.0};
+  v.Axpy(-2.0, x);
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+  EXPECT_DOUBLE_EQ(v[1], 2.0);
+}
+
+TEST(VectorTest, NormalizeReturnsOldNormAndUnitLength) {
+  Vector v{3.0, 4.0};
+  double old_norm = v.Normalize();
+  EXPECT_DOUBLE_EQ(old_norm, 5.0);
+  EXPECT_NEAR(v.Norm2(), 1.0, 1e-15);
+}
+
+TEST(VectorTest, DotAndOperators) {
+  Vector a{1.0, 2.0, 3.0};
+  Vector b{4.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 32.0);
+
+  Vector sum = a + b;
+  EXPECT_DOUBLE_EQ(sum[2], 9.0);
+  Vector diff = b - a;
+  EXPECT_DOUBLE_EQ(diff[0], 3.0);
+  Vector scaled = 2.0 * a;
+  EXPECT_DOUBLE_EQ(scaled[1], 4.0);
+}
+
+TEST(VectorTest, AlmostEqual) {
+  Vector a{1.0, 2.0};
+  Vector b{1.0 + 1e-12, 2.0};
+  EXPECT_TRUE(AlmostEqual(a, b, 1e-10));
+  EXPECT_FALSE(AlmostEqual(a, b, 1e-14));
+  Vector c{1.0};
+  EXPECT_FALSE(AlmostEqual(a, c, 1.0));  // size mismatch
+}
+
+TEST(VectorTest, FillResetsEntries) {
+  Vector v{1.0, 2.0, 3.0};
+  v.Fill(0.5);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(v[i], 0.5);
+}
+
+TEST(VectorDeathTest, MismatchedAxpyAborts) {
+  Vector a(3), b(4);
+  EXPECT_DEATH(a.Axpy(1.0, b), "dimension mismatch");
+}
+
+TEST(VectorDeathTest, NormalizeZeroAborts) {
+  Vector v(3);
+  EXPECT_DEATH(v.Normalize(), "zero vector");
+}
+
+}  // namespace
+}  // namespace umvsc::la

@@ -1,0 +1,184 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+#include "mvsc/amgl.h"
+#include "mvsc/baselines.h"
+#include "mvsc/coreg.h"
+#include "mvsc/graphs.h"
+#include "mvsc/two_stage.h"
+
+namespace umvsc::mvsc {
+namespace {
+
+struct TestProblem {
+  data::MultiViewDataset dataset;
+  MultiViewGraphs graphs;
+};
+
+TestProblem MakeProblem(std::uint64_t seed) {
+  data::MultiViewConfig config;
+  config.num_samples = 150;
+  config.num_clusters = 3;
+  config.views = {{12, data::ViewQuality::kInformative, 0.4},
+                  {8, data::ViewQuality::kWeak, 1.0},
+                  {10, data::ViewQuality::kNoisy, 1.0}};
+  config.cluster_separation = 5.0;
+  config.seed = seed;
+  auto dataset = data::MakeGaussianMultiView(config);
+  UMVSC_CHECK(dataset.ok(), "dataset generation failed");
+  auto graphs = BuildGraphs(*dataset);
+  UMVSC_CHECK(graphs.ok(), "graph construction failed");
+  return {std::move(*dataset), std::move(*graphs)};
+}
+
+double Accuracy(const std::vector<std::size_t>& pred,
+                const std::vector<std::size_t>& truth) {
+  auto acc = eval::ClusteringAccuracy(pred, truth);
+  UMVSC_CHECK(acc.ok(), "accuracy computation failed");
+  return *acc;
+}
+
+TEST(TwoStageTest, RecoversClustersAndDownweightsNoise) {
+  TestProblem problem = MakeProblem(40);
+  TwoStageOptions options;
+  options.num_clusters = 3;
+  options.seed = 1;
+  StatusOr<TwoStageResult> result = TwoStageMVSC(problem.graphs, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(Accuracy(result->labels, problem.dataset.labels), 0.9);
+  EXPECT_LT(result->view_weights[2], result->view_weights[0]);
+  EXPECT_GE(result->iterations, 1u);
+}
+
+TEST(TwoStageTest, AllWeightingsRun) {
+  TestProblem problem = MakeProblem(41);
+  for (auto mode : {ViewWeighting::kGammaPower, ViewWeighting::kAmgl,
+                    ViewWeighting::kUniform}) {
+    TwoStageOptions options;
+    options.num_clusters = 3;
+    options.weighting = mode;
+    options.seed = 2;
+    StatusOr<TwoStageResult> result = TwoStageMVSC(problem.graphs, options);
+    ASSERT_TRUE(result.ok());
+    EXPECT_GT(Accuracy(result->labels, problem.dataset.labels), 0.85);
+  }
+}
+
+TEST(TwoStageTest, RejectsInvalidOptions) {
+  TestProblem problem = MakeProblem(42);
+  TwoStageOptions options;
+  options.num_clusters = 1;
+  EXPECT_FALSE(TwoStageMVSC(problem.graphs, options).ok());
+  options.num_clusters = 3;
+  options.gamma = 0.5;
+  EXPECT_FALSE(TwoStageMVSC(problem.graphs, options).ok());
+  EXPECT_FALSE(TwoStageMVSC(MultiViewGraphs{}, TwoStageOptions{}).ok());
+}
+
+TEST(AmglTest, ParameterFreeBaselineWorks) {
+  TestProblem problem = MakeProblem(43);
+  AmglOptions options;
+  options.num_clusters = 3;
+  options.seed = 3;
+  StatusOr<AmglResult> result = Amgl(problem.graphs, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(Accuracy(result->labels, problem.dataset.labels), 0.9);
+  // Self-weights form a distribution and punish the noisy view.
+  double total = 0.0;
+  for (double w : result->view_weights) total += w;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_LT(result->view_weights[2], result->view_weights[0]);
+}
+
+TEST(CoRegTest, ConsensusBeatsWorstView) {
+  TestProblem problem = MakeProblem(44);
+  CoRegOptions options;
+  options.num_clusters = 3;
+  options.seed = 4;
+  StatusOr<CoRegResult> result = CoRegSpectral(problem.graphs, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const double coreg_acc = Accuracy(result->labels, problem.dataset.labels);
+  EXPECT_GT(coreg_acc, 0.85);
+
+  BaselineOptions base;
+  base.num_clusters = 3;
+  base.seed = 4;
+  StatusOr<std::vector<std::vector<std::size_t>>> per_view =
+      PerViewSpectral(problem.graphs, base);
+  ASSERT_TRUE(per_view.ok());
+  double worst = 1.0;
+  for (const auto& labels : *per_view) {
+    worst = std::min(worst, Accuracy(labels, problem.dataset.labels));
+  }
+  EXPECT_GT(coreg_acc, worst);
+  EXPECT_EQ(result->view_embeddings.size(), 3u);
+}
+
+TEST(CoRegTest, LambdaZeroStillRuns) {
+  TestProblem problem = MakeProblem(45);
+  CoRegOptions options;
+  options.num_clusters = 3;
+  options.lambda = 0.0;
+  options.max_iterations = 3;
+  StatusOr<CoRegResult> result = CoRegSpectral(problem.graphs, options);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+}
+
+TEST(CoRegTest, RejectsInvalidOptions) {
+  TestProblem problem = MakeProblem(46);
+  CoRegOptions options;
+  options.num_clusters = 3;
+  options.lambda = -0.5;
+  EXPECT_FALSE(CoRegSpectral(problem.graphs, options).ok());
+}
+
+TEST(PerViewSpectralTest, InformativeViewBeatsNoisyView) {
+  TestProblem problem = MakeProblem(47);
+  BaselineOptions options;
+  options.num_clusters = 3;
+  options.seed = 5;
+  StatusOr<std::vector<std::vector<std::size_t>>> per_view =
+      PerViewSpectral(problem.graphs, options);
+  ASSERT_TRUE(per_view.ok());
+  ASSERT_EQ(per_view->size(), 3u);
+  const double informative = Accuracy((*per_view)[0], problem.dataset.labels);
+  const double noisy = Accuracy((*per_view)[2], problem.dataset.labels);
+  EXPECT_GT(informative, 0.9);
+  EXPECT_GT(informative, noisy + 0.2);
+}
+
+TEST(ConcatAndKernelBaselinesTest, ReasonableAccuracy) {
+  TestProblem problem = MakeProblem(48);
+  BaselineOptions options;
+  options.num_clusters = 3;
+  options.seed = 6;
+  StatusOr<std::vector<std::size_t>> concat =
+      ConcatFeatureSC(problem.dataset, options);
+  ASSERT_TRUE(concat.ok()) << concat.status().ToString();
+  EXPECT_GT(Accuracy(*concat, problem.dataset.labels), 0.6);
+
+  StatusOr<std::vector<std::size_t>> kernel_add =
+      KernelAdditionSC(problem.graphs, options);
+  ASSERT_TRUE(kernel_add.ok());
+  EXPECT_GT(Accuracy(*kernel_add, problem.dataset.labels), 0.6);
+
+  StatusOr<std::vector<std::size_t>> km =
+      ConcatKMeans(problem.dataset, options);
+  ASSERT_TRUE(km.ok());
+  EXPECT_GT(Accuracy(*km, problem.dataset.labels), 0.5);
+}
+
+TEST(BaselinesTest, EmptyGraphsRejected) {
+  BaselineOptions options;
+  options.num_clusters = 2;
+  EXPECT_FALSE(PerViewSpectral(MultiViewGraphs{}, options).ok());
+  EXPECT_FALSE(KernelAdditionSC(MultiViewGraphs{}, options).ok());
+  EXPECT_FALSE(ConcatFeatureSC(data::MultiViewDataset{}, options).ok());
+  EXPECT_FALSE(ConcatKMeans(data::MultiViewDataset{}, options).ok());
+}
+
+}  // namespace
+}  // namespace umvsc::mvsc

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "data/incomplete.h"
+#include "data/synthetic.h"
+#include "graph/connectivity.h"
+#include "la/lanczos.h"
+#include "la/ops.h"
+#include "mvsc/graphs.h"
+
+namespace umvsc::mvsc {
+namespace {
+
+data::MultiViewDataset MakeDataset(std::uint64_t seed) {
+  data::MultiViewConfig config;
+  config.num_samples = 120;
+  config.num_clusters = 3;
+  config.views = {{10, data::ViewQuality::kInformative, 0.4},
+                  {8, data::ViewQuality::kInformative, 0.6}};
+  config.cluster_separation = 5.0;
+  config.seed = seed;
+  auto d = data::MakeGaussianMultiView(config);
+  UMVSC_CHECK(d.ok(), "dataset generation failed");
+  return std::move(*d);
+}
+
+TEST(MassNormalizedCombinationTest, CompleteViewsGiveScaledWeightedSum) {
+  data::MultiViewDataset d = MakeDataset(1);
+  auto graphs = BuildGraphs(d);
+  ASSERT_TRUE(graphs.ok());
+  std::vector<double> coeff{0.7, 0.3};
+  la::CsrMatrix normalized =
+      MassNormalizedCombination(graphs->laplacians, coeff);
+  la::CsrMatrix plain = la::WeightedSum(graphs->laplacians, coeff);
+  // With complete views every Laplacian has unit diagonal, so the mass is
+  // Σcoeff everywhere and the normalized combination is the plain sum
+  // divided by Σcoeff.
+  la::Matrix expected = plain.ToDense();
+  expected.Scale(1.0 / (coeff[0] + coeff[1]));
+  EXPECT_TRUE(la::AlmostEqual(normalized.ToDense(), expected, 1e-10));
+}
+
+TEST(MassNormalizedCombinationTest, UnitDiagonalUnderIncompleteness) {
+  data::MultiViewDataset d = MakeDataset(2);
+  auto presence = data::MakeIncomplete(d, 0.3, 5);
+  ASSERT_TRUE(presence.ok());
+  auto graphs = BuildGraphsIncomplete(d, *presence);
+  ASSERT_TRUE(graphs.ok());
+  std::vector<double> coeff{0.9, 0.1};
+  la::CsrMatrix normalized =
+      MassNormalizedCombination(graphs->laplacians, coeff);
+  // Every sample is present somewhere, so every diagonal is renormalized
+  // to exactly 1 — the conditioning property the solvers rely on.
+  for (std::size_t i = 0; i < normalized.rows(); ++i) {
+    EXPECT_NEAR(normalized.At(i, i), 1.0, 1e-9) << "row " << i;
+  }
+  // Spectrum within [0, 2].
+  auto top = la::LanczosLargest(normalized, 1);
+  ASSERT_TRUE(top.ok());
+  EXPECT_LE(top->eigenvalues[0], 2.0 + 1e-8);
+  auto bottom = la::LanczosSmallest(normalized, 1, 2.0 + 1e-9);
+  ASSERT_TRUE(bottom.ok());
+  EXPECT_GE(bottom->eigenvalues[0], -1e-8);
+}
+
+TEST(BridgingTest, DisconnectedViewsBecomeConnected) {
+  // Very separated clusters: raw kNN graphs disconnect; with bridging on
+  // (the default) every per-view affinity is a single component.
+  data::MultiViewConfig config;
+  config.num_samples = 90;
+  config.num_clusters = 3;
+  config.views = {{8, data::ViewQuality::kInformative, 0.1}};
+  config.cluster_separation = 30.0;
+  config.seed = 3;
+  auto d = data::MakeGaussianMultiView(config);
+  ASSERT_TRUE(d.ok());
+
+  GraphOptions bridged;
+  auto with_bridge = BuildGraphs(*d, bridged);
+  ASSERT_TRUE(with_bridge.ok());
+  EXPECT_TRUE(graph::IsConnected(with_bridge->affinities[0]));
+
+  GraphOptions raw;
+  raw.bridge_components = false;
+  auto without = BuildGraphs(*d, raw);
+  ASSERT_TRUE(without.ok());
+  EXPECT_FALSE(graph::IsConnected(without->affinities[0]));
+  // Bridging only ADDS edges.
+  EXPECT_GE(with_bridge->affinities[0].NumNonZeros(),
+            without->affinities[0].NumNonZeros());
+}
+
+TEST(BridgingTest, BridgeWeightIsWeakestEdge) {
+  data::MultiViewConfig config;
+  config.num_samples = 60;
+  config.num_clusters = 2;
+  config.views = {{6, data::ViewQuality::kInformative, 0.1}};
+  config.cluster_separation = 40.0;
+  config.seed = 4;
+  auto d = data::MakeGaussianMultiView(config);
+  ASSERT_TRUE(d.ok());
+  GraphOptions raw;
+  raw.bridge_components = false;
+  auto without = BuildGraphs(*d, raw);
+  ASSERT_TRUE(without.ok());
+  double min_raw = 1e300;
+  for (double v : without->affinities[0].values()) {
+    if (v > 0.0) min_raw = std::min(min_raw, v);
+  }
+  auto with_bridge = BuildGraphs(*d);
+  ASSERT_TRUE(with_bridge.ok());
+  double min_bridged = 1e300;
+  for (double v : with_bridge->affinities[0].values()) {
+    if (v > 0.0) min_bridged = std::min(min_bridged, v);
+  }
+  // The added bridges reuse the weakest existing weight, so the minimum
+  // positive edge weight is unchanged.
+  EXPECT_NEAR(min_bridged, min_raw, 1e-15);
+}
+
+}  // namespace
+}  // namespace umvsc::mvsc

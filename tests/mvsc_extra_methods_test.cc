@@ -1,0 +1,195 @@
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+#include "mvsc/baselines.h"
+#include "mvsc/coreg.h"
+#include "mvsc/graphs.h"
+#include "mvsc/mlan.h"
+#include "mvsc/multi_nmf.h"
+#include "mvsc/mvkkm.h"
+
+namespace umvsc::mvsc {
+namespace {
+
+struct TestProblem {
+  data::MultiViewDataset dataset;
+  MultiViewGraphs graphs;
+};
+
+TestProblem MakeProblem(std::uint64_t seed) {
+  data::MultiViewConfig config;
+  config.num_samples = 150;
+  config.num_clusters = 3;
+  config.views = {{12, data::ViewQuality::kInformative, 0.4},
+                  {8, data::ViewQuality::kWeak, 1.0},
+                  {10, data::ViewQuality::kNoisy, 1.0}};
+  config.cluster_separation = 5.0;
+  config.seed = seed;
+  auto dataset = data::MakeGaussianMultiView(config);
+  UMVSC_CHECK(dataset.ok(), "dataset generation failed");
+  auto graphs = BuildGraphs(*dataset);
+  UMVSC_CHECK(graphs.ok(), "graph construction failed");
+  return {std::move(*dataset), std::move(*graphs)};
+}
+
+double Accuracy(const std::vector<std::size_t>& pred,
+                const std::vector<std::size_t>& truth) {
+  auto acc = eval::ClusteringAccuracy(pred, truth);
+  UMVSC_CHECK(acc.ok(), "accuracy computation failed");
+  return *acc;
+}
+
+TEST(MlanTest, RecoversClustersAndLearnsGraph) {
+  TestProblem problem = MakeProblem(70);
+  MlanOptions options;
+  options.num_clusters = 3;
+  options.seed = 1;
+  StatusOr<MlanResult> result = Mlan(problem.dataset, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(Accuracy(result->labels, problem.dataset.labels), 0.9);
+  // Learned graph: symmetric, nonnegative, total mass n (each row of the
+  // directed solution is a simplex point).
+  const la::Matrix& s = result->learned_graph;
+  EXPECT_TRUE(s.IsSymmetric(1e-9));
+  double total = 0.0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    EXPECT_GE(s.data()[i], -1e-12);
+    total += s.data()[i];
+  }
+  EXPECT_NEAR(total, static_cast<double>(problem.dataset.NumSamples()), 1e-6);
+  EXPECT_GE(result->iterations, 1u);
+}
+
+TEST(MlanTest, NoisyViewGetsLowWeight) {
+  TestProblem problem = MakeProblem(71);
+  MlanOptions options;
+  options.num_clusters = 3;
+  options.seed = 2;
+  StatusOr<MlanResult> result = Mlan(problem.dataset, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->view_weights[2], result->view_weights[0]);
+}
+
+TEST(MlanTest, RejectsInvalidOptions) {
+  TestProblem problem = MakeProblem(72);
+  MlanOptions options;
+  options.num_clusters = 1;
+  EXPECT_FALSE(Mlan(problem.dataset, options).ok());
+  options.num_clusters = 3;
+  options.knn = 0;
+  EXPECT_FALSE(Mlan(problem.dataset, options).ok());
+  EXPECT_FALSE(Mlan(data::MultiViewDataset{}, MlanOptions{}).ok());
+}
+
+TEST(MvkkmTest, RecoversClustersAndWeightsViews) {
+  TestProblem problem = MakeProblem(73);
+  MvkkmOptions options;
+  options.num_clusters = 3;
+  options.seed = 3;
+  StatusOr<MvkkmResult> result =
+      MultiViewKernelKMeans(problem.dataset, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(Accuracy(result->labels, problem.dataset.labels), 0.85);
+  // Weights form a distribution and punish the noisy view.
+  double total = 0.0;
+  for (double w : result->view_weights) {
+    EXPECT_GE(w, 0.0);
+    total += w;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_LT(result->view_weights[2], result->view_weights[0]);
+}
+
+TEST(MvkkmTest, RejectsInvalidOptions) {
+  TestProblem problem = MakeProblem(74);
+  MvkkmOptions options;
+  options.num_clusters = 1;
+  EXPECT_FALSE(MultiViewKernelKMeans(problem.dataset, options).ok());
+  options.num_clusters = 3;
+  options.p = 1.0;
+  EXPECT_FALSE(MultiViewKernelKMeans(problem.dataset, options).ok());
+}
+
+TEST(CoRegPairwiseTest, BothModesRecoverClusters) {
+  TestProblem problem = MakeProblem(75);
+  for (auto mode : {CoRegMode::kCentroid, CoRegMode::kPairwise}) {
+    CoRegOptions options;
+    options.num_clusters = 3;
+    options.mode = mode;
+    options.seed = 4;
+    StatusOr<CoRegResult> result = CoRegSpectral(problem.graphs, options);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_GT(Accuracy(result->labels, problem.dataset.labels), 0.85)
+        << "mode " << static_cast<int>(mode);
+  }
+}
+
+TEST(MultiNmfTest, RecoversClustersWithNonnegativeConsensus) {
+  TestProblem problem = MakeProblem(77);
+  MultiNmfOptions options;
+  options.num_clusters = 3;
+  options.seed = 6;
+  StatusOr<MultiNmfResult> result = MultiViewNmf(problem.dataset, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(Accuracy(result->labels, problem.dataset.labels), 0.7);
+  for (std::size_t i = 0; i < result->consensus.size(); ++i) {
+    EXPECT_GE(result->consensus.data()[i], 0.0);
+  }
+  EXPECT_EQ(result->view_factors.size(), 3u);
+  EXPECT_GE(result->iterations, 2u);
+}
+
+TEST(MultiNmfTest, ObjectiveDecreasesOverIterations) {
+  TestProblem problem = MakeProblem(78);
+  double prev = std::numeric_limits<double>::infinity();
+  for (std::size_t iters : {2, 10, 60}) {
+    MultiNmfOptions options;
+    options.num_clusters = 3;
+    options.max_iterations = iters;
+    options.tolerance = 0.0;
+    options.seed = 7;
+    StatusOr<MultiNmfResult> result = MultiViewNmf(problem.dataset, options);
+    ASSERT_TRUE(result.ok());
+    EXPECT_LE(result->objective, prev + 1e-9);
+    prev = result->objective;
+  }
+}
+
+TEST(MultiNmfTest, RejectsInvalidOptions) {
+  TestProblem problem = MakeProblem(79);
+  MultiNmfOptions options;
+  options.num_clusters = 1;
+  EXPECT_FALSE(MultiViewNmf(problem.dataset, options).ok());
+  options.num_clusters = 3;
+  options.lambda = -1.0;
+  EXPECT_FALSE(MultiViewNmf(problem.dataset, options).ok());
+}
+
+TEST(EnsembleScTest, LateFusionRecoversClusters) {
+  TestProblem problem = MakeProblem(85);
+  BaselineOptions options;
+  options.num_clusters = 3;
+  options.seed = 8;
+  StatusOr<std::vector<std::size_t>> result =
+      EnsembleSC(problem.graphs, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(Accuracy(*result, problem.dataset.labels), 0.85);
+}
+
+TEST(CoRegPairwiseTest, PairwiseLeavesConsensusEmpty) {
+  TestProblem problem = MakeProblem(76);
+  CoRegOptions options;
+  options.num_clusters = 3;
+  options.mode = CoRegMode::kPairwise;
+  options.seed = 5;
+  StatusOr<CoRegResult> result = CoRegSpectral(problem.graphs, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->consensus.empty());
+  EXPECT_EQ(result->view_embeddings.size(), 3u);
+}
+
+}  // namespace
+}  // namespace umvsc::mvsc

@@ -1,0 +1,117 @@
+#include "mvsc/graphs.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "graph/connectivity.h"
+#include "la/lanczos.h"
+
+namespace umvsc::mvsc {
+namespace {
+
+data::MultiViewDataset EasyDataset(std::uint64_t seed) {
+  data::MultiViewConfig config;
+  config.num_samples = 120;
+  config.num_clusters = 3;
+  config.views = {{10, data::ViewQuality::kInformative, 0.4},
+                  {6, data::ViewQuality::kWeak, 1.0},
+                  {8, data::ViewQuality::kNoisy, 1.0}};
+  config.cluster_separation = 5.0;
+  config.seed = seed;
+  auto d = data::MakeGaussianMultiView(config);
+  UMVSC_CHECK(d.ok(), "test dataset generation failed");
+  return std::move(*d);
+}
+
+TEST(BuildGraphsTest, ShapesAndSymmetry) {
+  data::MultiViewDataset dataset = EasyDataset(1);
+  StatusOr<MultiViewGraphs> graphs = BuildGraphs(dataset);
+  ASSERT_TRUE(graphs.ok()) << graphs.status().ToString();
+  EXPECT_EQ(graphs->NumViews(), 3u);
+  EXPECT_EQ(graphs->NumSamples(), 120u);
+  for (std::size_t v = 0; v < 3; ++v) {
+    EXPECT_TRUE(graphs->affinities[v].IsSymmetric(1e-10));
+    EXPECT_TRUE(graphs->laplacians[v].IsSymmetric(1e-10));
+    EXPECT_GT(graphs->affinities[v].NumNonZeros(), 0u);
+  }
+}
+
+TEST(BuildGraphsTest, LaplacianSpectrumWithinZeroTwo) {
+  data::MultiViewDataset dataset = EasyDataset(2);
+  StatusOr<MultiViewGraphs> graphs = BuildGraphs(dataset);
+  ASSERT_TRUE(graphs.ok());
+  for (std::size_t v = 0; v < graphs->NumViews(); ++v) {
+    StatusOr<la::SymEigenResult> top =
+        la::LanczosLargest(graphs->laplacians[v], 1);
+    ASSERT_TRUE(top.ok());
+    EXPECT_LE(top->eigenvalues[0], 2.0 + 1e-8);
+    StatusOr<la::SymEigenResult> bottom =
+        la::LanczosSmallest(graphs->laplacians[v], 1, 2.0 + 1e-9);
+    ASSERT_TRUE(bottom.ok());
+    EXPECT_NEAR(bottom->eigenvalues[0], 0.0, 1e-8);
+  }
+}
+
+TEST(BuildGraphsTest, InformativeViewGraphAlignsWithClusters) {
+  data::MultiViewDataset dataset = EasyDataset(3);
+  StatusOr<MultiViewGraphs> graphs = BuildGraphs(dataset);
+  ASSERT_TRUE(graphs.ok());
+  // Count the edge mass within vs across ground-truth clusters for the
+  // informative view: within-cluster mass must dominate.
+  const la::CsrMatrix& w = graphs->affinities[0];
+  double within = 0.0, across = 0.0;
+  for (std::size_t i = 0; i < w.rows(); ++i) {
+    for (std::size_t k = w.row_offsets()[i]; k < w.row_offsets()[i + 1]; ++k) {
+      const std::size_t j = w.col_indices()[k];
+      if (dataset.labels[i] == dataset.labels[j]) {
+        within += w.values()[k];
+      } else {
+        across += w.values()[k];
+      }
+    }
+  }
+  EXPECT_GT(within, 5.0 * across);
+}
+
+TEST(BuildGraphsTest, AdaptiveNeighborsOptionWorks) {
+  data::MultiViewDataset dataset = EasyDataset(4);
+  GraphOptions options;
+  options.adaptive_neighbors = true;
+  StatusOr<MultiViewGraphs> graphs = BuildGraphs(dataset, options);
+  ASSERT_TRUE(graphs.ok()) << graphs.status().ToString();
+  EXPECT_TRUE(graphs->affinities[0].IsSymmetric(1e-10));
+}
+
+TEST(BuildGraphsTest, KnnClampedForTinyDatasets) {
+  data::MultiViewConfig config;
+  config.num_samples = 8;
+  config.num_clusters = 2;
+  config.views = {{4, data::ViewQuality::kInformative, 0.3}};
+  config.seed = 5;
+  auto dataset = data::MakeGaussianMultiView(config);
+  ASSERT_TRUE(dataset.ok());
+  GraphOptions options;
+  options.knn = 100;  // far larger than n
+  StatusOr<MultiViewGraphs> graphs = BuildGraphs(*dataset, options);
+  EXPECT_TRUE(graphs.ok()) << graphs.status().ToString();
+}
+
+TEST(BuildSingleGraphTest, MatchesMultiViewPathOnOneView) {
+  data::MultiViewDataset dataset = EasyDataset(6);
+  data::MultiViewDataset single;
+  single.views.push_back(dataset.views[0]);
+  single.labels = dataset.labels;
+  StatusOr<MultiViewGraphs> multi = BuildGraphs(single);
+  StatusOr<MultiViewGraphs> direct = BuildSingleGraph(dataset.views[0]);
+  ASSERT_TRUE(multi.ok() && direct.ok());
+  EXPECT_TRUE(la::AlmostEqual(multi->affinities[0].ToDense(),
+                              direct->affinities[0].ToDense(), 1e-12));
+}
+
+TEST(BuildGraphsTest, RejectsInvalidDataset) {
+  data::MultiViewDataset broken;
+  EXPECT_FALSE(BuildGraphs(broken).ok());
+}
+
+}  // namespace
+}  // namespace umvsc::mvsc

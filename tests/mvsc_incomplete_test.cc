@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "data/incomplete.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+#include "la/lanczos.h"
+#include "mvsc/graphs.h"
+#include "mvsc/unified.h"
+
+namespace umvsc::mvsc {
+namespace {
+
+data::MultiViewDataset MakeDataset(std::uint64_t seed, std::size_t n = 150) {
+  data::MultiViewConfig config;
+  config.num_samples = n;
+  config.num_clusters = 3;
+  config.views = {{12, data::ViewQuality::kInformative, 0.4},
+                  {10, data::ViewQuality::kInformative, 0.6},
+                  {8, data::ViewQuality::kWeak, 1.0}};
+  config.cluster_separation = 5.0;
+  config.seed = seed;
+  auto d = data::MakeGaussianMultiView(config);
+  UMVSC_CHECK(d.ok(), "dataset generation failed");
+  return std::move(*d);
+}
+
+TEST(MakeIncompleteTest, RespectsConstraintsAndFraction) {
+  data::MultiViewDataset d = MakeDataset(1);
+  StatusOr<data::ViewPresence> presence = data::MakeIncomplete(d, 0.3, 7);
+  ASSERT_TRUE(presence.ok()) << presence.status().ToString();
+  ASSERT_TRUE(presence->Validate(d).ok());
+  // Missing fraction roughly honored.
+  std::size_t absent = 0;
+  for (std::size_t v = 0; v < 3; ++v) {
+    absent += d.NumSamples() - presence->CountPresent(v);
+  }
+  const double fraction =
+      static_cast<double>(absent) / static_cast<double>(3 * d.NumSamples());
+  EXPECT_NEAR(fraction, 0.3, 0.05);
+  // Every sample somewhere.
+  for (std::size_t i = 0; i < d.NumSamples(); ++i) {
+    bool anywhere = false;
+    for (std::size_t v = 0; v < 3; ++v) anywhere |= presence->present[v][i];
+    EXPECT_TRUE(anywhere);
+  }
+}
+
+TEST(MakeIncompleteTest, ZeroFractionKeepsEverything) {
+  data::MultiViewDataset d = MakeDataset(2);
+  la::Matrix before = d.views[0];
+  StatusOr<data::ViewPresence> presence = data::MakeIncomplete(d, 0.0, 7);
+  ASSERT_TRUE(presence.ok());
+  for (std::size_t v = 0; v < 3; ++v) {
+    EXPECT_EQ(presence->CountPresent(v), d.NumSamples());
+  }
+  EXPECT_TRUE(la::AlmostEqual(d.views[0], before, 0.0));
+}
+
+TEST(MakeIncompleteTest, AbsentRowsAreOverwritten) {
+  data::MultiViewDataset d = MakeDataset(3);
+  data::MultiViewDataset original = d;
+  StatusOr<data::ViewPresence> presence = data::MakeIncomplete(d, 0.4, 9);
+  ASSERT_TRUE(presence.ok());
+  for (std::size_t v = 0; v < 3; ++v) {
+    for (std::size_t i = 0; i < d.NumSamples(); ++i) {
+      if (presence->present[v][i]) {
+        EXPECT_TRUE(
+            la::AlmostEqual(d.views[v].Row(i), original.views[v].Row(i), 0.0));
+      } else {
+        EXPECT_FALSE(
+            la::AlmostEqual(d.views[v].Row(i), original.views[v].Row(i), 1e-9));
+      }
+    }
+  }
+}
+
+TEST(MakeIncompleteTest, RejectsInvalidArguments) {
+  data::MultiViewDataset d = MakeDataset(4);
+  EXPECT_FALSE(data::MakeIncomplete(d, -0.1, 1).ok());
+  EXPECT_FALSE(data::MakeIncomplete(d, 1.0, 1).ok());
+  data::MultiViewDataset broken;
+  EXPECT_FALSE(data::MakeIncomplete(broken, 0.2, 1).ok());
+}
+
+TEST(BuildGraphsIncompleteTest, AbsentVerticesHaveZeroRows) {
+  data::MultiViewDataset d = MakeDataset(5);
+  StatusOr<data::ViewPresence> presence = data::MakeIncomplete(d, 0.3, 11);
+  ASSERT_TRUE(presence.ok());
+  StatusOr<MultiViewGraphs> graphs = BuildGraphsIncomplete(d, *presence);
+  ASSERT_TRUE(graphs.ok()) << graphs.status().ToString();
+  for (std::size_t v = 0; v < 3; ++v) {
+    const la::CsrMatrix& lap = graphs->laplacians[v];
+    EXPECT_TRUE(lap.IsSymmetric(1e-9));
+    for (std::size_t i = 0; i < d.NumSamples(); ++i) {
+      const std::size_t row_nnz =
+          lap.row_offsets()[i + 1] - lap.row_offsets()[i];
+      if (!presence->present[v][i]) {
+        EXPECT_EQ(row_nnz, 0u) << "view " << v << " row " << i;
+      } else {
+        EXPECT_GT(row_nnz, 0u);
+      }
+    }
+    // Spectrum still within [0, 2].
+    auto top = la::LanczosLargest(lap, 1);
+    ASSERT_TRUE(top.ok());
+    EXPECT_LE(top->eigenvalues[0], 2.0 + 1e-8);
+  }
+}
+
+TEST(BuildGraphsIncompleteTest, FullPresenceMatchesCompleteBuilder) {
+  data::MultiViewDataset d = MakeDataset(6);
+  data::ViewPresence presence;
+  presence.present.assign(3, std::vector<bool>(d.NumSamples(), true));
+  StatusOr<MultiViewGraphs> incomplete = BuildGraphsIncomplete(d, presence);
+  StatusOr<MultiViewGraphs> complete = BuildGraphs(d);
+  ASSERT_TRUE(incomplete.ok() && complete.ok());
+  for (std::size_t v = 0; v < 3; ++v) {
+    EXPECT_TRUE(la::AlmostEqual(incomplete->affinities[v].ToDense(),
+                                complete->affinities[v].ToDense(), 1e-12));
+  }
+}
+
+TEST(IncompleteClusteringTest, UnifiedSurvivesModerateMissingness) {
+  data::MultiViewDataset d = MakeDataset(7, 200);
+  std::vector<std::size_t> truth = d.labels;
+  StatusOr<data::ViewPresence> presence = data::MakeIncomplete(d, 0.25, 13);
+  ASSERT_TRUE(presence.ok());
+  StatusOr<MultiViewGraphs> graphs = BuildGraphsIncomplete(d, *presence);
+  ASSERT_TRUE(graphs.ok());
+  UnifiedOptions options;
+  options.num_clusters = 3;
+  options.seed = 2;
+  StatusOr<UnifiedResult> result = UnifiedMVSC(options).Run(*graphs);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto acc = eval::ClusteringAccuracy(result->labels, truth);
+  ASSERT_TRUE(acc.ok());
+  EXPECT_GT(*acc, 0.85);
+}
+
+TEST(IncompleteClusteringTest, RejectsMismatchedPresence) {
+  data::MultiViewDataset d = MakeDataset(8);
+  data::ViewPresence wrong;
+  wrong.present.assign(2, std::vector<bool>(d.NumSamples(), true));
+  EXPECT_FALSE(BuildGraphsIncomplete(d, wrong).ok());
+}
+
+}  // namespace
+}  // namespace umvsc::mvsc

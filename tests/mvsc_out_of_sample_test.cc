@@ -1,0 +1,123 @@
+#include "mvsc/out_of_sample.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+#include "mvsc/unified.h"
+
+namespace umvsc::mvsc {
+namespace {
+
+// Train/test pair drawn from the same latent configuration via a fixed
+// generator seed: the generator is deterministic, so regenerating with a
+// larger n and splitting yields i.i.d. train/test from one distribution.
+struct Split {
+  data::MultiViewDataset train;
+  data::MultiViewDataset test;
+};
+
+Split MakeSplit(std::uint64_t seed) {
+  data::MultiViewConfig config;
+  config.num_samples = 240;
+  config.num_clusters = 3;
+  config.views = {{10, data::ViewQuality::kInformative, 0.4},
+                  {6, data::ViewQuality::kWeak, 1.0}};
+  config.cluster_separation = 5.0;
+  config.seed = seed;
+  auto full = data::MakeGaussianMultiView(config);
+  UMVSC_CHECK(full.ok(), "dataset generation failed");
+  Split split;
+  const std::size_t n_train = 180;
+  const std::size_t n = full->NumSamples();
+  for (std::size_t v = 0; v < full->NumViews(); ++v) {
+    split.train.views.push_back(
+        full->views[v].Block(0, 0, n_train, full->views[v].cols()));
+    split.test.views.push_back(full->views[v].Block(
+        n_train, 0, n - n_train, full->views[v].cols()));
+  }
+  split.train.labels.assign(full->labels.begin(),
+                            full->labels.begin() + n_train);
+  split.test.labels.assign(full->labels.begin() + n_train, full->labels.end());
+  split.train.name = "train";
+  split.test.name = "test";
+  return split;
+}
+
+TEST(OutOfSampleTest, NewPointsGetConsistentClusters) {
+  Split split = MakeSplit(80);
+  UnifiedOptions options;
+  options.num_clusters = 3;
+  options.seed = 1;
+  StatusOr<UnifiedResult> fitted = UnifiedMVSC(options).Run(split.train);
+  ASSERT_TRUE(fitted.ok()) << fitted.status().ToString();
+  // Sanity: training clustering is good.
+  auto train_acc =
+      eval::ClusteringAccuracy(fitted->labels, split.train.labels);
+  ASSERT_TRUE(train_acc.ok());
+  ASSERT_GT(*train_acc, 0.9);
+
+  StatusOr<OutOfSampleModel> model = OutOfSampleModel::Fit(
+      split.train, fitted->labels, fitted->view_weights);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  StatusOr<std::vector<std::size_t>> predicted = model->Predict(split.test);
+  ASSERT_TRUE(predicted.ok()) << predicted.status().ToString();
+  ASSERT_EQ(predicted->size(), split.test.NumSamples());
+  // The extension must carry the clustering to unseen points.
+  auto test_acc = eval::ClusteringAccuracy(*predicted, split.test.labels);
+  ASSERT_TRUE(test_acc.ok());
+  EXPECT_GT(*test_acc, 0.85);
+}
+
+TEST(OutOfSampleTest, PredictingTrainingPointsReproducesLabelsMostly) {
+  Split split = MakeSplit(81);
+  std::vector<double> uniform(split.train.NumViews(),
+                              1.0 / split.train.NumViews());
+  StatusOr<OutOfSampleModel> model =
+      OutOfSampleModel::Fit(split.train, split.train.labels, uniform);
+  ASSERT_TRUE(model.ok());
+  StatusOr<std::vector<std::size_t>> predicted = model->Predict(split.train);
+  ASSERT_TRUE(predicted.ok());
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < predicted->size(); ++i) {
+    agree += (*predicted)[i] == split.train.labels[i];
+  }
+  EXPECT_GT(static_cast<double>(agree) / predicted->size(), 0.95);
+}
+
+TEST(OutOfSampleTest, RejectsMismatchedBatches) {
+  Split split = MakeSplit(82);
+  std::vector<double> uniform(2, 0.5);
+  StatusOr<OutOfSampleModel> model =
+      OutOfSampleModel::Fit(split.train, split.train.labels, uniform);
+  ASSERT_TRUE(model.ok());
+
+  data::MultiViewDataset wrong_views;
+  wrong_views.views.push_back(split.test.views[0]);
+  EXPECT_FALSE(model->Predict(wrong_views).ok());
+
+  data::MultiViewDataset wrong_dims = split.test;
+  wrong_dims.views[1] = la::Matrix(split.test.NumSamples(), 3);
+  EXPECT_FALSE(model->Predict(wrong_dims).ok());
+}
+
+TEST(OutOfSampleTest, FitValidatesInputs) {
+  Split split = MakeSplit(83);
+  std::vector<double> uniform(2, 0.5);
+  std::vector<std::size_t> short_labels(5, 0);
+  EXPECT_FALSE(OutOfSampleModel::Fit(split.train, short_labels, uniform).ok());
+  std::vector<double> bad_weights{0.5, -0.5};
+  EXPECT_FALSE(
+      OutOfSampleModel::Fit(split.train, split.train.labels, bad_weights).ok());
+  std::vector<double> wrong_count{1.0};
+  EXPECT_FALSE(
+      OutOfSampleModel::Fit(split.train, split.train.labels, wrong_count).ok());
+  OutOfSampleOptions options;
+  options.knn = 0;
+  EXPECT_FALSE(OutOfSampleModel::Fit(split.train, split.train.labels, uniform,
+                                     options)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace umvsc::mvsc

@@ -1,0 +1,200 @@
+#include "mvsc/unified.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+#include "la/ops.h"
+
+namespace umvsc::mvsc {
+namespace {
+
+struct TestProblem {
+  data::MultiViewDataset dataset;
+  MultiViewGraphs graphs;
+};
+
+TestProblem MakeProblem(std::uint64_t seed, std::size_t n = 150,
+                        std::size_t c = 3) {
+  data::MultiViewConfig config;
+  config.num_samples = n;
+  config.num_clusters = c;
+  config.views = {{12, data::ViewQuality::kInformative, 0.4},
+                  {8, data::ViewQuality::kWeak, 1.0},
+                  {10, data::ViewQuality::kNoisy, 1.0}};
+  config.cluster_separation = 5.0;
+  config.seed = seed;
+  auto dataset = data::MakeGaussianMultiView(config);
+  UMVSC_CHECK(dataset.ok(), "dataset generation failed");
+  auto graphs = BuildGraphs(*dataset);
+  UMVSC_CHECK(graphs.ok(), "graph construction failed");
+  return {std::move(*dataset), std::move(*graphs)};
+}
+
+UnifiedOptions DefaultOptions(std::size_t c) {
+  UnifiedOptions options;
+  options.num_clusters = c;
+  options.beta = 1.0;
+  options.gamma = 2.0;
+  options.seed = 11;
+  return options;
+}
+
+TEST(UnifiedMvscTest, RecoversPlantedClusters) {
+  TestProblem problem = MakeProblem(21);
+  UnifiedMVSC solver(DefaultOptions(3));
+  StatusOr<UnifiedResult> result = solver.Run(problem.graphs);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  StatusOr<double> acc =
+      eval::ClusteringAccuracy(result->labels, problem.dataset.labels);
+  ASSERT_TRUE(acc.ok());
+  EXPECT_GT(*acc, 0.95);
+}
+
+TEST(UnifiedMvscTest, OutputInvariantsHold) {
+  TestProblem problem = MakeProblem(22);
+  UnifiedMVSC solver(DefaultOptions(3));
+  StatusOr<UnifiedResult> result = solver.Run(problem.graphs);
+  ASSERT_TRUE(result.ok());
+  const std::size_t n = problem.graphs.NumSamples();
+  // Indicator is one-hot per row and matches labels.
+  ASSERT_EQ(result->indicator.rows(), n);
+  ASSERT_EQ(result->indicator.cols(), 3u);
+  for (std::size_t i = 0; i < n; ++i) {
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < 3; ++j) row_sum += result->indicator(i, j);
+    EXPECT_DOUBLE_EQ(row_sum, 1.0);
+    EXPECT_DOUBLE_EQ(result->indicator(i, result->labels[i]), 1.0);
+  }
+  // F on the Stiefel manifold, R orthogonal.
+  EXPECT_LT(la::OrthonormalityError(result->embedding), 1e-8);
+  EXPECT_LT(la::OrthonormalityError(result->rotation), 1e-9);
+  // Weights form a distribution.
+  double total = 0.0;
+  for (double w : result->view_weights) {
+    EXPECT_GE(w, 0.0);
+    total += w;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(UnifiedMvscTest, NoisyViewGetsLowestWeight) {
+  TestProblem problem = MakeProblem(23);
+  UnifiedMVSC solver(DefaultOptions(3));
+  StatusOr<UnifiedResult> result = solver.Run(problem.graphs);
+  ASSERT_TRUE(result.ok());
+  // View order: informative, weak, noisy.
+  EXPECT_LT(result->view_weights[2], result->view_weights[0]);
+}
+
+TEST(UnifiedMvscTest, ObjectiveTraceSettles) {
+  TestProblem problem = MakeProblem(24);
+  UnifiedOptions options = DefaultOptions(3);
+  options.max_iterations = 40;
+  UnifiedMVSC solver(options);
+  StatusOr<UnifiedResult> result = solver.Run(problem.graphs);
+  ASSERT_TRUE(result.ok());
+  ASSERT_GE(result->objective_trace.size(), 2u);
+  // The trace ends no higher than it starts, and the tail is stable
+  // (the Y-step uses the scaled-indicator heuristic, so we allow tiny
+  // non-monotonic wiggles rather than asserting strict descent).
+  EXPECT_LE(result->objective_trace.back(),
+            result->objective_trace.front() + 1e-9);
+  if (result->converged) {
+    const auto& trace = result->objective_trace;
+    const double last = trace[trace.size() - 1];
+    const double prev = trace[trace.size() - 2];
+    EXPECT_NEAR(last, prev, 1e-4 * std::max(1.0, std::abs(prev)));
+  }
+}
+
+TEST(UnifiedMvscTest, DeterministicForFixedSeed) {
+  TestProblem problem = MakeProblem(25);
+  UnifiedMVSC solver(DefaultOptions(3));
+  StatusOr<UnifiedResult> a = solver.Run(problem.graphs);
+  StatusOr<UnifiedResult> b = solver.Run(problem.graphs);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->labels, b->labels);
+  EXPECT_EQ(a->objective_trace, b->objective_trace);
+}
+
+TEST(UnifiedMvscTest, AllWeightingModesRun) {
+  TestProblem problem = MakeProblem(26);
+  for (auto mode : {ViewWeighting::kGammaPower, ViewWeighting::kAmgl,
+                    ViewWeighting::kUniform}) {
+    UnifiedOptions options = DefaultOptions(3);
+    options.weighting = mode;
+    UnifiedMVSC solver(options);
+    StatusOr<UnifiedResult> result = solver.Run(problem.graphs);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    StatusOr<double> acc =
+        eval::ClusteringAccuracy(result->labels, problem.dataset.labels);
+    ASSERT_TRUE(acc.ok());
+    EXPECT_GT(*acc, 0.9) << "mode " << static_cast<int>(mode);
+  }
+}
+
+TEST(UnifiedMvscTest, UniformWeightingReportsUniformWeights) {
+  TestProblem problem = MakeProblem(27);
+  UnifiedOptions options = DefaultOptions(3);
+  options.weighting = ViewWeighting::kUniform;
+  UnifiedMVSC solver(options);
+  StatusOr<UnifiedResult> result = solver.Run(problem.graphs);
+  ASSERT_TRUE(result.ok());
+  for (double w : result->view_weights) EXPECT_NEAR(w, 1.0 / 3.0, 1e-12);
+}
+
+TEST(UnifiedMvscTest, LargerGammaFlattensWeights) {
+  TestProblem problem = MakeProblem(28);
+  UnifiedOptions sharp = DefaultOptions(3);
+  sharp.gamma = 1.2;
+  UnifiedOptions flat = DefaultOptions(3);
+  flat.gamma = 8.0;
+  StatusOr<UnifiedResult> rs = UnifiedMVSC(sharp).Run(problem.graphs);
+  StatusOr<UnifiedResult> rf = UnifiedMVSC(flat).Run(problem.graphs);
+  ASSERT_TRUE(rs.ok() && rf.ok());
+  auto spread = [](const std::vector<double>& w) {
+    return *std::max_element(w.begin(), w.end()) -
+           *std::min_element(w.begin(), w.end());
+  };
+  EXPECT_GT(spread(rs->view_weights), spread(rf->view_weights));
+}
+
+TEST(UnifiedMvscTest, RunFromRawDatasetMatchesGraphPath) {
+  TestProblem problem = MakeProblem(29);
+  UnifiedMVSC solver(DefaultOptions(3));
+  StatusOr<UnifiedResult> via_graphs = solver.Run(problem.graphs);
+  StatusOr<UnifiedResult> via_dataset = solver.Run(problem.dataset);
+  ASSERT_TRUE(via_graphs.ok() && via_dataset.ok());
+  EXPECT_EQ(via_graphs->labels, via_dataset->labels);
+}
+
+TEST(UnifiedMvscTest, RejectsInvalidOptions) {
+  TestProblem problem = MakeProblem(30, 60, 3);
+  UnifiedOptions options = DefaultOptions(3);
+  options.num_clusters = 1;
+  EXPECT_FALSE(UnifiedMVSC(options).Run(problem.graphs).ok());
+  options = DefaultOptions(3);
+  options.beta = -1.0;
+  EXPECT_FALSE(UnifiedMVSC(options).Run(problem.graphs).ok());
+  options = DefaultOptions(3);
+  options.gamma = 1.0;
+  EXPECT_FALSE(UnifiedMVSC(options).Run(problem.graphs).ok());
+  EXPECT_FALSE(UnifiedMVSC(DefaultOptions(3)).Run(MultiViewGraphs{}).ok());
+}
+
+TEST(UnifiedMvscTest, WorksWithManyClusters) {
+  TestProblem problem = MakeProblem(31, 200, 8);
+  UnifiedMVSC solver(DefaultOptions(8));
+  StatusOr<UnifiedResult> result = solver.Run(problem.graphs);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  StatusOr<double> acc =
+      eval::ClusteringAccuracy(result->labels, problem.dataset.labels);
+  ASSERT_TRUE(acc.ok());
+  EXPECT_GT(*acc, 0.8);
+}
+
+}  // namespace
+}  // namespace umvsc::mvsc
