@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_onestage.dir/ablation_onestage.cc.o"
+  "CMakeFiles/ablation_onestage.dir/ablation_onestage.cc.o.d"
+  "ablation_onestage"
+  "ablation_onestage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_onestage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_sensitivity.dir/fig2_sensitivity.cc.o"
+  "CMakeFiles/fig2_sensitivity.dir/fig2_sensitivity.cc.o.d"
+  "fig2_sensitivity"
+  "fig2_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

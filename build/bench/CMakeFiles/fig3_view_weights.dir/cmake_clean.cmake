@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_view_weights.dir/fig3_view_weights.cc.o"
+  "CMakeFiles/fig3_view_weights.dir/fig3_view_weights.cc.o.d"
+  "fig3_view_weights"
+  "fig3_view_weights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_view_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

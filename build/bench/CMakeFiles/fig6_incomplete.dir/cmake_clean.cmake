@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_incomplete.dir/fig6_incomplete.cc.o"
+  "CMakeFiles/fig6_incomplete.dir/fig6_incomplete.cc.o.d"
+  "fig6_incomplete"
+  "fig6_incomplete.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_incomplete.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_la.dir/micro_la.cc.o"
+  "CMakeFiles/micro_la.dir/micro_la.cc.o.d"
+  "micro_la"
+  "micro_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

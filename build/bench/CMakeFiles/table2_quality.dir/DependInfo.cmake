@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table2_quality.cc" "bench/CMakeFiles/table2_quality.dir/table2_quality.cc.o" "gcc" "bench/CMakeFiles/table2_quality.dir/table2_quality.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/umvsc_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mvsc/CMakeFiles/umvsc_mvsc.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/umvsc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/umvsc_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/umvsc_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/umvsc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/umvsc_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/umvsc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

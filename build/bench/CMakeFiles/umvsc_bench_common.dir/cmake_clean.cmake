@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/umvsc_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/umvsc_bench_common.dir/bench_common.cc.o.d"
+  "libumvsc_bench_common.a"
+  "libumvsc_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/umvsc_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libumvsc_bench_common.a"
+)

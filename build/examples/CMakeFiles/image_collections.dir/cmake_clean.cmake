@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_collections.dir/image_collections.cpp.o"
+  "CMakeFiles/image_collections.dir/image_collections.cpp.o.d"
+  "image_collections"
+  "image_collections.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_collections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

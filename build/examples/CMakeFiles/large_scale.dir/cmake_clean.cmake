@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/large_scale.dir/large_scale.cpp.o"
+  "CMakeFiles/large_scale.dir/large_scale.cpp.o.d"
+  "large_scale"
+  "large_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/large_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_assignment.dir/streaming_assignment.cpp.o"
+  "CMakeFiles/streaming_assignment.dir/streaming_assignment.cpp.o.d"
+  "streaming_assignment"
+  "streaming_assignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_assignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/umvsc_cli.dir/umvsc_cli.cpp.o"
+  "CMakeFiles/umvsc_cli.dir/umvsc_cli.cpp.o.d"
+  "umvsc_cli"
+  "umvsc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/umvsc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

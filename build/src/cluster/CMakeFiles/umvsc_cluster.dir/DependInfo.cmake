@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/ensemble.cc" "src/cluster/CMakeFiles/umvsc_cluster.dir/ensemble.cc.o" "gcc" "src/cluster/CMakeFiles/umvsc_cluster.dir/ensemble.cc.o.d"
+  "/root/repo/src/cluster/gpi.cc" "src/cluster/CMakeFiles/umvsc_cluster.dir/gpi.cc.o" "gcc" "src/cluster/CMakeFiles/umvsc_cluster.dir/gpi.cc.o.d"
+  "/root/repo/src/cluster/kernel_kmeans.cc" "src/cluster/CMakeFiles/umvsc_cluster.dir/kernel_kmeans.cc.o" "gcc" "src/cluster/CMakeFiles/umvsc_cluster.dir/kernel_kmeans.cc.o.d"
+  "/root/repo/src/cluster/kmeans.cc" "src/cluster/CMakeFiles/umvsc_cluster.dir/kmeans.cc.o" "gcc" "src/cluster/CMakeFiles/umvsc_cluster.dir/kmeans.cc.o.d"
+  "/root/repo/src/cluster/nystrom.cc" "src/cluster/CMakeFiles/umvsc_cluster.dir/nystrom.cc.o" "gcc" "src/cluster/CMakeFiles/umvsc_cluster.dir/nystrom.cc.o.d"
+  "/root/repo/src/cluster/rotation.cc" "src/cluster/CMakeFiles/umvsc_cluster.dir/rotation.cc.o" "gcc" "src/cluster/CMakeFiles/umvsc_cluster.dir/rotation.cc.o.d"
+  "/root/repo/src/cluster/spectral.cc" "src/cluster/CMakeFiles/umvsc_cluster.dir/spectral.cc.o" "gcc" "src/cluster/CMakeFiles/umvsc_cluster.dir/spectral.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/umvsc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/umvsc_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/umvsc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/umvsc_cluster.dir/ensemble.cc.o"
+  "CMakeFiles/umvsc_cluster.dir/ensemble.cc.o.d"
+  "CMakeFiles/umvsc_cluster.dir/gpi.cc.o"
+  "CMakeFiles/umvsc_cluster.dir/gpi.cc.o.d"
+  "CMakeFiles/umvsc_cluster.dir/kernel_kmeans.cc.o"
+  "CMakeFiles/umvsc_cluster.dir/kernel_kmeans.cc.o.d"
+  "CMakeFiles/umvsc_cluster.dir/kmeans.cc.o"
+  "CMakeFiles/umvsc_cluster.dir/kmeans.cc.o.d"
+  "CMakeFiles/umvsc_cluster.dir/nystrom.cc.o"
+  "CMakeFiles/umvsc_cluster.dir/nystrom.cc.o.d"
+  "CMakeFiles/umvsc_cluster.dir/rotation.cc.o"
+  "CMakeFiles/umvsc_cluster.dir/rotation.cc.o.d"
+  "CMakeFiles/umvsc_cluster.dir/spectral.cc.o"
+  "CMakeFiles/umvsc_cluster.dir/spectral.cc.o.d"
+  "libumvsc_cluster.a"
+  "libumvsc_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/umvsc_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/umvsc_common.dir/rng.cc.o"
+  "CMakeFiles/umvsc_common.dir/rng.cc.o.d"
+  "CMakeFiles/umvsc_common.dir/status.cc.o"
+  "CMakeFiles/umvsc_common.dir/status.cc.o.d"
+  "CMakeFiles/umvsc_common.dir/strings.cc.o"
+  "CMakeFiles/umvsc_common.dir/strings.cc.o.d"
+  "libumvsc_common.a"
+  "libumvsc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/umvsc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/umvsc_data.dir/corruption.cc.o"
+  "CMakeFiles/umvsc_data.dir/corruption.cc.o.d"
+  "CMakeFiles/umvsc_data.dir/dataset.cc.o"
+  "CMakeFiles/umvsc_data.dir/dataset.cc.o.d"
+  "CMakeFiles/umvsc_data.dir/incomplete.cc.o"
+  "CMakeFiles/umvsc_data.dir/incomplete.cc.o.d"
+  "CMakeFiles/umvsc_data.dir/io.cc.o"
+  "CMakeFiles/umvsc_data.dir/io.cc.o.d"
+  "CMakeFiles/umvsc_data.dir/synthetic.cc.o"
+  "CMakeFiles/umvsc_data.dir/synthetic.cc.o.d"
+  "libumvsc_data.a"
+  "libumvsc_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/umvsc_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/hungarian.cc" "src/eval/CMakeFiles/umvsc_eval.dir/hungarian.cc.o" "gcc" "src/eval/CMakeFiles/umvsc_eval.dir/hungarian.cc.o.d"
+  "/root/repo/src/eval/internal_metrics.cc" "src/eval/CMakeFiles/umvsc_eval.dir/internal_metrics.cc.o" "gcc" "src/eval/CMakeFiles/umvsc_eval.dir/internal_metrics.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/eval/CMakeFiles/umvsc_eval.dir/metrics.cc.o" "gcc" "src/eval/CMakeFiles/umvsc_eval.dir/metrics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/umvsc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/umvsc_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/umvsc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

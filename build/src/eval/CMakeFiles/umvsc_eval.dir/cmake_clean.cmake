@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/umvsc_eval.dir/hungarian.cc.o"
+  "CMakeFiles/umvsc_eval.dir/hungarian.cc.o.d"
+  "CMakeFiles/umvsc_eval.dir/internal_metrics.cc.o"
+  "CMakeFiles/umvsc_eval.dir/internal_metrics.cc.o.d"
+  "CMakeFiles/umvsc_eval.dir/metrics.cc.o"
+  "CMakeFiles/umvsc_eval.dir/metrics.cc.o.d"
+  "libumvsc_eval.a"
+  "libumvsc_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/umvsc_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/connectivity.cc" "src/graph/CMakeFiles/umvsc_graph.dir/connectivity.cc.o" "gcc" "src/graph/CMakeFiles/umvsc_graph.dir/connectivity.cc.o.d"
+  "/root/repo/src/graph/distance.cc" "src/graph/CMakeFiles/umvsc_graph.dir/distance.cc.o" "gcc" "src/graph/CMakeFiles/umvsc_graph.dir/distance.cc.o.d"
+  "/root/repo/src/graph/kernels.cc" "src/graph/CMakeFiles/umvsc_graph.dir/kernels.cc.o" "gcc" "src/graph/CMakeFiles/umvsc_graph.dir/kernels.cc.o.d"
+  "/root/repo/src/graph/knn_graph.cc" "src/graph/CMakeFiles/umvsc_graph.dir/knn_graph.cc.o" "gcc" "src/graph/CMakeFiles/umvsc_graph.dir/knn_graph.cc.o.d"
+  "/root/repo/src/graph/laplacian.cc" "src/graph/CMakeFiles/umvsc_graph.dir/laplacian.cc.o" "gcc" "src/graph/CMakeFiles/umvsc_graph.dir/laplacian.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/la/CMakeFiles/umvsc_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/umvsc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/umvsc_graph.dir/connectivity.cc.o"
+  "CMakeFiles/umvsc_graph.dir/connectivity.cc.o.d"
+  "CMakeFiles/umvsc_graph.dir/distance.cc.o"
+  "CMakeFiles/umvsc_graph.dir/distance.cc.o.d"
+  "CMakeFiles/umvsc_graph.dir/kernels.cc.o"
+  "CMakeFiles/umvsc_graph.dir/kernels.cc.o.d"
+  "CMakeFiles/umvsc_graph.dir/knn_graph.cc.o"
+  "CMakeFiles/umvsc_graph.dir/knn_graph.cc.o.d"
+  "CMakeFiles/umvsc_graph.dir/laplacian.cc.o"
+  "CMakeFiles/umvsc_graph.dir/laplacian.cc.o.d"
+  "libumvsc_graph.a"
+  "libumvsc_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/umvsc_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/la/cholesky.cc" "src/la/CMakeFiles/umvsc_la.dir/cholesky.cc.o" "gcc" "src/la/CMakeFiles/umvsc_la.dir/cholesky.cc.o.d"
+  "/root/repo/src/la/jacobi_eigen.cc" "src/la/CMakeFiles/umvsc_la.dir/jacobi_eigen.cc.o" "gcc" "src/la/CMakeFiles/umvsc_la.dir/jacobi_eigen.cc.o.d"
+  "/root/repo/src/la/lanczos.cc" "src/la/CMakeFiles/umvsc_la.dir/lanczos.cc.o" "gcc" "src/la/CMakeFiles/umvsc_la.dir/lanczos.cc.o.d"
+  "/root/repo/src/la/lu.cc" "src/la/CMakeFiles/umvsc_la.dir/lu.cc.o" "gcc" "src/la/CMakeFiles/umvsc_la.dir/lu.cc.o.d"
+  "/root/repo/src/la/matrix.cc" "src/la/CMakeFiles/umvsc_la.dir/matrix.cc.o" "gcc" "src/la/CMakeFiles/umvsc_la.dir/matrix.cc.o.d"
+  "/root/repo/src/la/nmf.cc" "src/la/CMakeFiles/umvsc_la.dir/nmf.cc.o" "gcc" "src/la/CMakeFiles/umvsc_la.dir/nmf.cc.o.d"
+  "/root/repo/src/la/ops.cc" "src/la/CMakeFiles/umvsc_la.dir/ops.cc.o" "gcc" "src/la/CMakeFiles/umvsc_la.dir/ops.cc.o.d"
+  "/root/repo/src/la/qr.cc" "src/la/CMakeFiles/umvsc_la.dir/qr.cc.o" "gcc" "src/la/CMakeFiles/umvsc_la.dir/qr.cc.o.d"
+  "/root/repo/src/la/simplex.cc" "src/la/CMakeFiles/umvsc_la.dir/simplex.cc.o" "gcc" "src/la/CMakeFiles/umvsc_la.dir/simplex.cc.o.d"
+  "/root/repo/src/la/sparse.cc" "src/la/CMakeFiles/umvsc_la.dir/sparse.cc.o" "gcc" "src/la/CMakeFiles/umvsc_la.dir/sparse.cc.o.d"
+  "/root/repo/src/la/svd.cc" "src/la/CMakeFiles/umvsc_la.dir/svd.cc.o" "gcc" "src/la/CMakeFiles/umvsc_la.dir/svd.cc.o.d"
+  "/root/repo/src/la/sym_eigen.cc" "src/la/CMakeFiles/umvsc_la.dir/sym_eigen.cc.o" "gcc" "src/la/CMakeFiles/umvsc_la.dir/sym_eigen.cc.o.d"
+  "/root/repo/src/la/vector.cc" "src/la/CMakeFiles/umvsc_la.dir/vector.cc.o" "gcc" "src/la/CMakeFiles/umvsc_la.dir/vector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/umvsc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

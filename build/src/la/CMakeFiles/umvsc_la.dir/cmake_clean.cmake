@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/umvsc_la.dir/cholesky.cc.o"
+  "CMakeFiles/umvsc_la.dir/cholesky.cc.o.d"
+  "CMakeFiles/umvsc_la.dir/jacobi_eigen.cc.o"
+  "CMakeFiles/umvsc_la.dir/jacobi_eigen.cc.o.d"
+  "CMakeFiles/umvsc_la.dir/lanczos.cc.o"
+  "CMakeFiles/umvsc_la.dir/lanczos.cc.o.d"
+  "CMakeFiles/umvsc_la.dir/lu.cc.o"
+  "CMakeFiles/umvsc_la.dir/lu.cc.o.d"
+  "CMakeFiles/umvsc_la.dir/matrix.cc.o"
+  "CMakeFiles/umvsc_la.dir/matrix.cc.o.d"
+  "CMakeFiles/umvsc_la.dir/nmf.cc.o"
+  "CMakeFiles/umvsc_la.dir/nmf.cc.o.d"
+  "CMakeFiles/umvsc_la.dir/ops.cc.o"
+  "CMakeFiles/umvsc_la.dir/ops.cc.o.d"
+  "CMakeFiles/umvsc_la.dir/qr.cc.o"
+  "CMakeFiles/umvsc_la.dir/qr.cc.o.d"
+  "CMakeFiles/umvsc_la.dir/simplex.cc.o"
+  "CMakeFiles/umvsc_la.dir/simplex.cc.o.d"
+  "CMakeFiles/umvsc_la.dir/sparse.cc.o"
+  "CMakeFiles/umvsc_la.dir/sparse.cc.o.d"
+  "CMakeFiles/umvsc_la.dir/svd.cc.o"
+  "CMakeFiles/umvsc_la.dir/svd.cc.o.d"
+  "CMakeFiles/umvsc_la.dir/sym_eigen.cc.o"
+  "CMakeFiles/umvsc_la.dir/sym_eigen.cc.o.d"
+  "CMakeFiles/umvsc_la.dir/vector.cc.o"
+  "CMakeFiles/umvsc_la.dir/vector.cc.o.d"
+  "libumvsc_la.a"
+  "libumvsc_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/umvsc_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libumvsc_la.a"
+)

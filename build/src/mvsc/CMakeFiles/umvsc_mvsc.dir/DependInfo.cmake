@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mvsc/amgl.cc" "src/mvsc/CMakeFiles/umvsc_mvsc.dir/amgl.cc.o" "gcc" "src/mvsc/CMakeFiles/umvsc_mvsc.dir/amgl.cc.o.d"
+  "/root/repo/src/mvsc/baselines.cc" "src/mvsc/CMakeFiles/umvsc_mvsc.dir/baselines.cc.o" "gcc" "src/mvsc/CMakeFiles/umvsc_mvsc.dir/baselines.cc.o.d"
+  "/root/repo/src/mvsc/coreg.cc" "src/mvsc/CMakeFiles/umvsc_mvsc.dir/coreg.cc.o" "gcc" "src/mvsc/CMakeFiles/umvsc_mvsc.dir/coreg.cc.o.d"
+  "/root/repo/src/mvsc/graphs.cc" "src/mvsc/CMakeFiles/umvsc_mvsc.dir/graphs.cc.o" "gcc" "src/mvsc/CMakeFiles/umvsc_mvsc.dir/graphs.cc.o.d"
+  "/root/repo/src/mvsc/mlan.cc" "src/mvsc/CMakeFiles/umvsc_mvsc.dir/mlan.cc.o" "gcc" "src/mvsc/CMakeFiles/umvsc_mvsc.dir/mlan.cc.o.d"
+  "/root/repo/src/mvsc/multi_nmf.cc" "src/mvsc/CMakeFiles/umvsc_mvsc.dir/multi_nmf.cc.o" "gcc" "src/mvsc/CMakeFiles/umvsc_mvsc.dir/multi_nmf.cc.o.d"
+  "/root/repo/src/mvsc/mvkkm.cc" "src/mvsc/CMakeFiles/umvsc_mvsc.dir/mvkkm.cc.o" "gcc" "src/mvsc/CMakeFiles/umvsc_mvsc.dir/mvkkm.cc.o.d"
+  "/root/repo/src/mvsc/out_of_sample.cc" "src/mvsc/CMakeFiles/umvsc_mvsc.dir/out_of_sample.cc.o" "gcc" "src/mvsc/CMakeFiles/umvsc_mvsc.dir/out_of_sample.cc.o.d"
+  "/root/repo/src/mvsc/two_stage.cc" "src/mvsc/CMakeFiles/umvsc_mvsc.dir/two_stage.cc.o" "gcc" "src/mvsc/CMakeFiles/umvsc_mvsc.dir/two_stage.cc.o.d"
+  "/root/repo/src/mvsc/unified.cc" "src/mvsc/CMakeFiles/umvsc_mvsc.dir/unified.cc.o" "gcc" "src/mvsc/CMakeFiles/umvsc_mvsc.dir/unified.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/umvsc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/umvsc_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/umvsc_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/umvsc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/umvsc_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/umvsc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

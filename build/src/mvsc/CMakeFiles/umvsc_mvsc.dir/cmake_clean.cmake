@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/umvsc_mvsc.dir/amgl.cc.o"
+  "CMakeFiles/umvsc_mvsc.dir/amgl.cc.o.d"
+  "CMakeFiles/umvsc_mvsc.dir/baselines.cc.o"
+  "CMakeFiles/umvsc_mvsc.dir/baselines.cc.o.d"
+  "CMakeFiles/umvsc_mvsc.dir/coreg.cc.o"
+  "CMakeFiles/umvsc_mvsc.dir/coreg.cc.o.d"
+  "CMakeFiles/umvsc_mvsc.dir/graphs.cc.o"
+  "CMakeFiles/umvsc_mvsc.dir/graphs.cc.o.d"
+  "CMakeFiles/umvsc_mvsc.dir/mlan.cc.o"
+  "CMakeFiles/umvsc_mvsc.dir/mlan.cc.o.d"
+  "CMakeFiles/umvsc_mvsc.dir/multi_nmf.cc.o"
+  "CMakeFiles/umvsc_mvsc.dir/multi_nmf.cc.o.d"
+  "CMakeFiles/umvsc_mvsc.dir/mvkkm.cc.o"
+  "CMakeFiles/umvsc_mvsc.dir/mvkkm.cc.o.d"
+  "CMakeFiles/umvsc_mvsc.dir/out_of_sample.cc.o"
+  "CMakeFiles/umvsc_mvsc.dir/out_of_sample.cc.o.d"
+  "CMakeFiles/umvsc_mvsc.dir/two_stage.cc.o"
+  "CMakeFiles/umvsc_mvsc.dir/two_stage.cc.o.d"
+  "CMakeFiles/umvsc_mvsc.dir/unified.cc.o"
+  "CMakeFiles/umvsc_mvsc.dir/unified.cc.o.d"
+  "libumvsc_mvsc.a"
+  "libumvsc_mvsc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/umvsc_mvsc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

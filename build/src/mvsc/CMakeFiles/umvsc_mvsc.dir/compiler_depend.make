@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for umvsc_mvsc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_ensemble_test.dir/cluster_ensemble_test.cc.o"
+  "CMakeFiles/cluster_ensemble_test.dir/cluster_ensemble_test.cc.o.d"
+  "cluster_ensemble_test"
+  "cluster_ensemble_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_ensemble_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_gpi_test.dir/cluster_gpi_test.cc.o"
+  "CMakeFiles/cluster_gpi_test.dir/cluster_gpi_test.cc.o.d"
+  "cluster_gpi_test"
+  "cluster_gpi_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_gpi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_spectral_test.dir/cluster_spectral_test.cc.o"
+  "CMakeFiles/cluster_spectral_test.dir/cluster_spectral_test.cc.o.d"
+  "cluster_spectral_test"
+  "cluster_spectral_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_spectral_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

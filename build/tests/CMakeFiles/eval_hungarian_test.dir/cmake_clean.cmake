@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_hungarian_test.dir/eval_hungarian_test.cc.o"
+  "CMakeFiles/eval_hungarian_test.dir/eval_hungarian_test.cc.o.d"
+  "eval_hungarian_test"
+  "eval_hungarian_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_hungarian_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

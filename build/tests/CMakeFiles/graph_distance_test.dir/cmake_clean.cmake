@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_distance_test.dir/graph_distance_test.cc.o"
+  "CMakeFiles/graph_distance_test.dir/graph_distance_test.cc.o.d"
+  "graph_distance_test"
+  "graph_distance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_distance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

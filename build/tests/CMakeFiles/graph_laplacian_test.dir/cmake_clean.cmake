@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_laplacian_test.dir/graph_laplacian_test.cc.o"
+  "CMakeFiles/graph_laplacian_test.dir/graph_laplacian_test.cc.o.d"
+  "graph_laplacian_test"
+  "graph_laplacian_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_laplacian_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

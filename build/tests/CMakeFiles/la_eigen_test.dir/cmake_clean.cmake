@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la_eigen_test.dir/la_eigen_test.cc.o"
+  "CMakeFiles/la_eigen_test.dir/la_eigen_test.cc.o.d"
+  "la_eigen_test"
+  "la_eigen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la_eigen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

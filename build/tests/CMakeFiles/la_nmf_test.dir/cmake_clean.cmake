@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la_nmf_test.dir/la_nmf_test.cc.o"
+  "CMakeFiles/la_nmf_test.dir/la_nmf_test.cc.o.d"
+  "la_nmf_test"
+  "la_nmf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la_nmf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

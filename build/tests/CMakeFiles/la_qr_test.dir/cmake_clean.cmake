@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la_qr_test.dir/la_qr_test.cc.o"
+  "CMakeFiles/la_qr_test.dir/la_qr_test.cc.o.d"
+  "la_qr_test"
+  "la_qr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la_qr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la_simplex_test.dir/la_simplex_test.cc.o"
+  "CMakeFiles/la_simplex_test.dir/la_simplex_test.cc.o.d"
+  "la_simplex_test"
+  "la_simplex_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la_simplex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

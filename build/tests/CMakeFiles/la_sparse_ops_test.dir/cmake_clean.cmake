@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la_sparse_ops_test.dir/la_sparse_ops_test.cc.o"
+  "CMakeFiles/la_sparse_ops_test.dir/la_sparse_ops_test.cc.o.d"
+  "la_sparse_ops_test"
+  "la_sparse_ops_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la_sparse_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la_svd_test.dir/la_svd_test.cc.o"
+  "CMakeFiles/la_svd_test.dir/la_svd_test.cc.o.d"
+  "la_svd_test"
+  "la_svd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la_svd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvsc_baselines_test.dir/mvsc_baselines_test.cc.o"
+  "CMakeFiles/mvsc_baselines_test.dir/mvsc_baselines_test.cc.o.d"
+  "mvsc_baselines_test"
+  "mvsc_baselines_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvsc_baselines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

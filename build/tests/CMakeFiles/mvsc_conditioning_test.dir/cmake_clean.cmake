@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvsc_conditioning_test.dir/mvsc_conditioning_test.cc.o"
+  "CMakeFiles/mvsc_conditioning_test.dir/mvsc_conditioning_test.cc.o.d"
+  "mvsc_conditioning_test"
+  "mvsc_conditioning_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvsc_conditioning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvsc_extra_methods_test.dir/mvsc_extra_methods_test.cc.o"
+  "CMakeFiles/mvsc_extra_methods_test.dir/mvsc_extra_methods_test.cc.o.d"
+  "mvsc_extra_methods_test"
+  "mvsc_extra_methods_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvsc_extra_methods_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mvsc_extra_methods_test.
+# This may be replaced when dependencies are built.

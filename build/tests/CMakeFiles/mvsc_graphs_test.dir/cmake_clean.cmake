@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvsc_graphs_test.dir/mvsc_graphs_test.cc.o"
+  "CMakeFiles/mvsc_graphs_test.dir/mvsc_graphs_test.cc.o.d"
+  "mvsc_graphs_test"
+  "mvsc_graphs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvsc_graphs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

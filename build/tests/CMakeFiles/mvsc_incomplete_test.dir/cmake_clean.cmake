@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvsc_incomplete_test.dir/mvsc_incomplete_test.cc.o"
+  "CMakeFiles/mvsc_incomplete_test.dir/mvsc_incomplete_test.cc.o.d"
+  "mvsc_incomplete_test"
+  "mvsc_incomplete_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvsc_incomplete_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvsc_out_of_sample_test.dir/mvsc_out_of_sample_test.cc.o"
+  "CMakeFiles/mvsc_out_of_sample_test.dir/mvsc_out_of_sample_test.cc.o.d"
+  "mvsc_out_of_sample_test"
+  "mvsc_out_of_sample_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvsc_out_of_sample_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

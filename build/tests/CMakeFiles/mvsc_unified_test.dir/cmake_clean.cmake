@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvsc_unified_test.dir/mvsc_unified_test.cc.o"
+  "CMakeFiles/mvsc_unified_test.dir/mvsc_unified_test.cc.o.d"
+  "mvsc_unified_test"
+  "mvsc_unified_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvsc_unified_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
