@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/parallel.h"
 #include "common/stopwatch.h"
 #include "common/strings.h"
 #include "mvsc/amgl.h"
@@ -226,16 +227,88 @@ BenchConfig ParseBenchArgs(int argc, char** argv) {
       config.seeds = static_cast<std::size_t>(std::strtoull(arg + 8, nullptr, 10));
     } else if (std::strncmp(arg, "--base-seed=", 12) == 0) {
       config.base_seed = std::strtoull(arg + 12, nullptr, 10);
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      config.threads =
+          static_cast<std::size_t>(std::strtoull(arg + 10, nullptr, 10));
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      config.json = arg + 7;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--scale=S] [--seeds=N] [--base-seed=B]\n"
+                   "usage: %s [--scale=S] [--seeds=N] [--base-seed=B]"
+                   " [--threads=T] [--json=PATH]\n"
                    "  scale in (0,1] shrinks the simulated benchmarks;\n"
-                   "  1.0 reproduces the published dataset statistics.\n",
+                   "  1.0 reproduces the published dataset statistics.\n"
+                   "  threads sets the N-thread leg of scaling runs\n"
+                   "  (default: UMVSC_NUM_THREADS or hardware concurrency);\n"
+                   "  json writes machine-readable results to PATH.\n",
                    argv[0]);
       std::exit(2);
     }
   }
   return config;
+}
+
+ThreadScaling MeasureThreadScaling(const data::MultiViewDataset& dataset,
+                                   std::size_t num_clusters,
+                                   std::uint64_t seed,
+                                   std::size_t parallel_threads,
+                                   std::size_t repeats) {
+  ThreadScaling scaling;
+  scaling.dataset = dataset.name;
+  scaling.num_samples = dataset.NumSamples();
+  scaling.num_views = dataset.NumViews();
+  scaling.baseline_threads = 1;
+  scaling.parallel_threads =
+      parallel_threads == 0 ? DefaultNumThreads() : parallel_threads;
+  if (repeats == 0) repeats = 1;
+
+  auto time_pipeline = [&](std::size_t threads) {
+    ScopedNumThreads scope(threads);
+    double best = 0.0;
+    for (std::size_t r = 0; r < repeats; ++r) {
+      Stopwatch watch;
+      StatusOr<mvsc::MultiViewGraphs> graphs = mvsc::BuildGraphs(dataset);
+      if (!graphs.ok()) return -1.0;
+      mvsc::UnifiedOptions options;
+      options.num_clusters = num_clusters;
+      options.seed = seed;
+      StatusOr<mvsc::UnifiedResult> result =
+          mvsc::UnifiedMVSC(options).Run(*graphs);
+      if (!result.ok()) return -1.0;
+      const double seconds = watch.ElapsedSeconds();
+      if (r == 0 || seconds < best) best = seconds;
+    }
+    return best;
+  };
+
+  scaling.baseline_seconds = time_pipeline(1);
+  scaling.parallel_seconds = time_pipeline(scaling.parallel_threads);
+  scaling.speedup = (scaling.baseline_seconds > 0.0 &&
+                     scaling.parallel_seconds > 0.0)
+                        ? scaling.baseline_seconds / scaling.parallel_seconds
+                        : 1.0;
+  return scaling;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", static_cast<unsigned>(c));
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
 }
 
 std::string FormatPct(const MetricStats& stats) {

@@ -54,11 +54,44 @@ struct BenchConfig {
   double scale = 0.5;
   std::size_t seeds = 5;
   std::uint64_t base_seed = 1;
+  /// Thread count for the N-thread leg of scaling measurements; 0 means
+  /// the process default (UMVSC_NUM_THREADS or hardware concurrency).
+  std::size_t threads = 0;
+  /// Path for machine-readable benchmark output; empty disables emission.
+  std::string json;
 };
 BenchConfig ParseBenchArgs(int argc, char** argv);
 
 /// Prints "value ± std" as percentages, e.g. "87.3±2.1".
 std::string FormatPct(const MetricStats& stats);
+
+/// One thread-scaling measurement of the full UMVSC pipeline (per-view
+/// graph construction + unified solve) on one dataset: wall time at 1
+/// thread vs `parallel_threads` threads, and the resulting speedup. The
+/// perf trajectory the benchmark JSON records across PRs.
+struct ThreadScaling {
+  std::string dataset;
+  std::size_t num_samples = 0;
+  std::size_t num_views = 0;
+  std::size_t baseline_threads = 1;
+  std::size_t parallel_threads = 1;
+  double baseline_seconds = 0.0;
+  double parallel_seconds = 0.0;
+  double speedup = 1.0;
+};
+
+/// Measures ThreadScaling for `dataset`: best-of-`repeats` wall time of
+/// BuildGraphs + UnifiedMVSC::Run at 1 thread and at `parallel_threads`
+/// (0 → DefaultNumThreads()). Output labels are identical in both legs by
+/// the determinism contract — only the clock moves.
+ThreadScaling MeasureThreadScaling(const data::MultiViewDataset& dataset,
+                                   std::size_t num_clusters,
+                                   std::uint64_t seed,
+                                   std::size_t parallel_threads,
+                                   std::size_t repeats = 2);
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string JsonEscape(const std::string& s);
 
 }  // namespace umvsc::bench
 

@@ -4,21 +4,83 @@
 // two-stage pipelines (its per-iteration work is sparse), while Co-Reg pays
 // V eigensolves per iteration.
 //
-//   ./table3_runtime [--scale=0.4] [--seeds=3]
+// Also measures thread scaling: the full UMVSC pipeline (graph build +
+// solve) on the largest simulated benchmark at 1 thread vs N threads, with
+// the speedup recorded in the benchmark JSON (--json=PATH, default
+// table3_runtime.json) so the perf trajectory is tracked across PRs.
+//
+//   ./table3_runtime [--scale=0.4] [--seeds=3] [--threads=8] [--json=PATH]
 
 #include <cstdio>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "bench_common.h"
+#include "common/parallel.h"
 #include "common/stopwatch.h"
 #include "data/synthetic.h"
 #include "mvsc/graphs.h"
+
+namespace {
+
+// Emits the per-method runtime table plus the thread-scaling block as a
+// single JSON document.
+void WriteJson(
+    const std::string& path, const umvsc::bench::BenchConfig& config,
+    const std::vector<std::string>& method_order,
+    std::map<std::string, std::map<std::string, std::vector<double>>>& times,
+    std::map<std::string, std::vector<double>>& graph_times,
+    const umvsc::bench::ThreadScaling& scaling) {
+  using umvsc::bench::Aggregate;
+  using umvsc::bench::JsonEscape;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "table3_runtime: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"table3_runtime\",\n");
+  std::fprintf(f, "  \"scale\": %g,\n  \"seeds\": %zu,\n", config.scale,
+               config.seeds);
+  std::fprintf(f, "  \"runtimes_seconds\": {\n");
+  const std::vector<std::string> names = umvsc::data::BenchmarkNames();
+  for (std::size_t d = 0; d < names.size(); ++d) {
+    std::fprintf(f, "    \"%s\": {\n", JsonEscape(names[d]).c_str());
+    for (const std::string& method : method_order) {
+      std::fprintf(f, "      \"%s\": %.6f,\n", JsonEscape(method).c_str(),
+                   Aggregate(times[names[d]][method]).mean);
+    }
+    std::fprintf(f, "      \"(graph build)\": %.6f\n    }%s\n",
+                 Aggregate(graph_times[names[d]]).mean,
+                 d + 1 < names.size() ? "," : "");
+  }
+  std::fprintf(f, "  },\n");
+  std::fprintf(f,
+               "  \"thread_scaling\": {\n"
+               "    \"dataset\": \"%s\",\n"
+               "    \"num_samples\": %zu,\n"
+               "    \"num_views\": %zu,\n"
+               "    \"baseline_threads\": %zu,\n"
+               "    \"parallel_threads\": %zu,\n"
+               "    \"baseline_seconds\": %.6f,\n"
+               "    \"parallel_seconds\": %.6f,\n"
+               "    \"speedup\": %.3f\n"
+               "  }\n}\n",
+               JsonEscape(scaling.dataset).c_str(), scaling.num_samples,
+               scaling.num_views, scaling.baseline_threads,
+               scaling.parallel_threads, scaling.baseline_seconds,
+               scaling.parallel_seconds, scaling.speedup);
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace umvsc;
   bench::BenchConfig config = bench::ParseBenchArgs(argc, argv);
   if (config.seeds > 3) config.seeds = 3;  // runtime table needs fewer seeds
+  if (config.json.empty()) config.json = "table3_runtime.json";
 
   std::printf("Table 3: runtime in seconds, mean over %zu seeds (scale=%.2f)\n",
               config.seeds, config.scale);
@@ -66,5 +128,33 @@ int main(int argc, char** argv) {
     std::printf(" %12.3f", bench::Aggregate(graph_times[name]).mean);
   }
   std::printf("\n");
+
+  // --- Thread scaling on the largest simulated benchmark: the unified
+  // pipeline at 1 thread vs N threads, bitwise-identical output by the
+  // determinism contract, so only the clock differs.
+  std::string largest_name;
+  std::size_t largest_n = 0;
+  StatusOr<data::MultiViewDataset> largest =
+      Status::NotFound("no benchmark datasets");
+  for (const std::string& name : data::BenchmarkNames()) {
+    StatusOr<data::MultiViewDataset> dataset =
+        data::SimulateBenchmark(name, config.base_seed, config.scale);
+    if (dataset.ok() && dataset->NumSamples() > largest_n) {
+      largest_n = dataset->NumSamples();
+      largest_name = name;
+      largest = std::move(dataset);
+    }
+  }
+  if (largest.ok()) {
+    bench::ThreadScaling scaling = bench::MeasureThreadScaling(
+        *largest, largest->NumClusters(), config.base_seed, config.threads);
+    std::printf(
+        "\nThread scaling (%s, n=%zu, V=%zu): %zu thread(s) %.3fs -> "
+        "%zu threads %.3fs, speedup %.2fx\n",
+        scaling.dataset.c_str(), scaling.num_samples, scaling.num_views,
+        scaling.baseline_threads, scaling.baseline_seconds,
+        scaling.parallel_threads, scaling.parallel_seconds, scaling.speedup);
+    WriteJson(config.json, config, method_order, times, graph_times, scaling);
+  }
   return 0;
 }

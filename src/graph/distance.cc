@@ -3,30 +3,43 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/parallel.h"
 #include "la/ops.h"
 
 namespace umvsc::graph {
 
+namespace {
+// Row grain of the distance kernels: fine enough to spread paper-sized
+// problems across every core, coarse enough to amortize dispatch.
+constexpr std::size_t kRowGrain = 16;
+}  // namespace
+
 la::Matrix PairwiseSquaredDistances(const la::Matrix& x) {
   const std::size_t n = x.rows();
-  la::Matrix gram = la::OuterGram(x);
+  la::Matrix gram = la::OuterGram(x);  // itself row-parallel
   la::Matrix d2(n, n);
-  for (std::size_t i = 0; i < n; ++i) {
-    const double gii = gram(i, i);
-    for (std::size_t j = i + 1; j < n; ++j) {
-      const double v = std::max(0.0, gii + gram(j, j) - 2.0 * gram(i, j));
-      d2(i, j) = v;
-      d2(j, i) = v;
+  // Expansion pass: iteration i writes d2(i, j>i) and the mirror d2(j>i, i)
+  // — every element exactly once, so row spans are write-disjoint and the
+  // result is bitwise identical at every thread count.
+  ParallelFor(0, n, kRowGrain, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const double gii = gram(i, i);
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const double v = std::max(0.0, gii + gram(j, j) - 2.0 * gram(i, j));
+        d2(i, j) = v;
+        d2(j, i) = v;
+      }
     }
-  }
+  });
   return d2;
 }
 
 la::Matrix PairwiseDistances(const la::Matrix& x) {
   la::Matrix d = PairwiseSquaredDistances(x);
-  for (std::size_t i = 0; i < d.size(); ++i) {
-    d.data()[i] = std::sqrt(d.data()[i]);
-  }
+  double* data = d.data();
+  ParallelFor(0, d.size(), 4096, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) data[i] = std::sqrt(data[i]);
+  });
   return d;
 }
 
@@ -36,12 +49,14 @@ la::Matrix CosineSimilarity(const la::Matrix& x) {
   la::Vector norms(n);
   for (std::size_t i = 0; i < n; ++i) norms[i] = std::sqrt(gram(i, i));
   la::Matrix s(n, n);
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = 0; j < n; ++j) {
-      const double denom = norms[i] * norms[j];
-      s(i, j) = denom > 0.0 ? gram(i, j) / denom : 0.0;
+  ParallelFor(0, n, kRowGrain, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        const double denom = norms[i] * norms[j];
+        s(i, j) = denom > 0.0 ? gram(i, j) / denom : 0.0;
+      }
     }
-  }
+  });
   return s;
 }
 

@@ -9,13 +9,18 @@ namespace umvsc::graph {
 /// D²_ij = ‖x_i − x_j‖². Computed via the Gram expansion
 /// ‖x_i‖² + ‖x_j‖² − 2·x_iᵀx_j with clamping at zero, so it is O(n²·d)
 /// with a single GEMM-shaped pass. The diagonal is exactly zero.
+/// Row-parallel on the global thread pool (common/parallel.h) with
+/// write-disjoint spans: the output is bitwise identical at every
+/// UMVSC_NUM_THREADS setting. Safe to call concurrently.
 la::Matrix PairwiseSquaredDistances(const la::Matrix& x);
 
 /// Pairwise Euclidean distances (element-wise sqrt of the above).
+/// Parallel and bitwise deterministic across thread counts.
 la::Matrix PairwiseDistances(const la::Matrix& x);
 
 /// Pairwise cosine similarity between rows, in [−1, 1]. Zero rows get
-/// similarity 0 against everything (including themselves).
+/// similarity 0 against everything (including themselves). Row-parallel
+/// and bitwise deterministic across thread counts.
 la::Matrix CosineSimilarity(const la::Matrix& x);
 
 }  // namespace umvsc::graph

@@ -4,6 +4,8 @@
 #include <numeric>
 #include <vector>
 
+#include "common/parallel.h"
+
 namespace umvsc::graph {
 
 namespace {
@@ -45,35 +47,48 @@ StatusOr<la::CsrMatrix> BuildKnnGraph(const la::Matrix& affinity,
 
   // Directed selection mask: selected(i, j) = affinity if j is a kNN of i.
   // Kept dense (n² bools worth of doubles) for simplicity at library scale.
+  // Each iteration writes only row i, so the neighbor search — the O(n²
+  // log k) part — runs row-parallel with write-disjoint spans.
   la::Matrix selected(n, n);
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j : TopKNeighbors(affinity, i, k)) {
-      selected(i, j) = affinity(i, j);
+  ParallelFor(0, n, 16, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      for (std::size_t j : TopKNeighbors(affinity, i, k)) {
+        selected(i, j) = affinity(i, j);
+      }
     }
-  }
+  });
 
-  std::vector<la::Triplet> triplets;
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = i + 1; j < n; ++j) {
-      const double a = selected(i, j);
-      const double b = selected(j, i);
-      double w = 0.0;
-      switch (symmetrization) {
-        case KnnSymmetrization::kUnion:
-          w = std::max(a, b);
-          break;
-        case KnnSymmetrization::kMutual:
-          w = (a > 0.0 && b > 0.0) ? std::min(a, b) : 0.0;
-          break;
-        case KnnSymmetrization::kAverage:
-          w = 0.5 * (a + b);
-          break;
-      }
-      if (w > 0.0) {
-        triplets.push_back({i, j, w});
-        triplets.push_back({j, i, w});
+  // Symmetrization: row i emits its (i, j>i) pairs into a private buffer;
+  // the buffers concatenate in row order, reproducing the serial emission
+  // order exactly (determinism of the CSR assembly).
+  std::vector<std::vector<la::Triplet>> row_triplets(n);
+  ParallelFor(0, n, 16, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const double a = selected(i, j);
+        const double b = selected(j, i);
+        double w = 0.0;
+        switch (symmetrization) {
+          case KnnSymmetrization::kUnion:
+            w = std::max(a, b);
+            break;
+          case KnnSymmetrization::kMutual:
+            w = (a > 0.0 && b > 0.0) ? std::min(a, b) : 0.0;
+            break;
+          case KnnSymmetrization::kAverage:
+            w = 0.5 * (a + b);
+            break;
+        }
+        if (w > 0.0) {
+          row_triplets[i].push_back({i, j, w});
+          row_triplets[i].push_back({j, i, w});
+        }
       }
     }
+  });
+  std::vector<la::Triplet> triplets;
+  for (std::vector<la::Triplet>& row : row_triplets) {
+    triplets.insert(triplets.end(), row.begin(), row.end());
   }
   return la::CsrMatrix::FromTriplets(n, n, std::move(triplets));
 }
@@ -90,36 +105,47 @@ StatusOr<la::CsrMatrix> AdaptiveNeighborGraph(const la::Matrix& sq_dists,
         "AdaptiveNeighborGraph requires 1 <= k < n - 1");
   }
 
+  // Rows are independent simplex problems; solve them in parallel into
+  // per-row buffers and concatenate in row order so the triplet stream —
+  // and therefore the CSR duplicate-summation order — matches the serial
+  // path exactly.
+  std::vector<std::vector<la::Triplet>> row_triplets(n);
+  ParallelFor(0, n, 16, [&](std::size_t lo, std::size_t hi) {
+    std::vector<std::size_t> idx;
+    idx.reserve(n - 1);
+    for (std::size_t i = lo; i < hi; ++i) {
+      // Sort the k+1 smallest distances among other points.
+      idx.clear();
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j != i) idx.push_back(j);
+      }
+      std::partial_sort(idx.begin(), idx.begin() + (k + 1), idx.end(),
+                        [&](std::size_t a, std::size_t b) {
+                          return sq_dists(i, a) < sq_dists(i, b);
+                        });
+      const double d_kplus1 = sq_dists(i, idx[k]);
+      double sum_k = 0.0;
+      for (std::size_t j = 0; j < k; ++j) sum_k += sq_dists(i, idx[j]);
+      const double denom = static_cast<double>(k) * d_kplus1 - sum_k;
+      for (std::size_t j = 0; j < k; ++j) {
+        double w;
+        if (denom > 1e-300) {
+          w = (d_kplus1 - sq_dists(i, idx[j])) / denom;
+        } else {
+          // All k+1 nearest distances tie: fall back to uniform weights.
+          w = 1.0 / static_cast<double>(k);
+        }
+        if (w > 0.0) {
+          // Symmetrized as (W + Wᵀ)/2: emit half from each endpoint.
+          row_triplets[i].push_back({i, idx[j], 0.5 * w});
+          row_triplets[i].push_back({idx[j], i, 0.5 * w});
+        }
+      }
+    }
+  });
   std::vector<la::Triplet> triplets;
-  std::vector<std::size_t> idx(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    // Sort the k+1 smallest distances among other points.
-    idx.clear();
-    for (std::size_t j = 0; j < n; ++j) {
-      if (j != i) idx.push_back(j);
-    }
-    std::partial_sort(idx.begin(), idx.begin() + (k + 1), idx.end(),
-                      [&](std::size_t a, std::size_t b) {
-                        return sq_dists(i, a) < sq_dists(i, b);
-                      });
-    const double d_kplus1 = sq_dists(i, idx[k]);
-    double sum_k = 0.0;
-    for (std::size_t j = 0; j < k; ++j) sum_k += sq_dists(i, idx[j]);
-    const double denom = static_cast<double>(k) * d_kplus1 - sum_k;
-    for (std::size_t j = 0; j < k; ++j) {
-      double w;
-      if (denom > 1e-300) {
-        w = (d_kplus1 - sq_dists(i, idx[j])) / denom;
-      } else {
-        // All k+1 nearest distances tie: fall back to uniform weights.
-        w = 1.0 / static_cast<double>(k);
-      }
-      if (w > 0.0) {
-        // Symmetrized as (W + Wᵀ)/2: emit half from each endpoint.
-        triplets.push_back({i, idx[j], 0.5 * w});
-        triplets.push_back({idx[j], i, 0.5 * w});
-      }
-    }
+  for (std::vector<la::Triplet>& row : row_triplets) {
+    triplets.insert(triplets.end(), row.begin(), row.end());
   }
   return la::CsrMatrix::FromTriplets(n, n, std::move(triplets));
 }

@@ -18,7 +18,10 @@ enum class KnnSymmetrization {
 
 /// Sparsifies a dense affinity matrix to the k strongest neighbors per node
 /// and symmetrizes. Diagonal entries are ignored (no self-loops). Requires
-/// a square nonnegative affinity and 1 <= k < n.
+/// a square nonnegative affinity and 1 <= k < n. Neighbor selection and
+/// symmetrization run row-parallel on the global thread pool; the emitted
+/// triplet stream is ordered by row, so the graph is bitwise identical at
+/// every thread count.
 StatusOr<la::CsrMatrix> BuildKnnGraph(
     const la::Matrix& affinity, std::size_t k,
     KnnSymmetrization symmetrization = KnnSymmetrization::kUnion);
@@ -29,6 +32,8 @@ StatusOr<la::CsrMatrix> BuildKnnGraph(
 /// min_w Σ_j d_ij·w_ij + γ‖w_i‖² on the probability simplex with the γ that
 /// makes exactly k weights nonzero. Rows sum to 1; output is symmetrized
 /// with (W + Wᵀ)/2. Input: squared distances; requires 1 <= k < n − 1.
+/// Row-parallel with row-ordered triplet emission — bitwise deterministic
+/// across thread counts.
 StatusOr<la::CsrMatrix> AdaptiveNeighborGraph(const la::Matrix& sq_dists,
                                               std::size_t k);
 

@@ -3,34 +3,49 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/parallel.h"
+
 namespace umvsc::la {
 
 namespace {
 // Block edge for the cache-blocked GEMM. 64 doubles = 512 bytes per row
-// strip, comfortably inside L1 for three blocks.
+// strip, comfortably inside L1 for three blocks. Also the ParallelFor grain
+// of the row-blocked kernels, so thread-span boundaries always coincide
+// with block boundaries.
 constexpr std::size_t kBlock = 64;
+
+// ParallelFor grain of the row-parallel kernels: small enough to split
+// paper-sized problems (n in the hundreds) across every core, large enough
+// that a span amortizes the dispatch.
+constexpr std::size_t kRowGrain = 16;
 }  // namespace
 
 Matrix MatMul(const Matrix& a, const Matrix& b) {
   UMVSC_CHECK(a.cols() == b.rows(), "MatMul inner dimension mismatch");
   const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
   Matrix c(m, n);
-  for (std::size_t ii = 0; ii < m; ii += kBlock) {
-    const std::size_t iend = std::min(ii + kBlock, m);
-    for (std::size_t kk = 0; kk < k; kk += kBlock) {
-      const std::size_t kend = std::min(kk + kBlock, k);
-      for (std::size_t i = ii; i < iend; ++i) {
-        const double* arow = a.RowPtr(i);
-        double* crow = c.RowPtr(i);
-        for (std::size_t p = kk; p < kend; ++p) {
-          const double aip = arow[p];
-          if (aip == 0.0) continue;
-          const double* brow = b.RowPtr(p);
-          for (std::size_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
+  // Row-blocked: each thread owns a contiguous run of kBlock-aligned row
+  // blocks of C. Per-element accumulation order (kk ascending, p within
+  // block) is independent of the partition, so the product is bitwise
+  // identical at every thread count.
+  ParallelFor(0, m, kBlock, [&](std::size_t row_lo, std::size_t row_hi) {
+    for (std::size_t ii = row_lo; ii < row_hi; ii += kBlock) {
+      const std::size_t iend = std::min(ii + kBlock, row_hi);
+      for (std::size_t kk = 0; kk < k; kk += kBlock) {
+        const std::size_t kend = std::min(kk + kBlock, k);
+        for (std::size_t i = ii; i < iend; ++i) {
+          const double* arow = a.RowPtr(i);
+          double* crow = c.RowPtr(i);
+          for (std::size_t p = kk; p < kend; ++p) {
+            const double aip = arow[p];
+            if (aip == 0.0) continue;
+            const double* brow = b.RowPtr(p);
+            for (std::size_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
+          }
         }
       }
     }
-  }
+  });
   return c;
 }
 
@@ -38,18 +53,22 @@ Matrix MatTMul(const Matrix& a, const Matrix& b) {
   UMVSC_CHECK(a.rows() == b.rows(), "MatTMul dimension mismatch");
   const std::size_t m = a.cols(), k = a.rows(), n = b.cols();
   Matrix c(m, n);
-  // Accumulate rank-1 updates row by row of A and B: cache-friendly for
-  // row-major storage and never forms the transpose.
-  for (std::size_t p = 0; p < k; ++p) {
-    const double* arow = a.RowPtr(p);
-    const double* brow = b.RowPtr(p);
-    for (std::size_t i = 0; i < m; ++i) {
-      const double aip = arow[i];
-      if (aip == 0.0) continue;
-      double* crow = c.RowPtr(i);
-      for (std::size_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
+  // Rank-1 accumulation row by row of A and B, with each thread owning a
+  // contiguous strip of C's rows (= columns of A). Every thread streams the
+  // same A/B rows but writes disjoint rows of C, and each element still
+  // accumulates in ascending-p order — bitwise identical to one thread.
+  ParallelFor(0, m, kRowGrain, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t p = 0; p < k; ++p) {
+      const double* arow = a.RowPtr(p);
+      const double* brow = b.RowPtr(p);
+      for (std::size_t i = lo; i < hi; ++i) {
+        const double aip = arow[i];
+        if (aip == 0.0) continue;
+        double* crow = c.RowPtr(i);
+        for (std::size_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
+      }
     }
-  }
+  });
   return c;
 }
 
@@ -57,16 +76,19 @@ Matrix MatMulT(const Matrix& a, const Matrix& b) {
   UMVSC_CHECK(a.cols() == b.cols(), "MatMulT dimension mismatch");
   const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
   Matrix c(m, n);
-  for (std::size_t i = 0; i < m; ++i) {
-    const double* arow = a.RowPtr(i);
-    double* crow = c.RowPtr(i);
-    for (std::size_t j = 0; j < n; ++j) {
-      const double* brow = b.RowPtr(j);
-      double s = 0.0;
-      for (std::size_t p = 0; p < k; ++p) s += arow[p] * brow[p];
-      crow[j] = s;
+  // Rows of C are independent dot-product sweeps: trivially row-parallel.
+  ParallelFor(0, m, kRowGrain, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const double* arow = a.RowPtr(i);
+      double* crow = c.RowPtr(i);
+      for (std::size_t j = 0; j < n; ++j) {
+        const double* brow = b.RowPtr(j);
+        double s = 0.0;
+        for (std::size_t p = 0; p < k; ++p) s += arow[p] * brow[p];
+        crow[j] = s;
+      }
     }
-  }
+  });
   return c;
 }
 
@@ -124,16 +146,22 @@ Matrix Gram(const Matrix& a) {
 Matrix OuterGram(const Matrix& a) {
   const std::size_t n = a.rows();
   Matrix g(n, n);
-  for (std::size_t i = 0; i < n; ++i) {
-    const double* ri = a.RowPtr(i);
-    for (std::size_t j = i; j < n; ++j) {
-      const double* rj = a.RowPtr(j);
-      double s = 0.0;
-      for (std::size_t p = 0; p < a.cols(); ++p) s += ri[p] * rj[p];
-      g(i, j) = s;
-      g(j, i) = s;
+  // Row-parallel over the upper triangle; iteration i writes g(i, j≥i) and
+  // the mirror g(j>i, i) — each element exactly once, so spans are
+  // write-disjoint. Static partitioning leaves the early (longer) rows on
+  // the first threads; at O(n·d) per row the imbalance is bounded by 2×.
+  ParallelFor(0, n, 16, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const double* ri = a.RowPtr(i);
+      for (std::size_t j = i; j < n; ++j) {
+        const double* rj = a.RowPtr(j);
+        double s = 0.0;
+        for (std::size_t p = 0; p < a.cols(); ++p) s += ri[p] * rj[p];
+        g(i, j) = s;
+        g(j, i) = s;
+      }
     }
-  }
+  });
   return g;
 }
 
@@ -145,24 +173,42 @@ double TraceOfProduct(const Matrix& a, const Matrix& b) {
   return s;
 }
 
+namespace {
+// Shared grain of the QuadraticTrace reductions. The chunk grid (and hence
+// the fixed reduction tree) depends only on the row count and this constant
+// — never on the thread count — which is what makes the objective traces of
+// the solvers bitwise reproducible across UMVSC_NUM_THREADS settings.
+constexpr std::size_t kTraceGrain = 16;
+
+double AddDoubles(const double& x, const double& y) { return x + y; }
+}  // namespace
+
 double QuadraticTrace(const Matrix& l, const Matrix& f) {
   UMVSC_CHECK(l.IsSquare(), "QuadraticTrace requires square L");
   UMVSC_CHECK(l.cols() == f.rows(), "QuadraticTrace dimension mismatch");
-  // Tr(Fᵀ L F) = Σ_i (L F)_i · F_i without forming Fᵀ.
-  double s = 0.0;
-  for (std::size_t i = 0; i < l.rows(); ++i) {
-    const double* lrow = l.RowPtr(i);
-    const double* frow_i = f.RowPtr(i);
-    for (std::size_t j = 0; j < l.cols(); ++j) {
-      const double lij = lrow[j];
-      if (lij == 0.0) continue;
-      const double* frow_j = f.RowPtr(j);
-      double dot = 0.0;
-      for (std::size_t p = 0; p < f.cols(); ++p) dot += frow_i[p] * frow_j[p];
-      s += lij * dot;
-    }
-  }
-  return s;
+  // Tr(Fᵀ L F) = Σ_i (L F)_i · F_i without forming Fᵀ. Row-chunked
+  // deterministic reduction: each grain-sized chunk of rows is summed in
+  // serial order, partials combine on a fixed tree.
+  return ParallelReduce<double>(
+      0, l.rows(), kTraceGrain, 0.0,
+      [&](std::size_t lo, std::size_t hi) {
+        double s = 0.0;
+        for (std::size_t i = lo; i < hi; ++i) {
+          const double* lrow = l.RowPtr(i);
+          const double* frow_i = f.RowPtr(i);
+          for (std::size_t j = 0; j < l.cols(); ++j) {
+            const double lij = lrow[j];
+            if (lij == 0.0) continue;
+            const double* frow_j = f.RowPtr(j);
+            double dot = 0.0;
+            for (std::size_t p = 0; p < f.cols(); ++p)
+              dot += frow_i[p] * frow_j[p];
+            s += lij * dot;
+          }
+        }
+        return s;
+      },
+      AddDoubles);
 }
 
 double QuadraticTrace(const CsrMatrix& l, const Matrix& f) {
@@ -171,17 +217,23 @@ double QuadraticTrace(const CsrMatrix& l, const Matrix& f) {
   const auto& offsets = l.row_offsets();
   const auto& cols = l.col_indices();
   const auto& vals = l.values();
-  double s = 0.0;
-  for (std::size_t i = 0; i < l.rows(); ++i) {
-    const double* frow_i = f.RowPtr(i);
-    for (std::size_t k = offsets[i]; k < offsets[i + 1]; ++k) {
-      const double* frow_j = f.RowPtr(cols[k]);
-      double dot = 0.0;
-      for (std::size_t p = 0; p < f.cols(); ++p) dot += frow_i[p] * frow_j[p];
-      s += vals[k] * dot;
-    }
-  }
-  return s;
+  return ParallelReduce<double>(
+      0, l.rows(), kTraceGrain, 0.0,
+      [&](std::size_t lo, std::size_t hi) {
+        double s = 0.0;
+        for (std::size_t i = lo; i < hi; ++i) {
+          const double* frow_i = f.RowPtr(i);
+          for (std::size_t k = offsets[i]; k < offsets[i + 1]; ++k) {
+            const double* frow_j = f.RowPtr(cols[k]);
+            double dot = 0.0;
+            for (std::size_t p = 0; p < f.cols(); ++p)
+              dot += frow_i[p] * frow_j[p];
+            s += vals[k] * dot;
+          }
+        }
+        return s;
+      },
+      AddDoubles);
 }
 
 Matrix Hadamard(const Matrix& a, const Matrix& b) {

@@ -7,13 +7,19 @@
 
 namespace umvsc::la {
 
-/// C = A · B. Requires A.cols() == B.rows(). Cache-blocked i-k-j loop order.
+/// C = A · B. Requires A.cols() == B.rows(). Cache-blocked i-k-j loop
+/// order, row-block-parallel on the global thread pool (see
+/// common/parallel.h); the result is bitwise identical at every thread
+/// count. Thread-safe for concurrent callers on distinct outputs.
 Matrix MatMul(const Matrix& a, const Matrix& b);
 
 /// C = Aᵀ · B. Requires A.rows() == B.rows(). Avoids materializing Aᵀ.
+/// Parallel over contiguous strips of C's rows; bitwise deterministic
+/// across thread counts.
 Matrix MatTMul(const Matrix& a, const Matrix& b);
 
 /// C = A · Bᵀ. Requires A.cols() == B.cols(). Avoids materializing Bᵀ.
+/// Row-parallel; bitwise deterministic across thread counts.
 Matrix MatMulT(const Matrix& a, const Matrix& b);
 
 /// y = A · x. Requires A.cols() == x.size().
@@ -28,7 +34,9 @@ Matrix Transpose(const Matrix& a);
 /// Gram matrix Aᵀ·A (symmetric, computed via the upper triangle).
 Matrix Gram(const Matrix& a);
 
-/// Outer-product Gram A·Aᵀ.
+/// Outer-product Gram A·Aᵀ. Row-parallel over the upper triangle (the hot
+/// kernel under PairwiseSquaredDistances); bitwise deterministic across
+/// thread counts.
 Matrix OuterGram(const Matrix& a);
 
 /// Tr(Aᵀ · B) = Σ_ij A_ij·B_ij. Requires matching shapes.
@@ -36,10 +44,15 @@ double TraceOfProduct(const Matrix& a, const Matrix& b);
 
 /// Tr(Fᵀ · L · F) for symmetric L — the smoothness term of spectral
 /// clustering objectives. Requires L square with L.cols() == F.rows().
+/// Row-chunked deterministic ParallelReduce: the summation order is fixed
+/// by the row count alone, so the value is bitwise identical at every
+/// thread count (it may differ in the last bits from a straight serial
+/// loop; see docs/THREADING.md).
 double QuadraticTrace(const Matrix& l, const Matrix& f);
 
 /// Sparse variant: Tr(Fᵀ·L·F) = Σ_{(i,j) ∈ nnz(L)} L_ij · (F_i·F_j),
-/// O(nnz·k) — the fast path for kNN-graph Laplacians.
+/// O(nnz·k) — the fast path for kNN-graph Laplacians. Same deterministic
+/// row-chunked reduction as the dense overload.
 double QuadraticTrace(const CsrMatrix& l, const Matrix& f);
 
 /// Elementwise (Hadamard) product. Requires matching shapes.

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 
+#include "common/parallel.h"
 #include "common/strings.h"
 #include "graph/connectivity.h"
 #include "graph/distance.h"
@@ -99,12 +101,20 @@ StatusOr<la::CsrMatrix> BuildAffinity(const la::Matrix& features,
 StatusOr<MultiViewGraphs> FromAffinities(std::vector<la::CsrMatrix> affinities) {
   MultiViewGraphs graphs;
   graphs.affinities = std::move(affinities);
-  graphs.laplacians.reserve(graphs.affinities.size());
-  for (const la::CsrMatrix& w : graphs.affinities) {
-    StatusOr<la::CsrMatrix> lap =
-        graph::Laplacian(w, graph::LaplacianKind::kSymmetric);
-    if (!lap.ok()) return lap.status();
-    graphs.laplacians.push_back(std::move(*lap));
+  const std::size_t num_views = graphs.affinities.size();
+  // Per-view Laplacians are independent: fan out across views, then
+  // collect statuses in view order (first failure wins, as serially).
+  std::vector<std::optional<StatusOr<la::CsrMatrix>>> laps(num_views);
+  ParallelFor(0, num_views, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t v = lo; v < hi; ++v) {
+      laps[v].emplace(graph::Laplacian(graphs.affinities[v],
+                                       graph::LaplacianKind::kSymmetric));
+    }
+  });
+  graphs.laplacians.reserve(num_views);
+  for (std::size_t v = 0; v < num_views; ++v) {
+    if (!laps[v]->ok()) return laps[v]->status();
+    graphs.laplacians.push_back(std::move(**laps[v]));
   }
   return graphs;
 }
@@ -117,12 +127,23 @@ StatusOr<MultiViewGraphs> BuildGraphs(const data::MultiViewDataset& dataset,
   data::MultiViewDataset working = dataset;
   if (options.standardize) working.StandardizeViews();
 
+  // Per-view graph construction is embarrassingly parallel: each view's
+  // distance/kernel/kNN pipeline runs independently. Inside a fan-out the
+  // per-view kernels degrade to serial (nested-region rule), so total
+  // parallelism stays bounded by the pool either way; with a single view
+  // the inner row-parallel kernels take over instead.
+  const std::size_t num_views = working.views.size();
+  std::vector<std::optional<StatusOr<la::CsrMatrix>>> results(num_views);
+  ParallelFor(0, num_views, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t v = lo; v < hi; ++v) {
+      results[v].emplace(BuildAffinity(working.views[v], options));
+    }
+  });
   std::vector<la::CsrMatrix> affinities;
-  affinities.reserve(working.views.size());
-  for (const la::Matrix& view : working.views) {
-    StatusOr<la::CsrMatrix> w = BuildAffinity(view, options);
-    if (!w.ok()) return w.status();
-    affinities.push_back(std::move(*w));
+  affinities.reserve(num_views);
+  for (std::size_t v = 0; v < num_views; ++v) {
+    if (!results[v]->ok()) return results[v]->status();
+    affinities.push_back(std::move(**results[v]));
   }
   return FromAffinities(std::move(affinities));
 }

@@ -46,7 +46,9 @@ struct MultiViewGraphs {
 
 /// Builds per-view graphs: (standardize →) pairwise squared distances →
 /// self-tuning Gaussian kernel (or adaptive neighbors) → kNN sparsification
-/// → symmetric-normalized Laplacian.
+/// → symmetric-normalized Laplacian. Views are fanned out across the global
+/// thread pool (single-view calls instead parallelize inside the distance
+/// and kNN kernels); output is bitwise identical at every thread count.
 StatusOr<MultiViewGraphs> BuildGraphs(const data::MultiViewDataset& dataset,
                                       const GraphOptions& options = {});
 

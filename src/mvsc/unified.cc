@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 
+#include "common/parallel.h"
 #include "cluster/gpi.h"
 #include "cluster/rotation.h"
 #include "la/lanczos.h"
@@ -24,10 +26,16 @@ std::vector<double> ViewSmoothness(const std::vector<la::CsrMatrix>& laplacians,
                                    const la::Matrix& f,
                                    const std::vector<double>& offsets) {
   std::vector<double> h(laplacians.size());
-  for (std::size_t v = 0; v < laplacians.size(); ++v) {
-    h[v] = std::max(kTraceFloor,
-                    la::QuadraticTrace(laplacians[v], f) - offsets[v]);
-  }
+  // Each view's trace is independent and lands in its own slot, so the
+  // fan-out is write-disjoint and deterministic. Runs every outer
+  // iteration — with one view per core this is the cheapest win of the
+  // whole solver. (Nested QuadraticTrace calls degrade to serial.)
+  ParallelFor(0, laplacians.size(), 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t v = lo; v < hi; ++v) {
+      h[v] = std::max(kTraceFloor,
+                      la::QuadraticTrace(laplacians[v], f) - offsets[v]);
+    }
+  });
   return h;
 }
 
@@ -36,16 +44,30 @@ std::vector<double> ViewSmoothness(const std::vector<la::CsrMatrix>& laplacians,
 StatusOr<std::vector<double>> SpectralFloors(
     const std::vector<la::CsrMatrix>& laplacians, std::size_t c,
     const la::LanczosOptions& lanczos) {
-  std::vector<double> floors(laplacians.size(), 0.0);
-  for (std::size_t v = 0; v < laplacians.size(); ++v) {
-    StatusOr<la::SymEigenResult> eig =
-        la::LanczosSmallest(laplacians[v], c, 2.0 + 1e-9, lanczos);
-    if (!eig.ok()) return eig.status();
-    double sum = 0.0;
-    for (std::size_t j = 0; j < c; ++j) {
-      sum += std::max(0.0, eig->eigenvalues[j]);
+  const std::size_t num_views = laplacians.size();
+  std::vector<double> floors(num_views, 0.0);
+  // One Lanczos eigensolve per view, fanned out across views. Each solve is
+  // seeded from the options, so its result does not depend on scheduling;
+  // statuses are collected and checked in view order afterwards.
+  std::vector<std::optional<Status>> statuses(num_views);
+  ParallelFor(0, num_views, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t v = lo; v < hi; ++v) {
+      StatusOr<la::SymEigenResult> eig =
+          la::LanczosSmallest(laplacians[v], c, 2.0 + 1e-9, lanczos);
+      if (!eig.ok()) {
+        statuses[v].emplace(eig.status());
+        continue;
+      }
+      statuses[v].emplace(Status::OK());
+      double sum = 0.0;
+      for (std::size_t j = 0; j < c; ++j) {
+        sum += std::max(0.0, eig->eigenvalues[j]);
+      }
+      floors[v] = sum;
     }
-    floors[v] = sum;
+  });
+  for (std::size_t v = 0; v < num_views; ++v) {
+    if (!statuses[v]->ok()) return *statuses[v];
   }
   return floors;
 }
@@ -160,9 +182,17 @@ double UnifiedObjective(const std::vector<la::CsrMatrix>& laplacians,
                         double beta, const la::Matrix& f,
                         const la::Matrix& rotation,
                         const la::Matrix& indicator_scaled) {
+  // Per-view traces fan out; the weighted sum is then taken serially in
+  // view order, keeping the objective bitwise stable across thread counts.
+  std::vector<double> traces(laplacians.size(), 0.0);
+  ParallelFor(0, laplacians.size(), 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t v = lo; v < hi; ++v) {
+      traces[v] = la::QuadraticTrace(laplacians[v], f);
+    }
+  });
   double obj = 0.0;
   for (std::size_t v = 0; v < laplacians.size(); ++v) {
-    obj += weight_coefficients[v] * la::QuadraticTrace(laplacians[v], f);
+    obj += weight_coefficients[v] * traces[v];
   }
   la::Matrix residual = la::Add(indicator_scaled, la::MatMul(f, rotation), -1.0);
   const double r = residual.FrobeniusNorm();

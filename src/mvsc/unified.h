@@ -88,7 +88,12 @@ class UnifiedMVSC {
   explicit UnifiedMVSC(UnifiedOptions options) : options_(options) {}
 
   /// Runs the solver on prebuilt per-view graphs (the shared-graph protocol
-  /// of the benchmark harness).
+  /// of the benchmark harness). The per-view smoothness terms Tr(FᵀL_vF),
+  /// the spectral floors, and the objective evaluation fan out across views
+  /// on the global thread pool (common/parallel.h); given a fixed seed, the
+  /// labels, embedding, and objective trace are bitwise identical at every
+  /// UMVSC_NUM_THREADS setting. Run() is const and thread-safe: concurrent
+  /// calls on different graphs simply share the pool.
   StatusOr<UnifiedResult> Run(const MultiViewGraphs& graphs) const;
 
   /// Convenience: builds graphs from raw features, then runs.

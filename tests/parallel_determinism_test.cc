@@ -1,0 +1,159 @@
+// End-to-end determinism contract (docs/THREADING.md): every parallelized
+// kernel, and a full UnifiedMVSC run on top of them, must produce BITWISE
+// identical output at 1, 2, and 8 threads from the same seed.
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/parallel.h"
+#include "data/synthetic.h"
+#include "graph/distance.h"
+#include "graph/knn_graph.h"
+#include "gtest/gtest.h"
+#include "la/matrix.h"
+#include "la/ops.h"
+#include "mvsc/graphs.h"
+#include "mvsc/unified.h"
+
+namespace umvsc {
+namespace {
+
+const std::size_t kThreadCounts[] = {1, 2, 8};
+
+la::Matrix DeterministicMatrix(std::size_t rows, std::size_t cols,
+                               double phase) {
+  la::Matrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      m(i, j) = std::sin(0.7 * static_cast<double>(i) +
+                         1.3 * static_cast<double>(j) + phase) +
+                0.01 * static_cast<double>(i + j);
+    }
+  }
+  return m;
+}
+
+bool BitwiseEqual(const la::Matrix& a, const la::Matrix& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+TEST(ParallelDeterminismTest, MatMulFamilyIsBitwiseIdenticalAcrossThreads) {
+  const la::Matrix a = DeterministicMatrix(131, 67, 0.0);
+  const la::Matrix b = DeterministicMatrix(67, 89, 1.0);
+  const la::Matrix bt = DeterministicMatrix(89, 67, 2.0);
+  ScopedNumThreads baseline(1);
+  const la::Matrix ref_mul = la::MatMul(a, b);
+  const la::Matrix ref_tmul = la::MatTMul(a, DeterministicMatrix(131, 40, 3.0));
+  const la::Matrix ref_mult = la::MatMulT(a, bt);
+  for (std::size_t threads : kThreadCounts) {
+    ScopedNumThreads scope(threads);
+    EXPECT_TRUE(BitwiseEqual(ref_mul, la::MatMul(a, b))) << threads;
+    EXPECT_TRUE(BitwiseEqual(
+        ref_tmul, la::MatTMul(a, DeterministicMatrix(131, 40, 3.0))))
+        << threads;
+    EXPECT_TRUE(BitwiseEqual(ref_mult, la::MatMulT(a, bt))) << threads;
+  }
+}
+
+TEST(ParallelDeterminismTest, QuadraticTraceIsBitwiseIdenticalAcrossThreads) {
+  la::Matrix l = la::OuterGram(DeterministicMatrix(90, 12, 0.5));
+  const la::Matrix f = DeterministicMatrix(90, 5, 1.5);
+  ScopedNumThreads baseline(1);
+  const double ref = la::QuadraticTrace(l, f);
+  for (std::size_t threads : kThreadCounts) {
+    ScopedNumThreads scope(threads);
+    EXPECT_EQ(ref, la::QuadraticTrace(l, f)) << threads;
+  }
+}
+
+TEST(ParallelDeterminismTest,
+     PairwiseSquaredDistancesIsBitwiseIdenticalAcrossThreads) {
+  const la::Matrix x = DeterministicMatrix(153, 24, 0.25);
+  ScopedNumThreads baseline(1);
+  const la::Matrix ref = graph::PairwiseSquaredDistances(x);
+  for (std::size_t threads : kThreadCounts) {
+    ScopedNumThreads scope(threads);
+    EXPECT_TRUE(BitwiseEqual(ref, graph::PairwiseSquaredDistances(x)))
+        << threads;
+  }
+}
+
+TEST(ParallelDeterminismTest, KnnGraphIsIdenticalAcrossThreads) {
+  const la::Matrix x = DeterministicMatrix(80, 10, 0.75);
+  const la::Matrix sq = graph::PairwiseSquaredDistances(x);
+  // Turn distances into a positive affinity for the kNN builder.
+  la::Matrix affinity(sq.rows(), sq.cols());
+  for (std::size_t i = 0; i < sq.size(); ++i) {
+    affinity.data()[i] = 1.0 / (1.0 + sq.data()[i]);
+  }
+  for (std::size_t i = 0; i < sq.rows(); ++i) affinity(i, i) = 0.0;
+
+  ScopedNumThreads baseline(1);
+  const auto ref = graph::BuildKnnGraph(affinity, 7);
+  ASSERT_TRUE(ref.ok());
+  const auto ref_can = graph::AdaptiveNeighborGraph(sq, 7);
+  ASSERT_TRUE(ref_can.ok());
+  for (std::size_t threads : kThreadCounts) {
+    ScopedNumThreads scope(threads);
+    const auto got = graph::BuildKnnGraph(affinity, 7);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(ref->col_indices(), got->col_indices()) << threads;
+    EXPECT_EQ(ref->row_offsets(), got->row_offsets()) << threads;
+    EXPECT_EQ(ref->values(), got->values()) << threads;
+    const auto got_can = graph::AdaptiveNeighborGraph(sq, 7);
+    ASSERT_TRUE(got_can.ok());
+    EXPECT_EQ(ref_can->col_indices(), got_can->col_indices()) << threads;
+    EXPECT_EQ(ref_can->row_offsets(), got_can->row_offsets()) << threads;
+    EXPECT_EQ(ref_can->values(), got_can->values()) << threads;
+  }
+}
+
+// The acceptance test of the threading work: a FULL pipeline — synthetic
+// data, per-view graph construction, and the unified solver — replayed at
+// 1, 2, and 8 threads from one seed must agree bit for bit on the labels,
+// the objective trace, the view weights, and the embedding.
+TEST(ParallelDeterminismTest, FullUnifiedRunIsBitwiseIdenticalAcrossThreads) {
+  data::MultiViewConfig config;
+  config.num_samples = 120;
+  config.num_clusters = 3;
+  config.views = {{12, data::ViewQuality::kInformative, 0.6},
+                  {8, data::ViewQuality::kWeak, 1.0},
+                  {10, data::ViewQuality::kNoisy, 1.0}};
+  config.seed = 7;
+
+  auto run_at = [&](std::size_t threads) {
+    ScopedNumThreads scope(threads);
+    StatusOr<data::MultiViewDataset> dataset =
+        data::MakeGaussianMultiView(config);
+    EXPECT_TRUE(dataset.ok());
+    StatusOr<mvsc::MultiViewGraphs> graphs = mvsc::BuildGraphs(*dataset);
+    EXPECT_TRUE(graphs.ok());
+    mvsc::UnifiedOptions options;
+    options.num_clusters = 3;
+    options.seed = 11;
+    StatusOr<mvsc::UnifiedResult> result =
+        mvsc::UnifiedMVSC(options).Run(*graphs);
+    EXPECT_TRUE(result.ok());
+    return std::move(*result);
+  };
+
+  const mvsc::UnifiedResult ref = run_at(1);
+  ASSERT_FALSE(ref.labels.empty());
+  ASSERT_FALSE(ref.objective_trace.empty());
+  for (std::size_t threads : kThreadCounts) {
+    const mvsc::UnifiedResult got = run_at(threads);
+    EXPECT_EQ(ref.labels, got.labels) << threads << " threads";
+    EXPECT_EQ(ref.objective_trace, got.objective_trace)
+        << threads << " threads";
+    EXPECT_EQ(ref.warmup_trace, got.warmup_trace) << threads << " threads";
+    EXPECT_EQ(ref.view_weights, got.view_weights) << threads << " threads";
+    EXPECT_TRUE(BitwiseEqual(ref.embedding, got.embedding))
+        << threads << " threads";
+    EXPECT_EQ(ref.iterations, got.iterations) << threads << " threads";
+  }
+}
+
+}  // namespace
+}  // namespace umvsc
