@@ -9,20 +9,209 @@
 // the speedup recorded in the benchmark JSON (--json=PATH, default
 // table3_runtime.json) so the perf trajectory is tracked across PRs.
 //
+// Finally, an n-scaling sweep of graph construction compares the tiled
+// O(n·k)-memory builder against the dense pipeline (capped at moderate n):
+// wall time, peak RSS, cumulative bytes allocated, and the largest single
+// allocation per leg, written to BENCH_graph_memory.json. The dense leg's
+// n × n buffers are projected analytically at sizes where running it would
+// be wasteful.
+//
 //   ./table3_runtime [--scale=0.4] [--seeds=3] [--threads=8] [--json=PATH]
 
+#include <sys/resource.h>
+
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
+#include <new>
 #include <string>
 #include <vector>
 
 #include "bench_common.h"
 #include "common/parallel.h"
+#include "common/rng.h"
 #include "common/stopwatch.h"
 #include "data/synthetic.h"
+#include "graph/distance.h"
+#include "graph/kernels.h"
+#include "graph/knn_graph.h"
 #include "mvsc/graphs.h"
 
 namespace {
+
+// --- Allocation instrumentation (this binary only): cumulative bytes and
+// the largest single block requested while tracking is on.
+std::atomic<bool> g_track_allocs{false};
+std::atomic<std::size_t> g_bytes_allocated{0};
+std::atomic<std::size_t> g_max_alloc{0};
+
+void RecordAlloc(std::size_t size) {
+  if (!g_track_allocs.load(std::memory_order_relaxed)) return;
+  g_bytes_allocated.fetch_add(size, std::memory_order_relaxed);
+  std::size_t prev = g_max_alloc.load(std::memory_order_relaxed);
+  while (size > prev &&
+         !g_max_alloc.compare_exchange_weak(prev, size,
+                                            std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  RecordAlloc(size);
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size) { return operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+std::size_t PeakRssKb() {
+  struct rusage usage;
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<std::size_t>(usage.ru_maxrss);  // KB on Linux
+}
+
+struct MemoryLeg {
+  double seconds = 0.0;
+  std::size_t bytes_allocated = 0;
+  std::size_t max_alloc_bytes = 0;
+  std::size_t rss_after_kb = 0;
+  bool ran = false;
+};
+
+struct MemoryRow {
+  std::size_t n = 0;
+  std::size_t k = 0;
+  MemoryLeg tiled;
+  MemoryLeg dense;
+  std::size_t dense_projected_bytes = 0;  // one n × n double buffer
+};
+
+template <typename Fn>
+MemoryLeg MeasureLeg(const Fn& fn) {
+  MemoryLeg leg;
+  g_bytes_allocated.store(0, std::memory_order_relaxed);
+  g_max_alloc.store(0, std::memory_order_relaxed);
+  g_track_allocs.store(true, std::memory_order_relaxed);
+  umvsc::Stopwatch watch;
+  fn();
+  leg.seconds = watch.ElapsedSeconds();
+  g_track_allocs.store(false, std::memory_order_relaxed);
+  leg.bytes_allocated = g_bytes_allocated.load(std::memory_order_relaxed);
+  leg.max_alloc_bytes = g_max_alloc.load(std::memory_order_relaxed);
+  leg.rss_after_kb = PeakRssKb();
+  leg.ran = true;
+  return leg;
+}
+
+// The n-scaling sweep: tiled feature-direct construction at every size,
+// the dense pipeline only while its n × n buffers stay modest.
+std::vector<MemoryRow> RunGraphMemorySweep(double scale) {
+  constexpr std::size_t kNeighbors = 10;
+  constexpr std::size_t kDim = 32;
+  constexpr std::size_t kDenseCap = 4096;  // dense leg: n² ≤ 128 MB
+  std::vector<MemoryRow> rows;
+  for (std::size_t base : {std::size_t{2000}, std::size_t{5000},
+                           std::size_t{10000}, std::size_t{20000}}) {
+    const std::size_t n =
+        std::max<std::size_t>(200, static_cast<std::size_t>(base * scale));
+    MemoryRow row;
+    row.n = n;
+    row.k = kNeighbors;
+    row.dense_projected_bytes = n * n * sizeof(double);
+
+    umvsc::Rng rng(29 + n);
+    umvsc::la::Matrix x(n, kDim);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < kDim; ++j) {
+        x(i, j) = rng.Gaussian((i % 5) * 2.0, 1.0);
+      }
+    }
+
+    row.tiled = MeasureLeg([&] {
+      auto w = umvsc::graph::BuildKnnGraphFromFeatures(x, kNeighbors);
+      if (!w.ok()) std::abort();
+    });
+    if (n <= kDenseCap) {
+      row.dense = MeasureLeg([&] {
+        umvsc::la::Matrix sq = umvsc::graph::PairwiseSquaredDistances(x);
+        auto kernel = umvsc::graph::SelfTuningKernel(sq, kNeighbors);
+        if (!kernel.ok()) std::abort();
+        auto w = umvsc::graph::BuildKnnGraph(*kernel, kNeighbors);
+        if (!w.ok()) std::abort();
+      });
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+void PrintAndWriteMemorySweep(const std::vector<MemoryRow>& rows) {
+  std::printf(
+      "\nGraph construction memory sweep (k=%zu): tiled vs dense pipeline\n",
+      rows.empty() ? std::size_t{10} : rows.front().k);
+  std::printf("%8s %12s %16s %16s %14s %16s\n", "n", "tiled sec",
+              "tiled max alloc", "tiled cum bytes", "dense sec",
+              "dense max alloc");
+  for (const MemoryRow& row : rows) {
+    std::printf("%8zu %12.3f %16zu %16zu", row.n, row.tiled.seconds,
+                row.tiled.max_alloc_bytes, row.tiled.bytes_allocated);
+    if (row.dense.ran) {
+      std::printf(" %14.3f %16zu\n", row.dense.seconds,
+                  row.dense.max_alloc_bytes);
+    } else {
+      std::printf(" %14s %13zu (projected)\n", "-",
+                  row.dense_projected_bytes);
+    }
+  }
+  if (!rows.empty()) {
+    const MemoryRow& last = rows.back();
+    if (last.tiled.max_alloc_bytes > 0) {
+      std::printf(
+          "largest n=%zu: dense n*n buffer %zu bytes vs tiled peak block %zu "
+          "bytes (%.1fx smaller)\n",
+          last.n, last.dense_projected_bytes, last.tiled.max_alloc_bytes,
+          static_cast<double>(last.dense_projected_bytes) /
+              static_cast<double>(last.tiled.max_alloc_bytes));
+    }
+  }
+
+  std::FILE* f = std::fopen("BENCH_graph_memory.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "table3_runtime: cannot write BENCH_graph_memory.json\n");
+    return;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"graph_memory\",\n  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const MemoryRow& row = rows[i];
+    std::fprintf(f,
+                 "    {\"n\": %zu, \"k\": %zu,\n"
+                 "     \"tiled_seconds\": %.6f, \"tiled_bytes_allocated\": %zu,"
+                 " \"tiled_max_alloc_bytes\": %zu, \"rss_peak_kb\": %zu,\n",
+                 row.n, row.k, row.tiled.seconds, row.tiled.bytes_allocated,
+                 row.tiled.max_alloc_bytes, row.tiled.rss_after_kb);
+    if (row.dense.ran) {
+      std::fprintf(f,
+                   "     \"dense_seconds\": %.6f, \"dense_bytes_allocated\": "
+                   "%zu, \"dense_max_alloc_bytes\": %zu,\n",
+                   row.dense.seconds, row.dense.bytes_allocated,
+                   row.dense.max_alloc_bytes);
+    }
+    std::fprintf(f, "     \"dense_projected_bytes\": %zu}%s\n",
+                 row.dense_projected_bytes,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_graph_memory.json\n");
+}
 
 // Emits the per-method runtime table plus the thread-scaling block as a
 // single JSON document.
@@ -156,5 +345,7 @@ int main(int argc, char** argv) {
         scaling.parallel_threads, scaling.parallel_seconds, scaling.speedup);
     WriteJson(config.json, config, method_order, times, graph_times, scaling);
   }
+
+  PrintAndWriteMemorySweep(RunGraphMemorySweep(config.scale));
   return 0;
 }

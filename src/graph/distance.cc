@@ -43,6 +43,39 @@ la::Matrix PairwiseDistances(const la::Matrix& x) {
   return d;
 }
 
+la::Vector RowSquaredNorms(const la::Matrix& x) {
+  const std::size_t n = x.rows();
+  la::Vector norms(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* ri = x.RowPtr(i);
+    double s = 0.0;
+    for (std::size_t p = 0; p < x.cols(); ++p) s += ri[p] * ri[p];
+    norms[i] = s;
+  }
+  return norms;
+}
+
+void SquaredDistancePanel(const la::Matrix& x, const la::Vector& sq_norms,
+                          std::size_t r0, std::size_t r1, double* panel) {
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  for (std::size_t i = r0; i < r1; ++i) {
+    const double* ri = x.RowPtr(i);
+    const double ni = sq_norms[i];
+    double* prow = panel + (i - r0) * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) {
+        prow[j] = 0.0;  // exact zero, as the dense path guarantees
+        continue;
+      }
+      const double* rj = x.RowPtr(j);
+      double s = 0.0;
+      for (std::size_t p = 0; p < d; ++p) s += ri[p] * rj[p];
+      prow[j] = std::max(0.0, ni + sq_norms[j] - 2.0 * s);
+    }
+  }
+}
+
 la::Matrix CosineSimilarity(const la::Matrix& x) {
   const std::size_t n = x.rows();
   la::Matrix gram = la::OuterGram(x);

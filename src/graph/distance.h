@@ -1,7 +1,10 @@
 #ifndef UMVSC_GRAPH_DISTANCE_H_
 #define UMVSC_GRAPH_DISTANCE_H_
 
+#include <cstddef>
+
 #include "la/matrix.h"
+#include "la/vector.h"
 
 namespace umvsc::graph {
 
@@ -22,6 +25,23 @@ la::Matrix PairwiseDistances(const la::Matrix& x);
 /// similarity 0 against everything (including themselves). Row-parallel
 /// and bitwise deterministic across thread counts.
 la::Matrix CosineSimilarity(const la::Matrix& x);
+
+/// Squared Euclidean norms of the rows of `x`: ‖x_i‖², accumulated in
+/// ascending-feature order — bitwise identical to the diagonal of
+/// `la::OuterGram(x)`. The O(n)-memory ingredient of the tiled distance
+/// panels below.
+la::Vector RowSquaredNorms(const la::Matrix& x);
+
+/// Fills a row-tile panel of pairwise squared distances:
+///   panel(i − r0, j) = max(0, ‖x_i‖² + ‖x_j‖² − 2·x_i·x_j)
+/// for i in [r0, r1), j in [0, n). `sq_norms` must be RowSquaredNorms(x) and
+/// `panel` must provide (r1 − r0) × n entries. Entries are bitwise identical
+/// to the corresponding entries of PairwiseSquaredDistances(x) — same Gram
+/// expansion, same ascending dot-product order, same clamp — so tiled
+/// consumers reproduce the dense path exactly without ever holding an n × n
+/// matrix. Serial by design: it is the inner kernel of tile-parallel loops.
+void SquaredDistancePanel(const la::Matrix& x, const la::Vector& sq_norms,
+                          std::size_t r0, std::size_t r1, double* panel);
 
 }  // namespace umvsc::graph
 

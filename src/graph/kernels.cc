@@ -4,6 +4,9 @@
 #include <cmath>
 #include <vector>
 
+#include "graph/distance.h"
+#include "graph/tiled_select.h"
+
 namespace umvsc::graph {
 
 StatusOr<la::Matrix> GaussianKernel(const la::Matrix& sq_dists, double sigma) {
@@ -52,6 +55,29 @@ StatusOr<la::Matrix> SelfTuningKernel(const la::Matrix& sq_dists,
     }
   }
   return w;
+}
+
+StatusOr<la::Vector> SelfTuningScales(const la::Matrix& x, std::size_t k,
+                                      std::size_t tile_rows) {
+  const std::size_t n = x.rows();
+  if (k < 1 || k >= n) {
+    return Status::InvalidArgument("SelfTuningScales requires 1 <= k < n");
+  }
+  const la::Vector sq_norms = RowSquaredNorms(x);
+  // k smallest squared distances per row; the worst accepted value (rank
+  // k − 1) is exactly the k-th order statistic the dense SelfTuningKernel
+  // extracts with nth_element — same value, O(n·k) memory.
+  internal::DirectedSelection nearest = internal::TiledSelect(
+      n, k, /*largest=*/false, tile_rows,
+      [&](std::size_t r0, std::size_t r1, double* panel) {
+        SquaredDistancePanel(x, sq_norms, r0, r1, panel);
+      },
+      /*negative_seen=*/nullptr);
+  la::Vector scale(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scale[i] = std::sqrt(std::max(nearest.vals[i * k + (k - 1)], 1e-300));
+  }
+  return scale;
 }
 
 StatusOr<double> MedianHeuristicSigma(const la::Matrix& sq_dists) {

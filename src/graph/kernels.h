@@ -1,8 +1,11 @@
 #ifndef UMVSC_GRAPH_KERNELS_H_
 #define UMVSC_GRAPH_KERNELS_H_
 
+#include <cstddef>
+
 #include "common/status.h"
 #include "la/matrix.h"
+#include "la/vector.h"
 
 namespace umvsc::graph {
 
@@ -17,6 +20,16 @@ StatusOr<la::Matrix> GaussianKernel(const la::Matrix& sq_dists, double sigma);
 /// the multi-view benchmarks. Requires 1 <= k < n.
 StatusOr<la::Matrix> SelfTuningKernel(const la::Matrix& sq_dists,
                                       std::size_t k);
+
+/// The self-tuning bandwidths σ_i (distance from point i to its k-th
+/// nearest other point) computed straight from the n × d feature matrix in
+/// O(n·k + tile_rows·n) memory: squared distances are evaluated in
+/// tile_rows × n panels and each row feeds a bounded k-smallest selector.
+/// σ_i is bitwise identical to what SelfTuningKernel derives from the dense
+/// distance matrix. Requires 1 <= k < n. Tile-parallel and bitwise
+/// deterministic across thread counts and tile sizes.
+StatusOr<la::Vector> SelfTuningScales(const la::Matrix& x, std::size_t k,
+                                      std::size_t tile_rows = 128);
 
 /// The median heuristic bandwidth: σ = median of nonzero pairwise distances.
 /// Returns an error when every pairwise distance is zero.

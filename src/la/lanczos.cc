@@ -41,9 +41,32 @@ StatusOr<SymEigenResult> LanczosLargest(const SymmetricOperator& op,
   std::vector<double> alpha;  // diagonal of T
   std::vector<double> beta;   // subdiagonal of T
 
+  // Warm columns usable by this solve: the column sum seeds q_0, and the
+  // individual columns feed breakdown restarts before random directions do.
+  const Matrix* warm = options.warm_start;
+  if (warm != nullptr && (warm->rows() != n || warm->cols() == 0)) {
+    warm = nullptr;
+  }
+  std::size_t next_warm = 0;
+
   Vector q(n);
-  for (std::size_t i = 0; i < n; ++i) q[i] = rng.Gaussian();
-  q.Normalize();
+  bool seeded = false;
+  if (warm != nullptr) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double s = 0.0;
+      for (std::size_t j = 0; j < warm->cols(); ++j) s += (*warm)(i, j);
+      q[i] = s;
+    }
+    const double norm = q.Norm2();
+    if (norm > 1e-12) {
+      q.Scale(1.0 / norm);
+      seeded = true;
+    }
+  }
+  if (!seeded) {
+    for (std::size_t i = 0; i < n; ++i) q[i] = rng.Gaussian();
+    q.Normalize();
+  }
   basis.push_back(q);
 
   double spectral_scale = 1.0;
@@ -53,6 +76,7 @@ StatusOr<SymEigenResult> LanczosLargest(const SymmetricOperator& op,
     // Expand the Krylov basis: w = A·q_{m−1} − β_{m−2}·q_{m−2}.
     Vector w(n);
     op(basis.back(), w);
+    if (options.matvec_count != nullptr) ++*options.matvec_count;
     const double a = Dot(basis.back(), w);
     alpha.push_back(a);
     spectral_scale = std::max(spectral_scale, std::fabs(a));
@@ -113,12 +137,25 @@ StatusOr<SymEigenResult> LanczosLargest(const SymmetricOperator& op,
     }
 
     if (b <= 1e-12 * spectral_scale) {
-      // Breakdown (invariant subspace): extend with a fresh random direction
-      // orthogonal to everything found so far.
+      // Breakdown (invariant subspace): extend the basis. Warm-start columns
+      // go first — they point at the eigenspace copies a single Krylov
+      // sequence misses — then fresh random directions orthogonal to
+      // everything found so far.
       Vector fresh(n);
-      for (std::size_t i = 0; i < n; ++i) fresh[i] = rng.Gaussian();
-      Reorthogonalize(basis, fresh);
-      const double norm = fresh.Norm2();
+      double norm = 0.0;
+      while (warm != nullptr && next_warm < warm->cols()) {
+        for (std::size_t i = 0; i < n; ++i) fresh[i] = (*warm)(i, next_warm);
+        ++next_warm;
+        Reorthogonalize(basis, fresh);
+        norm = fresh.Norm2();
+        if (norm > 1e-8) break;  // column adds a genuinely new direction
+        norm = 0.0;
+      }
+      if (norm == 0.0) {
+        for (std::size_t i = 0; i < n; ++i) fresh[i] = rng.Gaussian();
+        Reorthogonalize(basis, fresh);
+        norm = fresh.Norm2();
+      }
       if (norm <= 1e-12) {
         return Status::NumericalError(
             "Lanczos: could not extend the Krylov basis");

@@ -24,6 +24,22 @@ struct LanczosOptions {
   double tolerance = 1e-9;
   /// Seed for the random start vector.
   std::uint64_t seed = 19;
+  /// Optional warm start: an n × m matrix whose columns approximately span
+  /// the wanted eigenspace (e.g. the previous outer iteration's spectral
+  /// embedding). The first Lanczos vector becomes the normalized column sum,
+  /// and on breakdown the individual columns are consumed before falling
+  /// back to random directions — so a good warm start shrinks the Krylov
+  /// subspace (and the matvec count) needed to converge. Ignored when null,
+  /// when the row count does not match the operator, or when the column sum
+  /// is numerically zero. The caller keeps ownership; the matrix must stay
+  /// alive for the duration of the solve.
+  const Matrix* warm_start = nullptr;
+  /// When non-null, incremented once per operator application (for
+  /// LanczosSmallest, once per application of the complement operator, which
+  /// performs exactly one underlying matvec). Lets callers measure how much
+  /// work warm starting saves. Not touched concurrently — the solver is
+  /// single-threaded at this level.
+  std::size_t* matvec_count = nullptr;
 };
 
 /// Computes the `k` algebraically largest eigenpairs of an n × n symmetric

@@ -41,6 +41,34 @@ CsrMatrix CsrMatrix::FromTriplets(std::size_t rows, std::size_t cols,
   return m;
 }
 
+CsrMatrix CsrMatrix::FromParts(std::size_t rows, std::size_t cols,
+                               std::vector<std::size_t> row_offsets,
+                               std::vector<std::size_t> col_indices,
+                               std::vector<double> values) {
+  UMVSC_CHECK(row_offsets.size() == rows + 1,
+              "FromParts: row_offsets must have length rows + 1");
+  UMVSC_CHECK(row_offsets.front() == 0 &&
+                  row_offsets.back() == col_indices.size() &&
+                  col_indices.size() == values.size(),
+              "FromParts: inconsistent array lengths");
+  for (std::size_t r = 0; r < rows; ++r) {
+    UMVSC_CHECK(row_offsets[r] <= row_offsets[r + 1],
+                "FromParts: row_offsets must be nondecreasing");
+    for (std::size_t k = row_offsets[r]; k < row_offsets[r + 1]; ++k) {
+      UMVSC_CHECK(col_indices[k] < cols, "FromParts: column out of range");
+      UMVSC_CHECK(k == row_offsets[r] || col_indices[k - 1] < col_indices[k],
+                  "FromParts: columns must be strictly ascending per row");
+    }
+  }
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_offsets_ = std::move(row_offsets);
+  m.col_indices_ = std::move(col_indices);
+  m.values_ = std::move(values);
+  return m;
+}
+
 CsrMatrix CsrMatrix::FromDense(const Matrix& dense, double drop_tol) {
   std::vector<Triplet> triplets;
   for (std::size_t i = 0; i < dense.rows(); ++i) {
@@ -174,6 +202,80 @@ CsrMatrix WeightedSum(const std::vector<CsrMatrix>& matrices,
     }
   }
   return CsrMatrix::FromTriplets(rows, cols, std::move(triplets));
+}
+
+CsrCombiner CsrCombiner::Plan(const std::vector<CsrMatrix>& matrices) {
+  UMVSC_CHECK(!matrices.empty(), "CsrCombiner requires at least one matrix");
+  const std::size_t rows = matrices.front().rows();
+  const std::size_t cols = matrices.front().cols();
+  for (const CsrMatrix& m : matrices) {
+    UMVSC_CHECK(m.rows() == rows && m.cols() == cols,
+                "CsrCombiner shape mismatch");
+  }
+
+  CsrCombiner plan;
+  plan.rows_ = rows;
+  plan.cols_ = cols;
+  plan.row_offsets_.assign(rows + 1, 0);
+
+  // Row-by-row union of the per-matrix column lists (each already sorted).
+  std::vector<std::size_t> merged;
+  for (std::size_t r = 0; r < rows; ++r) {
+    merged.clear();
+    for (const CsrMatrix& m : matrices) {
+      const auto& offsets = m.row_offsets();
+      const auto& idx = m.col_indices();
+      merged.insert(merged.end(), idx.begin() + offsets[r],
+                    idx.begin() + offsets[r + 1]);
+    }
+    std::sort(merged.begin(), merged.end());
+    merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+    plan.col_indices_.insert(plan.col_indices_.end(), merged.begin(),
+                             merged.end());
+    plan.row_offsets_[r + 1] = plan.col_indices_.size();
+  }
+
+  // Scatter maps: where each stored entry of each matrix lands in the union.
+  plan.slots_.resize(matrices.size());
+  for (std::size_t v = 0; v < matrices.size(); ++v) {
+    const CsrMatrix& m = matrices[v];
+    const auto& offsets = m.row_offsets();
+    const auto& idx = m.col_indices();
+    plan.slots_[v].resize(m.NumNonZeros());
+    for (std::size_t r = 0; r < rows; ++r) {
+      const auto ubegin = plan.col_indices_.begin() + plan.row_offsets_[r];
+      const auto uend = plan.col_indices_.begin() + plan.row_offsets_[r + 1];
+      for (std::size_t k = offsets[r]; k < offsets[r + 1]; ++k) {
+        const auto it = std::lower_bound(ubegin, uend, idx[k]);
+        plan.slots_[v][k] =
+            static_cast<std::size_t>(it - plan.col_indices_.begin());
+      }
+    }
+  }
+  return plan;
+}
+
+CsrMatrix CsrCombiner::Combine(const std::vector<CsrMatrix>& matrices,
+                               const std::vector<double>& weights) const {
+  UMVSC_CHECK(matrices.size() == slots_.size(),
+              "CsrCombiner: matrix count does not match the plan");
+  UMVSC_CHECK(matrices.size() == weights.size(),
+              "CsrCombiner weight count mismatch");
+  std::vector<double> values(col_indices_.size(), 0.0);
+  for (std::size_t v = 0; v < matrices.size(); ++v) {
+    const CsrMatrix& m = matrices[v];
+    UMVSC_CHECK(m.NumNonZeros() == slots_[v].size(),
+                "CsrCombiner: matrix pattern changed since Plan");
+    const double w = weights[v];
+    if (w == 0.0) continue;
+    const auto& vals = m.values();
+    const std::vector<std::size_t>& slot = slots_[v];
+    for (std::size_t k = 0; k < vals.size(); ++k) {
+      values[slot[k]] += w * vals[k];
+    }
+  }
+  return CsrMatrix::FromParts(rows_, cols_, row_offsets_, col_indices_,
+                              std::move(values));
 }
 
 }  // namespace umvsc::la

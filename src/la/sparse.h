@@ -32,6 +32,16 @@ class CsrMatrix {
   /// Dense-to-sparse conversion, dropping entries with |x| <= drop_tol.
   static CsrMatrix FromDense(const Matrix& dense, double drop_tol = 0.0);
 
+  /// Adopts already-assembled CSR arrays: `row_offsets` of length rows + 1
+  /// with row_offsets[0] == 0, column indices strictly ascending within each
+  /// row, and values of matching length. This is the no-sort fast path for
+  /// callers that maintain a fixed sparsity pattern across iterations (see
+  /// CsrCombiner); invariants are checked.
+  static CsrMatrix FromParts(std::size_t rows, std::size_t cols,
+                             std::vector<std::size_t> row_offsets,
+                             std::vector<std::size_t> col_indices,
+                             std::vector<double> values);
+
   /// n × n identity.
   static CsrMatrix Identity(std::size_t n);
 
@@ -77,6 +87,43 @@ class CsrMatrix {
 /// Requires at least one matrix and matching weight count/shapes.
 CsrMatrix WeightedSum(const std::vector<CsrMatrix>& matrices,
                       const std::vector<double>& weights);
+
+/// Precomputed union sparsity pattern for repeated weighted combinations of
+/// a FIXED set of CSR matrices (the per-view Laplacians of an alternating
+/// solver, combined once per outer iteration with fresh weights). Plan()
+/// merges the patterns and records, for every stored entry of every input
+/// matrix, its slot in the union — Combine() is then a value-only axpy over
+/// fixed structure: no triplet buffer, no sort, no pattern work. Combine's
+/// accumulation runs in input order v = 0, 1, …, the same order WeightedSum
+/// sums duplicates in, so results match it bitwise for up to two overlapping
+/// entries per slot and differ only in floating-point summation order beyond
+/// that.
+class CsrCombiner {
+ public:
+  /// Builds the union pattern and the per-matrix slot maps. Requires at
+  /// least one matrix; all must share one shape. Later Combine() calls must
+  /// pass matrices with exactly the patterns seen here (values may change).
+  static CsrCombiner Plan(const std::vector<CsrMatrix>& matrices);
+
+  /// result = Σ_v weights[v]·matrices[v] on the planned union pattern.
+  /// Entries whose weighted sum cancels to zero stay as explicit zeros —
+  /// same convention as FromTriplets. Checks that each matrix still has the
+  /// planned nonzero count.
+  CsrMatrix Combine(const std::vector<CsrMatrix>& matrices,
+                    const std::vector<double>& weights) const;
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t NumNonZeros() const { return col_indices_.size(); }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> row_offsets_;  // union pattern, length rows_ + 1
+  std::vector<std::size_t> col_indices_;  // union pattern, sorted per row
+  /// slots_[v][k] = union-value index of matrix v's k-th stored entry.
+  std::vector<std::vector<std::size_t>> slots_;
+};
 
 }  // namespace umvsc::la
 

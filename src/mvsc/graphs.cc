@@ -23,11 +23,25 @@ namespace {
 // connectivity fix), using the weakest existing edge weight so the bridges
 // never dominate the cut structure.
 la::CsrMatrix EnsureConnected(la::CsrMatrix affinity,
-                              const la::Matrix& sq_dists) {
+                              const la::Matrix& features) {
   std::vector<std::size_t> component = graph::ConnectedComponents(affinity);
   std::size_t num_components = 0;
   for (std::size_t c : component) num_components = std::max(num_components, c + 1);
   if (num_components <= 1) return affinity;
+
+  // Distances on demand — bridging is the rare path, and recomputing a few
+  // rows beats holding an n × n matrix alive for the whole build. The
+  // expression matches graph::SquaredDistancePanel bit for bit, so the
+  // argmin scan picks the same bridge the dense implementation did.
+  const la::Vector sq_norms = graph::RowSquaredNorms(features);
+  const std::size_t dim = features.cols();
+  const auto sq_dist = [&](std::size_t i, std::size_t j) {
+    const double* ri = features.RowPtr(i);
+    const double* rj = features.RowPtr(j);
+    double s = 0.0;
+    for (std::size_t p = 0; p < dim; ++p) s += ri[p] * rj[p];
+    return std::max(0.0, sq_norms[i] + sq_norms[j] - 2.0 * s);
+  };
 
   double min_weight = std::numeric_limits<double>::infinity();
   for (double v : affinity.values()) {
@@ -45,8 +59,9 @@ la::CsrMatrix EnsureConnected(la::CsrMatrix affinity,
       if (component[i] != root) continue;
       for (std::size_t j = 0; j < component.size(); ++j) {
         if (component[j] == root) continue;
-        if (sq_dists(i, j) < best) {
-          best = sq_dists(i, j);
+        const double d = sq_dist(i, j);
+        if (d < best) {
+          best = d;
           bi = i;
           bj = j;
         }
@@ -82,18 +97,16 @@ StatusOr<la::CsrMatrix> BuildAffinity(const la::Matrix& features,
   }
   const std::size_t k =
       std::min<std::size_t>(options.knn, n >= 3 ? n - 2 : 1);
-  la::Matrix sq = graph::PairwiseSquaredDistances(features);
-  StatusOr<la::CsrMatrix> affinity = [&]() -> StatusOr<la::CsrMatrix> {
-    if (options.adaptive_neighbors) {
-      return graph::AdaptiveNeighborGraph(sq, k);
-    }
-    StatusOr<la::Matrix> kernel = graph::SelfTuningKernel(sq, k);
-    if (!kernel.ok()) return kernel.status();
-    return graph::BuildKnnGraph(*kernel, k, options.symmetrization);
-  }();
+  // Feature-direct tiled builders: O(n·k) peak memory, byte-identical
+  // graphs to the historical dense distance → kernel → sparsify pipeline.
+  StatusOr<la::CsrMatrix> affinity =
+      options.adaptive_neighbors
+          ? graph::AdaptiveNeighborGraphFromFeatures(features, k)
+          : graph::BuildKnnGraphFromFeatures(features, k,
+                                             options.symmetrization);
   if (!affinity.ok()) return affinity.status();
   if (options.bridge_components) {
-    return EnsureConnected(std::move(*affinity), sq);
+    return EnsureConnected(std::move(*affinity), features);
   }
   return affinity;
 }
@@ -151,25 +164,29 @@ StatusOr<MultiViewGraphs> BuildGraphs(const data::MultiViewDataset& dataset,
 la::CsrMatrix MassNormalizedCombination(
     const std::vector<la::CsrMatrix>& laplacians,
     const std::vector<double>& coefficients) {
-  la::CsrMatrix combined = la::WeightedSum(laplacians, coefficients);
+  return MassNormalizedCombination(la::WeightedSum(laplacians, coefficients));
+}
+
+la::CsrMatrix MassNormalizedCombination(const la::CsrMatrix& combined) {
   const std::size_t n = combined.rows();
   la::Vector inv_sqrt_mass(n);
   for (std::size_t i = 0; i < n; ++i) {
     const double mass = combined.At(i, i);
     inv_sqrt_mass[i] = mass > 0.0 ? 1.0 / std::sqrt(mass) : 0.0;
   }
-  std::vector<la::Triplet> triplets;
-  triplets.reserve(combined.NumNonZeros());
-  const auto& offsets = combined.row_offsets();
+  // The input is valid CSR and the rescaling preserves its pattern, so the
+  // result can adopt the arrays directly — no triplet buffer, no re-sort.
   const auto& cols = combined.col_indices();
   const auto& vals = combined.values();
+  std::vector<double> scaled(vals.size());
+  const auto& offsets = combined.row_offsets();
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t k = offsets[i]; k < offsets[i + 1]; ++k) {
-      triplets.push_back(
-          {i, cols[k], inv_sqrt_mass[i] * vals[k] * inv_sqrt_mass[cols[k]]});
+      scaled[k] = inv_sqrt_mass[i] * vals[k] * inv_sqrt_mass[cols[k]];
     }
   }
-  return la::CsrMatrix::FromTriplets(n, n, std::move(triplets));
+  return la::CsrMatrix::FromParts(n, combined.cols(), offsets, cols,
+                                  std::move(scaled));
 }
 
 StatusOr<MultiViewGraphs> BuildGraphsIncomplete(

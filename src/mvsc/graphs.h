@@ -72,6 +72,11 @@ la::CsrMatrix MassNormalizedCombination(
     const std::vector<la::CsrMatrix>& laplacians,
     const std::vector<double>& coefficients);
 
+/// As above, but starting from an already-combined Σ_v c_v·L_v — the
+/// per-iteration path of solvers that hold a la::CsrCombiner over a fixed
+/// Laplacian set and only refresh the values each outer iteration.
+la::CsrMatrix MassNormalizedCombination(const la::CsrMatrix& combined);
+
 /// Incomplete (partial) multi-view graphs: each view's graph is built only
 /// over its OBSERVED samples; absent samples become fully isolated vertices
 /// with ZERO Laplacian rows, i.e. the view places no constraint on them and

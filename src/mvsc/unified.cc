@@ -43,17 +43,22 @@ std::vector<double> ViewSmoothness(const std::vector<la::CsrMatrix>& laplacians,
 // smoothness any orthonormal F could achieve on that view alone).
 StatusOr<std::vector<double>> SpectralFloors(
     const std::vector<la::CsrMatrix>& laplacians, std::size_t c,
-    const la::LanczosOptions& lanczos) {
+    const la::LanczosOptions& lanczos, std::size_t* matvec_total) {
   const std::size_t num_views = laplacians.size();
   std::vector<double> floors(num_views, 0.0);
   // One Lanczos eigensolve per view, fanned out across views. Each solve is
   // seeded from the options, so its result does not depend on scheduling;
-  // statuses are collected and checked in view order afterwards.
+  // statuses are collected and checked in view order afterwards. Matvecs go
+  // into per-view slots (the shared counter in `lanczos` would race) and are
+  // summed in view order after the region.
   std::vector<std::optional<Status>> statuses(num_views);
+  std::vector<std::size_t> matvecs(num_views, 0);
   ParallelFor(0, num_views, 1, [&](std::size_t lo, std::size_t hi) {
     for (std::size_t v = lo; v < hi; ++v) {
+      la::LanczosOptions local = lanczos;
+      local.matvec_count = &matvecs[v];
       StatusOr<la::SymEigenResult> eig =
-          la::LanczosSmallest(laplacians[v], c, 2.0 + 1e-9, lanczos);
+          la::LanczosSmallest(laplacians[v], c, 2.0 + 1e-9, local);
       if (!eig.ok()) {
         statuses[v].emplace(eig.status());
         continue;
@@ -68,6 +73,7 @@ StatusOr<std::vector<double>> SpectralFloors(
   });
   for (std::size_t v = 0; v < num_views; ++v) {
     if (!statuses[v]->ok()) return *statuses[v];
+    if (matvec_total != nullptr) *matvec_total += matvecs[v];
   }
   return floors;
 }
@@ -230,22 +236,36 @@ StatusOr<UnifiedResult> UnifiedMVSC::Run(const MultiViewGraphs& graphs) const {
   std::vector<double> floors(num_views, 0.0);
   if (options_.smoothness == SmoothnessNormalization::kExcess) {
     StatusOr<std::vector<double>> spectral = SpectralFloors(
-        graphs.laplacians, c, lanczos);
+        graphs.laplacians, c, lanczos, &out.lanczos_matvecs);
     if (!spectral.ok()) return spectral.status();
     floors = std::move(*spectral);
   }
   Weights weights;
   weights.coefficients.assign(num_views, 1.0 / static_cast<double>(num_views));
   la::Matrix f;
+  // The per-view Laplacians are fixed for the whole run, so the union
+  // sparsity pattern of their weighted combinations is too: plan it once,
+  // and every alternation/iteration below refreshes values only (no triplet
+  // assembly, no sorting).
+  const la::CsrCombiner combiner = la::CsrCombiner::Plan(graphs.laplacians);
   const std::size_t warmups = std::max<std::size_t>(1, options_.init_alternations);
   for (std::size_t warm = 0; warm < warmups; ++warm) {
     // Mass-renormalized combination: exact eigenvectors of the plain
     // weighted sum on complete data, and a resolvable bottom eigengap on
     // incomplete data (see MassNormalizedCombination).
-    la::CsrMatrix combined =
-        MassNormalizedCombination(graphs.laplacians, weights.coefficients);
-    StatusOr<la::SymEigenResult> init_eig = la::LanczosSmallest(
-        combined, c, cluster::GershgorinUpperBound(combined) + 1e-9, lanczos);
+    la::CsrMatrix combined = MassNormalizedCombination(
+        combiner.Combine(graphs.laplacians, weights.coefficients));
+    la::LanczosOptions warm_lanczos = lanczos;
+    warm_lanczos.matvec_count = &out.lanczos_matvecs;
+    if (options_.warm_start && f.rows() == n && f.cols() == c) {
+      // Seed from the previous alternation's embedding: the combined
+      // Laplacian moved only as far as the view weights did.
+      warm_lanczos.warm_start = &f;
+    }
+    StatusOr<la::SymEigenResult> init_eig =
+        la::LanczosSmallest(combined, c,
+                            cluster::GershgorinUpperBound(combined) + 1e-9,
+                            warm_lanczos);
     if (!init_eig.ok()) return init_eig.status();
     f = std::move(init_eig->eigenvectors);
     const std::vector<double> h = ViewSmoothness(graphs.laplacians, f, floors);
@@ -273,7 +293,9 @@ StatusOr<UnifiedResult> UnifiedMVSC::Run(const MultiViewGraphs& graphs) const {
   double prev_obj = std::numeric_limits<double>::infinity();
   for (std::size_t iter = 0; iter < options_.max_iterations; ++iter) {
     // --- F-step: min Tr(FᵀAF) − 2β·Tr(Fᵀ Ŷ Rᵀ) on the Stiefel manifold.
-    la::CsrMatrix a = la::WeightedSum(graphs.laplacians, weights.coefficients);
+    // Value-only combination over the precomputed union pattern; the GPI is
+    // warm-started from the incumbent F below.
+    la::CsrMatrix a = combiner.Combine(graphs.laplacians, weights.coefficients);
     la::Matrix b = la::MatMulT(y_hat, rotation);
     b.Scale(options_.beta);
     cluster::GpiOptions gpi;

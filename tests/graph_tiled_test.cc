@@ -1,0 +1,179 @@
+// Equivalence tests for the tiled O(n·k)-memory graph construction: the
+// feature-direct builders must emit CSR graphs BYTE-identical to the dense
+// distance → kernel → sparsify pipeline, at every tile size and every
+// thread count. Byte-identical means equal row offsets, equal column
+// indices, and bit-for-bit equal double values (memcmp, not tolerance).
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "graph/distance.h"
+#include "graph/kernels.h"
+#include "graph/knn_graph.h"
+
+namespace umvsc::graph {
+namespace {
+
+la::Matrix RandomFeatures(std::size_t n, std::size_t d, std::uint64_t seed) {
+  Rng rng(seed);
+  la::Matrix x(n, d);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      x(i, j) = rng.Gaussian((i % 3) * 2.5, 1.0);
+    }
+  }
+  return x;
+}
+
+void ExpectBitwiseEqual(const la::CsrMatrix& a, const la::CsrMatrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  ASSERT_EQ(a.row_offsets(), b.row_offsets());
+  ASSERT_EQ(a.col_indices(), b.col_indices());
+  ASSERT_EQ(a.values().size(), b.values().size());
+  EXPECT_EQ(std::memcmp(a.values().data(), b.values().data(),
+                        a.values().size() * sizeof(double)),
+            0);
+}
+
+// The dense reference pipeline the tiled builder replaces.
+la::CsrMatrix DenseKnnReference(const la::Matrix& x, std::size_t k,
+                                KnnSymmetrization sym) {
+  la::Matrix d2 = PairwiseSquaredDistances(x);
+  StatusOr<la::Matrix> kernel = SelfTuningKernel(d2, k);
+  EXPECT_TRUE(kernel.ok());
+  StatusOr<la::CsrMatrix> w = BuildKnnGraph(*kernel, k, sym);
+  EXPECT_TRUE(w.ok());
+  return *w;
+}
+
+TEST(TiledGraphTest, FromFeaturesMatchesDensePipeline) {
+  la::Matrix x = RandomFeatures(61, 4, 7);
+  for (KnnSymmetrization sym :
+       {KnnSymmetrization::kUnion, KnnSymmetrization::kMutual,
+        KnnSymmetrization::kAverage}) {
+    la::CsrMatrix dense = DenseKnnReference(x, 5, sym);
+    StatusOr<la::CsrMatrix> tiled = BuildKnnGraphFromFeatures(x, 5, sym);
+    ASSERT_TRUE(tiled.ok());
+    ExpectBitwiseEqual(dense, *tiled);
+  }
+}
+
+TEST(TiledGraphTest, TileSizeDoesNotChangeTheGraph) {
+  la::Matrix x = RandomFeatures(53, 3, 11);
+  StatusOr<la::CsrMatrix> reference = BuildKnnGraphFromFeatures(x, 4);
+  ASSERT_TRUE(reference.ok());
+  for (std::size_t tile : {std::size_t{1}, std::size_t{7}, std::size_t{32},
+                           std::size_t{64}, std::size_t{4096}}) {
+    TiledGraphOptions tiling;
+    tiling.tile_rows = tile;
+    StatusOr<la::CsrMatrix> got =
+        BuildKnnGraphFromFeatures(x, 4, KnnSymmetrization::kUnion, tiling);
+    ASSERT_TRUE(got.ok()) << "tile=" << tile;
+    ExpectBitwiseEqual(*reference, *got);
+  }
+}
+
+TEST(TiledGraphTest, ThreadCountDoesNotChangeTheGraph) {
+  la::Matrix x = RandomFeatures(47, 5, 13);
+  la::CsrMatrix reference;
+  {
+    ScopedNumThreads serial(1);
+    StatusOr<la::CsrMatrix> got = BuildKnnGraphFromFeatures(x, 6);
+    ASSERT_TRUE(got.ok());
+    reference = *got;
+  }
+  for (std::size_t threads : {std::size_t{2}, std::size_t{5}, std::size_t{8}}) {
+    ScopedNumThreads scoped(threads);
+    TiledGraphOptions tiling;
+    tiling.tile_rows = 8;  // several tiles per thread
+    StatusOr<la::CsrMatrix> got =
+        BuildKnnGraphFromFeatures(x, 6, KnnSymmetrization::kUnion, tiling);
+    ASSERT_TRUE(got.ok()) << "threads=" << threads;
+    ExpectBitwiseEqual(reference, *got);
+  }
+}
+
+TEST(TiledGraphTest, DenseWrapperMatchesAcrossTilesAndThreads) {
+  la::Matrix x = RandomFeatures(40, 3, 17);
+  la::Matrix d2 = PairwiseSquaredDistances(x);
+  StatusOr<la::Matrix> kernel = SelfTuningKernel(d2, 4);
+  ASSERT_TRUE(kernel.ok());
+  StatusOr<la::CsrMatrix> reference = BuildKnnGraph(*kernel, 4);
+  ASSERT_TRUE(reference.ok());
+  for (std::size_t tile : {std::size_t{3}, std::size_t{16}, std::size_t{128}}) {
+    for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      ScopedNumThreads scoped(threads);
+      TiledGraphOptions tiling;
+      tiling.tile_rows = tile;
+      StatusOr<la::CsrMatrix> got =
+          BuildKnnGraph(*kernel, 4, KnnSymmetrization::kUnion, tiling);
+      ASSERT_TRUE(got.ok());
+      ExpectBitwiseEqual(*reference, *got);
+    }
+  }
+}
+
+TEST(TiledGraphTest, AdaptiveFromFeaturesMatchesDense) {
+  la::Matrix x = RandomFeatures(45, 4, 19);
+  la::Matrix d2 = PairwiseSquaredDistances(x);
+  StatusOr<la::CsrMatrix> reference = AdaptiveNeighborGraph(d2, 7);
+  ASSERT_TRUE(reference.ok());
+  for (std::size_t tile : {std::size_t{1}, std::size_t{16}, std::size_t{512}}) {
+    for (std::size_t threads : {std::size_t{1}, std::size_t{6}}) {
+      ScopedNumThreads scoped(threads);
+      TiledGraphOptions tiling;
+      tiling.tile_rows = tile;
+      StatusOr<la::CsrMatrix> got =
+          AdaptiveNeighborGraphFromFeatures(x, 7, tiling);
+      ASSERT_TRUE(got.ok());
+      ExpectBitwiseEqual(*reference, *got);
+    }
+  }
+}
+
+TEST(TiledGraphTest, SelfTuningScalesMatchDenseDefinition) {
+  la::Matrix x = RandomFeatures(37, 6, 23);
+  la::Matrix d2 = PairwiseSquaredDistances(x);
+  const std::size_t k = 5;
+  StatusOr<la::Vector> scales = SelfTuningScales(x, k, /*tile_rows=*/9);
+  ASSERT_TRUE(scales.ok());
+  // Dense definition: σ_i = sqrt(k-th smallest squared distance to another
+  // point), exactly as SelfTuningKernel extracts it.
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    std::vector<double> row;
+    for (std::size_t j = 0; j < x.rows(); ++j) {
+      if (j != i) row.push_back(d2(i, j));
+    }
+    std::nth_element(row.begin(), row.begin() + (k - 1), row.end());
+    const double expected = std::sqrt(std::max(row[k - 1], 1e-300));
+    EXPECT_EQ((*scales)[i], expected) << "row " << i;
+  }
+}
+
+TEST(TiledGraphTest, NegativeAffinityStillRejected) {
+  la::Matrix affinity(6, 6);
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = 0; j < 6; ++j) {
+      affinity(i, j) = i == j ? 0.0 : 1.0;
+    }
+  }
+  affinity(5, 2) = -0.25;
+  for (std::size_t tile : {std::size_t{1}, std::size_t{4}, std::size_t{128}}) {
+    TiledGraphOptions tiling;
+    tiling.tile_rows = tile;
+    StatusOr<la::CsrMatrix> w =
+        BuildKnnGraph(affinity, 2, KnnSymmetrization::kUnion, tiling);
+    EXPECT_FALSE(w.ok());
+    EXPECT_NE(w.status().message().find("nonnegative"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace umvsc::graph

@@ -127,6 +127,67 @@ TEST(LanczosTest, InvalidArguments) {
   EXPECT_FALSE(LanczosLargest(rect, 1).ok());
 }
 
+TEST(LanczosTest, MatvecCounterCountsOperatorApplications) {
+  CsrMatrix a = CycleAdjacency(60);
+  LanczosOptions options;
+  std::size_t matvecs = 0;
+  options.matvec_count = &matvecs;
+  StatusOr<SymEigenResult> res = LanczosLargest(a, 3, options);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  // One matvec per Krylov step; the subspace must at least reach the safety
+  // dimension k + max(k, 8).
+  EXPECT_GE(matvecs, 3u + 8u);
+  EXPECT_LE(matvecs, options.max_subspace);
+}
+
+TEST(LanczosTest, WarmStartConvergesWithFewerMatvecs) {
+  // Well-separated top block so both solves converge crisply.
+  const std::size_t n = 150;
+  const std::size_t k = 5;
+  Vector evals(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    evals[i] = i < n - k ? 0.01 * static_cast<double>(i)
+                         : 10.0 + static_cast<double>(i - (n - k));
+  }
+  Matrix dense = test::SymmetricWithSpectrum(evals, 131);
+  CsrMatrix sparse = CsrMatrix::FromDense(dense);
+
+  LanczosOptions cold;
+  std::size_t cold_matvecs = 0;
+  cold.matvec_count = &cold_matvecs;
+  StatusOr<SymEigenResult> first = LanczosLargest(sparse, k, cold);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+
+  // Re-solve seeded with the converged eigenvectors: the Krylov space
+  // collapses onto the invariant subspace almost immediately.
+  LanczosOptions warm;
+  std::size_t warm_matvecs = 0;
+  warm.matvec_count = &warm_matvecs;
+  warm.warm_start = &first->eigenvectors;
+  StatusOr<SymEigenResult> second = LanczosLargest(sparse, k, warm);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+
+  EXPECT_LT(warm_matvecs, cold_matvecs);
+  for (std::size_t j = 0; j < k; ++j) {
+    EXPECT_NEAR(second->eigenvalues[j], first->eigenvalues[j], 1e-7);
+  }
+}
+
+TEST(LanczosTest, MismatchedWarmStartIsIgnored) {
+  CsrMatrix a = CycleAdjacency(40);
+  Matrix wrong_rows(7, 2);  // not 40 rows: must be ignored, not crash
+  LanczosOptions options;
+  options.warm_start = &wrong_rows;
+  StatusOr<SymEigenResult> res = LanczosLargest(a, 2, options);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  StatusOr<SymEigenResult> plain = LanczosLargest(a, 2);
+  ASSERT_TRUE(plain.ok());
+  // Identical to the cold solve bit for bit — same seed, same random start.
+  for (std::size_t j = 0; j < 2; ++j) {
+    EXPECT_EQ(res->eigenvalues[j], plain->eigenvalues[j]);
+  }
+}
+
 TEST(LanczosTest, KEqualsNReturnsFullSpectrum) {
   Matrix dense = test::RandomSymmetric(12, 93);
   CsrMatrix sparse = CsrMatrix::FromDense(dense);

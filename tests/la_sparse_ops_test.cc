@@ -76,5 +76,76 @@ TEST(SparseQuadraticTraceTest, ZeroRowsContributeNothing) {
   EXPECT_NEAR(QuadraticTrace(l, f), QuadraticTrace(l, f2), 1e-12);
 }
 
+TEST(CsrCombinerTest, MatchesWeightedSum) {
+  std::vector<CsrMatrix> mats;
+  for (std::uint64_t s = 10; s < 13; ++s) mats.push_back(RandomSparse(15, 0.25, s));
+  const std::vector<double> weights{0.7, 1.9, -0.4};
+  CsrCombiner combiner = CsrCombiner::Plan(mats);
+  CsrMatrix fast = combiner.Combine(mats, weights);
+  CsrMatrix reference = WeightedSum(mats, weights);
+  // Same union pattern (WeightedSum drops nothing either — cancellation
+  // keeps explicit zeros in both), values equal to summation-order
+  // reordering.
+  ASSERT_EQ(fast.row_offsets(), reference.row_offsets());
+  ASSERT_EQ(fast.col_indices(), reference.col_indices());
+  for (std::size_t k = 0; k < fast.values().size(); ++k) {
+    EXPECT_NEAR(fast.values()[k], reference.values()[k], 1e-12);
+  }
+}
+
+TEST(CsrCombinerTest, ReusablePlanTracksValueChanges) {
+  std::vector<CsrMatrix> mats;
+  for (std::uint64_t s = 20; s < 22; ++s) mats.push_back(RandomSparse(10, 0.3, s));
+  CsrCombiner combiner = CsrCombiner::Plan(mats);
+  // Same plan, several weight vectors — the per-iteration pattern of the
+  // alternating solver. With two views the accumulation order matches
+  // WeightedSum's duplicate summation exactly, so results are identical.
+  // (Weights stay nonzero: WeightedSum drops a zero-weighted matrix's
+  // pattern entirely, whereas the planned union keeps it as explicit zeros
+  // — see ZeroWeightLeavesExplicitZeroSlots.)
+  for (const std::vector<double>& w :
+       {std::vector<double>{1.0, 1.0}, std::vector<double>{0.25, 0.75},
+        std::vector<double>{-3.0, 2.0}}) {
+    CsrMatrix fast = combiner.Combine(mats, w);
+    CsrMatrix reference = WeightedSum(mats, w);
+    ASSERT_EQ(fast.col_indices(), reference.col_indices());
+    for (std::size_t k = 0; k < fast.values().size(); ++k) {
+      EXPECT_EQ(fast.values()[k], reference.values()[k]);
+    }
+  }
+}
+
+TEST(CsrCombinerTest, ZeroWeightLeavesExplicitZeroSlots) {
+  std::vector<CsrMatrix> mats;
+  mats.push_back(CsrMatrix::FromTriplets(3, 3, {{0, 0, 2.0}}));
+  mats.push_back(CsrMatrix::FromTriplets(3, 3, {{1, 2, 5.0}}));
+  CsrCombiner combiner = CsrCombiner::Plan(mats);
+  CsrMatrix out = combiner.Combine(mats, {1.0, 0.0});
+  // The union pattern is fixed: the skipped matrix's slot stays as an
+  // explicit zero rather than vanishing.
+  EXPECT_EQ(out.NumNonZeros(), 2u);
+  EXPECT_EQ(out.At(0, 0), 2.0);
+  EXPECT_EQ(out.At(1, 2), 0.0);
+}
+
+TEST(FromPartsTest, RoundTripsCsrArrays) {
+  CsrMatrix original = RandomSparse(12, 0.3, 77);
+  CsrMatrix rebuilt = CsrMatrix::FromParts(
+      original.rows(), original.cols(), original.row_offsets(),
+      original.col_indices(), original.values());
+  EXPECT_EQ(rebuilt.row_offsets(), original.row_offsets());
+  EXPECT_EQ(rebuilt.col_indices(), original.col_indices());
+  EXPECT_EQ(rebuilt.values(), original.values());
+}
+
+TEST(FromPartsDeathTest, RejectsMalformedArrays) {
+  // Unsorted columns within a row.
+  EXPECT_DEATH(CsrMatrix::FromParts(1, 3, {0, 2}, {2, 1}, {1.0, 1.0}),
+               "ascending");
+  // Offsets inconsistent with array lengths.
+  EXPECT_DEATH(CsrMatrix::FromParts(1, 3, {0, 1}, {0, 1}, {1.0, 1.0}),
+               "inconsistent");
+}
+
 }  // namespace
 }  // namespace umvsc::la

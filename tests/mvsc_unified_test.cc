@@ -171,6 +171,32 @@ TEST(UnifiedMvscTest, RunFromRawDatasetMatchesGraphPath) {
   EXPECT_EQ(via_graphs->labels, via_dataset->labels);
 }
 
+TEST(UnifiedMvscTest, WarmStartMatchesColdStartWithFewerMatvecs) {
+  TestProblem problem = MakeProblem(29);
+
+  UnifiedOptions cold_options = DefaultOptions(3);
+  cold_options.warm_start = false;
+  // kExcess also exercises the per-view SpectralFloors matvec accounting.
+  cold_options.smoothness = SmoothnessNormalization::kExcess;
+  StatusOr<UnifiedResult> cold = UnifiedMVSC(cold_options).Run(problem.graphs);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+
+  UnifiedOptions warm_options = cold_options;
+  warm_options.warm_start = true;
+  StatusOr<UnifiedResult> warm = UnifiedMVSC(warm_options).Run(problem.graphs);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+
+  // Warm starting is a solver-internal speedup: the clustering must agree
+  // exactly (same partition up to label permutation) while the eigensolver
+  // does strictly less work.
+  StatusOr<double> agreement =
+      eval::ClusteringAccuracy(warm->labels, cold->labels);
+  ASSERT_TRUE(agreement.ok());
+  EXPECT_EQ(*agreement, 1.0);
+  EXPECT_LT(warm->lanczos_matvecs, cold->lanczos_matvecs);
+  EXPECT_GT(warm->lanczos_matvecs, 0u);
+}
+
 TEST(UnifiedMvscTest, RejectsInvalidOptions) {
   TestProblem problem = MakeProblem(30, 60, 3);
   UnifiedOptions options = DefaultOptions(3);
