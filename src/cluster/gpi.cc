@@ -121,6 +121,8 @@ StatusOr<GpiResult> GeneralizedPowerIteration(const la::CsrMatrix& a,
   }
   UMVSC_RETURN_IF_ERROR(ValidateGpiInputs(a.rows(), b, f0));
   const double lambda = GershgorinUpperBound(a) + 1e-6;
+  // a.Multiply(f) is the row-parallel cache-blocked SpMM — the GPI F-step
+  // already runs panel-at-a-time, the same kernel the block eigensolver uses.
   return RunGpi([&a](const la::Matrix& f) { return a.Multiply(f); },
                 [&a](const la::Matrix& f) { return la::QuadraticTrace(a, f); },
                 lambda, b, f0, options);

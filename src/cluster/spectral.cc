@@ -75,13 +75,15 @@ StatusOr<la::Matrix> SpectralEmbeddingSparse(const la::CsrMatrix& affinity,
       graph::Laplacian(affinity, graph::LaplacianKind::kSymmetric);
   if (!lap.ok()) return lap.status();
   // The normalized Laplacian spectrum lies in [0, 2]; 2 + ε is a valid
-  // complement bound for the smallest-eigenpair transform.
+  // complement bound for the smallest-eigenpair transform. The block solver
+  // iterates on n × k panels (one SpMM per application), which also captures
+  // the c-fold bottom multiplicity of a c-component graph in one panel.
   la::LanczosOptions options;
   options.seed = seed;
   options.max_subspace = std::min(n, std::max<std::size_t>(12 * k + 100, 250));
   options.tolerance = 3e-6;
   StatusOr<la::SymEigenResult> eig =
-      la::LanczosSmallest(*lap, k, 2.0 + 1e-9, options);
+      la::BlockLanczosSmallest(*lap, k, 2.0 + 1e-9, options);
   if (!eig.ok()) return eig.status();
   la::Matrix f = std::move(eig->eigenvectors);
   if (normalize_rows) {

@@ -5,6 +5,7 @@
 
 #include "common/rng.h"
 #include "common/strings.h"
+#include "la/ops.h"
 
 namespace umvsc::la {
 
@@ -218,6 +219,315 @@ StatusOr<SymEigenResult> LanczosSmallest(const CsrMatrix& a, std::size_t k,
     a.MultiplyInto(x, y);
   };
   return LanczosSmallest(op, a.rows(), k, spectral_bound, options);
+}
+
+namespace {
+
+// Orthogonalizes v against every finalized panel of the basis and against
+// the already-accepted columns of the panel under construction (two
+// classical passes). The panel projections are the level-2 MatTVec/MatVec
+// pair; this path only runs for replacement columns (rank-deficient panel
+// slots), never in the panel hot loop.
+void BlockReorthogonalizeVector(const std::vector<Matrix>& panels,
+                                const std::vector<Vector>& partial, Vector& v) {
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const Matrix& p : panels) {
+      Vector proj = MatTVec(p, v);
+      Vector back = MatVec(p, proj);
+      v.Axpy(-1.0, back);
+    }
+    for (const Vector& q : partial) {
+      const double dot = Dot(q, v);
+      if (dot != 0.0) v.Axpy(-dot, q);
+    }
+  }
+}
+
+// Fills `accepted` up to `width` orthonormal columns. Candidates are taken
+// in deterministic order: the columns of `candidates` (may be empty), then
+// unused warm-start columns, then fresh Gaussian directions. Candidate
+// columns are assumed orthogonal to the finalized panels already (the
+// caller ran the panel-level reorthogonalization); warm/random replacements
+// are orthogonalized against everything from scratch. Returns false when no
+// acceptable direction can be found (the space is exhausted numerically).
+bool FillPanelColumns(const std::vector<Matrix>& panels,
+                      const Matrix* candidates, std::size_t width,
+                      const Matrix* warm, std::size_t& next_warm, Rng& rng,
+                      std::size_t n, std::vector<Vector>& accepted) {
+  std::size_t next_candidate = 0;
+  const std::size_t num_candidates =
+      candidates == nullptr ? 0 : candidates->cols();
+  std::size_t random_attempts = 0;
+  while (accepted.size() < width) {
+    Vector v(n);
+    bool from_candidates = false;
+    if (next_candidate < num_candidates) {
+      for (std::size_t i = 0; i < n; ++i) v[i] = (*candidates)(i, next_candidate);
+      ++next_candidate;
+      from_candidates = true;
+    } else if (warm != nullptr && next_warm < warm->cols()) {
+      for (std::size_t i = 0; i < n; ++i) v[i] = (*warm)(i, next_warm);
+      ++next_warm;
+    } else {
+      if (++random_attempts > 8) return false;
+      for (std::size_t i = 0; i < n; ++i) v[i] = rng.Gaussian();
+    }
+    const double norm0 = v.Norm2();
+    if (norm0 <= 1e-12) continue;
+    v.Scale(1.0 / norm0);
+    if (from_candidates) {
+      // Already basis-orthogonal as a panel; only the within-panel
+      // projections remain (two passes, modified-GS quality).
+      for (int pass = 0; pass < 2; ++pass) {
+        for (const Vector& q : accepted) {
+          const double dot = Dot(q, v);
+          if (dot != 0.0) v.Axpy(-dot, q);
+        }
+      }
+    } else {
+      BlockReorthogonalizeVector(panels, accepted, v);
+    }
+    const double norm = v.Norm2();
+    if (norm <= 1e-8) continue;  // numerically dependent; next candidate
+    v.Scale(1.0 / norm);
+    accepted.push_back(std::move(v));
+    random_attempts = 0;  // the cap bounds consecutive failures, not draws
+  }
+  return true;
+}
+
+Matrix AssemblePanel(std::vector<Vector> columns, std::size_t n) {
+  Matrix panel(n, columns.size());
+  for (std::size_t j = 0; j < columns.size(); ++j) {
+    panel.SetCol(j, columns[j]);
+  }
+  return panel;
+}
+
+// X = Q·S for a basis stored as panels: Σ_p panels[p] · S[rows of p, :].
+Matrix PanelsTimes(const std::vector<Matrix>& panels, const Matrix& s) {
+  Matrix x(panels.front().rows(), s.cols());
+  std::size_t offset = 0;
+  for (const Matrix& p : panels) {
+    x.Add(MatMul(p, s.Block(offset, 0, p.cols(), s.cols())), 1.0);
+    offset += p.cols();
+  }
+  return x;
+}
+
+}  // namespace
+
+StatusOr<SymEigenResult> BlockLanczosLargest(const SymmetricBlockOperator& op,
+                                             std::size_t n, std::size_t k,
+                                             const LanczosOptions& options) {
+  if (k == 0 || k > n) {
+    return Status::InvalidArgument("BlockLanczosLargest requires 0 < k <= n");
+  }
+  const std::size_t max_m = std::min(n, options.max_subspace);
+  if (max_m < k) {
+    return Status::InvalidArgument("max_subspace smaller than k");
+  }
+  const std::size_t b =
+      std::min(options.block_size == 0 ? k : options.block_size,
+               std::min(n, max_m));
+
+  Rng rng(options.seed);
+  const Matrix* warm = options.warm_start;
+  if (warm != nullptr && (warm->rows() != n || warm->cols() == 0)) {
+    warm = nullptr;
+  }
+  std::size_t next_warm = 0;
+
+  // Basis panels Q_0 … Q_j and their raw operator images A·Q_0 … A·Q_j.
+  // Keeping the images makes the Rayleigh–Ritz residuals exact — the block
+  // solver never trusts the recurrence estimate that the multiplicity trap
+  // (see LanczosLargest) poisons.
+  std::vector<Matrix> q_panels;
+  std::vector<Matrix> aq_panels;
+  Matrix h(max_m, max_m);  // projected operator H = QᵀAQ, grown blockwise
+  std::size_t m = 0;
+
+  // First panel: warm-start columns enter column-per-column (no collapse
+  // into a single direction), then random directions fill the remainder.
+  {
+    std::vector<Vector> columns;
+    if (!FillPanelColumns(q_panels, nullptr, std::min(b, max_m), warm,
+                          next_warm, rng, n, columns)) {
+      return Status::NumericalError(
+          "Block Lanczos: could not build the initial panel");
+    }
+    q_panels.push_back(AssemblePanel(std::move(columns), n));
+    m = q_panels.back().cols();
+  }
+
+  double spectral_scale = 1.0;
+  // The single-vector solver's anti-multiplicity margin, panel-scaled: the
+  // basis must grow past k by at least one panel (or the classic margin of
+  // 8, whichever is larger) before a converged set is accepted, so a warm
+  // start that exactly spans an invariant — but wrong — subspace is always
+  // challenged by directions outside it.
+  const std::size_t min_dim = std::min(n, k + std::max<std::size_t>(b, 8));
+
+  while (true) {
+    const Matrix& q_last = q_panels.back();
+    const std::size_t bw = q_last.cols();
+    const std::size_t panel_offset = m - bw;
+
+    // One panel application: W = A·Q_j, counted as bw Krylov directions.
+    Matrix w(n, bw);
+    op(q_last, w);
+    if (options.matvec_count != nullptr) *options.matvec_count += bw;
+
+    // Extend H = QᵀAQ by this panel's block column; mirror the off-diagonal
+    // blocks and symmetrize the diagonal block so the projected problem is
+    // symmetric by construction.
+    {
+      std::size_t offset = 0;
+      for (const Matrix& p : q_panels) {
+        const Matrix g = MatTMul(p, w);  // p.cols() × bw
+        if (offset == panel_offset) {
+          for (std::size_t i = 0; i < bw; ++i) {
+            for (std::size_t j = 0; j < bw; ++j) {
+              const double sym = 0.5 * (g(i, j) + g(j, i));
+              h(panel_offset + i, panel_offset + j) = sym;
+            }
+          }
+        } else {
+          for (std::size_t i = 0; i < p.cols(); ++i) {
+            for (std::size_t j = 0; j < bw; ++j) {
+              h(offset + i, panel_offset + j) = g(i, j);
+              h(panel_offset + j, offset + i) = g(i, j);
+            }
+          }
+        }
+        offset += p.cols();
+      }
+    }
+
+    // Rayleigh–Ritz on the m × m projection.
+    StatusOr<SymEigenResult> small = SymmetricEigen(h.Block(0, 0, m, m));
+    if (!small.ok()) return small.status();
+    for (std::size_t i = 0; i < m; ++i) {
+      spectral_scale =
+          std::max(spectral_scale, std::fabs(small->eigenvalues[i]));
+    }
+
+    if (m >= k) {
+      // Wanted Ritz pairs: the k largest, descending.
+      Matrix s_k(m, k);
+      Vector theta(k);
+      for (std::size_t j = 0; j < k; ++j) {
+        const std::size_t col = m - 1 - j;
+        theta[j] = small->eigenvalues[col];
+        for (std::size_t i = 0; i < m; ++i) {
+          s_k(i, j) = small->eigenvectors(i, col);
+        }
+      }
+      const Matrix x = PanelsTimes(q_panels, s_k);
+      // Exact residuals ‖A·x_j − θ_j·x_j‖: A·X = [stored images | fresh W]
+      // · S_k, assembled without re-applying the operator.
+      Matrix full_ax(n, k);
+      if (!aq_panels.empty()) {
+        full_ax = PanelsTimes(aq_panels, s_k.Block(0, 0, m - bw, k));
+      }
+      full_ax.Add(MatMul(w, s_k.Block(m - bw, 0, bw, k)), 1.0);
+      bool all_converged = true;
+      for (std::size_t j = 0; j < k && all_converged; ++j) {
+        double rss = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          const double r = full_ax(i, j) - theta[j] * x(i, j);
+          rss += r * r;
+        }
+        if (std::sqrt(rss) > options.tolerance * spectral_scale) {
+          all_converged = false;
+        }
+      }
+      if ((all_converged && m >= min_dim) || m == n) {
+        SymEigenResult out;
+        out.eigenvalues = std::move(theta);
+        out.eigenvectors = x;
+        return out;
+      }
+    }
+    if (m >= max_m) {
+      return Status::NumericalError(StrFormat(
+          "Block Lanczos did not converge within a subspace of %zu", max_m));
+    }
+
+    // Next panel: store the raw image, then strip the basis from W with two
+    // panel-level MatTMul + MatMul passes (the level-3 replacement for
+    // per-vector Gram–Schmidt) and orthonormalize what remains. Deficient
+    // columns — the block analogue of breakdown — are repaired from unused
+    // warm-start columns first, then random directions.
+    aq_panels.push_back(w);
+    for (int pass = 0; pass < 2; ++pass) {
+      for (const Matrix& p : q_panels) {
+        w.Add(MatMul(p, MatTMul(p, w)), -1.0);
+      }
+    }
+    const std::size_t next_width = std::min(b, std::min(max_m, n) - m);
+    std::vector<Vector> columns;
+    if (!FillPanelColumns(q_panels, &w, next_width, warm, next_warm, rng, n,
+                          columns)) {
+      return Status::NumericalError(
+          "Block Lanczos: could not extend the Krylov basis");
+    }
+    q_panels.push_back(AssemblePanel(std::move(columns), n));
+    m += q_panels.back().cols();
+  }
+}
+
+StatusOr<SymEigenResult> BlockLanczosSmallest(const SymmetricBlockOperator& op,
+                                              std::size_t n, std::size_t k,
+                                              double spectral_bound,
+                                              const LanczosOptions& options) {
+  if (spectral_bound <= 0.0) {
+    return Status::InvalidArgument("spectral_bound must be positive");
+  }
+  // Panel-fused complement: one Y += bound·X − A·X pass over the whole
+  // block per application (the A·X underneath is a single SpMM for CSR
+  // operators), replacing the single-vector path's per-column lambda.
+  SymmetricBlockOperator complement = [&op, spectral_bound](const Matrix& x,
+                                                            Matrix& y) {
+    Matrix ax(x.rows(), x.cols());
+    op(x, ax);
+    double* yd = y.data();
+    const double* xd = x.data();
+    const double* axd = ax.data();
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      yd[i] += spectral_bound * xd[i] - axd[i];
+    }
+  };
+  StatusOr<SymEigenResult> res = BlockLanczosLargest(complement, n, k, options);
+  if (!res.ok()) return res.status();
+  // Map back: λ_A = bound − λ_complement; order flips to ascending.
+  for (std::size_t j = 0; j < k; ++j) {
+    res->eigenvalues[j] = spectral_bound - res->eigenvalues[j];
+  }
+  return res;
+}
+
+StatusOr<SymEigenResult> BlockLanczosLargest(const CsrMatrix& a, std::size_t k,
+                                             const LanczosOptions& options) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("Block Lanczos requires a square matrix");
+  }
+  SymmetricBlockOperator op = [&a](const Matrix& x, Matrix& y) {
+    a.MultiplyInto(x, y);
+  };
+  return BlockLanczosLargest(op, a.rows(), k, options);
+}
+
+StatusOr<SymEigenResult> BlockLanczosSmallest(const CsrMatrix& a, std::size_t k,
+                                              double spectral_bound,
+                                              const LanczosOptions& options) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("Block Lanczos requires a square matrix");
+  }
+  SymmetricBlockOperator op = [&a](const Matrix& x, Matrix& y) {
+    a.MultiplyInto(x, y);
+  };
+  return BlockLanczosSmallest(op, a.rows(), k, spectral_bound, options);
 }
 
 }  // namespace umvsc::la

@@ -16,6 +16,13 @@ namespace umvsc::la {
 using SymmetricOperator =
     std::function<void(const Vector& x, Vector& y)>;
 
+/// Panel form of the same abstraction: Y += A·X for an n × b panel X. One
+/// application advances b Krylov directions at once, which is what lets the
+/// block solver spend its time in level-3 kernels (CSR SpMM, MatTMul,
+/// MatMul) instead of b separate memory-bound matvecs.
+using SymmetricBlockOperator =
+    std::function<void(const Matrix& x, Matrix& y)>;
+
 /// Options for the Lanczos eigensolver.
 struct LanczosOptions {
   /// Maximum Krylov subspace dimension before declaring non-convergence.
@@ -36,10 +43,18 @@ struct LanczosOptions {
   const Matrix* warm_start = nullptr;
   /// When non-null, incremented once per operator application (for
   /// LanczosSmallest, once per application of the complement operator, which
-  /// performs exactly one underlying matvec). Lets callers measure how much
-  /// work warm starting saves. Not touched concurrently — the solver is
-  /// single-threaded at this level.
+  /// performs exactly one underlying matvec). The block solver increments by
+  /// the panel width per panel application — one unit per Krylov direction
+  /// advanced — so warm-start savings stay comparable across the single and
+  /// block paths. Lets callers measure how much work warm starting saves.
+  /// Not touched concurrently — the solver is single-threaded at this level.
   std::size_t* matvec_count = nullptr;
+  /// Panel width of the block solver (BlockLanczosLargest/Smallest only;
+  /// the single-vector entry points ignore it). 0 means "use k", the block
+  /// width that captures a c-fold eigenvalue multiplicity in one panel —
+  /// the right default for spectral embeddings, where the bottom eigenvalue
+  /// of a c-component graph repeats c times. Clamped to [1, n].
+  std::size_t block_size = 0;
 };
 
 /// Computes the `k` algebraically largest eigenpairs of an n × n symmetric
@@ -65,6 +80,44 @@ StatusOr<SymEigenResult> LanczosLargest(const CsrMatrix& a, std::size_t k,
 StatusOr<SymEigenResult> LanczosSmallest(const CsrMatrix& a, std::size_t k,
                                          double spectral_bound,
                                          const LanczosOptions& options = {});
+
+/// Block-Lanczos eigensolver: builds the Krylov space in n × b panels
+/// instead of single vectors. Per iteration it applies the operator to a
+/// whole panel (one SpMM for CSR inputs), reorthogonalizes the panel
+/// against the accumulated basis with two MatTMul + MatMul passes (level-3
+/// work where the single-vector solver does per-vector dot/axpy), extends
+/// the Rayleigh–Ritz projection H = QᵀAQ by one block column, and tests
+/// EXACT residuals ‖A·x − θ·x‖ of the k wanted Ritz pairs (the stored A·Q
+/// panels make them cheap). Repeated eigenvalues with multiplicity ≤ b are
+/// captured inside a single panel — the failure mode that forces the
+/// single-vector solver into breakdown restarts. `options.warm_start` seeds
+/// the FIRST PANEL column-per-column (no column-sum collapse), so a
+/// previous embedding enters the Krylov space whole; remaining warm columns
+/// feed rank-deficiency repairs before random directions do.
+/// `options.matvec_count` advances by the panel width per application.
+/// Deterministic: every kernel underneath is bitwise identical across
+/// thread counts, and the serial per-column orthonormalization is ordered
+/// by column index. Eigenvalues are returned descending. The single-vector
+/// solver is exactly the b = 1 specialization of this iteration.
+StatusOr<SymEigenResult> BlockLanczosLargest(
+    const SymmetricBlockOperator& op, std::size_t n, std::size_t k,
+    const LanczosOptions& options = {});
+
+/// The `k` smallest eigenpairs through the block path: runs
+/// BlockLanczosLargest on the panel-fused complement `bound·I − A` (one
+/// fused elementwise pass over the whole panel per application, not a
+/// per-column lambda). Eigenvalues are returned ascending.
+StatusOr<SymEigenResult> BlockLanczosSmallest(
+    const SymmetricBlockOperator& op, std::size_t n, std::size_t k,
+    double spectral_bound, const LanczosOptions& options = {});
+
+/// Convenience overloads for CSR matrices; the panel application is the
+/// row-parallel cache-blocked CsrMatrix SpMM.
+StatusOr<SymEigenResult> BlockLanczosLargest(
+    const CsrMatrix& a, std::size_t k, const LanczosOptions& options = {});
+StatusOr<SymEigenResult> BlockLanczosSmallest(
+    const CsrMatrix& a, std::size_t k, double spectral_bound,
+    const LanczosOptions& options = {});
 
 }  // namespace umvsc::la
 

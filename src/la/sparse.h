@@ -57,11 +57,24 @@ class CsrMatrix {
   /// y = A·x. Requires x.size() == cols().
   Vector Multiply(const Vector& x) const;
   /// y += alpha · A·x, writing into a caller-provided buffer (no alloc).
+  /// Row-parallel on the global thread pool; each output row is one
+  /// independent serial sum over that row's nonzeros, so the result is
+  /// bitwise identical at every thread count.
   void MultiplyInto(const Vector& x, Vector& y, double alpha = 1.0) const;
   /// C = A·B for a dense right factor.
   Matrix Multiply(const Matrix& b) const;
+  /// Y += alpha · A·X — the multi-vector SpMM kernel under the block
+  /// eigensolver. Requires X of shape cols() × b and Y of shape rows() × b.
+  /// Row-parallel over the thread pool and cache-blocked over the panel
+  /// dimension b; each output row accumulates its nonzeros in CSR order
+  /// into a per-row register block, so the result is bitwise identical
+  /// across thread counts AND equal to b independent MultiplyInto calls
+  /// on the columns.
+  void MultiplyInto(const Matrix& x, Matrix& y, double alpha = 1.0) const;
 
-  /// Aᵀ as a new CSR matrix.
+  /// Aᵀ as a new CSR matrix. Counting-sort construction: per-column nnz
+  /// histogram → prefix-sum offsets → one ordered scatter pass, O(nnz)
+  /// with no triplet buffer and no comparison sort.
   CsrMatrix Transposed() const;
   /// Per-row sums (the weighted degree vector when A is an adjacency).
   Vector RowSums() const;

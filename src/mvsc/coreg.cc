@@ -12,20 +12,22 @@ namespace umvsc::mvsc {
 
 namespace {
 
-// y += (L − λ·Σ_u U_u·U_uᵀ)·x over a set of coupling embeddings without
-// materializing the dense rank-c updates.
-la::SymmetricOperator ModifiedLaplacianOperator(
+// Y += (L − λ·Σ_u U_u·U_uᵀ)·X over a set of coupling embeddings without
+// materializing the dense rank-c updates: one SpMM for the Laplacian plus a
+// MatTMul/MatMul pair (c × b then n × b) per coupling — all level-3 panel
+// kernels feeding the block eigensolver.
+la::SymmetricBlockOperator ModifiedLaplacianOperator(
     const la::CsrMatrix& lap, std::vector<const la::Matrix*> couplings,
     double lambda) {
-  return [&lap, couplings = std::move(couplings), lambda](const la::Vector& x,
-                                                          la::Vector& y) {
+  return [&lap, couplings = std::move(couplings), lambda](const la::Matrix& x,
+                                                          la::Matrix& y) {
     lap.MultiplyInto(x, y);
     if (lambda == 0.0) return;
     for (const la::Matrix* u : couplings) {
       if (u->cols() == 0) continue;
-      la::Vector proj = la::MatTVec(*u, x);  // Uᵀ·x (c-dim)
-      la::Vector back = la::MatVec(*u, proj);
-      for (std::size_t i = 0; i < y.size(); ++i) y[i] -= lambda * back[i];
+      la::Matrix proj = la::MatTMul(*u, x);  // Uᵀ·X (c × b)
+      la::Matrix back = la::MatMul(*u, proj);
+      y.Add(back, -lambda);
     }
   };
 }
@@ -81,7 +83,7 @@ StatusOr<CoRegResult> CoRegSpectral(const MultiViewGraphs& graphs,
   std::vector<la::Matrix> embeddings(num_views);
   for (std::size_t v = 0; v < num_views; ++v) {
     StatusOr<la::SymEigenResult> eig =
-        la::LanczosSmallest(graphs.laplacians[v], c, 2.0 + 1e-9, lanczos);
+        la::BlockLanczosSmallest(graphs.laplacians[v], c, 2.0 + 1e-9, lanczos);
     if (!eig.ok()) return eig.status();
     embeddings[v] = std::move(eig->eigenvectors);
   }
@@ -91,17 +93,18 @@ StatusOr<CoRegResult> CoRegSpectral(const MultiViewGraphs& graphs,
   std::size_t iterations = 0;
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
     if (options.mode == CoRegMode::kCentroid) {
-      // Consensus step: top-c eigenvectors of Σ_v U_v·U_vᵀ (matrix-free).
-      la::SymmetricOperator sum_op = [&embeddings](const la::Vector& x,
-                                                   la::Vector& y) {
+      // Consensus step: top-c eigenvectors of Σ_v U_v·U_vᵀ (matrix-free,
+      // panel form: a MatTMul/MatMul pair per view).
+      la::SymmetricBlockOperator sum_op = [&embeddings](const la::Matrix& x,
+                                                        la::Matrix& y) {
         for (const la::Matrix& u : embeddings) {
-          la::Vector proj = la::MatTVec(u, x);
-          la::Vector back = la::MatVec(u, proj);
-          for (std::size_t i = 0; i < y.size(); ++i) y[i] += back[i];
+          la::Matrix proj = la::MatTMul(u, x);
+          la::Matrix back = la::MatMul(u, proj);
+          y.Add(back, 1.0);
         }
       };
       StatusOr<la::SymEigenResult> top =
-          la::LanczosLargest(sum_op, n, c, lanczos);
+          la::BlockLanczosLargest(sum_op, n, c, lanczos);
       if (!top.ok()) return top.status();
       consensus = std::move(top->eigenvectors);
     }
@@ -118,10 +121,10 @@ StatusOr<CoRegResult> CoRegSpectral(const MultiViewGraphs& graphs,
           if (w != v) couplings.push_back(&embeddings[w]);
         }
       }
-      la::SymmetricOperator op = ModifiedLaplacianOperator(
+      la::SymmetricBlockOperator op = ModifiedLaplacianOperator(
           graphs.laplacians[v], std::move(couplings), options.lambda);
       StatusOr<la::SymEigenResult> eig =
-          la::LanczosSmallest(op, n, c, 2.0 + 1e-9, lanczos);
+          la::BlockLanczosSmallest(op, n, c, 2.0 + 1e-9, lanczos);
       if (!eig.ok()) return eig.status();
       embeddings[v] = std::move(eig->eigenvectors);
     }

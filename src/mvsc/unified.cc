@@ -39,11 +39,21 @@ std::vector<double> ViewSmoothness(const std::vector<la::CsrMatrix>& laplacians,
   return h;
 }
 
+// Dispatches a smallest-eigenpairs solve through the block-Lanczos panel
+// path or the single-vector path, same contract either way.
+StatusOr<la::SymEigenResult> SmallestEigenpairsSparse(
+    const la::CsrMatrix& lap, std::size_t c, double spectral_bound,
+    const la::LanczosOptions& options, bool block) {
+  return block ? la::BlockLanczosSmallest(lap, c, spectral_bound, options)
+               : la::LanczosSmallest(lap, c, spectral_bound, options);
+}
+
 // ĉ_v per view: the sum of the c smallest eigenvalues of L_v (the best
 // smoothness any orthonormal F could achieve on that view alone).
 StatusOr<std::vector<double>> SpectralFloors(
     const std::vector<la::CsrMatrix>& laplacians, std::size_t c,
-    const la::LanczosOptions& lanczos, std::size_t* matvec_total) {
+    const la::LanczosOptions& lanczos, bool block_lanczos,
+    std::size_t* matvec_total) {
   const std::size_t num_views = laplacians.size();
   std::vector<double> floors(num_views, 0.0);
   // One Lanczos eigensolve per view, fanned out across views. Each solve is
@@ -57,8 +67,8 @@ StatusOr<std::vector<double>> SpectralFloors(
     for (std::size_t v = lo; v < hi; ++v) {
       la::LanczosOptions local = lanczos;
       local.matvec_count = &matvecs[v];
-      StatusOr<la::SymEigenResult> eig =
-          la::LanczosSmallest(laplacians[v], c, 2.0 + 1e-9, local);
+      StatusOr<la::SymEigenResult> eig = SmallestEigenpairsSparse(
+          laplacians[v], c, 2.0 + 1e-9, local, block_lanczos);
       if (!eig.ok()) {
         statuses[v].emplace(eig.status());
         continue;
@@ -235,8 +245,9 @@ StatusOr<UnifiedResult> UnifiedMVSC::Run(const MultiViewGraphs& graphs) const {
   UnifiedResult out;
   std::vector<double> floors(num_views, 0.0);
   if (options_.smoothness == SmoothnessNormalization::kExcess) {
-    StatusOr<std::vector<double>> spectral = SpectralFloors(
-        graphs.laplacians, c, lanczos, &out.lanczos_matvecs);
+    StatusOr<std::vector<double>> spectral =
+        SpectralFloors(graphs.laplacians, c, lanczos, options_.block_lanczos,
+                       &out.lanczos_matvecs);
     if (!spectral.ok()) return spectral.status();
     floors = std::move(*spectral);
   }
@@ -262,10 +273,9 @@ StatusOr<UnifiedResult> UnifiedMVSC::Run(const MultiViewGraphs& graphs) const {
       // Laplacian moved only as far as the view weights did.
       warm_lanczos.warm_start = &f;
     }
-    StatusOr<la::SymEigenResult> init_eig =
-        la::LanczosSmallest(combined, c,
-                            cluster::GershgorinUpperBound(combined) + 1e-9,
-                            warm_lanczos);
+    StatusOr<la::SymEigenResult> init_eig = SmallestEigenpairsSparse(
+        combined, c, cluster::GershgorinUpperBound(combined) + 1e-9,
+        warm_lanczos, options_.block_lanczos);
     if (!init_eig.ok()) return init_eig.status();
     f = std::move(init_eig->eigenvectors);
     const std::vector<double> h = ViewSmoothness(graphs.laplacians, f, floors);

@@ -63,6 +63,13 @@ struct UnifiedOptions {
   /// converges in a smaller subspace — fewer matvecs, same clustering.
   /// Disable to reproduce fully cold solves (e.g. for A/B measurements).
   bool warm_start = true;
+  /// Route every eigensolve (spectral floors + init alternations) through
+  /// la::BlockLanczosSmallest, which iterates on n × c panels: one SpMM per
+  /// operator application instead of c memory-bound matvecs, and a warm
+  /// start enters the first panel column-per-column instead of collapsing
+  /// to a column sum. Same eigenpairs to solver tolerance; disable to A/B
+  /// against the single-vector path.
+  bool block_lanczos = true;
   std::uint64_t seed = 0;
 };
 

@@ -90,6 +90,74 @@ TEST(CsrTest, TransposedMatchesDenseTranspose) {
                           1e-14));
 }
 
+TEST(CsrTest, TransposedOfSparsePatternIsExactAndSorted) {
+  Rng rng(83);
+  Matrix dense = Matrix::RandomGaussian(40, 25, rng);
+  for (std::size_t i = 0; i < dense.rows(); ++i) {
+    for (std::size_t j = 0; j < dense.cols(); ++j) {
+      if (rng.Uniform() < 0.8) dense(i, j) = 0.0;  // empty rows AND columns
+    }
+  }
+  CsrMatrix sparse = CsrMatrix::FromDense(dense);
+  CsrMatrix t = sparse.Transposed();
+  EXPECT_EQ(t.rows(), 25u);
+  EXPECT_EQ(t.cols(), 40u);
+  EXPECT_EQ(t.NumNonZeros(), sparse.NumNonZeros());
+  // The counting-sort scatter must leave columns strictly ascending within
+  // each row (the FromParts invariant) and values exactly preserved.
+  for (std::size_t r = 0; r < t.rows(); ++r) {
+    for (std::size_t k = t.row_offsets()[r] + 1; k < t.row_offsets()[r + 1];
+         ++k) {
+      EXPECT_LT(t.col_indices()[k - 1], t.col_indices()[k]);
+    }
+  }
+  EXPECT_TRUE(AlmostEqual(t.ToDense(), Transpose(dense), 0.0));
+  // Round trip is the identity, including the stored layout.
+  CsrMatrix tt = t.Transposed();
+  EXPECT_EQ(tt.row_offsets(), sparse.row_offsets());
+  EXPECT_EQ(tt.col_indices(), sparse.col_indices());
+  EXPECT_EQ(tt.values(), sparse.values());
+}
+
+TEST(CsrTest, SpmmMatchesDenseAndPerColumnSpmv) {
+  Rng rng(84);
+  Matrix dense = Matrix::RandomGaussian(30, 22, rng);
+  for (std::size_t i = 0; i < dense.rows(); ++i) {
+    for (std::size_t j = 0; j < dense.cols(); ++j) {
+      if (rng.Uniform() < 0.7) dense(i, j) = 0.0;
+    }
+  }
+  CsrMatrix sparse = CsrMatrix::FromDense(dense);
+  // 79 columns forces a partial tail block in the cache-blocked panel loop.
+  Matrix x = Matrix::RandomGaussian(22, 79, rng);
+  Matrix y = Matrix::RandomGaussian(30, 79, rng);
+  Matrix expected = y;
+  expected.Add(MatMul(dense, x), 0.75);
+  Matrix got = y;
+  sparse.MultiplyInto(x, got, 0.75);
+  EXPECT_TRUE(AlmostEqual(got, expected, 1e-12));
+  // Bitwise agreement with per-column SpMV — the contract the block
+  // eigensolver's determinism rests on.
+  Matrix by_column = y;
+  for (std::size_t j = 0; j < x.cols(); ++j) {
+    Vector xj = x.Col(j);
+    Vector yj = by_column.Col(j);
+    sparse.MultiplyInto(xj, yj, 0.75);
+    by_column.SetCol(j, yj);
+  }
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got.data()[i], by_column.data()[i]);
+  }
+}
+
+TEST(CsrTest, SpmmZeroWidthPanelIsANoOp) {
+  CsrMatrix m = SmallExample();
+  Matrix x(3, 0);
+  Matrix y(3, 0);
+  m.MultiplyInto(x, y);  // must not touch anything or crash
+  EXPECT_EQ(y.cols(), 0u);
+}
+
 TEST(CsrTest, RowSums) {
   CsrMatrix m = SmallExample();
   Vector sums = m.RowSums();

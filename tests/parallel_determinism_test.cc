@@ -11,8 +11,10 @@
 #include "graph/distance.h"
 #include "graph/knn_graph.h"
 #include "gtest/gtest.h"
+#include "la/lanczos.h"
 #include "la/matrix.h"
 #include "la/ops.h"
+#include "la/sparse.h"
 #include "mvsc/graphs.h"
 #include "mvsc/unified.h"
 
@@ -107,6 +109,60 @@ TEST(ParallelDeterminismTest, KnnGraphIsIdenticalAcrossThreads) {
     EXPECT_EQ(ref_can->col_indices(), got_can->col_indices()) << threads;
     EXPECT_EQ(ref_can->row_offsets(), got_can->row_offsets()) << threads;
     EXPECT_EQ(ref_can->values(), got_can->values()) << threads;
+  }
+}
+
+// Sparse kernels: the row-parallel SpMV and the cache-blocked SpMM must be
+// bitwise identical across thread counts, and the SpMM must equal b
+// independent per-column SpMVs exactly (same per-row accumulation order).
+TEST(ParallelDeterminismTest, SparseMultiplyIsBitwiseIdenticalAcrossThreads) {
+  la::Matrix dense = DeterministicMatrix(140, 140, 0.1);
+  for (std::size_t i = 0; i < dense.size(); ++i) {
+    if (std::fabs(dense.data()[i]) < 0.9) dense.data()[i] = 0.0;  // sparsify
+  }
+  const la::CsrMatrix a = la::CsrMatrix::FromDense(dense);
+  const la::Matrix x = DeterministicMatrix(140, 70, 0.4);  // spans 2 panels
+
+  ScopedNumThreads baseline(1);
+  la::Matrix ref(140, 70);
+  a.MultiplyInto(x, ref, 1.25);
+  for (std::size_t threads : kThreadCounts) {
+    ScopedNumThreads scope(threads);
+    la::Matrix got(140, 70);
+    a.MultiplyInto(x, got, 1.25);
+    EXPECT_TRUE(BitwiseEqual(ref, got)) << threads;
+    // Column-by-column SpMV agreement, under the same thread count.
+    la::Matrix by_column(140, 70);
+    for (std::size_t j = 0; j < 70; ++j) {
+      la::Vector xj = x.Col(j);
+      la::Vector yj(140);
+      a.MultiplyInto(xj, yj, 1.25);
+      by_column.SetCol(j, yj);
+    }
+    EXPECT_TRUE(BitwiseEqual(ref, by_column)) << threads;
+  }
+}
+
+TEST(ParallelDeterminismTest, BlockLanczosIsBitwiseIdenticalAcrossThreads) {
+  la::Matrix dense = DeterministicMatrix(96, 96, 0.2);
+  la::Matrix sym(96, 96);
+  for (std::size_t i = 0; i < 96; ++i) {
+    for (std::size_t j = 0; j < 96; ++j) {
+      sym(i, j) = 0.5 * (dense(i, j) + dense(j, i));
+    }
+  }
+  const la::CsrMatrix a = la::CsrMatrix::FromDense(sym);
+  ScopedNumThreads baseline(1);
+  const auto ref = la::BlockLanczosLargest(a, 6);
+  ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+  for (std::size_t threads : kThreadCounts) {
+    ScopedNumThreads scope(threads);
+    const auto got = la::BlockLanczosLargest(a, 6);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    for (std::size_t j = 0; j < 6; ++j) {
+      EXPECT_EQ(ref->eigenvalues[j], got->eigenvalues[j]) << threads;
+    }
+    EXPECT_TRUE(BitwiseEqual(ref->eigenvectors, got->eigenvectors)) << threads;
   }
 }
 
