@@ -4,10 +4,15 @@
 // BENCH_eigensolver.json.
 //
 // Usage:
-//   micro_la                  eigensolver harness + all google-benchmarks
+//   micro_la                  eigensolver + GEMM harness, all google-benchmarks
 //   micro_la --smoke          harness only, reduced sizes, asserts that the
-//                             block solver needs fewer operator sweeps (CI)
-//   micro_la --json=FILE      also write the harness results as JSON
+//                             block solver needs fewer operator sweeps (CI);
+//                             warns when block is slower in wall time at
+//                             c >= 10 shapes
+//   micro_la --json=FILE      write the eigensolver harness results as JSON
+//   micro_la --gemm-json=FILE write the GEMM sweep (scalar-forced vs SIMD)
+//                             + the Lanczos wall-time ratios as JSON
+//   micro_la --harness-only   skip the google-benchmark suite
 
 #include <benchmark/benchmark.h>
 
@@ -20,6 +25,7 @@
 #include "bench_common.h"
 #include "common/rng.h"
 #include "graph/laplacian.h"
+#include "la/gemm_kernel.h"
 #include "la/lanczos.h"
 #include "la/ops.h"
 #include "la/sparse.h"
@@ -287,7 +293,7 @@ void WriteEigBenchJson(const std::vector<EigBenchRow>& rows,
         " \"matvecs\": %zu},\n"
         "     \"block\": {\"seconds\": %.6e, \"sweeps\": %zu,"
         " \"matvecs\": %zu, \"block_size\": %zu},\n"
-        "     \"sweep_ratio\": %.3f}%s\n",
+        "     \"sweep_ratio\": %.3f, \"time_ratio\": %.3f}%s\n",
         r.point.dataset, r.point.n, r.point.c, r.spmv_col_seconds,
         r.spmm_seconds, r.spmv_col_seconds / r.spmm_seconds,
         r.single_leg.seconds, r.single_leg.sweeps, r.single_leg.matvecs,
@@ -295,6 +301,7 @@ void WriteEigBenchJson(const std::vector<EigBenchRow>& rows,
         r.point.c,
         static_cast<double>(r.single_leg.sweeps) /
             static_cast<double>(r.block_leg.sweeps),
+        r.block_leg.seconds / r.single_leg.seconds,
         i + 1 < rows.size() ? "," : "");
     out << buf;
   }
@@ -303,32 +310,44 @@ void WriteEigBenchJson(const std::vector<EigBenchRow>& rows,
 
 // Returns the number of configs where the block solver did NOT need fewer
 // operator sweeps than the single-vector solver (0 = the perf claim holds).
-int RunEigensolverComparison(bool smoke, const std::string& json) {
-  // The paper's benchmark (n, c) shapes (Table 1); smoke keeps the small ones.
+// Appends the measured rows to *out_rows.
+int RunEigensolverComparison(bool smoke, const std::string& json,
+                             std::vector<EigBenchRow>* out_rows) {
+  // The paper's benchmark (n, c) shapes (Table 1); smoke keeps the small
+  // ones plus ORL — the c = 40 shape where block wall time historically
+  // regressed, so CI watches the time ratio too.
   std::vector<EigBenchPoint> points = {
       {"3-Sources", 169, 6}, {"MSRC-v1", 210, 7},  {"ORL", 400, 40},
       {"BBCSport", 544, 5},  {"Handwritten", 2000, 10},
   };
-  if (smoke) points.resize(2);
+  if (smoke) points.resize(3);
   const std::size_t repeats = smoke ? 1 : 3;
 
   std::printf(
       "eigensolver: single-vector vs block Lanczos (tolerance 3e-06)\n"
-      "%-12s %6s %4s | %10s %10s %7s | %8s %8s %8s\n",
+      "%-12s %6s %4s | %10s %10s %7s | %8s %8s %8s %8s\n",
       "dataset", "n", "c", "spmv-c[s]", "spmm[s]", "speedup", "sv-sweep",
-      "blk-sweep", "ratio");
+      "blk-sweep", "ratio", "t-ratio");
   std::vector<EigBenchRow> rows;
   int violations = 0;
   for (const EigBenchPoint& p : points) {
     EigBenchRow row = RunEigBenchPoint(p, repeats);
-    std::printf("%-12s %6zu %4zu | %10.3e %10.3e %6.2fx | %8zu %8zu %7.2fx\n",
-                row.point.dataset, row.point.n, row.point.c,
-                row.spmv_col_seconds, row.spmm_seconds,
-                row.spmv_col_seconds / row.spmm_seconds, row.single_leg.sweeps,
-                row.block_leg.sweeps,
-                static_cast<double>(row.single_leg.sweeps) /
-                    static_cast<double>(row.block_leg.sweeps));
+    const double time_ratio = row.block_leg.seconds / row.single_leg.seconds;
+    std::printf(
+        "%-12s %6zu %4zu | %10.3e %10.3e %6.2fx | %8zu %8zu %7.2fx %7.2fx\n",
+        row.point.dataset, row.point.n, row.point.c, row.spmv_col_seconds,
+        row.spmm_seconds, row.spmv_col_seconds / row.spmm_seconds,
+        row.single_leg.sweeps, row.block_leg.sweeps,
+        static_cast<double>(row.single_leg.sweeps) /
+            static_cast<double>(row.block_leg.sweeps),
+        time_ratio);
     if (row.block_leg.sweeps >= row.single_leg.sweeps) ++violations;
+    if (smoke && row.point.c >= 10 && time_ratio > 1.0) {
+      std::fprintf(stderr,
+                   "WARN: block solver slower in wall time at %s "
+                   "(n=%zu, c=%zu): %.2fx single-vector\n",
+                   row.point.dataset, row.point.n, row.point.c, time_ratio);
+    }
     rows.push_back(row);
   }
   if (!json.empty()) {
@@ -340,27 +359,165 @@ int RunEigensolverComparison(bool smoke, const std::string& json) {
                  "FAIL: block solver needed >= sweeps on %d config(s)\n",
                  violations);
   }
+  if (out_rows != nullptr) {
+    out_rows->insert(out_rows->end(), rows.begin(), rows.end());
+  }
   return violations;
+}
+
+// --- GEMM sweep: scalar-forced vs SIMD dispatch at the panel shapes ---
+
+struct GemmSweepRow {
+  const char* label;  // which solver panel product this shape mirrors
+  const char* op;     // "MatTMul" (projection) or "MatMul" (update)
+  std::size_t m, n, k;
+  double simd_seconds = 0.0;
+  double scalar_seconds = 0.0;
+};
+
+double GemmGflops(const GemmSweepRow& r, double seconds) {
+  return 2.0 * static_cast<double>(r.m) * static_cast<double>(r.n) *
+         static_cast<double>(r.k) / seconds / 1e9;
+}
+
+// Best-of-repeats wall time of one panel product under the CURRENT dispatch
+// state. `tall` is the n×c panel, `small` the c×c square factor.
+double TimePanelProduct(const la::Matrix& tall, const la::Matrix& small,
+                        bool projection, double flops, std::size_t repeats) {
+  const std::size_t inner =
+      std::max<std::size_t>(1, static_cast<std::size_t>(4e7 / flops));
+  double best = 1e30;
+  double sink = 0.0;
+  for (std::size_t r = 0; r < repeats; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t it = 0; it < inner; ++it) {
+      la::Matrix c = projection ? la::MatTMul(tall, tall)
+                                : la::MatMul(tall, small);
+      sink += c.data()[0];
+    }
+    best = std::min(best, Seconds(t0) / static_cast<double>(inner));
+  }
+  benchmark::DoNotOptimize(sink);
+  return best;
+}
+
+std::vector<GemmSweepRow> RunGemmSweep(bool smoke) {
+  // Block-Lanczos panel shapes at the paper's (n, c) points: the projection
+  // Hᵢ = Pᵀ·W (MatTMul, k = n) and the panel update W -= P·Hᵢ (MatMul,
+  // k = c) — both GEMM flavors the solver's inner loop spends its time in.
+  const EigBenchPoint shapes[] = {
+      {"ORL", 400, 40},         {"BBCSport", 544, 5},
+      {"reference-1000", 1000, 20}, {"Handwritten", 2000, 10},
+      {"reference-2000", 2000, 40},
+  };
+  const std::size_t repeats = smoke ? 1 : 3;
+
+  std::printf(
+      "\ngemm: scalar-forced vs %s dispatch (packed register-blocked kernel)\n"
+      "%-16s %-8s %6s %6s %6s | %9s %9s %8s\n",
+      la::kernel::ActiveBackendName(), "shape", "op", "m", "n", "k",
+      "scal GF/s", "simd GF/s", "speedup");
+  std::vector<GemmSweepRow> rows;
+  for (const EigBenchPoint& s : shapes) {
+    Rng rng(17);
+    const la::Matrix tall =
+        la::Matrix::RandomGaussian(s.n, s.c, rng);  // Krylov panel
+    const la::Matrix small = la::Matrix::RandomGaussian(s.c, s.c, rng);
+    for (const bool projection : {true, false}) {
+      GemmSweepRow row;
+      row.label = s.dataset;
+      row.op = projection ? "MatTMul" : "MatMul";
+      row.m = projection ? s.c : s.n;
+      row.n = s.c;
+      row.k = projection ? s.n : s.c;
+      const double flops = 2.0 * static_cast<double>(row.m) *
+                           static_cast<double>(row.n) *
+                           static_cast<double>(row.k);
+      row.simd_seconds =
+          TimePanelProduct(tall, small, projection, flops, repeats);
+      {
+        la::kernel::ScopedForceScalar force_scalar;
+        row.scalar_seconds =
+            TimePanelProduct(tall, small, projection, flops, repeats);
+      }
+      std::printf("%-16s %-8s %6zu %6zu %6zu | %9.2f %9.2f %7.2fx\n",
+                  row.label, row.op, row.m, row.n, row.k,
+                  GemmGflops(row, row.scalar_seconds),
+                  GemmGflops(row, row.simd_seconds),
+                  row.scalar_seconds / row.simd_seconds);
+      rows.push_back(row);
+    }
+  }
+  return rows;
+}
+
+void WriteGemmJson(const std::vector<GemmSweepRow>& rows,
+                   const std::vector<EigBenchRow>& eig_rows,
+                   const std::string& path) {
+  std::ofstream out(path);
+  out << "{\n  \"benchmark\": \"gemm\",\n  \"backend\": \""
+      << la::kernel::ActiveBackendName() << "\",\n  \"shapes\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const GemmSweepRow& r = rows[i];
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"shape\": \"%s\", \"op\": \"%s\","
+        " \"m\": %zu, \"n\": %zu, \"k\": %zu,\n"
+        "     \"scalar_seconds\": %.6e, \"simd_seconds\": %.6e,\n"
+        "     \"scalar_gflops\": %.3f, \"simd_gflops\": %.3f,"
+        " \"speedup\": %.3f}%s\n",
+        r.label, r.op, r.m, r.n, r.k, r.scalar_seconds, r.simd_seconds,
+        GemmGflops(r, r.scalar_seconds), GemmGflops(r, r.simd_seconds),
+        r.scalar_seconds / r.simd_seconds, i + 1 < rows.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ],\n  \"lanczos_time_ratios\": [\n";
+  for (std::size_t i = 0; i < eig_rows.size(); ++i) {
+    const EigBenchRow& r = eig_rows[i];
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"dataset\": \"%s\", \"n\": %zu, \"c\": %zu,"
+                  " \"block_over_single\": %.3f}%s\n",
+                  r.point.dataset, r.point.n, r.point.c,
+                  r.block_leg.seconds / r.single_leg.seconds,
+                  i + 1 < eig_rows.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ]\n}\n";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool harness_only = false;
   std::string json;
+  std::string gemm_json;
   std::vector<char*> passthrough = {argv[0]};
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--smoke") {
       smoke = true;
+    } else if (arg == "--harness-only") {
+      harness_only = true;
     } else if (arg.rfind("--json=", 0) == 0) {
       json = arg.substr(7);
+    } else if (arg.rfind("--gemm-json=", 0) == 0) {
+      gemm_json = arg.substr(12);
     } else {
       passthrough.push_back(argv[i]);
     }
   }
-  const int violations = RunEigensolverComparison(smoke, json);
+  std::vector<EigBenchRow> eig_rows;
+  const int violations = RunEigensolverComparison(smoke, json, &eig_rows);
+  const std::vector<GemmSweepRow> gemm_rows = RunGemmSweep(smoke);
+  if (!gemm_json.empty()) {
+    WriteGemmJson(gemm_rows, eig_rows, gemm_json);
+    std::printf("wrote %s\n", gemm_json.c_str());
+  }
   if (smoke) return violations == 0 ? 0 : 1;
+  if (harness_only) return 0;
   int pargc = static_cast<int>(passthrough.size());
   benchmark::Initialize(&pargc, passthrough.data());
   benchmark::RunSpecifiedBenchmarks();

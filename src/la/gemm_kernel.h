@@ -1,0 +1,88 @@
+#ifndef UMVSC_LA_GEMM_KERNEL_H_
+#define UMVSC_LA_GEMM_KERNEL_H_
+
+#include <cstddef>
+
+#include "la/simd.h"
+
+namespace umvsc::la::kernel {
+
+/// Runtime SIMD switch. Resolution: a ScopedForceScalar override (tests,
+/// benchmarks) → the UMVSC_SIMD environment variable, read once ("off"/"0"
+/// disables) → on. In -DUMVSC_DISABLE_SIMD builds this may still return
+/// true, but NativeVec4 is already the scalar emulation, so every dispatch
+/// lands on scalar code either way.
+bool SimdEnabled();
+
+/// Name of the backend the current dispatch state resolves to:
+/// "avx2" / "sse2" / "neon" when SimdEnabled(), else "scalar".
+const char* ActiveBackendName();
+
+/// Forces the scalar dispatch (or re-enables SIMD with force=false) for
+/// the current scope. Not thread-safe against concurrently *running*
+/// kernels — use from test/bench setup only, like ScopedNumThreads.
+class ScopedForceScalar {
+ public:
+  explicit ScopedForceScalar(bool force = true);
+  ~ScopedForceScalar();
+  ScopedForceScalar(const ScopedForceScalar&) = delete;
+  ScopedForceScalar& operator=(const ScopedForceScalar&) = delete;
+
+ private:
+  bool previous_;
+};
+
+/// A GEMM input: a row-major array read as-is (logical(i, j) =
+/// data[i·stride + j]) or transposed (logical(i, j) = data[j·stride + i])
+/// without materializing the transpose.
+struct Operand {
+  const double* data;
+  std::size_t stride;
+  bool transposed;
+
+  double At(std::size_t i, std::size_t j) const {
+    return transposed ? data[j * stride + i] : data[i * stride + j];
+  }
+};
+
+/// C[i, 0..n) += Σ_p A(i, p)·B(p, j) for i in [row_begin, row_end) — the
+/// register-blocked, packed-panel GEMM micro-kernel (mr×nr register tiles,
+/// B-panel packing, kc/mc cache blocking; see gemm_kernel.cc).
+///
+/// Accumulation grid (the determinism contract): the p dimension is cut
+/// into fixed kc-sized blocks, every C element accumulates its block
+/// partial serially in ascending p and the partials add into C in
+/// ascending block order. That grid is a pure function of k alone —
+/// independent of the row range (thread partition), the register tile a
+/// value lands in, edge handling, and the SIMD backend — so results are
+/// bitwise identical across 1/2/8 threads and across AVX2/SSE2/NEON/
+/// scalar dispatch (modulo FMA contraction of the scalar fallback on
+/// non-x86 compilers; see docs/THREADING.md).
+///
+/// Callers parallelize by row range: any partition of [0, m) yields the
+/// same bits. Dispatches to the native or scalar instantiation per
+/// SimdEnabled().
+void GemmAdd(std::size_t n, std::size_t k, const Operand& a, const Operand& b,
+             double* c, std::size_t c_stride, std::size_t row_begin,
+             std::size_t row_end);
+
+/// Scalar-forced flavor of GemmAdd, always available (compiled with
+/// auto-vectorization disabled so "scalar-forced" benchmarks measure
+/// honest scalar code). Same accumulation grid, hence bitwise-comparable
+/// output.
+void GemmAddScalar(std::size_t n, std::size_t k, const Operand& a,
+                   const Operand& b, double* c, std::size_t c_stride,
+                   std::size_t row_begin, std::size_t row_end);
+
+/// Dot product on the fixed lane grid (simd::DotLanes), runtime-dispatched.
+double Dot(const double* x, const double* y, std::size_t n);
+
+/// y += alpha·x, runtime-dispatched (value-neutral vs the scalar loop).
+void Axpy(double alpha, const double* x, double* y, std::size_t n);
+
+/// c = a∘b elementwise, runtime-dispatched (value-neutral).
+void Hadamard(const double* a, const double* b, double* c, std::size_t n);
+
+}  // namespace umvsc::la::kernel
+
+#endif  // UMVSC_LA_GEMM_KERNEL_H_

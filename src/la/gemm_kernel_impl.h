@@ -1,0 +1,178 @@
+#ifndef UMVSC_LA_GEMM_KERNEL_IMPL_H_
+#define UMVSC_LA_GEMM_KERNEL_IMPL_H_
+
+// Register-blocked, packed-panel GEMM — the template both dispatch flavors
+// (native SIMD and scalar-forced) instantiate. Included only by
+// gemm_kernel.cc and gemm_kernel_scalar.cc.
+//
+// Structure (BLIS-style, specialized to row-major operands):
+//
+//   for kk over k in kc blocks:            · fixed kc grid = the
+//     pack B[kk:kk+kc, :] into nr strips     accumulation contract
+//     for i0 over rows in mc blocks:
+//       pack A[i0:i0+mc, kk:kk+kc] into mr strips
+//       for each mr strip × nr strip:
+//         mr×nr register tile accumulates serially over the kc block
+//         tile adds into C
+//
+// Determinism: every C element accumulates (a) serially in ascending p
+// inside each kc block — its own register lane, no cross-lane math — and
+// (b) across kc blocks in ascending order via the C read-modify-write.
+// The grid depends only on k (and the kKc constant), so the result is
+// independent of the row range, the tile a value lands in, zero-padded
+// edges, and the backend V.
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "la/gemm_kernel.h"
+#include "la/simd.h"
+
+namespace umvsc::la::kernel::detail {
+
+/// Register-tile rows: 4 broadcast-from-A values held per p step.
+inline constexpr std::size_t kMr = 4;
+/// Register-tile columns: two 4-lane vectors of packed B.
+inline constexpr std::size_t kNr = 2 * simd::kSimdLanes;
+/// kc: p-block edge. THE determinism-relevant constant — the accumulation
+/// grid is the ⌈k/kKc⌉ blocking of the inner dimension and nothing else.
+inline constexpr std::size_t kKc = 256;
+/// mc: rows of A packed per cache block (kMc·kKc doubles ≈ 128 KiB).
+inline constexpr std::size_t kMc = 64;
+
+/// Packs B rows [kk, kk+kcb) × all n columns into nr-wide strips, p-major
+/// within a strip (kNr contiguous doubles per p), zero-padding the last
+/// strip. Padding lanes multiply into discarded tile slots only.
+inline void PackB(const Operand& b, std::size_t kk, std::size_t kcb,
+                  std::size_t n, double* bp) {
+  const std::size_t strips = (n + kNr - 1) / kNr;
+  for (std::size_t s = 0; s < strips; ++s) {
+    const std::size_t j0 = s * kNr;
+    const std::size_t jw = std::min(kNr, n - j0);
+    double* dst = bp + s * kNr * kcb;
+    if (!b.transposed) {
+      for (std::size_t p = 0; p < kcb; ++p) {
+        const double* src = b.data + (kk + p) * b.stride + j0;
+        for (std::size_t u = 0; u < jw; ++u) dst[u] = src[u];
+        for (std::size_t u = jw; u < kNr; ++u) dst[u] = 0.0;
+        dst += kNr;
+      }
+    } else {
+      for (std::size_t p = 0; p < kcb; ++p) {
+        for (std::size_t u = 0; u < jw; ++u) {
+          dst[u] = b.data[(j0 + u) * b.stride + (kk + p)];
+        }
+        for (std::size_t u = jw; u < kNr; ++u) dst[u] = 0.0;
+        dst += kNr;
+      }
+    }
+  }
+}
+
+/// Packs A rows [i0, i0+mb) × [kk, kk+kcb) into mr-row strips, p-major
+/// (kMr contiguous doubles per p), zero-padding the last strip's rows.
+inline void PackA(const Operand& a, std::size_t i0, std::size_t mb,
+                  std::size_t kk, std::size_t kcb, double* ap) {
+  const std::size_t strips = (mb + kMr - 1) / kMr;
+  for (std::size_t s = 0; s < strips; ++s) {
+    const std::size_t r0 = s * kMr;
+    const std::size_t rw = std::min(kMr, mb - r0);
+    double* dst = ap + s * kMr * kcb;
+    if (!a.transposed) {
+      for (std::size_t p = 0; p < kcb; ++p) {
+        const double* col = a.data + (i0 + r0) * a.stride + (kk + p);
+        for (std::size_t r = 0; r < rw; ++r) dst[r] = col[r * a.stride];
+        for (std::size_t r = rw; r < kMr; ++r) dst[r] = 0.0;
+        dst += kMr;
+      }
+    } else {
+      for (std::size_t p = 0; p < kcb; ++p) {
+        const double* row = a.data + (kk + p) * a.stride + (i0 + r0);
+        for (std::size_t r = 0; r < rw; ++r) dst[r] = row[r];
+        for (std::size_t r = rw; r < kMr; ++r) dst[r] = 0.0;
+        dst += kMr;
+      }
+    }
+  }
+}
+
+/// The mr×nr micro-kernel: tile[r][u] = Σ_p ap[p·kMr + r] · bp[p·kNr + u],
+/// all eight kMr × (kNr/kSimdLanes) accumulators held in registers across
+/// the whole kc block.
+template <class V>
+inline void MicroKernel(const double* ap, const double* bp, std::size_t kcb,
+                        double* tile) {
+  using Reg = typename V::Reg;
+  Reg c00 = V::Zero(), c01 = V::Zero();
+  Reg c10 = V::Zero(), c11 = V::Zero();
+  Reg c20 = V::Zero(), c21 = V::Zero();
+  Reg c30 = V::Zero(), c31 = V::Zero();
+  for (std::size_t p = 0; p < kcb; ++p) {
+    const Reg b0 = V::Load(bp);
+    const Reg b1 = V::Load(bp + simd::kSimdLanes);
+    const Reg a0 = V::Broadcast(ap[0]);
+    c00 = V::MulAdd(a0, b0, c00);
+    c01 = V::MulAdd(a0, b1, c01);
+    const Reg a1 = V::Broadcast(ap[1]);
+    c10 = V::MulAdd(a1, b0, c10);
+    c11 = V::MulAdd(a1, b1, c11);
+    const Reg a2 = V::Broadcast(ap[2]);
+    c20 = V::MulAdd(a2, b0, c20);
+    c21 = V::MulAdd(a2, b1, c21);
+    const Reg a3 = V::Broadcast(ap[3]);
+    c30 = V::MulAdd(a3, b0, c30);
+    c31 = V::MulAdd(a3, b1, c31);
+    ap += kMr;
+    bp += kNr;
+  }
+  V::Store(tile + 0 * kNr, c00);
+  V::Store(tile + 0 * kNr + simd::kSimdLanes, c01);
+  V::Store(tile + 1 * kNr, c10);
+  V::Store(tile + 1 * kNr + simd::kSimdLanes, c11);
+  V::Store(tile + 2 * kNr, c20);
+  V::Store(tile + 2 * kNr + simd::kSimdLanes, c21);
+  V::Store(tile + 3 * kNr, c30);
+  V::Store(tile + 3 * kNr + simd::kSimdLanes, c31);
+}
+
+template <class V>
+void GemmAddImpl(std::size_t n, std::size_t k, const Operand& a,
+                 const Operand& b, double* c, std::size_t c_stride,
+                 std::size_t row_begin, std::size_t row_end) {
+  if (row_end <= row_begin || n == 0 || k == 0) return;
+  const std::size_t kc_max = std::min(k, kKc);
+  const std::size_t strips_n = (n + kNr - 1) / kNr;
+  // Per-call packing buffers; GemmAdd is invoked once per thread span, so
+  // these are thread-private by construction.
+  std::vector<double> bp(strips_n * kNr * kc_max);
+  std::vector<double> ap(((kMc + kMr - 1) / kMr) * kMr * kc_max);
+  double tile[kMr * kNr];
+
+  for (std::size_t kk = 0; kk < k; kk += kKc) {
+    const std::size_t kcb = std::min(kKc, k - kk);
+    PackB(b, kk, kcb, n, bp.data());
+    for (std::size_t i0 = row_begin; i0 < row_end; i0 += kMc) {
+      const std::size_t mb = std::min(kMc, row_end - i0);
+      PackA(a, i0, mb, kk, kcb, ap.data());
+      for (std::size_t r0 = 0; r0 < mb; r0 += kMr) {
+        const std::size_t rw = std::min(kMr, mb - r0);
+        const double* apk = ap.data() + (r0 / kMr) * kMr * kcb;
+        for (std::size_t s = 0; s < strips_n; ++s) {
+          const std::size_t j0 = s * kNr;
+          const std::size_t jw = std::min(kNr, n - j0);
+          MicroKernel<V>(apk, bp.data() + s * kNr * kcb, kcb, tile);
+          for (std::size_t r = 0; r < rw; ++r) {
+            double* crow = c + (i0 + r0 + r) * c_stride + j0;
+            const double* trow = tile + r * kNr;
+            for (std::size_t u = 0; u < jw; ++u) crow[u] += trow[u];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace umvsc::la::kernel::detail
+
+#endif  // UMVSC_LA_GEMM_KERNEL_IMPL_H_

@@ -327,8 +327,20 @@ StatusOr<SymEigenResult> BlockLanczosLargest(const SymmetricBlockOperator& op,
   if (max_m < k) {
     return Status::InvalidArgument("max_subspace smaller than k");
   }
+  // Default block width: k capped at kDefaultBlockCap. The per-iteration
+  // Rayleigh–Ritz eigensolve costs O(m³) while each panel raises the basis
+  // dimension m by b, so a wide panel buys fewer Krylov polynomial degrees
+  // per basis dimension; past a modest width the dense eigensolves dominate
+  // and the solver degenerates toward a full O(n³) factorization. Measured
+  // at n=400, k=40: b=40 needs the full m=n subspace (0.56 s) while b=10
+  // converges at m=220 (0.16 s, on par with the single-vector solver). A
+  // multiplicity of k is still captured: deficient panels are repaired with
+  // fresh random directions and residuals are exact, so narrow panels only
+  // add iterations, never wrong answers.
+  constexpr std::size_t kDefaultBlockCap = 10;
+  const std::size_t default_b = std::min(k, kDefaultBlockCap);
   const std::size_t b =
-      std::min(options.block_size == 0 ? k : options.block_size,
+      std::min(options.block_size == 0 ? default_b : options.block_size,
                std::min(n, max_m));
 
   Rng rng(options.seed);

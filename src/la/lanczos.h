@@ -50,10 +50,15 @@ struct LanczosOptions {
   /// Not touched concurrently — the solver is single-threaded at this level.
   std::size_t* matvec_count = nullptr;
   /// Panel width of the block solver (BlockLanczosLargest/Smallest only;
-  /// the single-vector entry points ignore it). 0 means "use k", the block
-  /// width that captures a c-fold eigenvalue multiplicity in one panel —
-  /// the right default for spectral embeddings, where the bottom eigenvalue
-  /// of a c-component graph repeats c times. Clamped to [1, n].
+  /// the single-vector entry points ignore it). 0 means "min(k, 10)": a
+  /// panel as wide as the requested count k captures a c-fold eigenvalue
+  /// multiplicity in one shot, but the per-iteration Rayleigh–Ritz solve
+  /// grows as O(m³) while a width-b panel only advances the Krylov degree
+  /// by 1 per b basis columns, so very wide panels make the dense
+  /// eigensolves dominate. The cap keeps the width in the regime where the
+  /// level-3 panel kernels win; multiplicities beyond the cap are still
+  /// found because deficient panels are repaired with fresh random
+  /// directions and residuals are exact. Clamped to [1, n].
   std::size_t block_size = 0;
 };
 

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "common/strings.h"
+#include "la/gemm_kernel.h"
 
 namespace umvsc::la {
 
@@ -99,9 +101,11 @@ void Matrix::Scale(double alpha) {
 void Matrix::Add(const Matrix& other, double alpha) {
   UMVSC_CHECK(rows_ == other.rows_ && cols_ == other.cols_,
               "Matrix::Add shape mismatch");
-  for (std::size_t i = 0; i < data_.size(); ++i) {
-    data_[i] += alpha * other.data_[i];
-  }
+  // Flat vectorized axpy; per-element arithmetic is unchanged (one unfused
+  // mul/add each), so the parallel spans are value-neutral.
+  ParallelFor(0, data_.size(), 4096, [&](std::size_t lo, std::size_t hi) {
+    kernel::Axpy(alpha, other.data_.data() + lo, data_.data() + lo, hi - lo);
+  });
 }
 
 void Matrix::Symmetrize() {

@@ -4,47 +4,49 @@
 #include <cmath>
 
 #include "common/parallel.h"
+#include "la/gemm_kernel.h"
 
 namespace umvsc::la {
 
 namespace {
-// Block edge for the cache-blocked GEMM. 64 doubles = 512 bytes per row
-// strip, comfortably inside L1 for three blocks. Also the ParallelFor grain
-// of the row-blocked kernels, so thread-span boundaries always coincide
-// with block boundaries.
-constexpr std::size_t kBlock = 64;
+// Row grain of the GemmAdd-routed kernels. The accumulation grid of
+// kernel::GemmAdd is a pure function of the inner dimension (see
+// gemm_kernel.h), so this constant affects scheduling only, never values.
+constexpr std::size_t kGemmRowGrain = 32;
 
-// ParallelFor grain of the row-parallel kernels: small enough to split
-// paper-sized problems (n in the hundreds) across every core, large enough
-// that a span amortizes the dispatch.
-constexpr std::size_t kRowGrain = 16;
+// ParallelFor grain of the row-parallel vector kernels.
+constexpr std::size_t kMatVecGrain = 64;
+
+// Grain of flat elementwise kernels (Hadamard, Matrix::Add): spans are
+// value-neutral, the grain only amortizes dispatch.
+constexpr std::size_t kFlatGrain = 4096;
+
+// Cache tile edge of the blocked Transpose.
+constexpr std::size_t kTransposeTile = 64;
+
+// Rows of A accumulated per partial Gram chunk. The chunk grid (and the
+// fixed ParallelReduce combine tree over it) depends only on the row count
+// and this constant — never the thread count.
+constexpr std::size_t kGramChunk = 256;
+
+// Row-block edge of the OuterGram upper-triangle sweep. Equal to the
+// ParallelFor grain so the block grid is the global multiples-of-16 grid
+// regardless of how threads split the rows.
+constexpr std::size_t kTriBlock = 16;
 }  // namespace
 
 Matrix MatMul(const Matrix& a, const Matrix& b) {
   UMVSC_CHECK(a.cols() == b.rows(), "MatMul inner dimension mismatch");
   const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
   Matrix c(m, n);
-  // Row-blocked: each thread owns a contiguous run of kBlock-aligned row
-  // blocks of C. Per-element accumulation order (kk ascending, p within
-  // block) is independent of the partition, so the product is bitwise
-  // identical at every thread count.
-  ParallelFor(0, m, kBlock, [&](std::size_t row_lo, std::size_t row_hi) {
-    for (std::size_t ii = row_lo; ii < row_hi; ii += kBlock) {
-      const std::size_t iend = std::min(ii + kBlock, row_hi);
-      for (std::size_t kk = 0; kk < k; kk += kBlock) {
-        const std::size_t kend = std::min(kk + kBlock, k);
-        for (std::size_t i = ii; i < iend; ++i) {
-          const double* arow = a.RowPtr(i);
-          double* crow = c.RowPtr(i);
-          for (std::size_t p = kk; p < kend; ++p) {
-            const double aip = arow[p];
-            if (aip == 0.0) continue;
-            const double* brow = b.RowPtr(p);
-            for (std::size_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
-          }
-        }
-      }
-    }
+  const kernel::Operand ao{a.data(), k, false};
+  const kernel::Operand bo{b.data(), n, false};
+  // Row-parallel over the packed register-blocked kernel; each thread owns
+  // a contiguous strip of C's rows. The kc accumulation grid is a pure
+  // function of k, so the product is bitwise identical at every thread
+  // count (see la/gemm_kernel.h).
+  ParallelFor(0, m, kGemmRowGrain, [&](std::size_t lo, std::size_t hi) {
+    kernel::GemmAdd(n, k, ao, bo, c.data(), n, lo, hi);
   });
   return c;
 }
@@ -53,21 +55,10 @@ Matrix MatTMul(const Matrix& a, const Matrix& b) {
   UMVSC_CHECK(a.rows() == b.rows(), "MatTMul dimension mismatch");
   const std::size_t m = a.cols(), k = a.rows(), n = b.cols();
   Matrix c(m, n);
-  // Rank-1 accumulation row by row of A and B, with each thread owning a
-  // contiguous strip of C's rows (= columns of A). Every thread streams the
-  // same A/B rows but writes disjoint rows of C, and each element still
-  // accumulates in ascending-p order — bitwise identical to one thread.
-  ParallelFor(0, m, kRowGrain, [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t p = 0; p < k; ++p) {
-      const double* arow = a.RowPtr(p);
-      const double* brow = b.RowPtr(p);
-      for (std::size_t i = lo; i < hi; ++i) {
-        const double aip = arow[i];
-        if (aip == 0.0) continue;
-        double* crow = c.RowPtr(i);
-        for (std::size_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
-      }
-    }
+  const kernel::Operand ao{a.data(), m, true};  // A(i, p) = a(p, i)
+  const kernel::Operand bo{b.data(), n, false};
+  ParallelFor(0, m, kGemmRowGrain, [&](std::size_t lo, std::size_t hi) {
+    kernel::GemmAdd(n, k, ao, bo, c.data(), n, lo, hi);
   });
   return c;
 }
@@ -76,18 +67,10 @@ Matrix MatMulT(const Matrix& a, const Matrix& b) {
   UMVSC_CHECK(a.cols() == b.cols(), "MatMulT dimension mismatch");
   const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
   Matrix c(m, n);
-  // Rows of C are independent dot-product sweeps: trivially row-parallel.
-  ParallelFor(0, m, kRowGrain, [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) {
-      const double* arow = a.RowPtr(i);
-      double* crow = c.RowPtr(i);
-      for (std::size_t j = 0; j < n; ++j) {
-        const double* brow = b.RowPtr(j);
-        double s = 0.0;
-        for (std::size_t p = 0; p < k; ++p) s += arow[p] * brow[p];
-        crow[j] = s;
-      }
-    }
+  const kernel::Operand ao{a.data(), k, false};
+  const kernel::Operand bo{b.data(), k, true};  // B(p, j) = b(j, p)
+  ParallelFor(0, m, kGemmRowGrain, [&](std::size_t lo, std::size_t hi) {
+    kernel::GemmAdd(n, k, ao, bo, c.data(), n, lo, hi);
   });
   return c;
 }
@@ -95,154 +78,178 @@ Matrix MatMulT(const Matrix& a, const Matrix& b) {
 Vector MatVec(const Matrix& a, const Vector& x) {
   UMVSC_CHECK(a.cols() == x.size(), "MatVec dimension mismatch");
   Vector y(a.rows());
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const double* arow = a.RowPtr(i);
-    double s = 0.0;
-    for (std::size_t j = 0; j < a.cols(); ++j) s += arow[j] * x[j];
-    y[i] = s;
-  }
+  // Each output element is one fixed-lane-grid dot product (simd.h), so the
+  // row partition cannot affect any bit.
+  ParallelFor(0, a.rows(), kMatVecGrain,
+              [&](std::size_t lo, std::size_t hi) {
+                for (std::size_t i = lo; i < hi; ++i) {
+                  y[i] = kernel::Dot(a.RowPtr(i), x.data(), a.cols());
+                }
+              });
   return y;
 }
 
 Vector MatTVec(const Matrix& a, const Vector& x) {
   UMVSC_CHECK(a.rows() == x.size(), "MatTVec dimension mismatch");
   Vector y(a.cols());
+  // Serial over rows (every row writes the whole output); the per-row axpy
+  // is vectorized value-neutrally.
   for (std::size_t i = 0; i < a.rows(); ++i) {
-    const double* arow = a.RowPtr(i);
     const double xi = x[i];
     if (xi == 0.0) continue;
-    for (std::size_t j = 0; j < a.cols(); ++j) y[j] += arow[j] * xi;
+    kernel::Axpy(xi, a.RowPtr(i), y.data(), a.cols());
   }
   return y;
 }
 
 Matrix Transpose(const Matrix& a) {
   Matrix t(a.cols(), a.rows());
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const double* arow = a.RowPtr(i);
-    for (std::size_t j = 0; j < a.cols(); ++j) t(j, i) = arow[j];
-  }
+  // Cache-blocked tiles; threads own row strips of A = column strips of T,
+  // so writes are disjoint and the copy is trivially deterministic.
+  ParallelFor(0, a.rows(), kTransposeTile,
+              [&](std::size_t lo, std::size_t hi) {
+                for (std::size_t ii = lo; ii < hi; ii += kTransposeTile) {
+                  const std::size_t iend = std::min(ii + kTransposeTile, hi);
+                  for (std::size_t jj = 0; jj < a.cols();
+                       jj += kTransposeTile) {
+                    const std::size_t jend =
+                        std::min(jj + kTransposeTile, a.cols());
+                    for (std::size_t i = ii; i < iend; ++i) {
+                      const double* arow = a.RowPtr(i);
+                      for (std::size_t j = jj; j < jend; ++j) {
+                        t(j, i) = arow[j];
+                      }
+                    }
+                  }
+                }
+              });
   return t;
 }
 
+namespace {
+Matrix AddMatrices(const Matrix& x, const Matrix& y) {
+  Matrix out = x;
+  out.Add(y);
+  return out;
+}
+}  // namespace
+
 Matrix Gram(const Matrix& a) {
   const std::size_t n = a.cols();
-  Matrix g(n, n);
-  for (std::size_t p = 0; p < a.rows(); ++p) {
-    const double* row = a.RowPtr(p);
-    for (std::size_t i = 0; i < n; ++i) {
-      const double ri = row[i];
-      if (ri == 0.0) continue;
-      double* grow = g.RowPtr(i);
-      for (std::size_t j = i; j < n; ++j) grow[j] += ri * row[j];
-    }
-  }
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = 0; j < i; ++j) g(i, j) = g(j, i);
-  }
-  return g;
+  // Chunked over rows of A: each kGramChunk-row slab contributes a partial
+  // Gram via the packed kernel (full n×n — the sub-diagonal redundancy is
+  // what makes every element's accumulation a pure function of the grid),
+  // and the partials combine on ParallelReduce's fixed tree.
+  return ParallelReduce<Matrix>(
+      0, a.rows(), kGramChunk, Matrix(n, n),
+      [&](std::size_t lo, std::size_t hi) {
+        Matrix partial(n, n);
+        const kernel::Operand at{a.data() + lo * n, n, true};
+        const kernel::Operand ab{a.data() + lo * n, n, false};
+        kernel::GemmAdd(n, hi - lo, at, ab, partial.data(), n, 0, n);
+        return partial;
+      },
+      AddMatrices);
 }
 
 Matrix OuterGram(const Matrix& a) {
-  const std::size_t n = a.rows();
+  const std::size_t n = a.rows(), d = a.cols();
   Matrix g(n, n);
-  // Row-parallel over the upper triangle; iteration i writes g(i, j≥i) and
-  // the mirror g(j>i, i) — each element exactly once, so spans are
-  // write-disjoint. Static partitioning leaves the early (longer) rows on
-  // the first threads; at O(n·d) per row the imbalance is bounded by 2×.
-  ParallelFor(0, n, 16, [&](std::size_t lo, std::size_t hi) {
+  const kernel::Operand ao{a.data(), d, false};
+  // Upper-triangle row blocks on the global kTriBlock grid: rows
+  // [i0, i0+16) compute columns [i0, n) through the packed kernel (a
+  // near-triangle superset; the few sub-diagonal elements inside a block
+  // get the same bits the mirror pass would write). Blocks are row-disjoint
+  // in g, so any thread partition is race-free, and each element's value
+  // depends only on d and the kc grid.
+  ParallelFor(0, n, kTriBlock, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i0 = lo; i0 < hi; i0 += kTriBlock) {
+      const std::size_t iend = std::min(i0 + kTriBlock, hi);
+      const kernel::Operand bo{a.data() + i0 * d, d, true};
+      kernel::GemmAdd(n - i0, d, ao, bo, g.data() + i0, n, i0, iend);
+    }
+  });
+  // Mirror the strict lower triangle; pass 1 has completed (ParallelFor
+  // barrier), and rows are write-disjoint.
+  ParallelFor(0, n, kTriBlock, [&](std::size_t lo, std::size_t hi) {
     for (std::size_t i = lo; i < hi; ++i) {
-      const double* ri = a.RowPtr(i);
-      for (std::size_t j = i; j < n; ++j) {
-        const double* rj = a.RowPtr(j);
-        double s = 0.0;
-        for (std::size_t p = 0; p < a.cols(); ++p) s += ri[p] * rj[p];
-        g(i, j) = s;
-        g(j, i) = s;
-      }
+      double* grow = g.RowPtr(i);
+      for (std::size_t j = 0; j < i; ++j) grow[j] = g(j, i);
     }
   });
   return g;
 }
 
-double TraceOfProduct(const Matrix& a, const Matrix& b) {
-  UMVSC_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),
-              "TraceOfProduct shape mismatch");
-  double s = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) s += a.data()[i] * b.data()[i];
-  return s;
-}
-
 namespace {
-// Shared grain of the QuadraticTrace reductions. The chunk grid (and hence
-// the fixed reduction tree) depends only on the row count and this constant
-// — never on the thread count — which is what makes the objective traces of
-// the solvers bitwise reproducible across UMVSC_NUM_THREADS settings.
+// Shared grain of the QuadraticTrace/TraceOfProduct reductions. The chunk
+// grid (and hence the fixed reduction tree) depends only on the range and
+// this constant — never on the thread count — which is what makes the
+// objective traces of the solvers bitwise reproducible across
+// UMVSC_NUM_THREADS settings.
 constexpr std::size_t kTraceGrain = 16;
 
 double AddDoubles(const double& x, const double& y) { return x + y; }
-}  // namespace
 
-double QuadraticTrace(const Matrix& l, const Matrix& f) {
-  UMVSC_CHECK(l.IsSquare(), "QuadraticTrace requires square L");
-  UMVSC_CHECK(l.cols() == f.rows(), "QuadraticTrace dimension mismatch");
-  // Tr(Fᵀ L F) = Σ_i (L F)_i · F_i without forming Fᵀ. Row-chunked
-  // deterministic reduction: each grain-sized chunk of rows is summed in
-  // serial order, partials combine on a fixed tree.
+// Σ_i (LF)_i · F_i on the fixed chunk grid, shared by both QuadraticTrace
+// overloads once LF is materialized.
+double RowDotReduce(const Matrix& lf, const Matrix& f) {
   return ParallelReduce<double>(
-      0, l.rows(), kTraceGrain, 0.0,
+      0, lf.rows(), kTraceGrain, 0.0,
       [&](std::size_t lo, std::size_t hi) {
         double s = 0.0;
         for (std::size_t i = lo; i < hi; ++i) {
-          const double* lrow = l.RowPtr(i);
-          const double* frow_i = f.RowPtr(i);
-          for (std::size_t j = 0; j < l.cols(); ++j) {
-            const double lij = lrow[j];
-            if (lij == 0.0) continue;
-            const double* frow_j = f.RowPtr(j);
-            double dot = 0.0;
-            for (std::size_t p = 0; p < f.cols(); ++p)
-              dot += frow_i[p] * frow_j[p];
-            s += lij * dot;
-          }
+          s += kernel::Dot(lf.RowPtr(i), f.RowPtr(i), f.cols());
         }
         return s;
       },
       AddDoubles);
+}
+}  // namespace
+
+double TraceOfProduct(const Matrix& a, const Matrix& b) {
+  UMVSC_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),
+              "TraceOfProduct shape mismatch");
+  return ParallelReduce<double>(
+      0, a.size(), kFlatGrain, 0.0,
+      [&](std::size_t lo, std::size_t hi) {
+        return kernel::Dot(a.data() + lo, b.data() + lo, hi - lo);
+      },
+      AddDoubles);
+}
+
+double QuadraticTrace(const Matrix& l, const Matrix& f) {
+  UMVSC_CHECK(l.IsSquare(), "QuadraticTrace requires square L");
+  UMVSC_CHECK(l.cols() == f.rows(), "QuadraticTrace dimension mismatch");
+  // Tr(Fᵀ L F) = Σ_i (L F)_i · F_i: one level-3 product through the packed
+  // kernel, then a fixed-grid row-dot reduction.
+  const std::size_t n = l.rows(), c = f.cols();
+  Matrix lf(n, c);
+  const kernel::Operand lo_op{l.data(), n, false};
+  const kernel::Operand fo{f.data(), c, false};
+  ParallelFor(0, n, kGemmRowGrain, [&](std::size_t lo, std::size_t hi) {
+    kernel::GemmAdd(c, n, lo_op, fo, lf.data(), c, lo, hi);
+  });
+  return RowDotReduce(lf, f);
 }
 
 double QuadraticTrace(const CsrMatrix& l, const Matrix& f) {
   UMVSC_CHECK(l.rows() == l.cols(), "QuadraticTrace requires square L");
   UMVSC_CHECK(l.cols() == f.rows(), "QuadraticTrace dimension mismatch");
-  const auto& offsets = l.row_offsets();
-  const auto& cols = l.col_indices();
-  const auto& vals = l.values();
-  return ParallelReduce<double>(
-      0, l.rows(), kTraceGrain, 0.0,
-      [&](std::size_t lo, std::size_t hi) {
-        double s = 0.0;
-        for (std::size_t i = lo; i < hi; ++i) {
-          const double* frow_i = f.RowPtr(i);
-          for (std::size_t k = offsets[i]; k < offsets[i + 1]; ++k) {
-            const double* frow_j = f.RowPtr(cols[k]);
-            double dot = 0.0;
-            for (std::size_t p = 0; p < f.cols(); ++p)
-              dot += frow_i[p] * frow_j[p];
-            s += vals[k] * dot;
-          }
-        }
-        return s;
-      },
-      AddDoubles);
+  // Sparse level-3 path: LF via the cache-blocked SpMM, then the same
+  // fixed-grid row-dot reduction as the dense overload.
+  Matrix lf(l.rows(), f.cols());
+  l.MultiplyInto(f, lf, 1.0);
+  return RowDotReduce(lf, f);
 }
 
 Matrix Hadamard(const Matrix& a, const Matrix& b) {
   UMVSC_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),
               "Hadamard shape mismatch");
   Matrix c(a.rows(), a.cols());
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    c.data()[i] = a.data()[i] * b.data()[i];
-  }
+  // Elementwise and value-neutral: spans only amortize dispatch.
+  ParallelFor(0, a.size(), kFlatGrain, [&](std::size_t lo, std::size_t hi) {
+    kernel::Hadamard(a.data() + lo, b.data() + lo, c.data() + lo, hi - lo);
+  });
   return c;
 }
 

@@ -7,10 +7,12 @@
 
 namespace umvsc::la {
 
-/// C = A · B. Requires A.cols() == B.rows(). Cache-blocked i-k-j loop
-/// order, row-block-parallel on the global thread pool (see
-/// common/parallel.h); the result is bitwise identical at every thread
-/// count. Thread-safe for concurrent callers on distinct outputs.
+/// C = A · B. Requires A.cols() == B.rows(). Routed through the packed
+/// register-blocked SIMD kernel (la/gemm_kernel.h), row-block-parallel on
+/// the global thread pool (see common/parallel.h); the accumulation grid
+/// is a pure function of the shape, so the result is bitwise identical at
+/// every thread count and across the SIMD/scalar dispatch paths.
+/// Thread-safe for concurrent callers on distinct outputs.
 Matrix MatMul(const Matrix& a, const Matrix& b);
 
 /// C = Aᵀ · B. Requires A.rows() == B.rows(). Avoids materializing Aᵀ.
@@ -22,16 +24,22 @@ Matrix MatTMul(const Matrix& a, const Matrix& b);
 /// Row-parallel; bitwise deterministic across thread counts.
 Matrix MatMulT(const Matrix& a, const Matrix& b);
 
-/// y = A · x. Requires A.cols() == x.size().
+/// y = A · x. Requires A.cols() == x.size(). Row-parallel with a
+/// vectorized fixed-tree dot per row; bitwise deterministic across
+/// thread counts.
 Vector MatVec(const Matrix& a, const Vector& x);
 
 /// y = Aᵀ · x. Requires A.rows() == x.size().
 Vector MatTVec(const Matrix& a, const Vector& x);
 
-/// Aᵀ as a new matrix.
+/// Aᵀ as a new matrix. Cache-blocked tiles, parallel over row strips of A
+/// (pure data movement — no arithmetic to reorder).
 Matrix Transpose(const Matrix& a);
 
-/// Gram matrix Aᵀ·A (symmetric, computed via the upper triangle).
+/// Gram matrix Aᵀ·A. Deterministic row-chunked ParallelReduce over the
+/// packed GEMM kernel; the chunk grid depends only on A's row count, so
+/// the result is bitwise identical at every thread count and bitwise
+/// symmetric (both triangles come from identical arithmetic).
 Matrix Gram(const Matrix& a);
 
 /// Outer-product Gram A·Aᵀ. Row-parallel over the upper triangle (the hot

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/parallel.h"
+#include "la/gemm_kernel.h"
 
 namespace umvsc::la {
 
@@ -138,9 +139,11 @@ void CsrMatrix::MultiplyInto(const Matrix& x, Matrix& y, double alpha) const {
         const std::size_t jw = std::min(kPanelBlock, b - jj);
         for (std::size_t j = 0; j < jw; ++j) acc[j] = 0.0;
         for (std::size_t k = k0; k < k1; ++k) {
-          const double v = values_[k];
-          const double* xrow = x.RowPtr(col_indices_[k]) + jj;
-          for (std::size_t j = 0; j < jw; ++j) acc[j] += v * xrow[j];
+          // Vectorized but value-neutral: each acc[j] still sees one unfused
+          // v·x add per nonzero in CSR order, so the SpMM stays bitwise
+          // equal to per-column SpMVs (parallel_determinism_test relies on
+          // this).
+          kernel::Axpy(values_[k], x.RowPtr(col_indices_[k]) + jj, acc, jw);
         }
         for (std::size_t j = 0; j < jw; ++j) yrow[jj + j] += alpha * acc[j];
       }

@@ -11,6 +11,7 @@
 #include "graph/distance.h"
 #include "graph/knn_graph.h"
 #include "gtest/gtest.h"
+#include "la/gemm_kernel.h"
 #include "la/lanczos.h"
 #include "la/matrix.h"
 #include "la/ops.h"
@@ -57,6 +58,82 @@ TEST(ParallelDeterminismTest, MatMulFamilyIsBitwiseIdenticalAcrossThreads) {
         << threads;
     EXPECT_TRUE(BitwiseEqual(ref_mult, la::MatMulT(a, bt))) << threads;
   }
+}
+
+TEST(ParallelDeterminismTest, GramKernelsAreBitwiseIdenticalAcrossThreads) {
+  // Odd sizes so the 4x8 register tiles and the reduce-chunk grids all hit
+  // their edge paths.
+  const la::Matrix a = DeterministicMatrix(301, 23, 0.0);
+  ScopedNumThreads baseline(1);
+  const la::Matrix ref_gram = la::Gram(a);
+  const la::Matrix ref_outer = la::OuterGram(DeterministicMatrix(97, 13, 1.0));
+  // Gram's chunked reduction computes both triangles with identical
+  // arithmetic, so the result must be bitwise symmetric.
+  for (std::size_t i = 0; i < ref_gram.rows(); ++i) {
+    for (std::size_t j = i + 1; j < ref_gram.cols(); ++j) {
+      ASSERT_EQ(ref_gram(i, j), ref_gram(j, i)) << i << "," << j;
+    }
+  }
+  for (std::size_t threads : kThreadCounts) {
+    ScopedNumThreads scope(threads);
+    EXPECT_TRUE(BitwiseEqual(ref_gram, la::Gram(a))) << threads;
+    EXPECT_TRUE(BitwiseEqual(ref_outer,
+                             la::OuterGram(DeterministicMatrix(97, 13, 1.0))))
+        << threads;
+  }
+}
+
+TEST(ParallelDeterminismTest,
+     VectorizedStragglersAreBitwiseIdenticalAcrossThreads) {
+  const la::Matrix a = DeterministicMatrix(157, 43, 0.0);
+  const la::Matrix b = DeterministicMatrix(157, 43, 1.0);
+  la::Vector x(43);
+  for (std::size_t i = 0; i < 43; ++i) x[i] = std::sin(0.3 * i) + 0.5;
+  ScopedNumThreads baseline(1);
+  const la::Vector ref_mv = la::MatVec(a, x);
+  const la::Matrix ref_t = la::Transpose(a);
+  const la::Matrix ref_h = la::Hadamard(a, b);
+  la::Matrix ref_add = a;
+  ref_add.Add(b, -0.25);
+  for (std::size_t threads : kThreadCounts) {
+    ScopedNumThreads scope(threads);
+    const la::Vector mv = la::MatVec(a, x);
+    ASSERT_EQ(mv.size(), ref_mv.size());
+    for (std::size_t i = 0; i < mv.size(); ++i) {
+      EXPECT_EQ(ref_mv[i], mv[i]) << threads << " row " << i;
+    }
+    EXPECT_TRUE(BitwiseEqual(ref_t, la::Transpose(a))) << threads;
+    EXPECT_TRUE(BitwiseEqual(ref_h, la::Hadamard(a, b))) << threads;
+    la::Matrix add = a;
+    add.Add(b, -0.25);
+    EXPECT_TRUE(BitwiseEqual(ref_add, add)) << threads;
+  }
+}
+
+// The scalar dispatch path (UMVSC_SIMD=off) shares the SIMD path's
+// accumulation grid, so it must be just as thread-count-invariant — and on
+// x86 (no FMA contraction anywhere) it must reproduce the SIMD path's bits
+// exactly.
+TEST(ParallelDeterminismTest, ScalarDispatchIsDeterministicAcrossThreads) {
+  const la::Matrix a = DeterministicMatrix(131, 67, 0.0);
+  const la::Matrix b = DeterministicMatrix(67, 89, 1.0);
+  la::Matrix simd_result;
+  {
+    ScopedNumThreads baseline(1);
+    simd_result = la::MatMul(a, b);
+  }
+  la::kernel::ScopedForceScalar force;
+  ScopedNumThreads baseline(1);
+  const la::Matrix ref = la::MatMul(a, b);
+  const la::Matrix ref_gram = la::Gram(a);
+  for (std::size_t threads : kThreadCounts) {
+    ScopedNumThreads scope(threads);
+    EXPECT_TRUE(BitwiseEqual(ref, la::MatMul(a, b))) << threads;
+    EXPECT_TRUE(BitwiseEqual(ref_gram, la::Gram(a))) << threads;
+  }
+#if defined(__x86_64__) || defined(_M_X64)
+  EXPECT_TRUE(BitwiseEqual(simd_result, ref));
+#endif
 }
 
 TEST(ParallelDeterminismTest, QuadraticTraceIsBitwiseIdenticalAcrossThreads) {
