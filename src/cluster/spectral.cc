@@ -75,15 +75,17 @@ StatusOr<la::Matrix> SpectralEmbeddingSparse(const la::CsrMatrix& affinity,
       graph::Laplacian(affinity, graph::LaplacianKind::kSymmetric);
   if (!lap.ok()) return lap.status();
   // The normalized Laplacian spectrum lies in [0, 2]; 2 + ε is a valid
-  // complement bound for the smallest-eigenpair transform. The block solver
-  // iterates on n × k panels (one SpMM per application), which also captures
-  // the c-fold bottom multiplicity of a c-component graph in one panel.
+  // complement bound for the smallest-eigenpair transform. The solver path
+  // is picked per shape by the measured la::EigensolvePolicy: the block
+  // solver iterates on n × k panels (one SpMM per application, in-panel
+  // multiplicity capture) and wins at wide k, while the single-vector
+  // solver's tridiagonal Rayleigh–Ritz wins at small k.
   la::LanczosOptions options;
   options.seed = seed;
   options.max_subspace = std::min(n, std::max<std::size_t>(12 * k + 100, 250));
   options.tolerance = 3e-6;
   StatusOr<la::SymEigenResult> eig =
-      la::BlockLanczosSmallest(*lap, k, 2.0 + 1e-9, options);
+      la::LanczosSmallestAuto(*lap, k, 2.0 + 1e-9, options);
   if (!eig.ok()) return eig.status();
   la::Matrix f = std::move(eig->eigenvectors);
   if (normalize_rows) {

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "common/status.h"
 #include "la/sparse.h"
@@ -87,13 +88,20 @@ StatusOr<SymEigenResult> LanczosSmallest(const CsrMatrix& a, std::size_t k,
                                          const LanczosOptions& options = {});
 
 /// Block-Lanczos eigensolver: builds the Krylov space in n × b panels
-/// instead of single vectors. Per iteration it applies the operator to a
-/// whole panel (one SpMM for CSR inputs), reorthogonalizes the panel
-/// against the accumulated basis with two MatTMul + MatMul passes (level-3
-/// work where the single-vector solver does per-vector dot/axpy), extends
-/// the Rayleigh–Ritz projection H = QᵀAQ by one block column, and tests
-/// EXACT residuals ‖A·x − θ·x‖ of the k wanted Ritz pairs (the stored A·Q
-/// panels make them cheap). Repeated eigenvalues with multiplicity ≤ b are
+/// instead of single vectors. The basis Q and the operator images A·Q
+/// occupy the left m columns of two preallocated n × m_max matrices, so
+/// every basis-wide projection is ONE contiguous GemmAdd (level-3 work
+/// where the single-vector solver does per-vector dot/axpy). Per iteration
+/// it applies the operator to a whole panel (one SpMM for CSR inputs) and
+/// reorthogonalizes with fused CGS2: the first classical block
+/// Gram–Schmidt pass reuses the Qᵀ(A·panel) projections already computed
+/// to extend H = QᵀAQ by one block column, the second recomputes them
+/// fresh. Rayleigh–Ritz runs only once the basis can contain the answer
+/// (m ≥ k plus a cushion); convergence then tests EXACT residuals
+/// ‖A·x − θ·x‖ of the k wanted Ritz pairs (the stored A·Q panels make
+/// them cheap), assembled only when a Ritz-value-stability pre-filter
+/// says the subspace has plausibly settled — or when the basis is about
+/// to run out. Repeated eigenvalues with multiplicity ≤ b are
 /// captured inside a single panel — the failure mode that forces the
 /// single-vector solver into breakdown restarts. `options.warm_start` seeds
 /// the FIRST PANEL column-per-column (no column-sum collapse), so a
@@ -117,12 +125,118 @@ StatusOr<SymEigenResult> BlockLanczosSmallest(
     double spectral_bound, const LanczosOptions& options = {});
 
 /// Convenience overloads for CSR matrices; the panel application is the
-/// row-parallel cache-blocked CsrMatrix SpMM.
+/// row-parallel CsrMatrix SpMM (register-resident skinny kernel at panel
+/// widths ≤ 12 — every paper shape — cache-blocked beyond; see sparse.h).
 StatusOr<SymEigenResult> BlockLanczosLargest(
     const CsrMatrix& a, std::size_t k, const LanczosOptions& options = {});
 StatusOr<SymEigenResult> BlockLanczosSmallest(
     const CsrMatrix& a, std::size_t k, double spectral_bound,
     const LanczosOptions& options = {});
+
+/// Which Lanczos implementation an eigensolve should run through.
+enum class EigensolveMode {
+  /// Consult, in order: a live ScopedEigensolveMode override, the
+  /// UMVSC_EIGENSOLVER environment variable ("block" / "single"; anything
+  /// else falls through), and finally the measured EigensolvePolicy.
+  kAuto,
+  /// Always the panel (block) solver.
+  kForceBlock,
+  /// Always the single-vector solver.
+  kForceSingle,
+};
+
+/// Measured block-vs-single auto-policy. Calibrated once per process, at
+/// first use, from timed microprobes: both solvers run on small planted
+/// c-cluster normalized Laplacians over the grid (n, c) ∈ {192, 768} ×
+/// {4, 12}, and the log of the block/single time ratio at each corner is
+/// kept. A query bilinearly interpolates that log-ratio in (log₂ n, c) —
+/// clamped to the grid — and prefers the block path only when the
+/// interpolated ratio beats 0.95 (ties go to the single-vector solver).
+/// Two shape rules bypass the interpolation entirely: k == 1 is always
+/// single-vector (a width-1 panel is the same iteration plus overhead),
+/// and k ≥ 16 is always block (far outside the probe grid; wide panels
+/// amortize the basis products and capture multiplicity, and every
+/// measurement at such shapes favors block).
+///
+/// The decision is a pure function of the probe timings, so a process
+/// always resolves a given shape the same way — but two *runs* on a
+/// differently-loaded machine may disagree near the crossover. Both paths
+/// converge to the same eigenpairs within solver tolerance, so only
+/// wall time and floating-point bits may differ; pin the mode (options,
+/// ScopedEigensolveMode, or UMVSC_EIGENSOLVER) for bit-stable cross-run
+/// comparisons.
+class EigensolvePolicy {
+ public:
+  /// One calibration measurement: both solvers timed on the same planted
+  /// Laplacian (best of two runs each).
+  struct Probe {
+    std::size_t n = 0;
+    std::size_t c = 0;
+    double block_seconds = 0.0;
+    double single_seconds = 0.0;
+  };
+
+  /// The process-wide policy, calibrated on first call (thread-safe).
+  static const EigensolvePolicy& Get();
+
+  /// True when the block path is predicted faster for k eigenpairs of an
+  /// n × n operator.
+  bool PreferBlock(std::size_t n, std::size_t k) const;
+
+  /// The raw calibration measurements (for reporting — bench/micro_la
+  /// prints these next to its per-shape policy decisions).
+  const std::vector<Probe>& probes() const { return probes_; }
+
+ private:
+  EigensolvePolicy();
+
+  std::vector<Probe> probes_;
+  double log_ratio_[2][2] = {};  // [index in {192, 768}][index in {4, 12}]
+};
+
+/// RAII process-wide mode override — the strongest word in the resolution
+/// order, above even an explicit per-call mode. For tests and benches that
+/// must pin one path across library code they do not control. Not
+/// scope-nestable across threads (it swaps a process-global, like
+/// kernel::ScopedForceScalar).
+class ScopedEigensolveMode {
+ public:
+  explicit ScopedEigensolveMode(EigensolveMode mode);
+  ~ScopedEigensolveMode();
+  ScopedEigensolveMode(const ScopedEigensolveMode&) = delete;
+  ScopedEigensolveMode& operator=(const ScopedEigensolveMode&) = delete;
+
+ private:
+  EigensolveMode previous_;
+};
+
+/// Resolves `requested` to a concrete solver choice for a k-pair solve at
+/// size n. Never returns kAuto. Resolution order: ScopedEigensolveMode
+/// override → `requested` (when not kAuto) → UMVSC_EIGENSOLVER environment
+/// variable ("block" / "single") → EigensolvePolicy::PreferBlock.
+EigensolveMode ResolveEigensolveMode(EigensolveMode requested, std::size_t n,
+                                     std::size_t k);
+
+/// Auto-dispatching entry points: resolve the mode, then run the chosen
+/// solver — same contract as the underlying pair either way. The operator
+/// forms take only the panel operator; when the single-vector path is
+/// chosen, each matvec runs the panel operator on an n × 1 panel (the
+/// single path is memory-bound, so the wrapper is not what it waits on).
+StatusOr<SymEigenResult> LanczosLargestAuto(
+    const CsrMatrix& a, std::size_t k, const LanczosOptions& options = {},
+    EigensolveMode mode = EigensolveMode::kAuto);
+StatusOr<SymEigenResult> LanczosSmallestAuto(
+    const CsrMatrix& a, std::size_t k, double spectral_bound,
+    const LanczosOptions& options = {},
+    EigensolveMode mode = EigensolveMode::kAuto);
+StatusOr<SymEigenResult> LanczosLargestAuto(
+    const SymmetricBlockOperator& op, std::size_t n, std::size_t k,
+    const LanczosOptions& options = {},
+    EigensolveMode mode = EigensolveMode::kAuto);
+StatusOr<SymEigenResult> LanczosSmallestAuto(
+    const SymmetricBlockOperator& op, std::size_t n, std::size_t k,
+    double spectral_bound, const LanczosOptions& options = {},
+    EigensolveMode mode = EigensolveMode::kAuto);
 
 }  // namespace umvsc::la
 

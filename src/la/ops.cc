@@ -63,6 +63,33 @@ Matrix MatTMul(const Matrix& a, const Matrix& b) {
   return c;
 }
 
+void MatMulAddInto(const Matrix& a, const Matrix& b, Matrix& c) {
+  UMVSC_CHECK(a.cols() == b.rows(), "MatMulAddInto inner dimension mismatch");
+  UMVSC_CHECK(c.rows() == a.rows() && c.cols() == b.cols(),
+              "MatMulAddInto output shape mismatch");
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  const kernel::Operand ao{a.data(), k, false};
+  const kernel::Operand bo{b.data(), n, false};
+  // GemmAdd has += semantics natively; this is MatMul minus the zero-filled
+  // temporary and the second add pass.
+  ParallelFor(0, m, kGemmRowGrain, [&](std::size_t lo, std::size_t hi) {
+    kernel::GemmAdd(n, k, ao, bo, c.data(), n, lo, hi);
+  });
+}
+
+void MatTMulInto(const Matrix& a, const Matrix& b, Matrix& c) {
+  UMVSC_CHECK(a.rows() == b.rows(), "MatTMulInto dimension mismatch");
+  UMVSC_CHECK(c.rows() == a.cols() && c.cols() == b.cols(),
+              "MatTMulInto output shape mismatch");
+  const std::size_t m = a.cols(), k = a.rows(), n = b.cols();
+  c.Fill(0.0);
+  const kernel::Operand ao{a.data(), m, true};  // A(i, p) = a(p, i)
+  const kernel::Operand bo{b.data(), n, false};
+  ParallelFor(0, m, kGemmRowGrain, [&](std::size_t lo, std::size_t hi) {
+    kernel::GemmAdd(n, k, ao, bo, c.data(), n, lo, hi);
+  });
+}
+
 Matrix MatMulT(const Matrix& a, const Matrix& b) {
   UMVSC_CHECK(a.cols() == b.cols(), "MatMulT dimension mismatch");
   const std::size_t m = a.rows(), k = a.cols(), n = b.rows();

@@ -24,6 +24,24 @@ Matrix MatTMul(const Matrix& a, const Matrix& b);
 /// Row-parallel; bitwise deterministic across thread counts.
 Matrix MatMulT(const Matrix& a, const Matrix& b);
 
+/// C += A · B, accumulating straight into caller storage — the fused
+/// flavor of MatMul for inner loops that would otherwise allocate a
+/// temporary product and add it in a second pass (block-Lanczos panel
+/// updates). Requires C pre-shaped to A.rows() × B.cols(). For an inner
+/// dimension within one kc block of the GEMM grid (k ≤ 256, which covers
+/// every Krylov panel width in this library) the result is bitwise equal
+/// to `c.Add(MatMul(a, b), 1.0)`; beyond that the kc-block partials fold
+/// into the existing C values in ascending block order instead of being
+/// summed first, so the last bits may differ — deterministically, and
+/// identically at every thread count.
+void MatMulAddInto(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// C = Aᵀ · B into caller storage (overwritten) — the allocation-free
+/// flavor of MatTMul for iteration loops that reuse a projection buffer.
+/// Requires C pre-shaped to A.cols() × B.cols(). Bitwise equal to
+/// MatTMul(a, b) at every thread count.
+void MatTMulInto(const Matrix& a, const Matrix& b, Matrix& c);
+
 /// y = A · x. Requires A.cols() == x.size(). Row-parallel with a
 /// vectorized fixed-tree dot per row; bitwise deterministic across
 /// thread counts.

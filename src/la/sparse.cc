@@ -14,9 +14,83 @@ namespace {
 // Sparse rows are light (~k nonzeros), so the grain is coarser than the
 // dense kernels' to amortize the per-span dispatch.
 constexpr std::size_t kSpRowGrain = 64;
-// Panel-dimension block of the SpMM kernel: 64 doubles = 512 bytes of
-// accumulator, resident in registers/L1 while a row's nonzeros stream by.
+// Panel-dimension block of the generic SpMM kernel: 64 doubles = 512 bytes
+// of accumulator, resident in registers/L1 while a row's nonzeros stream by.
 constexpr std::size_t kPanelBlock = 64;
+// Widest panel the register-resident skinny kernels cover: 3 lane groups of
+// 4. Krylov panels in this library are capped at 10 columns (see
+// la/lanczos.cc), so every block-eigensolver SpMM takes the skinny path.
+constexpr std::size_t kSkinnyMaxWidth = 12;
+
+// Skinny-panel row kernel: the whole b-wide accumulator row lives in
+// registers while a CSR row's nonzeros stream by — R4 4-lane register
+// groups (la/simd.h) plus R1 scalar remainder columns, b = 4·R4 + R1.
+// Fully unrolled at compile time, so the per-nonzero cost is one broadcast
+// plus R4 MulAdds — no runtime-dispatched call, no accumulator-block setup.
+//
+// Determinism: column j's accumulator sees exactly one UNFUSED v·x add per
+// nonzero in CSR order (V::MulAdd is unfused on every backend), and the
+// epilogue performs the same `y[j] += alpha·acc[j]` unfused mul/add as the
+// generic kernel — so the skinny path is bitwise identical to the generic
+// cache-blocked kernel, to b independent per-column SpMVs, and across
+// SIMD/scalar dispatch and every thread count.
+template <class V, std::size_t R4, std::size_t R1>
+void SpmmRowsSkinny(const std::size_t* row_offsets,
+                    const std::size_t* col_indices, const double* values,
+                    const double* x, std::size_t x_stride, double* y,
+                    std::size_t y_stride, double alpha, std::size_t lo,
+                    std::size_t hi) {
+  for (std::size_t r = lo; r < hi; ++r) {
+    typename V::Reg acc[R4 > 0 ? R4 : 1];
+    double s[R1 > 0 ? R1 : 1];
+    for (std::size_t g = 0; g < R4; ++g) acc[g] = V::Zero();
+    for (std::size_t j = 0; j < R1; ++j) s[j] = 0.0;
+    const std::size_t k1 = row_offsets[r + 1];
+    for (std::size_t k = row_offsets[r]; k < k1; ++k) {
+      const double v = values[k];
+      const double* xr = x + col_indices[k] * x_stride;
+      if constexpr (R4 > 0) {
+        const typename V::Reg vb = V::Broadcast(v);
+        for (std::size_t g = 0; g < R4; ++g) {
+          acc[g] = V::MulAdd(vb, V::Load(xr + simd::kSimdLanes * g), acc[g]);
+        }
+      }
+      for (std::size_t j = 0; j < R1; ++j) {
+        s[j] += v * xr[simd::kSimdLanes * R4 + j];
+      }
+    }
+    double* yr = y + r * y_stride;
+    if constexpr (R4 > 0) {
+      const typename V::Reg ab = V::Broadcast(alpha);
+      for (std::size_t g = 0; g < R4; ++g) {
+        double* yg = yr + simd::kSimdLanes * g;
+        V::Store(yg, V::MulAdd(ab, acc[g], V::Load(yg)));
+      }
+    }
+    for (std::size_t j = 0; j < R1; ++j) {
+      yr[simd::kSimdLanes * R4 + j] += alpha * s[j];
+    }
+  }
+}
+
+using SkinnyRowFn = void (*)(const std::size_t*, const std::size_t*,
+                             const double*, const double*, std::size_t,
+                             double*, std::size_t, double, std::size_t,
+                             std::size_t);
+
+// One specialization per width b = 1..12; indexed by b − 1. The signature
+// is backend-independent, so the SimdEnabled() dispatch just picks a table.
+template <class V>
+SkinnyRowFn SkinnyKernelFor(std::size_t b) {
+  static constexpr SkinnyRowFn kTable[kSkinnyMaxWidth] = {
+      SpmmRowsSkinny<V, 0, 1>, SpmmRowsSkinny<V, 0, 2>,
+      SpmmRowsSkinny<V, 0, 3>, SpmmRowsSkinny<V, 1, 0>,
+      SpmmRowsSkinny<V, 1, 1>, SpmmRowsSkinny<V, 1, 2>,
+      SpmmRowsSkinny<V, 1, 3>, SpmmRowsSkinny<V, 2, 0>,
+      SpmmRowsSkinny<V, 2, 1>, SpmmRowsSkinny<V, 2, 2>,
+      SpmmRowsSkinny<V, 2, 3>, SpmmRowsSkinny<V, 3, 0>};
+  return kTable[b - 1];
+}
 }  // namespace
 
 CsrMatrix CsrMatrix::FromTriplets(std::size_t rows, std::size_t cols,
@@ -129,11 +203,39 @@ void CsrMatrix::MultiplyInto(const Matrix& x, Matrix& y, double alpha) const {
               "spmm dimension mismatch (y)");
   const std::size_t b = x.cols();
   if (b == 0) return;
-  ParallelFor(0, rows_, kSpRowGrain, [&](std::size_t lo, std::size_t hi) {
+  if (b <= kSkinnyMaxWidth) {
+    // Register-resident skinny path — bitwise identical to the generic
+    // kernel below (see SpmmRowsSkinny), just without the per-nonzero
+    // dispatched Axpy call that dominates at small b.
+    const SkinnyRowFn fn = kernel::SimdEnabled()
+                               ? SkinnyKernelFor<simd::NativeVec4>(b)
+                               : SkinnyKernelFor<simd::ScalarVec4>(b);
+    ParallelFor(0, rows_, kSpRowGrain, [&](std::size_t lo, std::size_t hi) {
+      fn(row_offsets_.data(), col_indices_.data(), values_.data(), x.data(),
+         x.cols(), y.data(), y.cols(), alpha, lo, hi);
+    });
+    return;
+  }
+  internal::SpmmGeneric(*this, x, y, alpha);
+}
+
+namespace internal {
+
+void SpmmGeneric(const CsrMatrix& a, const Matrix& x, Matrix& y,
+                 double alpha) {
+  UMVSC_CHECK(x.rows() == a.cols(), "spmm dimension mismatch (x)");
+  UMVSC_CHECK(y.rows() == a.rows() && y.cols() == x.cols(),
+              "spmm dimension mismatch (y)");
+  const std::size_t b = x.cols();
+  if (b == 0) return;
+  const auto& row_offsets = a.row_offsets();
+  const auto& col_indices = a.col_indices();
+  const auto& values = a.values();
+  ParallelFor(0, a.rows(), kSpRowGrain, [&](std::size_t lo, std::size_t hi) {
     double acc[kPanelBlock];
     for (std::size_t r = lo; r < hi; ++r) {
-      const std::size_t k0 = row_offsets_[r];
-      const std::size_t k1 = row_offsets_[r + 1];
+      const std::size_t k0 = row_offsets[r];
+      const std::size_t k1 = row_offsets[r + 1];
       double* yrow = y.RowPtr(r);
       for (std::size_t jj = 0; jj < b; jj += kPanelBlock) {
         const std::size_t jw = std::min(kPanelBlock, b - jj);
@@ -143,13 +245,15 @@ void CsrMatrix::MultiplyInto(const Matrix& x, Matrix& y, double alpha) const {
           // v·x add per nonzero in CSR order, so the SpMM stays bitwise
           // equal to per-column SpMVs (parallel_determinism_test relies on
           // this).
-          kernel::Axpy(values_[k], x.RowPtr(col_indices_[k]) + jj, acc, jw);
+          kernel::Axpy(values[k], x.RowPtr(col_indices[k]) + jj, acc, jw);
         }
         for (std::size_t j = 0; j < jw; ++j) yrow[jj + j] += alpha * acc[j];
       }
     }
   });
 }
+
+}  // namespace internal
 
 Matrix CsrMatrix::Multiply(const Matrix& b) const {
   UMVSC_CHECK(b.rows() == cols_, "sparse·dense dimension mismatch");

@@ -65,11 +65,16 @@ class CsrMatrix {
   Matrix Multiply(const Matrix& b) const;
   /// Y += alpha · A·X — the multi-vector SpMM kernel under the block
   /// eigensolver. Requires X of shape cols() × b and Y of shape rows() × b.
-  /// Row-parallel over the thread pool and cache-blocked over the panel
-  /// dimension b; each output row accumulates its nonzeros in CSR order
-  /// into a per-row register block, so the result is bitwise identical
-  /// across thread counts AND equal to b independent MultiplyInto calls
-  /// on the columns.
+  /// Row-parallel over the thread pool. Skinny panels (b ≤ 12 — every
+  /// Krylov panel, given the width cap of 10 in la/lanczos.h) run a
+  /// register-resident kernel specialized per width at compile time: the
+  /// whole accumulator row is held in 4-lane SIMD register groups plus a
+  /// scalar remainder (la/simd.h) while the row's nonzeros stream by. Wider
+  /// panels use the cache-blocked generic kernel. Both paths accumulate
+  /// each output element's nonzeros unfused in CSR order, so the result is
+  /// bitwise identical across thread counts, across the skinny/generic and
+  /// SIMD/scalar dispatches, AND equal to b independent MultiplyInto calls
+  /// on the columns (parallel_determinism_test relies on this).
   void MultiplyInto(const Matrix& x, Matrix& y, double alpha = 1.0) const;
 
   /// Aᵀ as a new CSR matrix. Counting-sort construction: per-column nnz
@@ -137,6 +142,14 @@ class CsrCombiner {
   /// slots_[v][k] = union-value index of matrix v's k-th stored entry.
   std::vector<std::vector<std::size_t>> slots_;
 };
+
+namespace internal {
+/// The cache-blocked wide-panel SpMM (Y += alpha·A·X) regardless of panel
+/// width — the kernel MultiplyInto routes b > 12 to. Exposed so tests can
+/// assert the skinny specializations are bitwise identical to it.
+void SpmmGeneric(const CsrMatrix& a, const Matrix& x, Matrix& y,
+                 double alpha = 1.0);
+}  // namespace internal
 
 }  // namespace umvsc::la
 

@@ -83,7 +83,7 @@ StatusOr<CoRegResult> CoRegSpectral(const MultiViewGraphs& graphs,
   std::vector<la::Matrix> embeddings(num_views);
   for (std::size_t v = 0; v < num_views; ++v) {
     StatusOr<la::SymEigenResult> eig =
-        la::BlockLanczosSmallest(graphs.laplacians[v], c, 2.0 + 1e-9, lanczos);
+        la::LanczosSmallestAuto(graphs.laplacians[v], c, 2.0 + 1e-9, lanczos);
     if (!eig.ok()) return eig.status();
     embeddings[v] = std::move(eig->eigenvectors);
   }
@@ -104,7 +104,7 @@ StatusOr<CoRegResult> CoRegSpectral(const MultiViewGraphs& graphs,
         }
       };
       StatusOr<la::SymEigenResult> top =
-          la::BlockLanczosLargest(sum_op, n, c, lanczos);
+          la::LanczosLargestAuto(sum_op, n, c, lanczos);
       if (!top.ok()) return top.status();
       consensus = std::move(top->eigenvectors);
     }
@@ -124,7 +124,7 @@ StatusOr<CoRegResult> CoRegSpectral(const MultiViewGraphs& graphs,
       la::SymmetricBlockOperator op = ModifiedLaplacianOperator(
           graphs.laplacians[v], std::move(couplings), options.lambda);
       StatusOr<la::SymEigenResult> eig =
-          la::BlockLanczosSmallest(op, n, c, 2.0 + 1e-9, lanczos);
+          la::LanczosSmallestAuto(op, n, c, 2.0 + 1e-9, lanczos);
       if (!eig.ok()) return eig.status();
       embeddings[v] = std::move(eig->eigenvectors);
     }

@@ -40,22 +40,29 @@ std::vector<double> ViewSmoothness(const std::vector<la::CsrMatrix>& laplacians,
 }
 
 // Dispatches a smallest-eigenpairs solve through the block-Lanczos panel
-// path or the single-vector path, same contract either way.
+// path or the single-vector path — resolved per shape by the measured
+// auto-policy unless the caller forces one — same contract either way.
 StatusOr<la::SymEigenResult> SmallestEigenpairsSparse(
     const la::CsrMatrix& lap, std::size_t c, double spectral_bound,
-    const la::LanczosOptions& options, bool block) {
-  return block ? la::BlockLanczosSmallest(lap, c, spectral_bound, options)
-               : la::LanczosSmallest(lap, c, spectral_bound, options);
+    const la::LanczosOptions& options, la::EigensolveMode mode) {
+  return la::LanczosSmallestAuto(lap, c, spectral_bound, options, mode);
 }
 
 // ĉ_v per view: the sum of the c smallest eigenvalues of L_v (the best
 // smoothness any orthonormal F could achieve on that view alone).
 StatusOr<std::vector<double>> SpectralFloors(
     const std::vector<la::CsrMatrix>& laplacians, std::size_t c,
-    const la::LanczosOptions& lanczos, bool block_lanczos,
+    const la::LanczosOptions& lanczos, la::EigensolveMode block_lanczos,
     std::size_t* matvec_total) {
   const std::size_t num_views = laplacians.size();
   std::vector<double> floors(num_views, 0.0);
+  // Every view shares one shape (n, c), so the solver choice is resolved
+  // once, up front — which also keeps the policy's first-use calibration
+  // (timed probes) out of the parallel region below, where the nested-
+  // ParallelFor inlining would serialize the probe kernels and skew the
+  // measurement.
+  const la::EigensolveMode mode = la::ResolveEigensolveMode(
+      block_lanczos, laplacians.empty() ? 0 : laplacians[0].rows(), c);
   // One Lanczos eigensolve per view, fanned out across views. Each solve is
   // seeded from the options, so its result does not depend on scheduling;
   // statuses are collected and checked in view order afterwards. Matvecs go
@@ -68,7 +75,7 @@ StatusOr<std::vector<double>> SpectralFloors(
       la::LanczosOptions local = lanczos;
       local.matvec_count = &matvecs[v];
       StatusOr<la::SymEigenResult> eig = SmallestEigenpairsSparse(
-          laplacians[v], c, 2.0 + 1e-9, local, block_lanczos);
+          laplacians[v], c, 2.0 + 1e-9, local, mode);
       if (!eig.ok()) {
         statuses[v].emplace(eig.status());
         continue;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "la/lanczos.h"
 #include "la/matrix.h"
 #include "mvsc/graphs.h"
 
@@ -63,13 +64,16 @@ struct UnifiedOptions {
   /// converges in a smaller subspace — fewer matvecs, same clustering.
   /// Disable to reproduce fully cold solves (e.g. for A/B measurements).
   bool warm_start = true;
-  /// Route every eigensolve (spectral floors + init alternations) through
-  /// la::BlockLanczosSmallest, which iterates on n × c panels: one SpMM per
-  /// operator application instead of c memory-bound matvecs, and a warm
-  /// start enters the first panel column-per-column instead of collapsing
-  /// to a column sum. Same eigenpairs to solver tolerance; disable to A/B
-  /// against the single-vector path.
-  bool block_lanczos = true;
+  /// Eigensolver routing for every eigensolve of the run (spectral floors
+  /// + init alternations). kAuto (the default) lets the measured
+  /// la::EigensolvePolicy pick the faster path per shape: the block solver
+  /// iterates on n × c panels — one SpMM per operator application instead
+  /// of c memory-bound matvecs, warm starts entering the first panel
+  /// column-per-column — while the single-vector solver's tridiagonal
+  /// Rayleigh–Ritz is cheaper at small c. Force either path to A/B them;
+  /// both yield the same eigenpairs to solver tolerance (identical
+  /// partitions, ARI 1.0 — la_policy_test pins this).
+  la::EigensolveMode block_lanczos = la::EigensolveMode::kAuto;
   std::uint64_t seed = 0;
 };
 

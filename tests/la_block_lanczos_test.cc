@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "common/parallel.h"
 #include "common/rng.h"
+#include "la/gemm_kernel.h"
 #include "la/lanczos.h"
 #include "la/ops.h"
 #include "la/sym_eigen.h"
@@ -222,6 +224,85 @@ TEST(BlockLanczosTest, InvalidArguments) {
   LanczosOptions tiny;
   tiny.max_subspace = 2;
   EXPECT_FALSE(BlockLanczosLargest(lap, 3, tiny).ok());
+}
+
+// A sparse matrix with irregular row lengths (some rows empty) so the
+// skinny-SpMM kernels see the row shapes the cache-blocked generic kernel
+// sees, not just a uniform-degree graph.
+CsrMatrix IrregularSparse(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Triplet> t;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i % 7 == 3) continue;  // leave some rows empty
+    const std::size_t deg = 1 + rng.UniformInt(12);
+    for (std::size_t e = 0; e < deg; ++e) {
+      t.push_back({i, rng.UniformInt(n), rng.Uniform(-1.0, 1.0)});
+    }
+  }
+  return CsrMatrix::FromTriplets(n, n, std::move(t));
+}
+
+// The width-specialized skinny SpMM must be bitwise identical to the
+// generic cache-blocked kernel it replaces at b <= 12, at every thread
+// count, under both SIMD and scalar dispatch — the eigensolver's
+// determinism contract leans on all of it.
+TEST(SkinnySpmmTest, BitwiseMatchesGenericKernelAcrossThreadCounts) {
+  const std::size_t n = 257;  // not a multiple of the row grain
+  CsrMatrix a = IrregularSparse(n, 91);
+  for (const std::size_t b : {2, 4, 8}) {
+    Rng rng(100 + b);
+    Matrix x = Matrix::RandomGaussian(n, b, rng);
+    Matrix reference(n, b);
+    {
+      ScopedNumThreads single_thread(1);
+      reference.Fill(0.5);
+      internal::SpmmGeneric(a, x, reference, 1.25);
+    }
+    for (const std::size_t threads : {1, 2, 8}) {
+      ScopedNumThreads scope(threads);
+      Matrix generic(n, b);
+      generic.Fill(0.5);
+      internal::SpmmGeneric(a, x, generic, 1.25);
+      Matrix skinny(n, b);
+      skinny.Fill(0.5);
+      a.MultiplyInto(x, skinny, 1.25);
+      Matrix scalar_skinny(n, b);
+      {
+        kernel::ScopedForceScalar force_scalar;
+        scalar_skinny.Fill(0.5);
+        a.MultiplyInto(x, scalar_skinny, 1.25);
+      }
+      for (std::size_t i = 0; i < reference.size(); ++i) {
+        ASSERT_EQ(reference.data()[i], generic.data()[i])
+            << "generic kernel drifted at b=" << b << " threads=" << threads;
+        ASSERT_EQ(reference.data()[i], skinny.data()[i])
+            << "skinny kernel differs at b=" << b << " threads=" << threads;
+        ASSERT_EQ(reference.data()[i], scalar_skinny.data()[i])
+            << "scalar skinny differs at b=" << b << " threads=" << threads;
+      }
+    }
+  }
+}
+
+// The SpMM panel contract: equal to b independent per-column SpMVs, bit
+// for bit, at every skinny width (including the scalar remainder widths).
+TEST(SkinnySpmmTest, BitwiseMatchesPerColumnSpmv) {
+  const std::size_t n = 123;
+  CsrMatrix a = IrregularSparse(n, 17);
+  for (std::size_t b = 1; b <= 13; ++b) {  // 13 exercises the generic path
+    Rng rng(200 + b);
+    Matrix x = Matrix::RandomGaussian(n, b, rng);
+    Matrix y(n, b);
+    a.MultiplyInto(x, y, 0.75);
+    for (std::size_t j = 0; j < b; ++j) {
+      Vector xcol(n), ycol(n);
+      for (std::size_t i = 0; i < n; ++i) xcol[i] = x(i, j);
+      a.MultiplyInto(xcol, ycol, 0.75);
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(ycol[i], y(i, j)) << "column " << j << " width " << b;
+      }
+    }
+  }
 }
 
 }  // namespace

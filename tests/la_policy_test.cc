@@ -1,0 +1,162 @@
+// Tests of the measured eigensolver auto-policy: resolution order, the
+// shape rules, and — the property everything above the la layer leans on —
+// that the two paths the policy switches between produce identical
+// partitions, so the policy can only ever change wall time.
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+#include "la/lanczos.h"
+#include "mvsc/unified.h"
+
+namespace umvsc {
+namespace {
+
+TEST(EigensolvePolicyTest, CalibrationProducesFullProbeGrid) {
+  const la::EigensolvePolicy& policy = la::EigensolvePolicy::Get();
+  ASSERT_EQ(policy.probes().size(), 4u);
+  for (const la::EigensolvePolicy::Probe& probe : policy.probes()) {
+    EXPECT_GT(probe.n, 0u);
+    EXPECT_GT(probe.c, 0u);
+    EXPECT_GT(probe.block_seconds, 0.0);
+    EXPECT_GT(probe.single_seconds, 0.0);
+  }
+}
+
+TEST(EigensolvePolicyTest, ShapeRulesBypassInterpolation) {
+  const la::EigensolvePolicy& policy = la::EigensolvePolicy::Get();
+  // k == 1: a width-1 panel is the single-vector iteration plus overhead.
+  EXPECT_FALSE(policy.PreferBlock(100, 1));
+  EXPECT_FALSE(policy.PreferBlock(100000, 1));
+  // k >= 16: wide panels win regardless of the probe timings (ORL-like).
+  EXPECT_TRUE(policy.PreferBlock(100, 16));
+  EXPECT_TRUE(policy.PreferBlock(400, 40));
+}
+
+TEST(EigensolvePolicyTest, ResolveNeverReturnsAuto) {
+  for (const std::size_t n : {50u, 200u, 2000u}) {
+    for (const std::size_t k : {1u, 5u, 40u}) {
+      const la::EigensolveMode mode =
+          la::ResolveEigensolveMode(la::EigensolveMode::kAuto, n, k);
+      EXPECT_NE(mode, la::EigensolveMode::kAuto);
+    }
+  }
+}
+
+TEST(EigensolvePolicyTest, ExplicitRequestWins) {
+  EXPECT_EQ(la::ResolveEigensolveMode(la::EigensolveMode::kForceBlock, 10, 1),
+            la::EigensolveMode::kForceBlock);
+  EXPECT_EQ(
+      la::ResolveEigensolveMode(la::EigensolveMode::kForceSingle, 400, 40),
+      la::EigensolveMode::kForceSingle);
+}
+
+TEST(EigensolvePolicyTest, ScopedOverrideBeatsExplicitRequest) {
+  {
+    la::ScopedEigensolveMode scope(la::EigensolveMode::kForceSingle);
+    EXPECT_EQ(la::ResolveEigensolveMode(la::EigensolveMode::kForceBlock, 400,
+                                        40),
+              la::EigensolveMode::kForceSingle);
+  }
+  // The override dies with the scope.
+  EXPECT_EQ(la::ResolveEigensolveMode(la::EigensolveMode::kForceBlock, 400,
+                                      40),
+            la::EigensolveMode::kForceBlock);
+}
+
+TEST(EigensolvePolicyTest, EnvironmentVariableBeatsPolicy) {
+  ASSERT_EQ(setenv("UMVSC_EIGENSOLVER", "block", 1), 0);
+  EXPECT_EQ(la::ResolveEigensolveMode(la::EigensolveMode::kAuto, 100, 1),
+            la::EigensolveMode::kForceBlock);
+  ASSERT_EQ(setenv("UMVSC_EIGENSOLVER", "single", 1), 0);
+  EXPECT_EQ(la::ResolveEigensolveMode(la::EigensolveMode::kAuto, 400, 40),
+            la::EigensolveMode::kForceSingle);
+  ASSERT_EQ(unsetenv("UMVSC_EIGENSOLVER"), 0);
+}
+
+TEST(EigensolvePolicyTest, AutoDispatchMatchesForcedPathBitwise) {
+  // The auto entry points must be pure routers: under a pinned mode they
+  // reproduce the corresponding direct solver bit for bit.
+  data::MultiViewConfig config;
+  config.num_samples = 90;
+  config.num_clusters = 3;
+  config.views = {{10, data::ViewQuality::kInformative, 0.4}};
+  config.cluster_separation = 5.0;
+  config.seed = 5;
+  auto dataset = data::MakeGaussianMultiView(config);
+  ASSERT_TRUE(dataset.ok());
+  auto graphs = mvsc::BuildGraphs(*dataset);
+  ASSERT_TRUE(graphs.ok());
+  const la::CsrMatrix& lap = graphs->laplacians[0];
+
+  la::LanczosOptions options;
+  options.tolerance = 3e-6;
+  for (const la::EigensolveMode mode :
+       {la::EigensolveMode::kForceBlock, la::EigensolveMode::kForceSingle}) {
+    StatusOr<la::SymEigenResult> via_auto =
+        la::LanczosSmallestAuto(lap, 3, 2.0 + 1e-9, options, mode);
+    StatusOr<la::SymEigenResult> direct =
+        mode == la::EigensolveMode::kForceBlock
+            ? la::BlockLanczosSmallest(lap, 3, 2.0 + 1e-9, options)
+            : la::LanczosSmallest(lap, 3, 2.0 + 1e-9, options);
+    ASSERT_TRUE(via_auto.ok()) << via_auto.status().ToString();
+    ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(via_auto->eigenvalues[j], direct->eigenvalues[j]);
+    }
+    for (std::size_t i = 0; i < via_auto->eigenvectors.size(); ++i) {
+      ASSERT_EQ(via_auto->eigenvectors.data()[i],
+                direct->eigenvectors.data()[i]);
+    }
+  }
+}
+
+// Forced-block and forced-single runs of the full solver must land on the
+// SAME partition (ARI exactly 1.0) — the guarantee that lets the measured
+// policy choose freely on wall-time grounds alone. Shapes mirror the small
+// paper datasets (3-Sources-scale and a 3-cluster problem).
+TEST(EigensolvePolicyTest, ForcedPathsProduceIdenticalPartitions) {
+  struct Shape {
+    std::size_t n;
+    std::size_t c;
+  };
+  for (const Shape shape : {Shape{169, 6}, Shape{150, 3}}) {
+    data::MultiViewConfig config;
+    config.num_samples = shape.n;
+    config.num_clusters = shape.c;
+    config.views = {{12, data::ViewQuality::kInformative, 0.4},
+                    {8, data::ViewQuality::kWeak, 1.0}};
+    config.cluster_separation = 5.0;
+    config.seed = 31;
+    auto dataset = data::MakeGaussianMultiView(config);
+    ASSERT_TRUE(dataset.ok());
+    auto graphs = mvsc::BuildGraphs(*dataset);
+    ASSERT_TRUE(graphs.ok());
+
+    mvsc::UnifiedOptions options;
+    options.num_clusters = shape.c;
+    options.seed = 11;
+
+    options.block_lanczos = la::EigensolveMode::kForceBlock;
+    StatusOr<mvsc::UnifiedResult> block =
+        mvsc::UnifiedMVSC(options).Run(*graphs);
+    ASSERT_TRUE(block.ok()) << block.status().ToString();
+
+    options.block_lanczos = la::EigensolveMode::kForceSingle;
+    StatusOr<mvsc::UnifiedResult> single =
+        mvsc::UnifiedMVSC(options).Run(*graphs);
+    ASSERT_TRUE(single.ok()) << single.status().ToString();
+
+    StatusOr<double> ari =
+        eval::AdjustedRandIndex(block->labels, single->labels);
+    ASSERT_TRUE(ari.ok());
+    EXPECT_DOUBLE_EQ(*ari, 1.0)
+        << "paths diverged at n=" << shape.n << " c=" << shape.c;
+  }
+}
+
+}  // namespace
+}  // namespace umvsc
