@@ -5,8 +5,6 @@
 
 #include "cluster/kmeans.h"
 #include "common/rng.h"
-#include "graph/distance.h"
-#include "graph/kernels.h"
 #include "la/ops.h"
 #include "la/sym_eigen.h"
 
@@ -32,6 +30,56 @@ la::Matrix CrossKernel(const la::Matrix& a, const la::Matrix& b,
     }
   }
   return k;
+}
+
+// Deterministic landmark-pairs median bandwidth for sigma = 0: all
+// m·(m−1)/2 pairwise distances, accumulated serially in ascending (i, j)
+// order and fully sorted. Tie-break convention (pinned by
+// cluster_nystrom_test): the LOWER median — index (count − 1)/2 of the
+// sorted distances — so an even pair count never averages two values, and
+// exact duplicates are resolved by the sort's total order (distances are
+// finite and nonnegative, so it is unambiguous). Zeros from coincident
+// landmarks are INCLUDED in the population — the median is a pure function
+// of the landmark set, not of how degenerate it happens to be; when the
+// median itself is zero (more than half the pairs coincide) the smallest
+// strictly positive distance substitutes, and when every pair coincides the
+// bandwidth is undefined and an error returns. Serial by design: no thread
+// pool anywhere, so the value is trivially identical at every thread count.
+StatusOr<double> LandmarkPairsMedianSigma(const la::Matrix& landmarks) {
+  const std::size_t m = landmarks.rows();
+  const std::size_t d = landmarks.cols();
+  if (m < 2) {
+    return Status::InvalidArgument(
+        "median bandwidth requires at least two landmarks");
+  }
+  std::vector<double> dists;
+  dists.reserve(m * (m - 1) / 2);
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* ri = landmarks.RowPtr(i);
+    for (std::size_t j = i + 1; j < m; ++j) {
+      const double* rj = landmarks.RowPtr(j);
+      double d2 = 0.0;
+      for (std::size_t p = 0; p < d; ++p) {
+        const double diff = ri[p] - rj[p];
+        d2 += diff * diff;
+      }
+      dists.push_back(std::sqrt(d2));
+    }
+  }
+  std::sort(dists.begin(), dists.end());
+  double sigma = dists[(dists.size() - 1) / 2];
+  if (sigma <= 0.0) {
+    for (double v : dists) {
+      if (v > 0.0) {
+        sigma = v;
+        break;
+      }
+    }
+  }
+  if (sigma <= 0.0) {
+    return Status::InvalidArgument("all landmark pair distances are zero");
+  }
+  return sigma;
 }
 
 // Symmetric pseudo-inverse square root via the eigendecomposition,
@@ -80,8 +128,7 @@ StatusOr<NystromResult> NystromSpectralClustering(
 
   double sigma = options.sigma;
   if (sigma <= 0.0) {
-    la::Matrix sq = graph::PairwiseSquaredDistances(landmarks);
-    StatusOr<double> median = graph::MedianHeuristicSigma(sq);
+    StatusOr<double> median = LandmarkPairsMedianSigma(landmarks);
     if (!median.ok()) return median.status();
     sigma = *median;
   }

@@ -15,8 +15,12 @@ struct NystromOptions {
   /// Landmark count m (uniform sample without replacement). Accuracy and
   /// cost both grow with m; m ≈ 5–20 × clusters is typical.
   std::size_t landmarks = 100;
-  /// Gaussian bandwidth; 0 selects the median heuristic on the landmark
-  /// pairwise distances.
+  /// Gaussian bandwidth; 0 selects the deterministic landmark-pairs median:
+  /// the LOWER median (index (count − 1)/2 after a full sort) of all
+  /// m·(m−1)/2 pairwise landmark distances, zeros included, computed
+  /// serially — the bandwidth is a pure function of the landmark set,
+  /// identical at every thread count. When the median is zero (mostly
+  /// coincident landmarks) the smallest positive distance substitutes.
   double sigma = 0.0;
   std::size_t kmeans_restarts = 10;
   std::uint64_t seed = 0;

@@ -1,0 +1,368 @@
+#include "mvsc/anchor_unified.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "cluster/anchor_embedding.h"
+#include "cluster/gpi.h"
+#include "cluster/rotation.h"
+#include "graph/anchors.h"
+#include "la/ops.h"
+#include "la/svd.h"
+#include "la/sym_eigen.h"
+#include "mvsc/unified_internal.h"
+
+namespace umvsc::mvsc {
+
+namespace {
+
+// Per-feature mean and inverse standard deviation (population variance) —
+// the same convention as mvsc/graphs.cc standardization and the
+// out-of-sample model, so anchor models and exact-path models see the same
+// feature space.
+void ColumnStats(const la::Matrix& m, la::Vector* means, la::Vector* inv_stds) {
+  const std::size_t n = m.rows(), d = m.cols();
+  *means = la::Vector(d);
+  *inv_stds = la::Vector(d);
+  for (std::size_t j = 0; j < d; ++j) {
+    double mean = 0.0;
+    for (std::size_t i = 0; i < n; ++i) mean += m(i, j);
+    mean /= static_cast<double>(n);
+    double var = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double centered = m(i, j) - mean;
+      var += centered * centered;
+    }
+    var /= static_cast<double>(n);
+    (*means)[j] = mean;
+    (*inv_stds)[j] = var > 0.0 ? 1.0 / std::sqrt(var) : 1.0;
+  }
+}
+
+la::Matrix ApplyStandardization(const la::Matrix& m, const la::Vector& means,
+                                const la::Vector& inv_stds) {
+  la::Matrix out = m;
+  for (std::size_t i = 0; i < out.rows(); ++i) {
+    double* row = out.RowPtr(i);
+    for (std::size_t j = 0; j < out.cols(); ++j) {
+      row[j] = (row[j] - means[j]) * inv_stds[j];
+    }
+  }
+  return out;
+}
+
+// Scales each stored value of z by inv_sqrt_mass of its column: Ẑ = Z·Λ^{−1/2}
+// on the unchanged sparsity pattern.
+la::CsrMatrix NormalizeColumns(const la::CsrMatrix& z,
+                               const la::Vector& mass) {
+  la::Vector inv_sqrt(z.cols(), 0.0);
+  for (std::size_t j = 0; j < z.cols(); ++j) {
+    inv_sqrt[j] = mass[j] > 0.0 ? 1.0 / std::sqrt(mass[j]) : 0.0;
+  }
+  std::vector<std::size_t> offsets = z.row_offsets();
+  std::vector<std::size_t> cols = z.col_indices();
+  std::vector<double> vals = z.values();
+  for (std::size_t e = 0; e < vals.size(); ++e) vals[e] *= inv_sqrt[cols[e]];
+  return la::CsrMatrix::FromParts(z.rows(), z.cols(), std::move(offsets),
+                                  std::move(cols), std::move(vals));
+}
+
+}  // namespace
+
+StatusOr<AnchorUnifiedResult> SolveUnifiedAnchors(
+    const data::MultiViewDataset& dataset, const UnifiedOptions& options,
+    bool standardize) {
+  UMVSC_RETURN_IF_ERROR(dataset.Validate());
+  const std::size_t n = dataset.NumSamples();
+  const std::size_t num_views = dataset.NumViews();
+  const std::size_t c = options.num_clusters;
+  const std::size_t m = options.anchors.num_anchors;
+  const std::size_t s = options.anchors.anchor_neighbors;
+  const std::size_t per_view = options.anchors.basis_per_view > 0
+                                   ? options.anchors.basis_per_view
+                                   : c + 2;
+  const std::size_t k_view = std::min(per_view, m);
+  if (c < 2 || c >= n) {
+    return Status::InvalidArgument("UnifiedMVSC requires 2 <= c < n");
+  }
+  if (m < 2 || m >= n) {
+    return Status::InvalidArgument(
+        "anchor mode requires 2 <= num_anchors < n");
+  }
+  if (s < 1 || s > m) {
+    return Status::InvalidArgument(
+        "anchor mode requires 1 <= anchor_neighbors <= num_anchors");
+  }
+  if (k_view < 1) {
+    return Status::InvalidArgument("anchor basis_per_view must be >= 1");
+  }
+  if (options.beta < 0.0) {
+    return Status::InvalidArgument("beta must be nonnegative");
+  }
+  if (options.weighting == ViewWeighting::kGammaPower &&
+      options.gamma <= 1.0) {
+    return Status::InvalidArgument("gamma-power weighting requires gamma > 1");
+  }
+
+  AnchorUnifiedResult out;
+  out.model.anchor_neighbors = s;
+  out.model.num_clusters = c;
+
+  // --- Per-view anchor pipeline: anchors → bipartite Z → reduced embedding.
+  // Serial over views (each inner kernel — panel fill, SpMM — is itself
+  // pool-parallel and bitwise deterministic); per-view seeds are derived
+  // from the run seed and the view index.
+  std::vector<la::Matrix> embeddings(num_views);
+  std::vector<la::CsrMatrix> zhat(num_views);
+  for (std::size_t v = 0; v < num_views; ++v) {
+    AnchorViewModel view_model;
+    la::Matrix x;
+    if (standardize) {
+      ColumnStats(dataset.views[v], &view_model.feature_means,
+                  &view_model.feature_inv_stds);
+      x = ApplyStandardization(dataset.views[v], view_model.feature_means,
+                               view_model.feature_inv_stds);
+    } else {
+      x = dataset.views[v];
+      view_model.feature_means = la::Vector(x.cols(), 0.0);
+      view_model.feature_inv_stds = la::Vector(x.cols(), 1.0);
+    }
+
+    graph::AnchorOptions aopts;
+    aopts.num_anchors = m;
+    aopts.selection = options.anchors.selection;
+    aopts.seed = options.seed + 211 * (v + 1);
+    StatusOr<la::Matrix> anchors = graph::SelectAnchors(x, aopts);
+    if (!anchors.ok()) return anchors.status();
+
+    graph::AnchorGraphOptions gopts;
+    gopts.anchor_neighbors = s;
+    gopts.tile_rows = options.anchors.tile_rows;
+    StatusOr<la::CsrMatrix> z = graph::BuildAnchorAffinity(x, *anchors, gopts);
+    if (!z.ok()) return z.status();
+
+    cluster::AnchorEmbeddingOptions eopts;
+    eopts.dims = k_view;
+    eopts.mode = options.block_lanczos;
+    eopts.seed = options.seed + 17;
+    eopts.matvec_count = &out.result.lanczos_matvecs;
+    StatusOr<cluster::AnchorEmbeddingResult> emb =
+        cluster::AnchorSpectralEmbedding(*z, eopts);
+    if (!emb.ok()) return emb.status();
+
+    embeddings[v] = std::move(emb->embedding);
+    zhat[v] = NormalizeColumns(*z, emb->anchor_mass);
+    view_model.anchors = std::move(*anchors);
+    view_model.anchor_map = std::move(emb->anchor_map);
+    out.model.views.push_back(std::move(view_model));
+  }
+
+  // --- Joint orthonormal basis B = [U_1 | … | U_V]·T: T comes from the
+  // Gram eigendecomposition [U]ᵀ[U] = W·S·Wᵀ, T = W·S^{−1/2} over the
+  // directions with non-negligible eigenvalue — rank deficiency across
+  // views (shared structure) truncates gracefully instead of dividing by 0.
+  const la::Matrix concat = la::HConcat(embeddings);
+  embeddings.clear();
+  const std::size_t p_full = concat.cols();
+  StatusOr<la::SymEigenResult> gram_eig = la::SymmetricEigen(la::Gram(concat));
+  if (!gram_eig.ok()) return gram_eig.status();
+  double max_gram = 0.0;
+  for (std::size_t j = 0; j < p_full; ++j) {
+    max_gram = std::max(max_gram, gram_eig->eigenvalues[j]);
+  }
+  const double gram_tol = 1e-10 * std::max(max_gram, 1.0);
+  std::vector<std::size_t> kept;
+  for (std::size_t j = p_full; j > 0; --j) {  // descending eigenvalue order
+    if (gram_eig->eigenvalues[j - 1] > gram_tol) kept.push_back(j - 1);
+  }
+  const std::size_t p = kept.size();
+  if (p < c) {
+    return Status::InvalidArgument(
+        "anchor basis rank fell below the cluster count; raise num_anchors "
+        "or basis_per_view");
+  }
+  la::Matrix mix(p_full, p);
+  for (std::size_t t = 0; t < p; ++t) {
+    const std::size_t j = kept[t];
+    const double inv_sqrt = 1.0 / std::sqrt(gram_eig->eigenvalues[j]);
+    for (std::size_t r = 0; r < p_full; ++r) {
+      mix(r, t) = gram_eig->eigenvectors(r, j) * inv_sqrt;
+    }
+  }
+  const la::Matrix basis = la::MatMul(concat, mix);  // n × p, BᵀB ≈ I
+
+  // --- Reduced per-view Laplacians H_v = BᵀL_vB = BᵀB − E_vᵀE_v with
+  // E_v = Ẑ_vᵀB (m × p, one transposed SpMM — O(n·s·p), never an n × n
+  // Laplacian). Symmetrized and stored as p × p CSR so the exact path's
+  // combiner, eigensolves, GPI, and trace kernels apply unchanged. The
+  // spectrum lies in [0, 1] up to basis rounding (Z row-stochastic).
+  const la::Matrix btb = la::Gram(basis);
+  std::vector<la::CsrMatrix> reduced(num_views);
+  for (std::size_t v = 0; v < num_views; ++v) {
+    const la::Matrix e = zhat[v].Transposed().Multiply(basis);
+    la::Matrix h = la::Add(btb, la::Gram(e), -1.0);
+    h.Symmetrize();
+    reduced[v] = la::CsrMatrix::FromDense(h);
+  }
+  zhat.clear();
+
+  // --- From here the solve IS unified.cc's, with F = B·G: the same floors,
+  // warm-started init alternations, and G/R/Y/α blocks run on the p × p
+  // reduced Laplacians; only the Y-step reconstructs n rows (row-argmax of
+  // B·G·R) because labels are an n-point object.
+  la::LanczosOptions lanczos;
+  lanczos.seed = options.seed + 17;
+  lanczos.max_subspace = std::min(p, std::max<std::size_t>(12 * c + 100, 250));
+  lanczos.tolerance = 3e-6;
+  std::vector<double> floors(num_views, 0.0);
+  if (options.smoothness == SmoothnessNormalization::kExcess) {
+    StatusOr<std::vector<double>> spectral =
+        internal::SpectralFloors(reduced, c, lanczos, options.block_lanczos,
+                                 &out.result.lanczos_matvecs);
+    if (!spectral.ok()) return spectral.status();
+    floors = std::move(*spectral);
+  }
+
+  internal::Weights weights;
+  weights.coefficients.assign(num_views, 1.0 / static_cast<double>(num_views));
+  la::Matrix g;
+  const la::CsrCombiner combiner = la::CsrCombiner::Plan(reduced);
+  const std::size_t warmups =
+      std::max<std::size_t>(1, options.init_alternations);
+  for (std::size_t warm = 0; warm < warmups; ++warm) {
+    la::CsrMatrix combined = combiner.Combine(reduced, weights.coefficients);
+    la::LanczosOptions warm_lanczos = lanczos;
+    warm_lanczos.matvec_count = &out.result.lanczos_matvecs;
+    if (options.warm_start && g.rows() == p && g.cols() == c) {
+      warm_lanczos.warm_start = &g;
+    }
+    StatusOr<la::SymEigenResult> init_eig = internal::SmallestEigenpairsSparse(
+        combined, c, cluster::GershgorinUpperBound(combined) + 1e-9,
+        warm_lanczos, options.block_lanczos);
+    if (!init_eig.ok()) return init_eig.status();
+    g = std::move(init_eig->eigenvectors);
+    const std::vector<double> h = internal::ViewSmoothness(reduced, g, floors);
+    weights = internal::UpdateWeights(h, options.weighting, options.gamma);
+    double smoothness = 0.0;
+    for (std::size_t v = 0; v < num_views; ++v) {
+      smoothness += weights.coefficients[v] * h[v];
+    }
+    out.result.warmup_trace.push_back(smoothness);
+  }
+
+  // Objective of the reduced iterate — identical in VALUE to the exact
+  // path's UnifiedObjective at F = B·G (the traces agree because
+  // Tr(FᵀL_vF) = Tr(GᵀH_vG); the residual is evaluated on the
+  // reconstructed rows exactly).
+  auto objective = [&](const la::Matrix& g_cur, const la::Matrix& rot,
+                       const la::Matrix& y_hat_cur,
+                       const la::Matrix& f_full_cur) {
+    double obj = 0.0;
+    for (std::size_t v = 0; v < num_views; ++v) {
+      obj += weights.coefficients[v] * la::QuadraticTrace(reduced[v], g_cur);
+    }
+    la::Matrix residual =
+        la::Add(y_hat_cur, la::MatMul(f_full_cur, rot), -1.0);
+    const double r = residual.FrobeniusNorm();
+    return obj + options.beta * r * r;
+  };
+
+  la::Matrix f_full = la::MatMul(basis, g);  // n × c reconstruction
+  cluster::RotationOptions rot_init;
+  rot_init.seed = options.seed + 31;
+  rot_init.restarts = 8;
+  rot_init.scale_indicator = options.scale_indicator;
+  StatusOr<cluster::RotationResult> init_disc =
+      cluster::DiscretizeEmbedding(f_full, rot_init);
+  if (!init_disc.ok()) return init_disc.status();
+  la::Matrix rotation = std::move(init_disc->rotation);
+  la::Matrix indicator = std::move(init_disc->indicator);
+  la::Matrix y_hat = options.scale_indicator
+                         ? cluster::ScaledIndicator(indicator)
+                         : indicator;
+  // Reduced image P = BᵀŶ (p × c): the ONLY coupling the G- and R-steps
+  // need from the n-row indicator.
+  la::Matrix p_red = la::MatTMul(basis, y_hat);
+
+  double prev_obj = std::numeric_limits<double>::infinity();
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    // --- G-step: min Tr(GᵀHG) − 2β·Tr(Gᵀ P Rᵀ) on the p-dim Stiefel
+    // manifold — the F-step compressed through F = B·G.
+    la::CsrMatrix a = combiner.Combine(reduced, weights.coefficients);
+    la::Matrix b = la::MatMulT(p_red, rotation);
+    b.Scale(options.beta);
+    cluster::GpiOptions gpi;
+    gpi.max_iterations = options.gpi_iterations;
+    StatusOr<cluster::GpiResult> gstep =
+        cluster::GeneralizedPowerIteration(a, b, g, gpi);
+    if (!gstep.ok()) return gstep.status();
+    g = std::move(gstep->f);
+
+    // --- R-step: Procrustes on FᵀŶ = GᵀP (c × c — no n-row pass).
+    StatusOr<la::Matrix> rstep = la::ProcrustesRotation(la::MatTMul(g, p_red));
+    if (!rstep.ok()) return rstep.status();
+    rotation = std::move(*rstep);
+
+    // --- Y-step: the one reconstruction per iteration — labels are an
+    // n-point object, so the row-argmax of F·R = B·(G·R) must see n rows.
+    f_full = la::MatMul(basis, g);
+    la::Matrix fr = la::MatMul(f_full, rotation);
+    std::vector<std::size_t> labels = internal::DiscretizeRows(fr, c);
+    indicator = cluster::LabelsToIndicator(labels, c);
+    y_hat = options.scale_indicator ? cluster::ScaledIndicator(indicator)
+                                    : indicator;
+    p_red = la::MatTMul(basis, y_hat);
+
+    // --- α-step: closed form on the reduced traces.
+    weights = internal::UpdateWeights(
+        internal::ViewSmoothness(reduced, g, floors), options.weighting,
+        options.gamma);
+
+    const double obj = objective(g, rotation, y_hat, f_full);
+    out.result.objective_trace.push_back(obj);
+    out.result.iterations = iter + 1;
+    if (iter > 0 &&
+        std::fabs(prev_obj - obj) <=
+            options.tolerance * std::max(std::fabs(prev_obj), 1e-12)) {
+      out.result.converged = true;
+      break;
+    }
+    prev_obj = obj;
+  }
+
+  // Final polish, as on the exact path: re-search (Y, R) for the converged
+  // embedding with fresh restarts, accepted only on objective improvement.
+  {
+    cluster::RotationOptions rot_final;
+    rot_final.seed = options.seed + 97;
+    rot_final.restarts = 8;
+    rot_final.scale_indicator = options.scale_indicator;
+    StatusOr<cluster::RotationResult> polished =
+        cluster::DiscretizeEmbedding(f_full, rot_final);
+    if (polished.ok()) {
+      la::Matrix polished_y_hat =
+          options.scale_indicator ? cluster::ScaledIndicator(polished->indicator)
+                                  : polished->indicator;
+      const double incumbent = objective(g, rotation, y_hat, f_full);
+      const double candidate =
+          objective(g, polished->rotation, polished_y_hat, f_full);
+      if (candidate < incumbent) {
+        rotation = std::move(polished->rotation);
+        indicator = std::move(polished->indicator);
+      }
+    }
+  }
+
+  out.result.labels = cluster::IndicatorToLabels(indicator);
+  out.result.indicator = std::move(indicator);
+  out.result.embedding = std::move(f_full);
+  out.result.rotation = rotation;
+  out.result.view_weights = weights.alpha;
+  out.model.mix = mix;
+  out.model.assignment = la::MatMul(mix, la::MatMul(g, rotation));
+  return out;
+}
+
+}  // namespace umvsc::mvsc

@@ -43,6 +43,72 @@ la::Matrix ApplyStandardization(const la::Matrix& m, const la::Vector& means,
   return out;
 }
 
+// One point's reduced coordinates in one view of an anchor model: the exact
+// row rule of graph::BuildAnchorAffinity — s nearest anchors (ties keep the
+// smaller anchor index), self-tuning bandwidth = own s-th-nearest squared
+// distance, Gaussian weights normalized in rank order — then u = z·anchor_map
+// accumulated in ascending-anchor order, matching the training SpMM.
+// `row` must already be standardized; appends k_v values to `coords`.
+void AnchorViewCoordinates(const AnchorViewModel& view, std::size_t s,
+                           const double* row, std::vector<double>* coords) {
+  const std::size_t m = view.anchors.rows();
+  const std::size_t d = view.anchors.cols();
+  // Bounded s-best selection, ascending distance, ties to the smaller index.
+  std::vector<double> best_d2(s, 0.0);
+  std::vector<std::size_t> best_j(s, 0);
+  std::size_t filled = 0;
+  for (std::size_t j = 0; j < m; ++j) {
+    const double* aj = view.anchors.RowPtr(j);
+    double d2 = 0.0;
+    for (std::size_t p = 0; p < d; ++p) {
+      const double diff = row[p] - aj[p];
+      d2 += diff * diff;
+    }
+    if (filled == s && d2 >= best_d2[s - 1]) continue;
+    std::size_t q = filled < s ? filled : s - 1;
+    while (q > 0 && best_d2[q - 1] > d2) {
+      best_d2[q] = best_d2[q - 1];
+      best_j[q] = best_j[q - 1];
+      --q;
+    }
+    best_d2[q] = d2;
+    best_j[q] = j;
+    if (filled < s) ++filled;
+  }
+  // Weights in rank order (the bandwidth is the worst kept distance) …
+  const double sigma2 = std::max(best_d2[s - 1], 1e-300);
+  std::vector<double> w(s);
+  double sum = 0.0;
+  for (std::size_t r = 0; r < s; ++r) {
+    w[r] = std::exp(-best_d2[r] / sigma2);
+    sum += w[r];
+  }
+  const double inv = 1.0 / sum;
+  for (std::size_t r = 0; r < s; ++r) w[r] *= inv;
+  // … then ascending-anchor accumulation order, as the training SpMM uses.
+  for (std::size_t r = 1; r < s; ++r) {
+    const std::size_t jr = best_j[r];
+    const double wr = w[r];
+    std::size_t q = r;
+    while (q > 0 && best_j[q - 1] > jr) {
+      best_j[q] = best_j[q - 1];
+      w[q] = w[q - 1];
+      --q;
+    }
+    best_j[q] = jr;
+    w[q] = wr;
+  }
+  const std::size_t k = view.anchor_map.cols();
+  const std::size_t base = coords->size();
+  coords->resize(base + k, 0.0);
+  for (std::size_t r = 0; r < s; ++r) {
+    const double* map_row = view.anchor_map.RowPtr(best_j[r]);
+    for (std::size_t t = 0; t < k; ++t) {
+      (*coords)[base + t] += w[r] * map_row[t];
+    }
+  }
+}
+
 }  // namespace
 
 StatusOr<OutOfSampleModel> OutOfSampleModel::Fit(
@@ -99,9 +165,107 @@ StatusOr<OutOfSampleModel> OutOfSampleModel::Fit(
   return model;
 }
 
+StatusOr<OutOfSampleModel> OutOfSampleModel::FitAnchor(AnchorModel model) {
+  if (model.views.empty()) {
+    return Status::InvalidArgument("anchor model has no views");
+  }
+  if (model.num_clusters < 2) {
+    return Status::InvalidArgument("anchor model needs at least two clusters");
+  }
+  if (model.assignment.rows() == 0 ||
+      model.assignment.cols() != model.num_clusters) {
+    return Status::InvalidArgument(
+        "anchor model assignment must have one column per cluster");
+  }
+  std::size_t total_dims = 0;
+  for (std::size_t v = 0; v < model.views.size(); ++v) {
+    const AnchorViewModel& view = model.views[v];
+    const std::size_t m = view.anchors.rows();
+    if (m == 0 || view.anchors.cols() == 0) {
+      return Status::InvalidArgument(
+          StrFormat("anchor model view %zu has no anchors", v));
+    }
+    if (view.anchor_map.rows() != m || view.anchor_map.cols() == 0) {
+      return Status::InvalidArgument(
+          StrFormat("anchor model view %zu map must have one row per anchor",
+                    v));
+    }
+    if (view.feature_means.size() != view.anchors.cols() ||
+        view.feature_inv_stds.size() != view.anchors.cols()) {
+      return Status::InvalidArgument(
+          StrFormat("anchor model view %zu standardization size mismatch", v));
+    }
+    if (model.anchor_neighbors < 1 || model.anchor_neighbors > m) {
+      return Status::InvalidArgument(
+          StrFormat("anchor model neighbors must satisfy 1 <= s <= %zu", m));
+    }
+    total_dims += view.anchor_map.cols();
+  }
+  if (model.assignment.rows() != total_dims) {
+    return Status::InvalidArgument(
+        "anchor model assignment rows must match concatenated view dims");
+  }
+
+  OutOfSampleModel out;
+  out.num_clusters_ = model.num_clusters;
+  out.anchor_model_ = std::move(model);
+  return out;
+}
+
 StatusOr<std::vector<std::size_t>> OutOfSampleModel::Predict(
     const data::MultiViewDataset& batch) const {
   UMVSC_RETURN_IF_ERROR(batch.Validate());
+  if (anchor_model_) {
+    const AnchorModel& model = *anchor_model_;
+    if (batch.NumViews() != model.views.size()) {
+      return Status::InvalidArgument(
+          StrFormat("batch has %zu views, model expects %zu", batch.NumViews(),
+                    model.views.size()));
+    }
+    for (std::size_t v = 0; v < model.views.size(); ++v) {
+      if (batch.views[v].cols() != model.views[v].anchors.cols()) {
+        return Status::InvalidArgument(
+            StrFormat("view %zu has %zu features, model expects %zu", v,
+                      batch.views[v].cols(), model.views[v].anchors.cols()));
+      }
+    }
+    const std::size_t count = batch.NumSamples();
+    std::vector<std::size_t> predictions(count, 0);
+    std::vector<double> coords;
+    std::vector<double> point;
+    for (std::size_t i = 0; i < count; ++i) {
+      coords.clear();
+      for (std::size_t v = 0; v < model.views.size(); ++v) {
+        const AnchorViewModel& view = model.views[v];
+        const std::size_t d = view.anchors.cols();
+        point.resize(d);
+        const double* raw = batch.views[v].RowPtr(i);
+        for (std::size_t j = 0; j < d; ++j) {
+          point[j] =
+              (raw[j] - view.feature_means[j]) * view.feature_inv_stds[j];
+        }
+        AnchorViewCoordinates(view, model.anchor_neighbors, point.data(),
+                              &coords);
+      }
+      // scores = u · assignment, accumulated over rows in ascending order so
+      // the sum matches the training-side matrix product; strict `>` keeps
+      // the smaller cluster index on ties, as DiscretizeRows does.
+      std::vector<double> scores(model.num_clusters, 0.0);
+      for (std::size_t t = 0; t < coords.size(); ++t) {
+        const double u = coords[t];
+        const double* arow = model.assignment.RowPtr(t);
+        for (std::size_t j = 0; j < model.num_clusters; ++j) {
+          scores[j] += u * arow[j];
+        }
+      }
+      std::size_t best = 0;
+      for (std::size_t j = 1; j < model.num_clusters; ++j) {
+        if (scores[j] > scores[best]) best = j;
+      }
+      predictions[i] = best;
+    }
+    return predictions;
+  }
   if (batch.NumViews() != views_.size()) {
     return Status::InvalidArgument(
         StrFormat("batch has %zu views, model expects %zu", batch.NumViews(),

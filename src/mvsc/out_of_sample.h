@@ -2,11 +2,13 @@
 #define UMVSC_MVSC_OUT_OF_SAMPLE_H_
 
 #include <cstddef>
+#include <optional>
 #include <vector>
 
 #include "common/status.h"
 #include "data/dataset.h"
 #include "la/matrix.h"
+#include "mvsc/anchor_unified.h"
 
 namespace umvsc::mvsc {
 
@@ -36,6 +38,20 @@ class OutOfSampleModel {
                                         const std::vector<double>& view_weights,
                                         const OutOfSampleOptions& options = {});
 
+  /// Fits the model from a completed anchor-mode solve
+  /// (SolveUnifiedAnchors). Prediction then runs the nearest-anchor
+  /// extension: per view, the new point builds its s-sparse anchor row
+  /// (the exact row rule of graph::BuildAnchorAffinity — s nearest anchors,
+  /// self-tuning bandwidth, ties to the smaller anchor index), maps it into
+  /// the reduced space through anchor_map, and the concatenated coordinates
+  /// score against AnchorModel::assignment; ties in the final row-argmax
+  /// keep the smaller cluster index, matching the training discretization.
+  /// O(Σ_v m·d_v + p'·c) per point — anchors only, NEVER the training rows —
+  /// so a training point re-predicted through this path reproduces its
+  /// training label (the anchor path assigns labels through the same chain;
+  /// mvsc_out_of_sample_test pins this).
+  static StatusOr<OutOfSampleModel> FitAnchor(AnchorModel model);
+
   /// Predicts cluster ids for new points given as a multi-view batch with
   /// the same number and dimensionality of views as the training data
   /// (labels in the batch, if any, are ignored).
@@ -58,6 +74,9 @@ class OutOfSampleModel {
   std::vector<la::Vector> feature_inv_stds_;
   /// Per-view self-tuning bandwidth of each training point (k-NN distance).
   std::vector<la::Vector> train_scales_;
+  /// When set, Predict routes through the anchor extension instead of the
+  /// training-point affinity vote (the O(n)-free serving path).
+  std::optional<AnchorModel> anchor_model_;
 };
 
 }  // namespace umvsc::mvsc

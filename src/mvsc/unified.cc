@@ -11,12 +11,20 @@
 #include "la/lanczos.h"
 #include "la/ops.h"
 #include "la/svd.h"
+#include "mvsc/anchor_unified.h"
+#include "mvsc/unified_internal.h"
 
 namespace umvsc::mvsc {
 
 namespace {
 
 constexpr double kTraceFloor = 1e-12;
+
+}  // namespace
+
+// The shared solver blocks below are declared in unified_internal.h so the
+// reduced anchor path (anchor_unified.cc) runs the SAME update semantics.
+namespace internal {
 
 // Per-view smoothness h_v = Tr(Fᵀ L_v F) − offset_v, floored away from zero
 // so the weight updates stay finite on views the embedding fits perfectly.
@@ -95,11 +103,7 @@ StatusOr<std::vector<double>> SpectralFloors(
   return floors;
 }
 
-// Returns {normalized α for reporting, Laplacian combination coefficients}.
-struct Weights {
-  std::vector<double> alpha;
-  std::vector<double> coefficients;
-};
+namespace {
 
 // Floors combination coefficients at a fraction of their maximum. A view
 // whose graph fragments into more than c components has Tr(FᵀL_vF) ≈ 0, so
@@ -117,6 +121,8 @@ void FloorCoefficients(std::vector<double>& coefficients) {
     c = std::max(c, kCoefficientFloorRatio * cmax);
   }
 }
+
+}  // namespace
 
 Weights UpdateWeights(const std::vector<double>& h, ViewWeighting mode,
                       double gamma) {
@@ -198,7 +204,7 @@ std::vector<std::size_t> DiscretizeRows(const la::Matrix& fr,
   return labels;
 }
 
-}  // namespace
+}  // namespace internal
 
 double UnifiedObjective(const std::vector<la::CsrMatrix>& laplacians,
                         const std::vector<double>& weight_coefficients,
@@ -226,6 +232,11 @@ StatusOr<UnifiedResult> UnifiedMVSC::Run(const MultiViewGraphs& graphs) const {
   const std::size_t num_views = graphs.laplacians.size();
   const std::size_t n = graphs.NumSamples();
   const std::size_t c = options_.num_clusters;
+  if (options_.anchors.enabled) {
+    return Status::InvalidArgument(
+        "anchor mode selects anchors from raw features; call "
+        "Run(dataset) instead of Run(graphs)");
+  }
   if (num_views == 0) {
     return Status::InvalidArgument("UnifiedMVSC requires at least one view");
   }
@@ -253,12 +264,12 @@ StatusOr<UnifiedResult> UnifiedMVSC::Run(const MultiViewGraphs& graphs) const {
   std::vector<double> floors(num_views, 0.0);
   if (options_.smoothness == SmoothnessNormalization::kExcess) {
     StatusOr<std::vector<double>> spectral =
-        SpectralFloors(graphs.laplacians, c, lanczos, options_.block_lanczos,
+        internal::SpectralFloors(graphs.laplacians, c, lanczos, options_.block_lanczos,
                        &out.lanczos_matvecs);
     if (!spectral.ok()) return spectral.status();
     floors = std::move(*spectral);
   }
-  Weights weights;
+  internal::Weights weights;
   weights.coefficients.assign(num_views, 1.0 / static_cast<double>(num_views));
   la::Matrix f;
   // The per-view Laplacians are fixed for the whole run, so the union
@@ -280,13 +291,13 @@ StatusOr<UnifiedResult> UnifiedMVSC::Run(const MultiViewGraphs& graphs) const {
       // Laplacian moved only as far as the view weights did.
       warm_lanczos.warm_start = &f;
     }
-    StatusOr<la::SymEigenResult> init_eig = SmallestEigenpairsSparse(
+    StatusOr<la::SymEigenResult> init_eig = internal::SmallestEigenpairsSparse(
         combined, c, cluster::GershgorinUpperBound(combined) + 1e-9,
         warm_lanczos, options_.block_lanczos);
     if (!init_eig.ok()) return init_eig.status();
     f = std::move(init_eig->eigenvectors);
-    const std::vector<double> h = ViewSmoothness(graphs.laplacians, f, floors);
-    weights = UpdateWeights(h, options_.weighting, options_.gamma);
+    const std::vector<double> h = internal::ViewSmoothness(graphs.laplacians, f, floors);
+    weights = internal::UpdateWeights(h, options_.weighting, options_.gamma);
     double smoothness = 0.0;
     for (std::size_t v = 0; v < num_views; ++v) {
       smoothness += weights.coefficients[v] * h[v];
@@ -330,13 +341,13 @@ StatusOr<UnifiedResult> UnifiedMVSC::Run(const MultiViewGraphs& graphs) const {
 
     // --- Y-step: row-wise argmax of F·R (exact given F, R).
     la::Matrix fr = la::MatMul(f, rotation);
-    std::vector<std::size_t> labels = DiscretizeRows(fr, c);
+    std::vector<std::size_t> labels = internal::DiscretizeRows(fr, c);
     indicator = cluster::LabelsToIndicator(labels, c);
     y_hat = options_.scale_indicator ? cluster::ScaledIndicator(indicator)
                                      : indicator;
 
     // --- α-step: closed form from the fresh smoothness values.
-    weights = UpdateWeights(ViewSmoothness(graphs.laplacians, f, floors),
+    weights = internal::UpdateWeights(internal::ViewSmoothness(graphs.laplacians, f, floors),
                             options_.weighting, options_.gamma);
 
     const double obj =
@@ -391,6 +402,13 @@ StatusOr<UnifiedResult> UnifiedMVSC::Run(const MultiViewGraphs& graphs) const {
 StatusOr<UnifiedResult> UnifiedMVSC::Run(
     const data::MultiViewDataset& dataset,
     const GraphOptions& graph_options) const {
+  if (options_.anchors.enabled) {
+    // The large-scale reduced path: no O(n²) graphs, no n-row eigensolves.
+    StatusOr<AnchorUnifiedResult> anchored =
+        SolveUnifiedAnchors(dataset, options_, graph_options.standardize);
+    if (!anchored.ok()) return anchored.status();
+    return std::move(anchored->result);
+  }
   StatusOr<MultiViewGraphs> graphs = BuildGraphs(dataset, graph_options);
   if (!graphs.ok()) return graphs.status();
   return Run(*graphs);

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "graph/anchors.h"
 #include "la/lanczos.h"
 #include "la/matrix.h"
 #include "mvsc/graphs.h"
@@ -33,6 +34,31 @@ enum class ViewWeighting {
   kAmgl,
   /// Fixed uniform weights (ablation).
   kUniform,
+};
+
+/// The large-scale anchor mode of the unified solver (off by default: the
+/// exact path is untouched — byte-identical results — whenever `enabled` is
+/// false). When enabled, Run(dataset) replaces the O(n²) per-view graphs
+/// with m-anchor bipartite affinities and runs every eigensolve and every
+/// F/R/α update in the reduced space they span (see anchor_unified.h);
+/// per-iteration work linear in n remains only at label-assignment time.
+struct UnifiedAnchorOptions {
+  /// Master switch. Requires the feature-level Run(dataset) entry point —
+  /// Run(graphs) has no features to select anchors from and reports
+  /// InvalidArgument when this is set.
+  bool enabled = false;
+  /// Anchors m per view (m ≪ n; cost grows as O(n·m·d + n·s²) per view).
+  std::size_t num_anchors = 256;
+  /// Nonzeros per bipartite row s (graph::AnchorGraphOptions).
+  std::size_t anchor_neighbors = 5;
+  /// Reduced directions kept per view; 0 means num_clusters + 2 (a small
+  /// cushion beyond c lets the joint basis disambiguate clusters that one
+  /// view alone blurs).
+  std::size_t basis_per_view = 0;
+  graph::AnchorSelection selection = graph::AnchorSelection::kKmeansppRefine;
+  /// Row-tile height of the bipartite builder panels (memory knob only;
+  /// results are bitwise identical at every setting).
+  std::size_t tile_rows = 128;
 };
 
 /// Options for the unified one-stage multi-view spectral clustering solver.
@@ -74,6 +100,8 @@ struct UnifiedOptions {
   /// both yield the same eigenpairs to solver tolerance (identical
   /// partitions, ARI 1.0 — la_policy_test pins this).
   la::EigensolveMode block_lanczos = la::EigensolveMode::kAuto;
+  /// Large-scale anchor mode (disabled by default — see UnifiedAnchorOptions).
+  UnifiedAnchorOptions anchors;
   std::uint64_t seed = 0;
 };
 
@@ -118,7 +146,11 @@ class UnifiedMVSC {
   /// calls on different graphs simply share the pool.
   StatusOr<UnifiedResult> Run(const MultiViewGraphs& graphs) const;
 
-  /// Convenience: builds graphs from raw features, then runs.
+  /// Convenience: builds graphs from raw features, then runs. When
+  /// options().anchors.enabled is set, this routes to the reduced anchor
+  /// path instead (SolveUnifiedAnchors in anchor_unified.h) — near-linear
+  /// in n — honoring graph_options.standardize for the feature
+  /// preprocessing; the remaining graph options are exact-path-only.
   StatusOr<UnifiedResult> Run(const data::MultiViewDataset& dataset,
                               const GraphOptions& graph_options = {}) const;
 

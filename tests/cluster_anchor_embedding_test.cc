@@ -1,0 +1,187 @@
+// Tests for the anchor-graph spectral embedding: the m × m reduced route
+// must produce an orthonormal n × k embedding whose top directions separate
+// well-separated blobs, expose the exact Z·anchor_map factorization it
+// promises for out-of-sample extension, and stay bitwise deterministic
+// across thread counts.
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "cluster/anchor_embedding.h"
+#include "cluster/kmeans.h"
+#include "eval/metrics.h"
+#include "graph/anchors.h"
+
+namespace umvsc::cluster {
+namespace {
+
+// Three well-separated Gaussian blobs in 4D plus their ground truth.
+la::Matrix Blobs(std::size_t n, std::uint64_t seed,
+                 std::vector<std::size_t>* truth) {
+  Rng rng(seed);
+  la::Matrix x(n, 4);
+  truth->resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t c = i % 3;
+    (*truth)[i] = c;
+    for (std::size_t j = 0; j < 4; ++j) {
+      x(i, j) = rng.Gaussian(static_cast<double>(c) * 6.0, 1.0);
+    }
+  }
+  return x;
+}
+
+la::CsrMatrix BlobAffinity(const la::Matrix& x, std::size_t m,
+                           std::size_t s) {
+  graph::AnchorOptions selection;
+  selection.num_anchors = m;
+  StatusOr<la::Matrix> anchors = graph::SelectAnchors(x, selection);
+  EXPECT_TRUE(anchors.ok());
+  graph::AnchorGraphOptions options;
+  options.anchor_neighbors = s;
+  StatusOr<la::CsrMatrix> z = graph::BuildAnchorAffinity(x, *anchors, options);
+  EXPECT_TRUE(z.ok());
+  return *z;
+}
+
+TEST(AnchorEmbeddingTest, ValidatesInput) {
+  std::vector<std::size_t> truth;
+  la::Matrix x = Blobs(60, 3, &truth);
+  la::CsrMatrix z = BlobAffinity(x, 12, 4);
+  AnchorEmbeddingOptions options;
+  options.dims = 0;
+  EXPECT_FALSE(AnchorSpectralEmbedding(z, options).ok());
+  options.dims = 13;  // > m
+  EXPECT_FALSE(AnchorSpectralEmbedding(z, options).ok());
+}
+
+TEST(AnchorEmbeddingTest, OrthonormalColumnsAndDescendingSpectrum) {
+  std::vector<std::size_t> truth;
+  la::Matrix x = Blobs(200, 5, &truth);
+  la::CsrMatrix z = BlobAffinity(x, 24, 5);
+  AnchorEmbeddingOptions options;
+  options.dims = 5;
+  StatusOr<AnchorEmbeddingResult> got = AnchorSpectralEmbedding(z, options);
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(got->embedding.rows(), 200u);
+  ASSERT_EQ(got->embedding.cols(), 5u);
+  for (std::size_t a = 0; a < 5; ++a) {
+    for (std::size_t b = a; b < 5; ++b) {
+      double dot = 0.0;
+      for (std::size_t i = 0; i < 200; ++i) {
+        dot += got->embedding(i, a) * got->embedding(i, b);
+      }
+      EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-6) << a << "," << b;
+    }
+  }
+  for (std::size_t t = 0; t < 5; ++t) {
+    EXPECT_GE(got->eigenvalues[t], -1e-12);
+    EXPECT_LE(got->eigenvalues[t], 1.0 + 1e-9);
+    if (t > 0) {
+      EXPECT_LE(got->eigenvalues[t], got->eigenvalues[t - 1] + 1e-12);
+    }
+  }
+  // Row-stochastic Z: the constant direction survives with eigenvalue 1.
+  EXPECT_NEAR(got->eigenvalues[0], 1.0, 1e-8);
+}
+
+TEST(AnchorEmbeddingTest, EmbeddingIsExactlyZTimesAnchorMap) {
+  std::vector<std::size_t> truth;
+  la::Matrix x = Blobs(150, 7, &truth);
+  la::CsrMatrix z = BlobAffinity(x, 20, 4);
+  AnchorEmbeddingOptions options;
+  options.dims = 4;
+  StatusOr<AnchorEmbeddingResult> got = AnchorSpectralEmbedding(z, options);
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(got->anchor_map.rows(), 20u);
+  ASSERT_EQ(got->anchor_map.cols(), 4u);
+  la::Matrix reconstructed(150, 4);
+  z.MultiplyInto(got->anchor_map, reconstructed);
+  EXPECT_EQ(std::memcmp(reconstructed.data(), got->embedding.data(),
+                        150 * 4 * sizeof(double)),
+            0)
+      << "embedding must be the exact SpMM the extension map implies";
+}
+
+TEST(AnchorEmbeddingTest, SeparatesBlobs) {
+  std::vector<std::size_t> truth;
+  la::Matrix x = Blobs(300, 11, &truth);
+  la::CsrMatrix z = BlobAffinity(x, 30, 5);
+  AnchorEmbeddingOptions options;
+  options.dims = 3;
+  StatusOr<AnchorEmbeddingResult> got = AnchorSpectralEmbedding(z, options);
+  ASSERT_TRUE(got.ok());
+  KMeansOptions kmeans;
+  kmeans.num_clusters = 3;
+  kmeans.seed = 2;
+  StatusOr<KMeansResult> clustered = KMeans(got->embedding, kmeans);
+  ASSERT_TRUE(clustered.ok());
+  StatusOr<double> ari = eval::AdjustedRandIndex(clustered->labels, truth);
+  ASSERT_TRUE(ari.ok());
+  EXPECT_GE(*ari, 0.98);
+}
+
+TEST(AnchorEmbeddingTest, ThreadCountDoesNotChangeTheEmbedding) {
+  std::vector<std::size_t> truth;
+  la::Matrix x = Blobs(180, 13, &truth);
+  la::CsrMatrix z = BlobAffinity(x, 22, 4);
+  AnchorEmbeddingOptions options;
+  options.dims = 4;
+  la::Matrix reference;
+  {
+    ScopedNumThreads serial(1);
+    StatusOr<AnchorEmbeddingResult> got = AnchorSpectralEmbedding(z, options);
+    ASSERT_TRUE(got.ok());
+    reference = got->embedding;
+  }
+  for (std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    ScopedNumThreads scoped(threads);
+    StatusOr<AnchorEmbeddingResult> got = AnchorSpectralEmbedding(z, options);
+    ASSERT_TRUE(got.ok()) << "threads=" << threads;
+    ASSERT_EQ(got->embedding.rows(), reference.rows());
+    EXPECT_EQ(std::memcmp(got->embedding.data(), reference.data(),
+                          reference.rows() * reference.cols() *
+                              sizeof(double)),
+              0)
+        << "threads=" << threads;
+  }
+}
+
+TEST(AnchorEmbeddingTest, ZeroMassAnchorDegradesGracefully) {
+  // A hand-built Z whose last anchor column is never referenced: the
+  // truncation rule must zero that direction instead of dividing by ~0.
+  const std::size_t n = 12, m = 4;
+  std::vector<std::size_t> offsets(n + 1);
+  std::vector<std::size_t> cols;
+  std::vector<double> vals;
+  for (std::size_t i = 0; i < n; ++i) {
+    offsets[i] = cols.size();
+    const std::size_t a = i % 3;  // anchors 0..2 only; anchor 3 untouched
+    const std::size_t b = (i + 1) % 3;
+    cols.push_back(std::min(a, b));
+    cols.push_back(std::max(a, b));
+    vals.push_back(0.6);
+    vals.push_back(0.4);
+    if (cols[cols.size() - 2] > cols.back()) std::swap(vals[vals.size() - 2],
+                                                       vals.back());
+  }
+  offsets[n] = cols.size();
+  StatusOr<la::CsrMatrix> z =
+      la::CsrMatrix::FromParts(n, m, offsets, cols, vals);
+  ASSERT_TRUE(z.ok());
+  AnchorEmbeddingOptions options;
+  options.dims = 4;
+  StatusOr<AnchorEmbeddingResult> got = AnchorSpectralEmbedding(*z, options);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->anchor_mass[3], 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(std::isfinite(got->embedding(i, 3)));
+  }
+}
+
+}  // namespace
+}  // namespace umvsc::cluster

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "eval/metrics.h"
 #include "la/ops.h"
@@ -113,6 +114,36 @@ TEST(NystromTest, ExplicitSigmaAccepted) {
   auto acc = eval::ClusteringAccuracy(result->labels, blobs.labels);
   ASSERT_TRUE(acc.ok());
   EXPECT_GT(*acc, 0.95);
+}
+
+// Regression for the sigma = 0 heuristic: the bandwidth is the lower median
+// of ALL landmark-pair distances, computed serially in ascending (i, j)
+// order — a pure function of the landmark set. Labels must therefore be
+// identical at every thread count (the old heuristic sampled pairs in a
+// thread-dependent order).
+TEST(NystromTest, MedianSigmaHeuristicIsThreadInvariant) {
+  Blobs blobs = MakeBlobs(70, 3, 7.0, 12);
+  NystromOptions options;
+  options.num_clusters = 3;
+  options.landmarks = 30;
+  options.sigma = 0.0;  // exercise the heuristic
+  options.seed = 13;
+  std::vector<std::size_t> reference;
+  {
+    ScopedNumThreads serial(1);
+    auto result = NystromSpectralClustering(blobs.data, options);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    reference = result->labels;
+    auto acc = eval::ClusteringAccuracy(result->labels, blobs.labels);
+    ASSERT_TRUE(acc.ok());
+    EXPECT_GT(*acc, 0.95);
+  }
+  for (std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    ScopedNumThreads scoped(threads);
+    auto result = NystromSpectralClustering(blobs.data, options);
+    ASSERT_TRUE(result.ok()) << "threads=" << threads;
+    EXPECT_EQ(result->labels, reference) << "threads=" << threads;
+  }
 }
 
 TEST(NystromTest, RejectsInvalidOptions) {

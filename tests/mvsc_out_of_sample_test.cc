@@ -119,5 +119,75 @@ TEST(OutOfSampleTest, FitValidatesInputs) {
                    .ok());
 }
 
+// The anchor-mode serving path: FitAnchor wraps the model of a completed
+// anchor solve, and Predict assigns new points through anchors only (never
+// the training rows). Re-predicting the TRAINING set must reproduce the
+// training labels — the prediction chain (s-sparse anchor row → anchor_map
+// → assignment argmax) is the same chain the solver used to label them.
+TEST(OutOfSampleTest, AnchorModelReproducesTrainingLabels) {
+  Split split = MakeSplit(84);
+  UnifiedOptions options;
+  options.num_clusters = 3;
+  options.seed = 5;
+  options.anchors.enabled = true;
+  options.anchors.num_anchors = 32;
+  options.anchors.anchor_neighbors = 5;
+  StatusOr<AnchorUnifiedResult> fitted =
+      SolveUnifiedAnchors(split.train, options);
+  ASSERT_TRUE(fitted.ok()) << fitted.status().ToString();
+  auto train_acc =
+      eval::ClusteringAccuracy(fitted->result.labels, split.train.labels);
+  ASSERT_TRUE(train_acc.ok());
+  ASSERT_GT(*train_acc, 0.9);
+
+  StatusOr<OutOfSampleModel> model = OutOfSampleModel::FitAnchor(fitted->model);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  EXPECT_EQ(model->num_clusters(), 3u);
+
+  StatusOr<std::vector<std::size_t>> replayed = model->Predict(split.train);
+  ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
+  EXPECT_EQ(*replayed, fitted->result.labels);
+
+  // And it generalizes: held-out points land in the right clusters.
+  StatusOr<std::vector<std::size_t>> predicted = model->Predict(split.test);
+  ASSERT_TRUE(predicted.ok());
+  auto test_acc = eval::ClusteringAccuracy(*predicted, split.test.labels);
+  ASSERT_TRUE(test_acc.ok());
+  EXPECT_GT(*test_acc, 0.85);
+}
+
+TEST(OutOfSampleTest, FitAnchorValidatesTheModel) {
+  Split split = MakeSplit(85);
+  UnifiedOptions options;
+  options.num_clusters = 3;
+  options.seed = 5;
+  options.anchors.enabled = true;
+  options.anchors.num_anchors = 24;
+  StatusOr<AnchorUnifiedResult> fitted =
+      SolveUnifiedAnchors(split.train, options);
+  ASSERT_TRUE(fitted.ok());
+
+  AnchorModel empty;
+  EXPECT_FALSE(OutOfSampleModel::FitAnchor(empty).ok());
+
+  AnchorModel bad_dims = fitted->model;
+  bad_dims.assignment = la::Matrix(3, 3);
+  EXPECT_FALSE(OutOfSampleModel::FitAnchor(bad_dims).ok());
+
+  AnchorModel bad_neighbors = fitted->model;
+  bad_neighbors.anchor_neighbors = 0;
+  EXPECT_FALSE(OutOfSampleModel::FitAnchor(bad_neighbors).ok());
+
+  // Batch shape mismatches are caught by the anchor Predict too.
+  StatusOr<OutOfSampleModel> model = OutOfSampleModel::FitAnchor(fitted->model);
+  ASSERT_TRUE(model.ok());
+  data::MultiViewDataset wrong_views;
+  wrong_views.views.push_back(split.test.views[0]);
+  EXPECT_FALSE(model->Predict(wrong_views).ok());
+  data::MultiViewDataset wrong_dims = split.test;
+  wrong_dims.views[1] = la::Matrix(split.test.NumSamples(), 3);
+  EXPECT_FALSE(model->Predict(wrong_dims).ok());
+}
+
 }  // namespace
 }  // namespace umvsc::mvsc
