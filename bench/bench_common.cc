@@ -1,5 +1,7 @@
 #include "bench_common.h"
 
+#include <sys/resource.h>
+
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -288,6 +290,16 @@ ThreadScaling MeasureThreadScaling(const data::MultiViewDataset& dataset,
                         ? scaling.baseline_seconds / scaling.parallel_seconds
                         : 1.0;
   return scaling;
+}
+
+std::size_t PeakRssKb() {
+  struct rusage usage;
+  getrusage(RUSAGE_SELF, &usage);
+#if defined(__APPLE__)
+  return static_cast<std::size_t>(usage.ru_maxrss) / 1024;  // bytes → KB
+#else
+  return static_cast<std::size_t>(usage.ru_maxrss);  // already KB on Linux
+#endif
 }
 
 std::string JsonEscape(const std::string& s) {

@@ -93,6 +93,12 @@ ThreadScaling MeasureThreadScaling(const data::MultiViewDataset& dataset,
 /// Minimal JSON string escaping (quotes, backslashes, control chars).
 std::string JsonEscape(const std::string& s);
 
+/// Process peak resident set size in KB, normalized across platforms:
+/// getrusage reports ru_maxrss in kilobytes on Linux but in BYTES on
+/// macOS — every benchmark must report through this one helper so the
+/// committed JSON artifacts carry one unit.
+std::size_t PeakRssKb();
+
 }  // namespace umvsc::bench
 
 #endif  // UMVSC_BENCH_BENCH_COMMON_H_

@@ -13,14 +13,13 @@
 //
 //   ./scale_sweep [--smoke] [--json=PATH]     (default BENCH_scale.json)
 
-#include <sys/resource.h>
-
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "bench_common.h"
 #include "common/stopwatch.h"
 #include "data/synthetic.h"
 #include "eval/metrics.h"
@@ -31,11 +30,7 @@ namespace {
 constexpr double kParityFloor = 0.95;
 constexpr double kSlopeCeiling = 1.25;
 
-std::size_t PeakRssKb() {
-  struct rusage usage;
-  getrusage(RUSAGE_SELF, &usage);
-  return static_cast<std::size_t>(usage.ru_maxrss);  // KB on Linux
-}
+using umvsc::bench::PeakRssKb;
 
 struct SweepRow {
   std::size_t n = 0;

@@ -18,8 +18,6 @@
 //
 //   ./table3_runtime [--scale=0.4] [--seeds=3] [--threads=8] [--json=PATH]
 
-#include <sys/resource.h>
-
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -72,11 +70,7 @@ void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
-std::size_t PeakRssKb() {
-  struct rusage usage;
-  getrusage(RUSAGE_SELF, &usage);
-  return static_cast<std::size_t>(usage.ru_maxrss);  // KB on Linux
-}
+using umvsc::bench::PeakRssKb;
 
 struct MemoryLeg {
   double seconds = 0.0;

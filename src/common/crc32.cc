@@ -1,0 +1,39 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace umvsc {
+
+namespace {
+
+// 256-entry table for the reflected IEEE polynomial, built once at load.
+std::array<std::uint32_t, 256> BuildTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& Table() {
+  static const std::array<std::uint32_t, 256> table = BuildTable();
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t Crc32(const void* data, std::size_t len, std::uint32_t seed) {
+  const std::array<std::uint32_t, 256>& table = Table();
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i) {
+    c = table[(c ^ bytes[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace umvsc

@@ -1,0 +1,20 @@
+#ifndef UMVSC_COMMON_CRC32_H_
+#define UMVSC_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace umvsc {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the checksum of
+/// zlib/gzip/PNG, used by the model serialization format to detect
+/// corrupted or truncated sections. Table-driven, one byte per step.
+///
+/// `Crc32(data, len)` is the standard one-shot checksum ("123456789" →
+/// 0xCBF43926). For streaming, thread the return value back in as `seed`:
+/// Crc32(b, nb, Crc32(a, na)) == Crc32(ab, na + nb).
+std::uint32_t Crc32(const void* data, std::size_t len, std::uint32_t seed = 0);
+
+}  // namespace umvsc
+
+#endif  // UMVSC_COMMON_CRC32_H_

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "common/strings.h"
+#include "data/standardize.h"
 
 namespace umvsc::data {
 
@@ -59,23 +60,10 @@ Status MultiViewDataset::Validate() const {
 
 void MultiViewDataset::StandardizeViews() {
   for (la::Matrix& view : views) {
-    const std::size_t n = view.rows(), d = view.cols();
-    if (n == 0) continue;
-    for (std::size_t j = 0; j < d; ++j) {
-      double mean = 0.0;
-      for (std::size_t i = 0; i < n; ++i) mean += view(i, j);
-      mean /= static_cast<double>(n);
-      double var = 0.0;
-      for (std::size_t i = 0; i < n; ++i) {
-        const double c = view(i, j) - mean;
-        var += c * c;
-      }
-      var /= static_cast<double>(n);
-      const double inv_std = var > 0.0 ? 1.0 / std::sqrt(var) : 1.0;
-      for (std::size_t i = 0; i < n; ++i) {
-        view(i, j) = (view(i, j) - mean) * inv_std;
-      }
-    }
+    if (view.rows() == 0) continue;
+    la::Vector means, inv_stds;
+    ColumnStandardization(view, &means, &inv_stds);
+    ApplyStandardizationInPlace(view, means, inv_stds);
   }
 }
 

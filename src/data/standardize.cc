@@ -1,0 +1,54 @@
+#include "data/standardize.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace umvsc::data {
+
+void ColumnStandardization(const la::Matrix& m, la::Vector* means,
+                           la::Vector* inv_stds) {
+  const std::size_t n = m.rows(), d = m.cols();
+  *means = la::Vector(d);
+  *inv_stds = la::Vector(d);
+  for (std::size_t j = 0; j < d; ++j) {
+    double mean = 0.0;
+    for (std::size_t i = 0; i < n; ++i) mean += m(i, j);
+    mean /= static_cast<double>(n);
+    double var = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double centered = m(i, j) - mean;
+      var += centered * centered;
+    }
+    var /= static_cast<double>(n);
+    (*means)[j] = mean;
+    (*inv_stds)[j] = var > 0.0 ? 1.0 / std::sqrt(var) : 1.0;
+  }
+}
+
+la::Matrix ApplyStandardization(const la::Matrix& m, const la::Vector& means,
+                                const la::Vector& inv_stds) {
+  la::Matrix out = m;
+  ApplyStandardizationInPlace(out, means, inv_stds);
+  return out;
+}
+
+void ApplyStandardizationInPlace(la::Matrix& m, const la::Vector& means,
+                                 const la::Vector& inv_stds) {
+  UMVSC_CHECK(means.size() == m.cols() && inv_stds.size() == m.cols(),
+              "standardization parameter size must match feature count");
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    ApplyStandardizationRow(m.RowPtr(i), m.cols(), means, inv_stds,
+                            m.RowPtr(i));
+  }
+}
+
+void ApplyStandardizationRow(const double* raw, std::size_t d,
+                             const la::Vector& means,
+                             const la::Vector& inv_stds, double* out) {
+  for (std::size_t j = 0; j < d; ++j) {
+    out[j] = (raw[j] - means[j]) * inv_stds[j];
+  }
+}
+
+}  // namespace umvsc::data

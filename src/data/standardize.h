@@ -1,0 +1,40 @@
+#ifndef UMVSC_DATA_STANDARDIZE_H_
+#define UMVSC_DATA_STANDARDIZE_H_
+
+#include <cstddef>
+
+#include "la/matrix.h"
+#include "la/vector.h"
+
+namespace umvsc::data {
+
+/// Per-feature (column) mean and inverse standard deviation of `m`, the one
+/// z-scoring convention of the whole library: population variance (divide
+/// by n, not n − 1), and inv_std = 1.0 for constant features so applying
+/// the transform leaves them centered at zero instead of dividing by zero.
+///
+/// This is THE shared definition — MultiViewDataset::StandardizeViews, the
+/// exact-path out-of-sample model, and the anchor solve all standardize
+/// through it, so a point mapped at serve time with saved (means, inv_stds)
+/// lands bitwise in the training feature space.
+void ColumnStandardization(const la::Matrix& m, la::Vector* means,
+                           la::Vector* inv_stds);
+
+/// Returns a copy of `m` with every element mapped to
+/// (x − means[j]) · inv_stds[j].
+la::Matrix ApplyStandardization(const la::Matrix& m, const la::Vector& means,
+                                const la::Vector& inv_stds);
+
+/// In-place variant of ApplyStandardization (same per-element arithmetic).
+void ApplyStandardizationInPlace(la::Matrix& m, const la::Vector& means,
+                                 const la::Vector& inv_stds);
+
+/// Standardizes one raw row of `d` features into `out` (the serve-time
+/// per-point mapping; `raw` and `out` may alias).
+void ApplyStandardizationRow(const double* raw, std::size_t d,
+                             const la::Vector& means,
+                             const la::Vector& inv_stds, double* out);
+
+}  // namespace umvsc::data
+
+#endif  // UMVSC_DATA_STANDARDIZE_H_

@@ -8,6 +8,7 @@
 #include "cluster/anchor_embedding.h"
 #include "cluster/gpi.h"
 #include "cluster/rotation.h"
+#include "data/standardize.h"
 #include "graph/anchors.h"
 #include "la/ops.h"
 #include "la/svd.h"
@@ -17,41 +18,6 @@
 namespace umvsc::mvsc {
 
 namespace {
-
-// Per-feature mean and inverse standard deviation (population variance) —
-// the same convention as mvsc/graphs.cc standardization and the
-// out-of-sample model, so anchor models and exact-path models see the same
-// feature space.
-void ColumnStats(const la::Matrix& m, la::Vector* means, la::Vector* inv_stds) {
-  const std::size_t n = m.rows(), d = m.cols();
-  *means = la::Vector(d);
-  *inv_stds = la::Vector(d);
-  for (std::size_t j = 0; j < d; ++j) {
-    double mean = 0.0;
-    for (std::size_t i = 0; i < n; ++i) mean += m(i, j);
-    mean /= static_cast<double>(n);
-    double var = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      const double centered = m(i, j) - mean;
-      var += centered * centered;
-    }
-    var /= static_cast<double>(n);
-    (*means)[j] = mean;
-    (*inv_stds)[j] = var > 0.0 ? 1.0 / std::sqrt(var) : 1.0;
-  }
-}
-
-la::Matrix ApplyStandardization(const la::Matrix& m, const la::Vector& means,
-                                const la::Vector& inv_stds) {
-  la::Matrix out = m;
-  for (std::size_t i = 0; i < out.rows(); ++i) {
-    double* row = out.RowPtr(i);
-    for (std::size_t j = 0; j < out.cols(); ++j) {
-      row[j] = (row[j] - means[j]) * inv_stds[j];
-    }
-  }
-  return out;
-}
 
 // Scales each stored value of z by inv_sqrt_mass of its column: Ẑ = Z·Λ^{−1/2}
 // on the unchanged sparsity pattern.
@@ -120,10 +86,14 @@ StatusOr<AnchorUnifiedResult> SolveUnifiedAnchors(
     AnchorViewModel view_model;
     la::Matrix x;
     if (standardize) {
-      ColumnStats(dataset.views[v], &view_model.feature_means,
-                  &view_model.feature_inv_stds);
-      x = ApplyStandardization(dataset.views[v], view_model.feature_means,
-                               view_model.feature_inv_stds);
+      // data/standardize.h is the one shared z-scoring definition, so the
+      // model's (means, inv_stds) map serve-time points into exactly the
+      // feature space the anchors live in.
+      data::ColumnStandardization(dataset.views[v], &view_model.feature_means,
+                                  &view_model.feature_inv_stds);
+      x = data::ApplyStandardization(dataset.views[v],
+                                     view_model.feature_means,
+                                     view_model.feature_inv_stds);
     } else {
       x = dataset.views[v];
       view_model.feature_means = la::Vector(x.cols(), 0.0);

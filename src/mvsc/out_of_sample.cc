@@ -5,111 +5,14 @@
 #include <numeric>
 
 #include "common/strings.h"
+#include "data/standardize.h"
 #include "graph/distance.h"
+#include "mvsc/anchor_assign.h"
 
 namespace umvsc::mvsc {
 
-namespace {
-
-// Per-feature mean and inverse standard deviation of a matrix's columns.
-void ColumnStats(const la::Matrix& m, la::Vector* means, la::Vector* inv_stds) {
-  const std::size_t n = m.rows(), d = m.cols();
-  *means = la::Vector(d);
-  *inv_stds = la::Vector(d);
-  for (std::size_t j = 0; j < d; ++j) {
-    double mean = 0.0;
-    for (std::size_t i = 0; i < n; ++i) mean += m(i, j);
-    mean /= static_cast<double>(n);
-    double var = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      const double centered = m(i, j) - mean;
-      var += centered * centered;
-    }
-    var /= static_cast<double>(n);
-    (*means)[j] = mean;
-    (*inv_stds)[j] = var > 0.0 ? 1.0 / std::sqrt(var) : 1.0;
-  }
-}
-
-la::Matrix ApplyStandardization(const la::Matrix& m, const la::Vector& means,
-                                const la::Vector& inv_stds) {
-  la::Matrix out = m;
-  for (std::size_t i = 0; i < out.rows(); ++i) {
-    double* row = out.RowPtr(i);
-    for (std::size_t j = 0; j < out.cols(); ++j) {
-      row[j] = (row[j] - means[j]) * inv_stds[j];
-    }
-  }
-  return out;
-}
-
-// One point's reduced coordinates in one view of an anchor model: the exact
-// row rule of graph::BuildAnchorAffinity — s nearest anchors (ties keep the
-// smaller anchor index), self-tuning bandwidth = own s-th-nearest squared
-// distance, Gaussian weights normalized in rank order — then u = z·anchor_map
-// accumulated in ascending-anchor order, matching the training SpMM.
-// `row` must already be standardized; appends k_v values to `coords`.
-void AnchorViewCoordinates(const AnchorViewModel& view, std::size_t s,
-                           const double* row, std::vector<double>* coords) {
-  const std::size_t m = view.anchors.rows();
-  const std::size_t d = view.anchors.cols();
-  // Bounded s-best selection, ascending distance, ties to the smaller index.
-  std::vector<double> best_d2(s, 0.0);
-  std::vector<std::size_t> best_j(s, 0);
-  std::size_t filled = 0;
-  for (std::size_t j = 0; j < m; ++j) {
-    const double* aj = view.anchors.RowPtr(j);
-    double d2 = 0.0;
-    for (std::size_t p = 0; p < d; ++p) {
-      const double diff = row[p] - aj[p];
-      d2 += diff * diff;
-    }
-    if (filled == s && d2 >= best_d2[s - 1]) continue;
-    std::size_t q = filled < s ? filled : s - 1;
-    while (q > 0 && best_d2[q - 1] > d2) {
-      best_d2[q] = best_d2[q - 1];
-      best_j[q] = best_j[q - 1];
-      --q;
-    }
-    best_d2[q] = d2;
-    best_j[q] = j;
-    if (filled < s) ++filled;
-  }
-  // Weights in rank order (the bandwidth is the worst kept distance) …
-  const double sigma2 = std::max(best_d2[s - 1], 1e-300);
-  std::vector<double> w(s);
-  double sum = 0.0;
-  for (std::size_t r = 0; r < s; ++r) {
-    w[r] = std::exp(-best_d2[r] / sigma2);
-    sum += w[r];
-  }
-  const double inv = 1.0 / sum;
-  for (std::size_t r = 0; r < s; ++r) w[r] *= inv;
-  // … then ascending-anchor accumulation order, as the training SpMM uses.
-  for (std::size_t r = 1; r < s; ++r) {
-    const std::size_t jr = best_j[r];
-    const double wr = w[r];
-    std::size_t q = r;
-    while (q > 0 && best_j[q - 1] > jr) {
-      best_j[q] = best_j[q - 1];
-      w[q] = w[q - 1];
-      --q;
-    }
-    best_j[q] = jr;
-    w[q] = wr;
-  }
-  const std::size_t k = view.anchor_map.cols();
-  const std::size_t base = coords->size();
-  coords->resize(base + k, 0.0);
-  for (std::size_t r = 0; r < s; ++r) {
-    const double* map_row = view.anchor_map.RowPtr(best_j[r]);
-    for (std::size_t t = 0; t < k; ++t) {
-      (*coords)[base + t] += w[r] * map_row[t];
-    }
-  }
-}
-
-}  // namespace
+using data::ApplyStandardization;
+using data::ColumnStandardization;
 
 StatusOr<OutOfSampleModel> OutOfSampleModel::Fit(
     const data::MultiViewDataset& training,
@@ -142,7 +45,7 @@ StatusOr<OutOfSampleModel> OutOfSampleModel::Fit(
 
   for (std::size_t v = 0; v < num_views; ++v) {
     la::Vector means, inv_stds;
-    ColumnStats(training.views[v], &means, &inv_stds);
+    ColumnStandardization(training.views[v], &means, &inv_stds);
     la::Matrix standardized =
         ApplyStandardization(training.views[v], means, inv_stds);
     // Self-tuning bandwidth per training point: distance to its k-th NN.
@@ -209,6 +112,12 @@ StatusOr<OutOfSampleModel> OutOfSampleModel::FitAnchor(AnchorModel model) {
   OutOfSampleModel out;
   out.num_clusters_ = model.num_clusters;
   out.anchor_model_ = std::move(model);
+  // Cache ‖a_j‖² per view for the Gram-expansion serving distances (the
+  // same ascending-feature convention the training-side panel used).
+  out.anchor_sq_norms_.reserve(out.anchor_model_->views.size());
+  for (const AnchorViewModel& view : out.anchor_model_->views) {
+    out.anchor_sq_norms_.push_back(graph::RowSquaredNorms(view.anchors));
+  }
   return out;
 }
 
@@ -231,38 +140,59 @@ StatusOr<std::vector<std::size_t>> OutOfSampleModel::Predict(
     }
     const std::size_t count = batch.NumSamples();
     std::vector<std::size_t> predictions(count, 0);
-    std::vector<double> coords;
-    std::vector<double> point;
+    // Scratch hoisted out of the point loop and reused — the serial path
+    // allocates nothing per point.
+    const std::size_t s = model.anchor_neighbors;
+    std::size_t max_d = 0, max_m = 0;
+    for (const AnchorViewModel& view : model.views) {
+      max_d = std::max(max_d, view.anchors.cols());
+      max_m = std::max(max_m, view.anchors.rows());
+    }
+    std::vector<double> x_std(max_d);
+    std::vector<double> d2(max_m);
+    std::vector<double> weights(s);
+    std::vector<std::size_t> sel_cols(s);
+    std::vector<double> coords(model.assignment.rows());
+    std::vector<double> scores(model.num_clusters);
     for (std::size_t i = 0; i < count; ++i) {
-      coords.clear();
+      std::fill(coords.begin(), coords.end(), 0.0);
+      std::size_t base = 0;
       for (std::size_t v = 0; v < model.views.size(); ++v) {
         const AnchorViewModel& view = model.views[v];
+        const la::Vector& a_norms = anchor_sq_norms_[v];
         const std::size_t d = view.anchors.cols();
-        point.resize(d);
-        const double* raw = batch.views[v].RowPtr(i);
-        for (std::size_t j = 0; j < d; ++j) {
-          point[j] =
-              (raw[j] - view.feature_means[j]) * view.feature_inv_stds[j];
+        const std::size_t m = view.anchors.rows();
+        data::ApplyStandardizationRow(batch.views[v].RowPtr(i), d,
+                                      view.feature_means,
+                                      view.feature_inv_stds, x_std.data());
+        // Gram-expansion distances on the GemmAdd kc grid — one bit pattern
+        // shared with the batched dot panel of serve::BatchAssigner.
+        const double nx = assign::RowSquaredNorm(x_std.data(), d);
+        for (std::size_t j = 0; j < m; ++j) {
+          const double dot =
+              assign::BlockedDot(x_std.data(), view.anchors.RowPtr(j), d);
+          d2[j] = assign::SquaredFromDot(nx, a_norms[j], dot);
         }
-        AnchorViewCoordinates(view, model.anchor_neighbors, point.data(),
-                              &coords);
-      }
-      // scores = u · assignment, accumulated over rows in ascending order so
-      // the sum matches the training-side matrix product; strict `>` keeps
-      // the smaller cluster index on ties, as DiscretizeRows does.
-      std::vector<double> scores(model.num_clusters, 0.0);
-      for (std::size_t t = 0; t < coords.size(); ++t) {
-        const double u = coords[t];
-        const double* arow = model.assignment.RowPtr(t);
-        for (std::size_t j = 0; j < model.num_clusters; ++j) {
-          scores[j] += u * arow[j];
+        assign::SelectAnchorRow(d2.data(), m, s, sel_cols.data(),
+                                weights.data());
+        // u = z·anchor_map in ascending-anchor order — the element order of
+        // the batched SpMM (CsrMatrix::MultiplyInto).
+        const std::size_t k = view.anchor_map.cols();
+        double* u = coords.data() + base;
+        for (std::size_t r = 0; r < s; ++r) {
+          const double* map_row = view.anchor_map.RowPtr(sel_cols[r]);
+          const double w = weights[r];
+          for (std::size_t t = 0; t < k; ++t) u[t] += w * map_row[t];
         }
+        base += k;
       }
-      std::size_t best = 0;
-      for (std::size_t j = 1; j < model.num_clusters; ++j) {
-        if (scores[j] > scores[best]) best = j;
-      }
-      predictions[i] = best;
+      // scores = u·assignment on the same kc grid as the batched MatMul;
+      // strict `>` keeps the smaller cluster index on ties, as
+      // DiscretizeRows does.
+      std::fill(scores.begin(), scores.end(), 0.0);
+      assign::BlockedVecMatAdd(coords.data(), model.assignment,
+                               scores.data());
+      predictions[i] = assign::RowArgMax(scores.data(), model.num_clusters);
     }
     return predictions;
   }

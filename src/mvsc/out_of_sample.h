@@ -10,6 +10,10 @@
 #include "la/matrix.h"
 #include "mvsc/anchor_unified.h"
 
+namespace umvsc::serve {
+class ModelSerializer;  // serve/model_io.h — persists OutOfSampleModel
+}  // namespace umvsc::serve
+
 namespace umvsc::mvsc {
 
 /// Options for the out-of-sample extension.
@@ -50,6 +54,12 @@ class OutOfSampleModel {
   /// so a training point re-predicted through this path reproduces its
   /// training label (the anchor path assigns labels through the same chain;
   /// mvsc_out_of_sample_test pins this).
+  ///
+  /// Every arithmetic step runs on the shared serving primitives of
+  /// mvsc/anchor_assign.h (Gram-expansion distances on the GemmAdd kc grid,
+  /// the BuildAnchorAffinity row rule, ascending-column coordinate
+  /// accumulation, kc-blocked scoring), which is what makes the batched
+  /// path (serve::BatchAssigner) bitwise identical to this one.
   static StatusOr<OutOfSampleModel> FitAnchor(AnchorModel model);
 
   /// Predicts cluster ids for new points given as a multi-view batch with
@@ -60,7 +70,23 @@ class OutOfSampleModel {
 
   std::size_t num_clusters() const { return num_clusters_; }
 
+  /// The anchor serving model, when this model came from FitAnchor (the
+  /// batched serve path reads it); nullopt for exact-path models.
+  const std::optional<AnchorModel>& anchor_model() const {
+    return anchor_model_;
+  }
+
+  /// Per-view squared norms of the anchor rows, cached by FitAnchor for the
+  /// Gram-expansion serving distances. Parallel to anchor_model()->views.
+  const std::vector<la::Vector>& anchor_sq_norms() const {
+    return anchor_sq_norms_;
+  }
+
  private:
+  /// serve::ModelSerializer reconstructs exact-path models field by field
+  /// when loading from disk (anchor-path models re-enter through FitAnchor).
+  friend class ::umvsc::serve::ModelSerializer;
+
   OutOfSampleModel() = default;
 
   OutOfSampleOptions options_;
@@ -77,6 +103,9 @@ class OutOfSampleModel {
   /// When set, Predict routes through the anchor extension instead of the
   /// training-point affinity vote (the O(n)-free serving path).
   std::optional<AnchorModel> anchor_model_;
+  /// ‖a_j‖² per view (graph::RowSquaredNorms convention), derived from
+  /// anchor_model_ at FitAnchor time — never serialized.
+  std::vector<la::Vector> anchor_sq_norms_;
 };
 
 }  // namespace umvsc::mvsc

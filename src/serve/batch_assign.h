@@ -1,0 +1,63 @@
+#ifndef UMVSC_SERVE_BATCH_ASSIGN_H_
+#define UMVSC_SERVE_BATCH_ASSIGN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "serve/registry.h"
+
+namespace umvsc::serve {
+
+struct AssignOptions {
+  /// Points per work tile of the batched anchor path. Each tile
+  /// standardizes its rows, runs one packed-GEMM dot panel against every
+  /// view's anchors, and writes its CSR rows — tiles touch disjoint output
+  /// ranges, so any tile size (and any thread count) yields the same bits.
+  /// 0 falls back to the default.
+  std::size_t tile_rows = 64;
+};
+
+/// Batched out-of-sample assignment against a registry-held model — the
+/// high-QPS serving kernel. One Assign call over a b-point batch replaces b
+/// OutOfSampleModel::Predict calls:
+///
+///   per view, per tile: standardize rows → dot panel against the m anchors
+///   through la::kernel::GemmAdd (packed SIMD GEMM; anchors as a transposed
+///   operand, no materialized copy) → Gram-expansion distances →
+///   SelectAnchorRow into the batch CSR arrays
+///   per view: one skinny SpMM (CsrMatrix::MultiplyInto) maps the n × m
+///   bipartite block through anchor_map into the reduced coordinates
+///   finally: one n × p' × c MatMul scores every point, row-argmax labels
+///
+/// Every step runs on the shared primitives of mvsc/anchor_assign.h (see
+/// the contract there), so labels are bitwise identical to the per-point
+/// Predict path at every thread count and tile size — the batched path is
+/// a reassociation-free re-tiling, not an approximation.
+///
+/// Exact-path (non-anchor) models have no batched kernel; Assign forwards
+/// to Predict so callers can serve either kind through one interface.
+///
+/// Thread safety: Assign is const and touches only immutable model state —
+/// safe to call concurrently on one BatchAssigner.
+class BatchAssigner {
+ public:
+  /// `model` must be non-null (UMVSC_CHECK); typically ModelRegistry::Get.
+  /// The assigner shares ownership, so the model outlives registry swaps.
+  explicit BatchAssigner(ModelHandle model, AssignOptions options = {});
+
+  /// Labels for every point of `batch`, in row order.
+  StatusOr<std::vector<std::size_t>> Assign(
+      const data::MultiViewDataset& batch) const;
+
+  const ModelHandle& model() const { return model_; }
+
+ private:
+  ModelHandle model_;
+  AssignOptions options_;
+};
+
+}  // namespace umvsc::serve
+
+#endif  // UMVSC_SERVE_BATCH_ASSIGN_H_

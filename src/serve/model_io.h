@@ -1,0 +1,65 @@
+#ifndef UMVSC_SERVE_MODEL_IO_H_
+#define UMVSC_SERVE_MODEL_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "mvsc/out_of_sample.h"
+
+namespace umvsc::serve {
+
+/// Versioned binary persistence for fitted OutOfSampleModel instances —
+/// both kinds: anchor models (anchors, anchor_map, mix, assignment,
+/// standardization parameters; the compact serveable artifact of
+/// SolveUnifiedAnchors) and exact-path models (standardized training
+/// views, train scales, labels, view weights α). Graphs are never
+/// persisted — nothing serve-time needs them.
+///
+/// Format (all integers little-endian, doubles as little-endian IEEE-754
+/// bit patterns; see docs/SERVING.md for the full layout):
+///
+///   magic "UMVSCMDL" · u32 version · u32 kind (1 anchor, 2 exact)
+///   then a fixed sequence of sections, each
+///   u32 tag · u64 payload_len · payload · u32 crc32(payload)
+///
+/// Load/Deserialize reject — with a clean Status, never UB — truncated
+/// files and trailing garbage (kIoError), per-section CRC mismatches
+/// (kIoError), files written by a future format version
+/// (kFailedPrecondition), and structurally inconsistent payloads
+/// (kInvalidArgument). Every count is bounds-checked against the remaining
+/// bytes before any allocation, so a corrupt length field cannot trigger
+/// an over-allocation.
+///
+/// Round-trip contract: a loaded model predicts bitwise identically to the
+/// model that was saved (serve_model_io_test pins this).
+class ModelSerializer {
+ public:
+  /// Current (and only) format version. Readers accept files with
+  /// version <= kFormatVersion; writers always emit kFormatVersion.
+  static constexpr std::uint32_t kFormatVersion = 1;
+
+  /// Serializes to an in-memory byte string (the Save payload).
+  static std::string Serialize(const mvsc::OutOfSampleModel& model);
+
+  /// Parses a byte string produced by Serialize.
+  static StatusOr<mvsc::OutOfSampleModel> Deserialize(std::string_view bytes);
+
+  /// Writes the serialized model to `path` (via a same-directory temporary
+  /// and an atomic rename, so readers never observe a half-written file).
+  static Status Save(const mvsc::OutOfSampleModel& model,
+                     const std::string& path);
+
+  /// Reads and parses a model file written by Save.
+  static StatusOr<mvsc::OutOfSampleModel> Load(const std::string& path);
+
+ private:
+  /// Field-level (de)serialization of exact-path models (model_io.cc). A
+  /// nested member so it shares ModelSerializer's OutOfSampleModel
+  /// friendship.
+  struct ExactCodec;
+};
+
+}  // namespace umvsc::serve
+
+#endif  // UMVSC_SERVE_MODEL_IO_H_

@@ -1,0 +1,61 @@
+#include "serve/registry.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/strings.h"
+#include "serve/model_io.h"
+
+namespace umvsc::serve {
+
+Status ModelRegistry::LoadFromFile(const std::string& id,
+                                   const std::string& path) {
+  StatusOr<mvsc::OutOfSampleModel> model = ModelSerializer::Load(path);
+  if (!model.ok()) return model.status();
+  ModelHandle handle =
+      std::make_shared<const mvsc::OutOfSampleModel>(*std::move(model));
+  std::lock_guard<std::mutex> lock(mu_);
+  models_[id] = std::move(handle);
+  return Status::OK();
+}
+
+void ModelRegistry::Insert(const std::string& id,
+                           mvsc::OutOfSampleModel model) {
+  ModelHandle handle =
+      std::make_shared<const mvsc::OutOfSampleModel>(std::move(model));
+  std::lock_guard<std::mutex> lock(mu_);
+  models_[id] = std::move(handle);
+}
+
+StatusOr<ModelHandle> ModelRegistry::Get(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = models_.find(id);
+  if (it == models_.end()) {
+    return Status::NotFound(
+        StrFormat("no model registered under id \"%s\"", id.c_str()));
+  }
+  return it->second;
+}
+
+bool ModelRegistry::Remove(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return models_.erase(id) > 0;
+}
+
+std::vector<std::string> ModelRegistry::Ids() const {
+  std::vector<std::string> ids;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ids.reserve(models_.size());
+    for (const auto& [id, handle] : models_) ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::size_t ModelRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return models_.size();
+}
+
+}  // namespace umvsc::serve

@@ -1,0 +1,59 @@
+#ifndef UMVSC_SERVE_REGISTRY_H_
+#define UMVSC_SERVE_REGISTRY_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "mvsc/out_of_sample.h"
+
+namespace umvsc::serve {
+
+/// Shared-ownership handle to a loaded, immutable model. Queries hold one
+/// of these for the duration of a request: no copy, no reload, and a model
+/// swapped out of the registry mid-request stays alive until the last
+/// in-flight handle drops.
+using ModelHandle = std::shared_ptr<const mvsc::OutOfSampleModel>;
+
+/// Warm in-memory model registry: model-id → loaded model. The serving
+/// front door — models are loaded (from disk or a finished fit) once,
+/// then every query resolves its id to a handle under a single mutex
+/// acquisition; the heavy state is behind the shared_ptr, so Get is O(1)
+/// and never touches model bytes.
+///
+/// Thread safety: all methods are safe to call concurrently. Replacing an
+/// id is atomic — concurrent Gets see either the old or the new model,
+/// never a mix — and old handles keep the old model alive (the warm-swap
+/// upgrade path: load the new file, then swap the id).
+class ModelRegistry {
+ public:
+  /// Loads a model file (serve::ModelSerializer format) and installs it
+  /// under `id`, replacing any previous model with that id.
+  Status LoadFromFile(const std::string& id, const std::string& path);
+
+  /// Installs an already-fitted model under `id` (replacing any previous).
+  void Insert(const std::string& id, mvsc::OutOfSampleModel model);
+
+  /// Resolves an id to a handle; kNotFound when absent.
+  StatusOr<ModelHandle> Get(const std::string& id) const;
+
+  /// Removes `id`. Returns whether it was present. Outstanding handles
+  /// remain valid.
+  bool Remove(const std::string& id);
+
+  /// Registered ids, sorted (for stable listings).
+  std::vector<std::string> Ids() const;
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, ModelHandle> models_;
+};
+
+}  // namespace umvsc::serve
+
+#endif  // UMVSC_SERVE_REGISTRY_H_

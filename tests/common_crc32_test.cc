@@ -1,0 +1,49 @@
+#include "common/crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+namespace umvsc {
+namespace {
+
+TEST(Crc32Test, MatchesTheIeeeCheckValue) {
+  // The canonical CRC-32/ISO-HDLC check vector.
+  const char* check = "123456789";
+  EXPECT_EQ(Crc32(check, std::strlen(check)), 0xCBF43926u);
+}
+
+TEST(Crc32Test, EmptyInputIsZero) {
+  EXPECT_EQ(Crc32(nullptr, 0), 0u);
+  EXPECT_EQ(Crc32("", 0), 0u);
+}
+
+TEST(Crc32Test, SeedChainingEqualsOneShot) {
+  const std::string bytes = "the quick brown fox jumps over the lazy dog";
+  const std::uint32_t whole = Crc32(bytes.data(), bytes.size());
+  for (std::size_t split : {std::size_t{0}, std::size_t{1}, std::size_t{10},
+                            bytes.size() - 1, bytes.size()}) {
+    const std::uint32_t first = Crc32(bytes.data(), split);
+    const std::uint32_t chained =
+        Crc32(bytes.data() + split, bytes.size() - split, first);
+    EXPECT_EQ(chained, whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32Test, SingleBitFlipChangesTheChecksum) {
+  std::string bytes(64, '\0');
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    bytes[i] = static_cast<char>(i * 7 + 1);
+  }
+  const std::uint32_t clean = Crc32(bytes.data(), bytes.size());
+  for (std::size_t i = 0; i < bytes.size(); i += 5) {
+    std::string corrupt = bytes;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0x40);
+    EXPECT_NE(Crc32(corrupt.data(), corrupt.size()), clean)
+        << "flip at byte " << i;
+  }
+}
+
+}  // namespace
+}  // namespace umvsc

@@ -1,0 +1,93 @@
+#include "data/standardize.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/matrix.h"
+#include "la/vector.h"
+
+namespace umvsc::data {
+namespace {
+
+la::Matrix TestMatrix() {
+  return la::Matrix{{1.0, 10.0, 5.0},
+                    {2.0, 10.0, -3.0},
+                    {3.0, 10.0, 4.0},
+                    {6.0, 10.0, 0.0}};
+}
+
+TEST(StandardizeTest, ComputesPopulationStatistics) {
+  const la::Matrix m = TestMatrix();
+  la::Vector means, inv_stds;
+  ColumnStandardization(m, &means, &inv_stds);
+  ASSERT_EQ(means.size(), 3u);
+  ASSERT_EQ(inv_stds.size(), 3u);
+  EXPECT_DOUBLE_EQ(means[0], 3.0);
+  EXPECT_DOUBLE_EQ(means[1], 10.0);
+  // Population variance of column 0: ((−2)² + (−1)² + 0² + 3²) / 4 = 3.5.
+  EXPECT_DOUBLE_EQ(inv_stds[0], 1.0 / std::sqrt(3.5));
+  // Constant columns keep inv_std = 1 — centered, not rescaled.
+  EXPECT_DOUBLE_EQ(inv_stds[1], 1.0);
+}
+
+TEST(StandardizeTest, AppliedColumnsAreZeroMeanUnitVariance) {
+  const la::Matrix m = TestMatrix();
+  la::Vector means, inv_stds;
+  ColumnStandardization(m, &means, &inv_stds);
+  const la::Matrix z = ApplyStandardization(m, means, inv_stds);
+  for (std::size_t j = 0; j < z.cols(); ++j) {
+    double mean = 0.0, var = 0.0;
+    for (std::size_t i = 0; i < z.rows(); ++i) mean += z(i, j);
+    mean /= static_cast<double>(z.rows());
+    for (std::size_t i = 0; i < z.rows(); ++i) {
+      var += (z(i, j) - mean) * (z(i, j) - mean);
+    }
+    var /= static_cast<double>(z.rows());
+    EXPECT_NEAR(mean, 0.0, 1e-12);
+    if (j != 1) EXPECT_NEAR(var, 1.0, 1e-12);
+  }
+  // The constant column collapses to exact zeros.
+  for (std::size_t i = 0; i < z.rows(); ++i) EXPECT_EQ(z(i, 1), 0.0);
+}
+
+TEST(StandardizeTest, InPlaceMatchesCopyingVersion) {
+  la::Matrix m = TestMatrix();
+  la::Vector means, inv_stds;
+  ColumnStandardization(m, &means, &inv_stds);
+  const la::Matrix copy = ApplyStandardization(m, means, inv_stds);
+  ApplyStandardizationInPlace(m, means, inv_stds);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      EXPECT_EQ(m(i, j), copy(i, j));
+    }
+  }
+}
+
+TEST(StandardizeTest, RowFormMatchesMatrixFormBitwise) {
+  const la::Matrix m = TestMatrix();
+  la::Vector means, inv_stds;
+  ColumnStandardization(m, &means, &inv_stds);
+  const la::Matrix z = ApplyStandardization(m, means, inv_stds);
+  std::vector<double> row(m.cols());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    ApplyStandardizationRow(m.RowPtr(i), m.cols(), means, inv_stds,
+                            row.data());
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      EXPECT_EQ(row[j], z(i, j)) << "row " << i << " col " << j;
+    }
+  }
+}
+
+TEST(StandardizeTest, RowFormMayAliasItsInput) {
+  const la::Matrix m = TestMatrix();
+  la::Vector means, inv_stds;
+  ColumnStandardization(m, &means, &inv_stds);
+  const la::Matrix z = ApplyStandardization(m, means, inv_stds);
+  std::vector<double> buf(m.RowPtr(2), m.RowPtr(2) + m.cols());
+  ApplyStandardizationRow(buf.data(), m.cols(), means, inv_stds, buf.data());
+  for (std::size_t j = 0; j < m.cols(); ++j) EXPECT_EQ(buf[j], z(2, j));
+}
+
+}  // namespace
+}  // namespace umvsc::data

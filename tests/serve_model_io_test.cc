@@ -1,0 +1,176 @@
+#include "serve/model_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "data/synthetic.h"
+#include "mvsc/anchor_unified.h"
+#include "mvsc/out_of_sample.h"
+#include "mvsc/unified.h"
+
+namespace umvsc::serve {
+namespace {
+
+struct Fixture {
+  data::MultiViewDataset train;
+  data::MultiViewDataset test;
+};
+
+Fixture MakeFixture(std::uint64_t seed) {
+  data::MultiViewConfig config;
+  config.num_samples = 160;
+  config.num_clusters = 3;
+  config.views = {{12, data::ViewQuality::kInformative, 0.4},
+                  {7, data::ViewQuality::kWeak, 1.0}};
+  config.cluster_separation = 5.0;
+  config.seed = seed;
+  auto full = data::MakeGaussianMultiView(config);
+  UMVSC_CHECK(full.ok(), "dataset generation failed");
+  Fixture fx;
+  const std::size_t n_train = 120;
+  const std::size_t n = full->NumSamples();
+  for (std::size_t v = 0; v < full->NumViews(); ++v) {
+    fx.train.views.push_back(
+        full->views[v].Block(0, 0, n_train, full->views[v].cols()));
+    fx.test.views.push_back(full->views[v].Block(
+        n_train, 0, n - n_train, full->views[v].cols()));
+  }
+  fx.train.labels.assign(full->labels.begin(),
+                         full->labels.begin() + n_train);
+  fx.train.name = "train";
+  fx.test.name = "test";
+  return fx;
+}
+
+mvsc::OutOfSampleModel MakeAnchorModel(const Fixture& fx) {
+  mvsc::UnifiedOptions options;
+  options.num_clusters = 3;
+  options.seed = 4;
+  options.anchors.enabled = true;
+  options.anchors.num_anchors = 24;
+  options.anchors.anchor_neighbors = 4;
+  auto solved = mvsc::SolveUnifiedAnchors(fx.train, options);
+  UMVSC_CHECK(solved.ok(), "anchor solve failed");
+  auto model = mvsc::OutOfSampleModel::FitAnchor(std::move(solved->model));
+  UMVSC_CHECK(model.ok(), "FitAnchor failed");
+  return *std::move(model);
+}
+
+mvsc::OutOfSampleModel MakeExactModel(const Fixture& fx) {
+  auto model = mvsc::OutOfSampleModel::Fit(fx.train, fx.train.labels,
+                                           {0.7, 0.3});
+  UMVSC_CHECK(model.ok(), "exact fit failed");
+  return *std::move(model);
+}
+
+std::vector<std::size_t> PredictOrDie(const mvsc::OutOfSampleModel& model,
+                                      const data::MultiViewDataset& batch) {
+  auto labels = model.Predict(batch);
+  UMVSC_CHECK(labels.ok(), "predict failed");
+  return *std::move(labels);
+}
+
+TEST(ModelIoTest, AnchorModelRoundTripsWithIdenticalPredictions) {
+  const Fixture fx = MakeFixture(31);
+  const mvsc::OutOfSampleModel model = MakeAnchorModel(fx);
+  const std::string bytes = ModelSerializer::Serialize(model);
+  auto loaded = ModelSerializer::Deserialize(bytes);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_clusters(), model.num_clusters());
+  ASSERT_TRUE(loaded->anchor_model().has_value());
+  EXPECT_EQ(PredictOrDie(*loaded, fx.test), PredictOrDie(model, fx.test));
+  // Serialization is deterministic: a round-tripped model re-serializes to
+  // the exact same bytes.
+  EXPECT_EQ(ModelSerializer::Serialize(*loaded), bytes);
+}
+
+TEST(ModelIoTest, ExactModelRoundTripsWithIdenticalPredictions) {
+  const Fixture fx = MakeFixture(32);
+  const mvsc::OutOfSampleModel model = MakeExactModel(fx);
+  const std::string bytes = ModelSerializer::Serialize(model);
+  auto loaded = ModelSerializer::Deserialize(bytes);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_FALSE(loaded->anchor_model().has_value());
+  EXPECT_EQ(PredictOrDie(*loaded, fx.test), PredictOrDie(model, fx.test));
+  EXPECT_EQ(ModelSerializer::Serialize(*loaded), bytes);
+}
+
+TEST(ModelIoTest, EveryCorruptedPayloadByteIsRejected) {
+  const Fixture fx = MakeFixture(33);
+  const std::string bytes =
+      ModelSerializer::Serialize(MakeAnchorModel(fx));
+  // Past the 16-byte header (magic + version + kind) every byte sits in a
+  // section frame — tag, length, payload, or CRC — and a flip anywhere must
+  // come back as a clean error, never a crash or a silently-wrong model.
+  for (std::size_t i = 16; i < bytes.size(); i += 41) {
+    std::string corrupt = bytes;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0x20);
+    auto loaded = ModelSerializer::Deserialize(corrupt);
+    EXPECT_FALSE(loaded.ok()) << "flip at byte " << i << " was accepted";
+  }
+}
+
+TEST(ModelIoTest, EveryTruncationIsRejected) {
+  const Fixture fx = MakeFixture(34);
+  const std::string bytes =
+      ModelSerializer::Serialize(MakeExactModel(fx));
+  for (std::size_t len : {std::size_t{0}, std::size_t{3}, std::size_t{8},
+                          std::size_t{15}, std::size_t{16}, std::size_t{40},
+                          bytes.size() / 2, bytes.size() - 1}) {
+    auto loaded = ModelSerializer::Deserialize(
+        std::string_view(bytes.data(), len));
+    EXPECT_FALSE(loaded.ok()) << "prefix of " << len << " bytes was accepted";
+  }
+}
+
+TEST(ModelIoTest, FutureVersionIsRejectedAsFailedPrecondition) {
+  const Fixture fx = MakeFixture(35);
+  std::string bytes = ModelSerializer::Serialize(MakeAnchorModel(fx));
+  // The version u32 sits right after the 8-byte magic, little-endian.
+  bytes[8] = static_cast<char>(ModelSerializer::kFormatVersion + 1);
+  auto loaded = ModelSerializer::Deserialize(bytes);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kFailedPrecondition)
+      << loaded.status().ToString();
+}
+
+TEST(ModelIoTest, BadMagicIsRejected) {
+  const Fixture fx = MakeFixture(36);
+  std::string bytes = ModelSerializer::Serialize(MakeAnchorModel(fx));
+  bytes[0] = 'X';
+  auto loaded = ModelSerializer::Deserialize(bytes);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST(ModelIoTest, TrailingBytesAreRejected) {
+  const Fixture fx = MakeFixture(37);
+  std::string bytes = ModelSerializer::Serialize(MakeAnchorModel(fx));
+  bytes.push_back('\0');
+  EXPECT_FALSE(ModelSerializer::Deserialize(bytes).ok());
+}
+
+TEST(ModelIoTest, SaveThenLoadRoundTripsThroughAFile) {
+  const Fixture fx = MakeFixture(38);
+  const mvsc::OutOfSampleModel model = MakeAnchorModel(fx);
+  const std::string path =
+      ::testing::TempDir() + "/serve_model_io_test.model";
+  ASSERT_TRUE(ModelSerializer::Save(model, path).ok());
+  auto loaded = ModelSerializer::Load(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(PredictOrDie(*loaded, fx.test), PredictOrDie(model, fx.test));
+}
+
+TEST(ModelIoTest, LoadOfAMissingFileIsNotFound) {
+  auto loaded = ModelSerializer::Load("/nonexistent/umvsc/model.bin");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace umvsc::serve

@@ -1,0 +1,111 @@
+#include "serve/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/check.h"
+#include "data/synthetic.h"
+#include "mvsc/anchor_unified.h"
+#include "mvsc/out_of_sample.h"
+#include "mvsc/unified.h"
+#include "serve/model_io.h"
+
+namespace umvsc::serve {
+namespace {
+
+data::MultiViewDataset MakeTrain(std::uint64_t seed) {
+  data::MultiViewConfig config;
+  config.num_samples = 120;
+  config.num_clusters = 3;
+  config.views = {{10, data::ViewQuality::kInformative, 0.4},
+                  {6, data::ViewQuality::kWeak, 1.0}};
+  config.cluster_separation = 5.0;
+  config.seed = seed;
+  auto full = data::MakeGaussianMultiView(config);
+  UMVSC_CHECK(full.ok(), "dataset generation failed");
+  return *std::move(full);
+}
+
+mvsc::OutOfSampleModel MakeModel(const data::MultiViewDataset& train,
+                                 std::size_t num_anchors = 16) {
+  mvsc::UnifiedOptions options;
+  options.num_clusters = 3;
+  options.seed = 4;
+  options.anchors.enabled = true;
+  options.anchors.num_anchors = num_anchors;
+  options.anchors.anchor_neighbors = 3;
+  auto solved = mvsc::SolveUnifiedAnchors(train, options);
+  UMVSC_CHECK(solved.ok(), "anchor solve failed");
+  auto model = mvsc::OutOfSampleModel::FitAnchor(std::move(solved->model));
+  UMVSC_CHECK(model.ok(), "FitAnchor failed");
+  return *std::move(model);
+}
+
+TEST(RegistryTest, InsertGetRemoveLifecycle) {
+  const data::MultiViewDataset train = MakeTrain(51);
+  ModelRegistry registry;
+  EXPECT_EQ(registry.size(), 0u);
+  EXPECT_EQ(registry.Get("orl").status().code(), StatusCode::kNotFound);
+
+  registry.Insert("orl", MakeModel(train));
+  registry.Insert("coil", MakeModel(train));
+  EXPECT_EQ(registry.size(), 2u);
+  EXPECT_EQ(registry.Ids(), (std::vector<std::string>{"coil", "orl"}));
+
+  auto handle = registry.Get("orl");
+  ASSERT_TRUE(handle.ok());
+  EXPECT_EQ((*handle)->num_clusters(), 3u);
+
+  EXPECT_TRUE(registry.Remove("coil"));
+  EXPECT_FALSE(registry.Remove("coil"));
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(RegistryTest, HandlesSurviveAWarmSwap) {
+  const data::MultiViewDataset train = MakeTrain(52);
+  ModelRegistry registry;
+  registry.Insert("m", MakeModel(train, 16));
+  auto old_handle = registry.Get("m");
+  ASSERT_TRUE(old_handle.ok());
+  const mvsc::OutOfSampleModel* old_ptr = old_handle->get();
+
+  // Replace the model behind the id: in-flight handles must keep serving
+  // the old model, new Gets must see the new one.
+  registry.Insert("m", MakeModel(train, 24));
+  auto new_handle = registry.Get("m");
+  ASSERT_TRUE(new_handle.ok());
+  EXPECT_NE(new_handle->get(), old_ptr);
+  EXPECT_EQ(old_handle->get(), old_ptr);
+  EXPECT_EQ((*old_handle)->anchor_model()->views[0].anchors.rows(), 16u);
+  EXPECT_EQ((*new_handle)->anchor_model()->views[0].anchors.rows(), 24u);
+
+  auto labels = (*old_handle)->Predict(train);
+  EXPECT_TRUE(labels.ok()) << labels.status().ToString();
+}
+
+TEST(RegistryTest, LoadFromFileInstallsTheModel) {
+  const data::MultiViewDataset train = MakeTrain(53);
+  const std::string path = ::testing::TempDir() + "/serve_registry_test.model";
+  ASSERT_TRUE(ModelSerializer::Save(MakeModel(train), path).ok());
+
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.LoadFromFile("disk", path).ok());
+  std::remove(path.c_str());
+  auto handle = registry.Get("disk");
+  ASSERT_TRUE(handle.ok());
+  auto labels = (*handle)->Predict(train);
+  EXPECT_TRUE(labels.ok()) << labels.status().ToString();
+}
+
+TEST(RegistryTest, LoadFromFilePropagatesErrorsWithoutInstalling) {
+  ModelRegistry registry;
+  Status status = registry.LoadFromFile("bad", "/nonexistent/model.bin");
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(registry.size(), 0u);
+  EXPECT_FALSE(registry.Get("bad").ok());
+}
+
+}  // namespace
+}  // namespace umvsc::serve
