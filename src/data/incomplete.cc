@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 #include "common/rng.h"
 #include "common/strings.h"
@@ -13,6 +14,16 @@ std::size_t ViewPresence::CountPresent(std::size_t view) const {
   std::size_t count = 0;
   for (bool p : present[view]) count += p;
   return count;
+}
+
+bool ViewPresence::Saturated() const {
+  // One removal out of n·V is the sampler's resolution; anything short of
+  // the target by more than half a removal is a genuine shortfall.
+  const std::size_t n = NumSamples();
+  const std::size_t v = NumViews();
+  const double resolution =
+      n * v > 0 ? 0.5 / static_cast<double>(n * v) : 0.0;
+  return achieved_missing_fraction + resolution < target_missing_fraction;
 }
 
 Status ViewPresence::Validate(const MultiViewDataset& dataset) const {
@@ -54,6 +65,8 @@ StatusOr<ViewPresence> MakeIncomplete(MultiViewDataset& dataset,
   Rng rng(seed);
   ViewPresence presence;
   presence.present.assign(num_views, std::vector<bool>(n, true));
+  presence.target_missing_fraction = missing_fraction;
+  std::size_t removed = 0;
   if (missing_fraction > 0.0) {
     // Sample candidate (view, sample) removals uniformly; reject removals
     // that would violate the constraints.
@@ -61,7 +74,6 @@ StatusOr<ViewPresence> MakeIncomplete(MultiViewDataset& dataset,
         std::lround(missing_fraction * static_cast<double>(n * num_views)));
     std::vector<std::size_t> views_present(n, num_views);
     std::vector<std::size_t> samples_present(num_views, n);
-    std::size_t removed = 0;
     std::size_t attempts = 0;
     const std::size_t max_attempts = 20 * n * num_views;
     while (removed < target && attempts < max_attempts) {
@@ -77,25 +89,58 @@ StatusOr<ViewPresence> MakeIncomplete(MultiViewDataset& dataset,
       ++removed;
     }
   }
+  presence.achieved_missing_fraction =
+      static_cast<double>(removed) / static_cast<double>(n * num_views);
+  if (presence.Saturated()) {
+    // The sampler ran out of constraint-respecting removals. Callers keep a
+    // valid (smaller) pattern and can read the shortfall off the presence;
+    // warn loudly so a sweep over missing_fraction cannot silently flatten.
+    std::fprintf(
+        stderr,
+        "MakeIncomplete: constraints saturated at missing fraction %.4f of "
+        "the requested %.4f (n=%zu, views=%zu, min_present_per_view=%zu)\n",
+        presence.achieved_missing_fraction, missing_fraction, n, num_views,
+        min_present_per_view);
+  }
 
   // Overwrite absent rows with scale-matched noise so that any code path
   // that accidentally consumes them degrades loudly instead of benefiting
-  // from the original (supposedly unobserved) features.
+  // from the original (supposedly unobserved) features. The matching scale
+  // is that of the PRESENT rows only: the rows being overwritten carry
+  // whatever was there before (possibly noise from an earlier
+  // MakeIncomplete pass — the streaming case), and folding them into the
+  // statistics would compound the fill variance on every application.
   for (std::size_t v = 0; v < num_views; ++v) {
     la::Matrix& view = dataset.views[v];
-    double var = 0.0, mean = 0.0;
-    for (std::size_t i = 0; i < view.size(); ++i) mean += view.data()[i];
-    mean /= static_cast<double>(view.size());
-    for (std::size_t i = 0; i < view.size(); ++i) {
-      const double centered = view.data()[i] - mean;
-      var += centered * centered;
+    const std::size_t cols = view.cols();
+    double mean = 0.0;
+    std::size_t present_rows = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!presence.present[v][i]) continue;
+      const double* row = view.RowPtr(i);
+      for (std::size_t j = 0; j < cols; ++j) mean += row[j];
+      ++present_rows;
     }
-    var /= static_cast<double>(view.size());
-    const double scale = std::max(std::sqrt(var), 1e-6);
+    const std::size_t present_entries = present_rows * cols;
+    double scale = 1.0;
+    if (present_entries > 0) {
+      mean /= static_cast<double>(present_entries);
+      double var = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!presence.present[v][i]) continue;
+        const double* row = view.RowPtr(i);
+        for (std::size_t j = 0; j < cols; ++j) {
+          const double centered = row[j] - mean;
+          var += centered * centered;
+        }
+      }
+      var /= static_cast<double>(present_entries);
+      scale = std::max(std::sqrt(var), 1e-6);
+    }
     for (std::size_t i = 0; i < n; ++i) {
       if (presence.present[v][i]) continue;
       double* row = view.RowPtr(i);
-      for (std::size_t j = 0; j < view.cols(); ++j) {
+      for (std::size_t j = 0; j < cols; ++j) {
         row[j] = rng.Gaussian(0.0, scale);
       }
     }

@@ -15,12 +15,25 @@ namespace umvsc::data {
 struct ViewPresence {
   std::vector<std::vector<bool>> present;
 
+  /// The missing fraction MakeIncomplete was asked for, and the fraction of
+  /// (sample, view) pairs it actually removed. The rejection sampler can
+  /// fall short of an aggressive target when the structural constraints
+  /// (every sample in >= 1 view, min_present_per_view) leave too few legal
+  /// removals — callers sweeping the missing axis must plot
+  /// achieved_missing_fraction, never assume the target was met.
+  double target_missing_fraction = 0.0;
+  double achieved_missing_fraction = 0.0;
+
   std::size_t NumViews() const { return present.size(); }
   std::size_t NumSamples() const {
     return present.empty() ? 0 : present.front().size();
   }
   /// Number of observed samples in view v.
   std::size_t CountPresent(std::size_t view) const;
+
+  /// True when the sampler stopped short of the requested target (it ran
+  /// out of constraint-respecting removals before reaching it).
+  bool Saturated() const;
 
   /// Structural consistency against a dataset: matching view/sample counts
   /// and every sample observed in at least one view.
@@ -31,9 +44,15 @@ struct ViewPresence {
 /// (sample, view) pairs absent, uniformly at random, under the standard
 /// partial-multi-view constraints: every sample stays present in at least
 /// one view and every view keeps at least `min_present_per_view` samples.
-/// Feature rows of absent samples are overwritten with scale-matched noise
-/// so accidental use of them is loud in experiments rather than silently
-/// informative. Requires missing_fraction in [0, 1).
+/// Feature rows of absent samples are overwritten with noise scale-matched
+/// to the PRESENT rows of that view (so repeated application — a stream
+/// whose views keep dropping out — does not compound the fill variance),
+/// making accidental use of them loud in experiments rather than silently
+/// informative. When the constraints cap the removable pairs below the
+/// target, the returned presence records the shortfall
+/// (achieved_missing_fraction < target_missing_fraction, Saturated() true)
+/// and a warning is printed — the call still succeeds with the achievable
+/// pattern. Requires missing_fraction in [0, 1).
 StatusOr<ViewPresence> MakeIncomplete(MultiViewDataset& dataset,
                                       double missing_fraction,
                                       std::uint64_t seed,

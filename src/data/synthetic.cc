@@ -5,6 +5,7 @@
 
 #include "common/rng.h"
 #include "common/strings.h"
+#include "data/incomplete.h"
 
 namespace umvsc::data {
 
@@ -248,6 +249,177 @@ StatusOr<MultiViewDataset> MakeRingsMultiView(std::size_t num_samples,
   dataset.views.push_back(std::move(radial));
   UMVSC_RETURN_IF_ERROR(dataset.Validate());
   return dataset;
+}
+
+StatusOr<DriftStreamGenerator> DriftStreamGenerator::Create(
+    const DriftStreamConfig& config) {
+  if (config.batch_size == 0) {
+    return Status::InvalidArgument("batch_size must be positive");
+  }
+  if (config.num_clusters < 1) {
+    return Status::InvalidArgument("num_clusters must be positive");
+  }
+  if (config.views.empty()) {
+    return Status::InvalidArgument("at least one view is required");
+  }
+  for (const ViewSpec& spec : config.views) {
+    if (spec.dim == 0) {
+      return Status::InvalidArgument("every view needs at least one feature");
+    }
+    if (spec.noise < 0.0 || spec.strength < 0.0) {
+      return Status::InvalidArgument(
+          "view noise and strength must be nonnegative");
+    }
+  }
+  if (config.heavy_tail < 0.0 || config.heavy_tail > 1.0) {
+    return Status::InvalidArgument("heavy_tail must be in [0, 1]");
+  }
+  if (config.drift_rate < 0.0) {
+    return Status::InvalidArgument("drift_rate must be nonnegative");
+  }
+  if (config.missing_fraction < 0.0 || config.missing_fraction >= 1.0) {
+    return Status::InvalidArgument("missing_fraction must be in [0, 1)");
+  }
+  if (config.missing_fraction > 0.0 && config.views.size() < 2) {
+    return Status::InvalidArgument(
+        "per-batch incompleteness needs at least two views");
+  }
+
+  DriftStreamGenerator gen;
+  gen.config_ = config;
+  gen.latent_ =
+      config.latent_dim > 0 ? config.latent_dim : config.num_clusters + 2;
+  const std::size_t c = config.num_clusters;
+
+  // All structural draws happen here, once: the stream's geometry is fixed
+  // at creation and NextBatch only samples points from it.
+  Rng rng(config.seed);
+  gen.centroids_ = la::Matrix::RandomGaussian(c, gen.latent_, rng);
+  gen.centroids_.Scale(config.cluster_separation / std::sqrt(2.0));
+
+  // One fixed unit drift direction per cluster: a mean shift, not a random
+  // walk, so the drift magnitude at batch t is exactly prescribed.
+  gen.drift_directions_ = la::Matrix(c, gen.latent_);
+  for (std::size_t k = 0; k < c; ++k) {
+    double norm2 = 0.0;
+    double* row = gen.drift_directions_.RowPtr(k);
+    for (std::size_t j = 0; j < gen.latent_; ++j) {
+      row[j] = rng.Gaussian();
+      norm2 += row[j] * row[j];
+    }
+    const double inv = norm2 > 0.0 ? 1.0 / std::sqrt(norm2) : 0.0;
+    for (std::size_t j = 0; j < gen.latent_; ++j) row[j] *= inv;
+  }
+
+  // Per-view projections, shared with redundant views exactly as in
+  // MakeGaussianMultiView.
+  const double latent_scale = 1.0 / std::sqrt(static_cast<double>(gen.latent_));
+  la::Matrix shared_projection;
+  for (const ViewSpec& spec : config.views) {
+    if (spec.quality == ViewQuality::kNoisy) {
+      gen.projections_.emplace_back();  // unused placeholder
+      continue;
+    }
+    la::Matrix projection;
+    if (spec.quality == ViewQuality::kRedundant &&
+        shared_projection.rows() == gen.latent_ &&
+        shared_projection.cols() >= spec.dim) {
+      projection = shared_projection.Block(0, 0, gen.latent_, spec.dim);
+    } else {
+      projection = la::Matrix::RandomGaussian(gen.latent_, spec.dim, rng);
+      projection.Scale(latent_scale);
+      if (shared_projection.empty() &&
+          spec.quality == ViewQuality::kInformative) {
+        shared_projection = projection;
+      }
+    }
+    gen.projections_.push_back(std::move(projection));
+  }
+
+  // Heavy-tailed draw probabilities: the geometric decay law of
+  // ClusterSizes, applied per point instead of per partition so batch
+  // compositions fluctuate the way production traffic does.
+  const double decay = 1.0 - 0.75 * config.heavy_tail;
+  double w = 1.0;
+  for (std::size_t k = 0; k < c; ++k) {
+    gen.cluster_weights_.push_back(w);
+    w *= decay;
+  }
+  return gen;
+}
+
+StatusOr<MultiViewDataset> DriftStreamGenerator::NextBatch() {
+  const std::size_t b = next_batch_;
+  const std::size_t n = config_.batch_size;
+
+  // One independent child stream per batch index: batch b is a pure
+  // function of (config, b), never of how many points earlier batches drew.
+  Rng rng(config_.seed ^ (0x9E3779B97F4A7C15ULL * (b + 1)));
+
+  const std::size_t drift_steps =
+      b > config_.drift_start_batch ? b - config_.drift_start_batch : 0;
+  const double shift = config_.drift_rate * config_.cluster_separation *
+                       static_cast<double>(drift_steps);
+
+  MultiViewDataset batch;
+  batch.name = config_.name;
+  batch.labels.resize(n);
+  la::Matrix z(n, latent_);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t k = rng.SampleDiscrete(cluster_weights_);
+    batch.labels[i] = k;
+    const double* mu = centroids_.RowPtr(k);
+    const double* dir = drift_directions_.RowPtr(k);
+    double* zrow = z.RowPtr(i);
+    for (std::size_t j = 0; j < latent_; ++j) {
+      zrow[j] = mu[j] + shift * dir[j] + rng.Gaussian();
+    }
+  }
+
+  for (std::size_t v = 0; v < config_.views.size(); ++v) {
+    const ViewSpec& spec = config_.views[v];
+    la::Matrix x(n, spec.dim);
+    if (spec.quality == ViewQuality::kNoisy) {
+      for (std::size_t i = 0; i < x.size(); ++i) {
+        x.data()[i] = rng.Gaussian(0.0, std::max(spec.noise, 1e-12));
+      }
+      batch.views.push_back(std::move(x));
+      continue;
+    }
+    const la::Matrix& projection = projections_[v];
+    const double strength =
+        spec.strength > 0.0
+            ? spec.strength
+            : (spec.quality == ViewQuality::kWeak ? 0.35 : 1.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double* zrow = z.RowPtr(i);
+      double* xrow = x.RowPtr(i);
+      for (std::size_t j = 0; j < spec.dim; ++j) {
+        double s = 0.0;
+        for (std::size_t p = 0; p < latent_; ++p) {
+          s += zrow[p] * projection(p, j);
+        }
+        xrow[j] = strength * s + rng.Gaussian(0.0, spec.noise);
+      }
+    }
+    batch.views.push_back(std::move(x));
+  }
+
+  if (config_.missing_fraction > 0.0) {
+    // The lagging/missing-view axis: a seeded per-batch presence pattern,
+    // absent rows noise-filled with present-row-matched scale. The label
+    // ground truth is untouched. min_present_per_view scales to the batch
+    // (tiny batches must not make every removal illegal).
+    const std::size_t min_present = std::min<std::size_t>(10, (n + 1) / 2);
+    StatusOr<ViewPresence> presence = MakeIncomplete(
+        batch, config_.missing_fraction, config_.seed + 7919 * (b + 1),
+        min_present);
+    if (!presence.ok()) return presence.status();
+  }
+
+  UMVSC_RETURN_IF_ERROR(batch.Validate());
+  ++next_batch_;
+  return batch;
 }
 
 namespace {

@@ -73,6 +73,69 @@ StatusOr<MultiViewDataset> MakeRingsMultiView(std::size_t num_samples,
                                               double noise,
                                               std::uint64_t seed);
 
+/// Configuration of the streaming drift/skew workload generator — the
+/// production-shaped stress axis for the incremental (stream/) subsystem:
+/// mini-batches drawn from the SAME latent multi-view mixture as
+/// MakeGaussianMultiView, but with heavy-tailed cluster draw probabilities,
+/// temporal mean-shift drift of the cluster centroids, and (optionally)
+/// per-batch incomplete views noise-filled through data::MakeIncomplete.
+struct DriftStreamConfig {
+  std::string name = "drift-stream";
+  std::size_t batch_size = 500;
+  std::size_t num_clusters = 3;
+  std::vector<ViewSpec> views;
+  /// Scale of the latent cluster centroids at batch 0.
+  double cluster_separation = 4.0;
+  /// Dimension of the shared latent space (0 → num_clusters + 2).
+  std::size_t latent_dim = 0;
+  /// Heavy-tail dial on the per-point cluster draw: 0 = uniform draw
+  /// probabilities; 1 = strongly skewed (geometric decay, the first cluster
+  /// takes the lion's share — same decay law as MultiViewConfig::imbalance,
+  /// but sampled per point so every batch's sizes fluctuate realistically).
+  double heavy_tail = 0.0;
+  /// Per-batch centroid mean shift: after batch t every cluster centroid
+  /// has moved t·drift_rate·cluster_separation along its own fixed random
+  /// unit direction in latent space. 0 = a static stream.
+  double drift_rate = 0.0;
+  /// First batch index at which drift applies (earlier batches are
+  /// stationary — lets a detector calibrate before the shift begins).
+  std::size_t drift_start_batch = 0;
+  /// When positive, each batch is passed through MakeIncomplete with this
+  /// missing fraction (needs >= 2 views): absent rows are noise-filled with
+  /// present-row-matched scale, the "views can lag or go missing" axis.
+  double missing_fraction = 0.0;
+  std::uint64_t seed = 0;
+};
+
+/// Deterministic mini-batch generator over the drifting mixture. The latent
+/// centroids, per-cluster drift directions, and per-view projections are
+/// drawn once at Create; each NextBatch() advances one seeded child RNG, so
+/// the b-th batch is a pure function of (config, b) — two generators with
+/// the same config produce bitwise-identical streams regardless of thread
+/// count, and a batch's ground-truth labels come back in
+/// MultiViewDataset::labels.
+class DriftStreamGenerator {
+ public:
+  static StatusOr<DriftStreamGenerator> Create(const DriftStreamConfig& config);
+
+  /// The next `config.batch_size` points (dims and views per the config).
+  StatusOr<MultiViewDataset> NextBatch();
+
+  std::size_t batches_emitted() const { return next_batch_; }
+  const DriftStreamConfig& config() const { return config_; }
+
+ private:
+  DriftStreamGenerator() = default;
+
+  DriftStreamConfig config_;
+  std::size_t latent_ = 0;
+  la::Matrix centroids_;          // c × latent, batch-0 positions
+  la::Matrix drift_directions_;   // c × latent, unit rows
+  std::vector<la::Matrix> projections_;  // latent × d_v per view
+  std::vector<double> cluster_weights_;  // unnormalized draw probabilities
+  std::size_t next_batch_ = 0;
+};
+
 /// Named simulators mimicking the famous multi-view benchmarks' published
 /// statistics (n, V, per-view dims, c). The underlying generator is
 /// MakeGaussianMultiView with per-dataset view-quality profiles chosen to

@@ -2,18 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
-#include <limits>
 #include <utility>
 
 #include "cluster/anchor_embedding.h"
-#include "cluster/gpi.h"
-#include "cluster/rotation.h"
 #include "data/standardize.h"
 #include "graph/anchors.h"
 #include "la/ops.h"
-#include "la/svd.h"
-#include "la/sym_eigen.h"
-#include "mvsc/unified_internal.h"
+#include "mvsc/reduced_solve.h"
 
 namespace umvsc::mvsc {
 
@@ -129,39 +124,15 @@ StatusOr<AnchorUnifiedResult> SolveUnifiedAnchors(
     out.model.views.push_back(std::move(view_model));
   }
 
-  // --- Joint orthonormal basis B = [U_1 | … | U_V]·T: T comes from the
-  // Gram eigendecomposition [U]ᵀ[U] = W·S·Wᵀ, T = W·S^{−1/2} over the
-  // directions with non-negligible eigenvalue — rank deficiency across
-  // views (shared structure) truncates gracefully instead of dividing by 0.
+  // --- Joint orthonormal basis B = [U_1 | … | U_V]·mix over the Gram
+  // eigendecomposition (reduced_solve.h — shared with the streaming path,
+  // which rebuilds the basis over its window with the same truncation).
   const la::Matrix concat = la::HConcat(embeddings);
   embeddings.clear();
-  const std::size_t p_full = concat.cols();
-  StatusOr<la::SymEigenResult> gram_eig = la::SymmetricEigen(la::Gram(concat));
-  if (!gram_eig.ok()) return gram_eig.status();
-  double max_gram = 0.0;
-  for (std::size_t j = 0; j < p_full; ++j) {
-    max_gram = std::max(max_gram, gram_eig->eigenvalues[j]);
-  }
-  const double gram_tol = 1e-10 * std::max(max_gram, 1.0);
-  std::vector<std::size_t> kept;
-  for (std::size_t j = p_full; j > 0; --j) {  // descending eigenvalue order
-    if (gram_eig->eigenvalues[j - 1] > gram_tol) kept.push_back(j - 1);
-  }
-  const std::size_t p = kept.size();
-  if (p < c) {
-    return Status::InvalidArgument(
-        "anchor basis rank fell below the cluster count; raise num_anchors "
-        "or basis_per_view");
-  }
-  la::Matrix mix(p_full, p);
-  for (std::size_t t = 0; t < p; ++t) {
-    const std::size_t j = kept[t];
-    const double inv_sqrt = 1.0 / std::sqrt(gram_eig->eigenvalues[j]);
-    for (std::size_t r = 0; r < p_full; ++r) {
-      mix(r, t) = gram_eig->eigenvectors(r, j) * inv_sqrt;
-    }
-  }
-  const la::Matrix basis = la::MatMul(concat, mix);  // n × p, BᵀB ≈ I
+  la::Matrix mix;
+  StatusOr<la::Matrix> basis_or = JointOrthonormalBasis(concat, c, &mix);
+  if (!basis_or.ok()) return basis_or.status();
+  const la::Matrix basis = std::move(*basis_or);
 
   // --- Reduced per-view Laplacians H_v = BᵀL_vB = BᵀB − E_vᵀE_v with
   // E_v = Ẑ_vᵀB (m × p, one transposed SpMM — O(n·s·p), never an n × n
@@ -181,157 +152,17 @@ StatusOr<AnchorUnifiedResult> SolveUnifiedAnchors(
   // --- From here the solve IS unified.cc's, with F = B·G: the same floors,
   // warm-started init alternations, and G/R/Y/α blocks run on the p × p
   // reduced Laplacians; only the Y-step reconstructs n rows (row-argmax of
-  // B·G·R) because labels are an n-point object.
-  la::LanczosOptions lanczos;
-  lanczos.seed = options.seed + 17;
-  lanczos.max_subspace = std::min(p, std::max<std::size_t>(12 * c + 100, 250));
-  lanczos.tolerance = 3e-6;
-  std::vector<double> floors(num_views, 0.0);
-  if (options.smoothness == SmoothnessNormalization::kExcess) {
-    StatusOr<std::vector<double>> spectral =
-        internal::SpectralFloors(reduced, c, lanczos, options.block_lanczos,
-                                 &out.result.lanczos_matvecs);
-    if (!spectral.ok()) return spectral.status();
-    floors = std::move(*spectral);
-  }
+  // B·G·R) because labels are an n-point object. The alternation itself is
+  // shared with the streaming updater (reduced_solve.h); this batch path
+  // enters cold — discretize-init plus final polish.
+  ReducedSolveControls controls;  // defaults: cold entry, polish on
+  StatusOr<ReducedSolveState> state =
+      SolveReducedAlternation(reduced, basis, options, controls, &out.result);
+  if (!state.ok()) return state.status();
 
-  internal::Weights weights;
-  weights.coefficients.assign(num_views, 1.0 / static_cast<double>(num_views));
-  la::Matrix g;
-  const la::CsrCombiner combiner = la::CsrCombiner::Plan(reduced);
-  const std::size_t warmups =
-      std::max<std::size_t>(1, options.init_alternations);
-  for (std::size_t warm = 0; warm < warmups; ++warm) {
-    la::CsrMatrix combined = combiner.Combine(reduced, weights.coefficients);
-    la::LanczosOptions warm_lanczos = lanczos;
-    warm_lanczos.matvec_count = &out.result.lanczos_matvecs;
-    if (options.warm_start && g.rows() == p && g.cols() == c) {
-      warm_lanczos.warm_start = &g;
-    }
-    StatusOr<la::SymEigenResult> init_eig = internal::SmallestEigenpairsSparse(
-        combined, c, cluster::GershgorinUpperBound(combined) + 1e-9,
-        warm_lanczos, options.block_lanczos);
-    if (!init_eig.ok()) return init_eig.status();
-    g = std::move(init_eig->eigenvectors);
-    const std::vector<double> h = internal::ViewSmoothness(reduced, g, floors);
-    weights = internal::UpdateWeights(h, options.weighting, options.gamma);
-    double smoothness = 0.0;
-    for (std::size_t v = 0; v < num_views; ++v) {
-      smoothness += weights.coefficients[v] * h[v];
-    }
-    out.result.warmup_trace.push_back(smoothness);
-  }
-
-  // Objective of the reduced iterate — identical in VALUE to the exact
-  // path's UnifiedObjective at F = B·G (the traces agree because
-  // Tr(FᵀL_vF) = Tr(GᵀH_vG); the residual is evaluated on the
-  // reconstructed rows exactly).
-  auto objective = [&](const la::Matrix& g_cur, const la::Matrix& rot,
-                       const la::Matrix& y_hat_cur,
-                       const la::Matrix& f_full_cur) {
-    double obj = 0.0;
-    for (std::size_t v = 0; v < num_views; ++v) {
-      obj += weights.coefficients[v] * la::QuadraticTrace(reduced[v], g_cur);
-    }
-    la::Matrix residual =
-        la::Add(y_hat_cur, la::MatMul(f_full_cur, rot), -1.0);
-    const double r = residual.FrobeniusNorm();
-    return obj + options.beta * r * r;
-  };
-
-  la::Matrix f_full = la::MatMul(basis, g);  // n × c reconstruction
-  cluster::RotationOptions rot_init;
-  rot_init.seed = options.seed + 31;
-  rot_init.restarts = 8;
-  rot_init.scale_indicator = options.scale_indicator;
-  StatusOr<cluster::RotationResult> init_disc =
-      cluster::DiscretizeEmbedding(f_full, rot_init);
-  if (!init_disc.ok()) return init_disc.status();
-  la::Matrix rotation = std::move(init_disc->rotation);
-  la::Matrix indicator = std::move(init_disc->indicator);
-  la::Matrix y_hat = options.scale_indicator
-                         ? cluster::ScaledIndicator(indicator)
-                         : indicator;
-  // Reduced image P = BᵀŶ (p × c): the ONLY coupling the G- and R-steps
-  // need from the n-row indicator.
-  la::Matrix p_red = la::MatTMul(basis, y_hat);
-
-  double prev_obj = std::numeric_limits<double>::infinity();
-  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
-    // --- G-step: min Tr(GᵀHG) − 2β·Tr(Gᵀ P Rᵀ) on the p-dim Stiefel
-    // manifold — the F-step compressed through F = B·G.
-    la::CsrMatrix a = combiner.Combine(reduced, weights.coefficients);
-    la::Matrix b = la::MatMulT(p_red, rotation);
-    b.Scale(options.beta);
-    cluster::GpiOptions gpi;
-    gpi.max_iterations = options.gpi_iterations;
-    StatusOr<cluster::GpiResult> gstep =
-        cluster::GeneralizedPowerIteration(a, b, g, gpi);
-    if (!gstep.ok()) return gstep.status();
-    g = std::move(gstep->f);
-
-    // --- R-step: Procrustes on FᵀŶ = GᵀP (c × c — no n-row pass).
-    StatusOr<la::Matrix> rstep = la::ProcrustesRotation(la::MatTMul(g, p_red));
-    if (!rstep.ok()) return rstep.status();
-    rotation = std::move(*rstep);
-
-    // --- Y-step: the one reconstruction per iteration — labels are an
-    // n-point object, so the row-argmax of F·R = B·(G·R) must see n rows.
-    f_full = la::MatMul(basis, g);
-    la::Matrix fr = la::MatMul(f_full, rotation);
-    std::vector<std::size_t> labels = internal::DiscretizeRows(fr, c);
-    indicator = cluster::LabelsToIndicator(labels, c);
-    y_hat = options.scale_indicator ? cluster::ScaledIndicator(indicator)
-                                    : indicator;
-    p_red = la::MatTMul(basis, y_hat);
-
-    // --- α-step: closed form on the reduced traces.
-    weights = internal::UpdateWeights(
-        internal::ViewSmoothness(reduced, g, floors), options.weighting,
-        options.gamma);
-
-    const double obj = objective(g, rotation, y_hat, f_full);
-    out.result.objective_trace.push_back(obj);
-    out.result.iterations = iter + 1;
-    if (iter > 0 &&
-        std::fabs(prev_obj - obj) <=
-            options.tolerance * std::max(std::fabs(prev_obj), 1e-12)) {
-      out.result.converged = true;
-      break;
-    }
-    prev_obj = obj;
-  }
-
-  // Final polish, as on the exact path: re-search (Y, R) for the converged
-  // embedding with fresh restarts, accepted only on objective improvement.
-  {
-    cluster::RotationOptions rot_final;
-    rot_final.seed = options.seed + 97;
-    rot_final.restarts = 8;
-    rot_final.scale_indicator = options.scale_indicator;
-    StatusOr<cluster::RotationResult> polished =
-        cluster::DiscretizeEmbedding(f_full, rot_final);
-    if (polished.ok()) {
-      la::Matrix polished_y_hat =
-          options.scale_indicator ? cluster::ScaledIndicator(polished->indicator)
-                                  : polished->indicator;
-      const double incumbent = objective(g, rotation, y_hat, f_full);
-      const double candidate =
-          objective(g, polished->rotation, polished_y_hat, f_full);
-      if (candidate < incumbent) {
-        rotation = std::move(polished->rotation);
-        indicator = std::move(polished->indicator);
-      }
-    }
-  }
-
-  out.result.labels = cluster::IndicatorToLabels(indicator);
-  out.result.indicator = std::move(indicator);
-  out.result.embedding = std::move(f_full);
-  out.result.rotation = rotation;
-  out.result.view_weights = weights.alpha;
   out.model.mix = mix;
-  out.model.assignment = la::MatMul(mix, la::MatMul(g, rotation));
+  out.model.assignment =
+      la::MatMul(mix, la::MatMul(state->g, state->rotation));
   return out;
 }
 

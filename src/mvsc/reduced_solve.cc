@@ -1,0 +1,264 @@
+#include "mvsc/reduced_solve.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "cluster/gpi.h"
+#include "cluster/rotation.h"
+#include "la/lanczos.h"
+#include "la/ops.h"
+#include "la/svd.h"
+#include "la/sym_eigen.h"
+#include "mvsc/unified_internal.h"
+
+namespace umvsc::mvsc {
+
+StatusOr<la::Matrix> JointOrthonormalBasis(const la::Matrix& concat,
+                                           std::size_t min_rank,
+                                           la::Matrix* mix_out) {
+  UMVSC_CHECK(mix_out != nullptr, "mix sink is required");
+  const std::size_t p_full = concat.cols();
+  StatusOr<la::SymEigenResult> gram_eig = la::SymmetricEigen(la::Gram(concat));
+  if (!gram_eig.ok()) return gram_eig.status();
+  double max_gram = 0.0;
+  for (std::size_t j = 0; j < p_full; ++j) {
+    max_gram = std::max(max_gram, gram_eig->eigenvalues[j]);
+  }
+  const double gram_tol = 1e-10 * std::max(max_gram, 1.0);
+  std::vector<std::size_t> kept;
+  for (std::size_t j = p_full; j > 0; --j) {  // descending eigenvalue order
+    if (gram_eig->eigenvalues[j - 1] > gram_tol) kept.push_back(j - 1);
+  }
+  const std::size_t p = kept.size();
+  if (p < min_rank) {
+    return Status::InvalidArgument(
+        "anchor basis rank fell below the cluster count; raise num_anchors "
+        "or basis_per_view");
+  }
+  la::Matrix mix(p_full, p);
+  for (std::size_t t = 0; t < p; ++t) {
+    const std::size_t j = kept[t];
+    const double inv_sqrt = 1.0 / std::sqrt(gram_eig->eigenvalues[j]);
+    for (std::size_t r = 0; r < p_full; ++r) {
+      mix(r, t) = gram_eig->eigenvectors(r, j) * inv_sqrt;
+    }
+  }
+  la::Matrix basis = la::MatMul(concat, mix);  // n × p, BᵀB ≈ I
+  *mix_out = std::move(mix);
+  return basis;
+}
+
+StatusOr<ReducedSolveState> SolveReducedAlternation(
+    const std::vector<la::CsrMatrix>& reduced, const la::Matrix& basis,
+    const UnifiedOptions& options, const ReducedSolveControls& controls,
+    UnifiedResult* result) {
+  UMVSC_CHECK(result != nullptr, "result sink is required");
+  const std::size_t num_views = reduced.size();
+  const std::size_t c = options.num_clusters;
+  const std::size_t p = basis.cols();
+  if (num_views == 0) {
+    return Status::InvalidArgument("reduced solve needs at least one view");
+  }
+  for (const la::CsrMatrix& h : reduced) {
+    if (h.rows() != p || h.cols() != p) {
+      return Status::InvalidArgument(
+          "reduced Laplacian shape does not match the basis");
+    }
+  }
+  if (p < c) {
+    return Status::InvalidArgument(
+        "reduced dimension fell below the cluster count");
+  }
+
+  la::LanczosOptions lanczos;
+  lanczos.seed = options.seed + 17;
+  lanczos.max_subspace = std::min(p, std::max<std::size_t>(12 * c + 100, 250));
+  lanczos.tolerance = 3e-6;
+  std::vector<double> floors(num_views, 0.0);
+  if (options.smoothness == SmoothnessNormalization::kExcess) {
+    StatusOr<std::vector<double>> spectral =
+        internal::SpectralFloors(reduced, c, lanczos, options.block_lanczos,
+                                 &result->lanczos_matvecs);
+    if (!spectral.ok()) return spectral.status();
+    floors = std::move(*spectral);
+  }
+
+  // Warm-start validity: every piece is checked against the CURRENT shapes.
+  // A stale piece (p changed after an anchor re-selection, c changed after
+  // a cluster-count update) silently degrades that piece to cold instead of
+  // erroring — the caller asked for the best available start, not a crash.
+  const ReducedWarmStart* warm = controls.warm;
+  const bool warm_g = warm != nullptr && warm->g.rows() == p &&
+                      warm->g.cols() == c;
+  const bool warm_rotation = warm != nullptr && warm->rotation.rows() == c &&
+                             warm->rotation.cols() == c;
+  const bool warm_weights =
+      warm != nullptr && warm->weight_coefficients.size() == num_views;
+
+  internal::Weights weights;
+  if (warm_weights) {
+    weights.coefficients = warm->weight_coefficients;
+  } else {
+    weights.coefficients.assign(num_views,
+                                1.0 / static_cast<double>(num_views));
+  }
+  la::Matrix g;
+  if (warm_g) g = warm->g;
+  const la::CsrCombiner combiner = la::CsrCombiner::Plan(reduced);
+  const std::size_t warmups =
+      std::max<std::size_t>(1, options.init_alternations);
+  for (std::size_t iter = 0; iter < warmups; ++iter) {
+    la::CsrMatrix combined = combiner.Combine(reduced, weights.coefficients);
+    la::LanczosOptions warm_lanczos = lanczos;
+    warm_lanczos.matvec_count = &result->lanczos_matvecs;
+    if (options.warm_start && g.rows() == p && g.cols() == c) {
+      warm_lanczos.warm_start = &g;
+    }
+    StatusOr<la::SymEigenResult> init_eig = internal::SmallestEigenpairsSparse(
+        combined, c, cluster::GershgorinUpperBound(combined) + 1e-9,
+        warm_lanczos, options.block_lanczos);
+    if (!init_eig.ok()) return init_eig.status();
+    g = std::move(init_eig->eigenvectors);
+    const std::vector<double> h = internal::ViewSmoothness(reduced, g, floors);
+    weights = internal::UpdateWeights(h, options.weighting, options.gamma);
+    double smoothness = 0.0;
+    for (std::size_t v = 0; v < num_views; ++v) {
+      smoothness += weights.coefficients[v] * h[v];
+    }
+    result->warmup_trace.push_back(smoothness);
+  }
+
+  // Objective of the reduced iterate — identical in VALUE to the exact
+  // path's UnifiedObjective at F = B·G (the traces agree because
+  // Tr(FᵀL_vF) = Tr(GᵀH_vG); the residual is evaluated on the
+  // reconstructed rows exactly).
+  auto objective = [&](const la::Matrix& g_cur, const la::Matrix& rot,
+                       const la::Matrix& y_hat_cur,
+                       const la::Matrix& f_full_cur) {
+    double obj = 0.0;
+    for (std::size_t v = 0; v < num_views; ++v) {
+      obj += weights.coefficients[v] * la::QuadraticTrace(reduced[v], g_cur);
+    }
+    la::Matrix residual =
+        la::Add(y_hat_cur, la::MatMul(f_full_cur, rot), -1.0);
+    const double r = residual.FrobeniusNorm();
+    return obj + options.beta * r * r;
+  };
+
+  la::Matrix f_full = la::MatMul(basis, g);  // n × c reconstruction
+  la::Matrix rotation;
+  la::Matrix indicator;
+  if (warm_rotation) {
+    // Warm entry: the carried rotation is already at (or near) the previous
+    // solve's fixed point — the indicator falls straight out of a row-argmax
+    // pass, no restart search.
+    rotation = warm->rotation;
+    const la::Matrix fr = la::MatMul(f_full, rotation);
+    indicator = cluster::LabelsToIndicator(internal::DiscretizeRows(fr, c), c);
+  } else {
+    cluster::RotationOptions rot_init;
+    rot_init.seed = options.seed + 31;
+    rot_init.restarts = 8;
+    rot_init.scale_indicator = options.scale_indicator;
+    StatusOr<cluster::RotationResult> init_disc =
+        cluster::DiscretizeEmbedding(f_full, rot_init);
+    if (!init_disc.ok()) return init_disc.status();
+    rotation = std::move(init_disc->rotation);
+    indicator = std::move(init_disc->indicator);
+  }
+  la::Matrix y_hat = options.scale_indicator
+                         ? cluster::ScaledIndicator(indicator)
+                         : indicator;
+  // Reduced image P = BᵀŶ (p × c): the ONLY coupling the G- and R-steps
+  // need from the n-row indicator.
+  la::Matrix p_red = la::MatTMul(basis, y_hat);
+
+  double prev_obj = std::numeric_limits<double>::infinity();
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    // --- G-step: min Tr(GᵀHG) − 2β·Tr(Gᵀ P Rᵀ) on the p-dim Stiefel
+    // manifold — the F-step compressed through F = B·G.
+    la::CsrMatrix a = combiner.Combine(reduced, weights.coefficients);
+    la::Matrix b = la::MatMulT(p_red, rotation);
+    b.Scale(options.beta);
+    cluster::GpiOptions gpi;
+    gpi.max_iterations = options.gpi_iterations;
+    StatusOr<cluster::GpiResult> gstep =
+        cluster::GeneralizedPowerIteration(a, b, g, gpi);
+    if (!gstep.ok()) return gstep.status();
+    g = std::move(gstep->f);
+
+    // --- R-step: Procrustes on FᵀŶ = GᵀP (c × c — no n-row pass).
+    StatusOr<la::Matrix> rstep = la::ProcrustesRotation(la::MatTMul(g, p_red));
+    if (!rstep.ok()) return rstep.status();
+    rotation = std::move(*rstep);
+
+    // --- Y-step: the one reconstruction per iteration — labels are an
+    // n-point object, so the row-argmax of F·R = B·(G·R) must see n rows.
+    f_full = la::MatMul(basis, g);
+    la::Matrix fr = la::MatMul(f_full, rotation);
+    std::vector<std::size_t> labels = internal::DiscretizeRows(fr, c);
+    indicator = cluster::LabelsToIndicator(labels, c);
+    y_hat = options.scale_indicator ? cluster::ScaledIndicator(indicator)
+                                    : indicator;
+    p_red = la::MatTMul(basis, y_hat);
+
+    // --- α-step: closed form on the reduced traces.
+    weights = internal::UpdateWeights(
+        internal::ViewSmoothness(reduced, g, floors), options.weighting,
+        options.gamma);
+
+    const double obj = objective(g, rotation, y_hat, f_full);
+    result->objective_trace.push_back(obj);
+    result->iterations = iter + 1;
+    if (iter > 0 &&
+        std::fabs(prev_obj - obj) <=
+            options.tolerance * std::max(std::fabs(prev_obj), 1e-12)) {
+      result->converged = true;
+      break;
+    }
+    prev_obj = obj;
+  }
+
+  if (controls.polish) {
+    // Final polish, as on the exact path: re-search (Y, R) for the
+    // converged embedding with fresh restarts, accepted only on objective
+    // improvement.
+    cluster::RotationOptions rot_final;
+    rot_final.seed = options.seed + 97;
+    rot_final.restarts = 8;
+    rot_final.scale_indicator = options.scale_indicator;
+    StatusOr<cluster::RotationResult> polished =
+        cluster::DiscretizeEmbedding(f_full, rot_final);
+    if (polished.ok()) {
+      la::Matrix polished_y_hat =
+          options.scale_indicator ? cluster::ScaledIndicator(polished->indicator)
+                                  : polished->indicator;
+      const double incumbent = objective(g, rotation, y_hat, f_full);
+      const double candidate =
+          objective(g, polished->rotation, polished_y_hat, f_full);
+      if (candidate < incumbent) {
+        rotation = std::move(polished->rotation);
+        indicator = std::move(polished->indicator);
+        y_hat = std::move(polished_y_hat);
+      }
+    }
+  }
+
+  ReducedSolveState state;
+  state.objective = objective(g, rotation, y_hat, f_full);
+  state.smoothness = internal::ViewSmoothness(reduced, g, floors);
+  state.g = g;
+  state.rotation = rotation;
+  state.weight_coefficients = weights.coefficients;
+
+  result->labels = cluster::IndicatorToLabels(indicator);
+  result->indicator = std::move(indicator);
+  result->embedding = std::move(f_full);
+  result->rotation = std::move(rotation);
+  result->view_weights = weights.alpha;
+  return state;
+}
+
+}  // namespace umvsc::mvsc

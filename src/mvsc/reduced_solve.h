@@ -1,0 +1,85 @@
+#ifndef UMVSC_MVSC_REDUCED_SOLVE_H_
+#define UMVSC_MVSC_REDUCED_SOLVE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "la/matrix.h"
+#include "la/sparse.h"
+#include "mvsc/unified.h"
+
+namespace umvsc::mvsc {
+
+/// The reduced-space alternation shared by the batch anchor solver
+/// (anchor_unified.cc) and the streaming updater (stream/). Both operate on
+/// the SAME object — per-view reduced Laplacians H_v = BᵀL_vB (p × p CSR)
+/// over an orthonormal basis B (n × p) with F = B·G — and must keep
+/// identical update semantics; only how they ENTER the alternation differs
+/// (cold discretize-init + polish vs. warm-started from carried state), so
+/// the solve lives here once and the entry is a control knob.
+
+/// Joint orthonormal basis B = concat·mix over concatenated per-view
+/// embeddings [U_1 | … | U_V]: mix = W·S^{−1/2} from the Gram
+/// eigendecomposition concatᵀconcat = W·S·Wᵀ over the directions with
+/// non-negligible eigenvalue (relative 1e-10 cutoff) — rank deficiency
+/// across views (shared structure) truncates gracefully instead of
+/// dividing by zero. Fills `mix_out` (p_full × p, kept directions in
+/// descending eigenvalue order) and returns B (n × p, BᵀB ≈ I). Errors
+/// when the kept rank falls below `min_rank`.
+StatusOr<la::Matrix> JointOrthonormalBasis(const la::Matrix& concat,
+                                           std::size_t min_rank,
+                                           la::Matrix* mix_out);
+
+/// State carried between solves to warm-start the next one: the reduced
+/// embedding seeds the init eigensolves (la::LanczosOptions::warm_start),
+/// the rotation replaces the cold discretize-init restarts, and the weight
+/// coefficients skip the uniform-mixture cold open. Shapes are validated
+/// against the current problem; a stale shape (e.g. after a cluster-count
+/// change) disables that part of the warm start rather than erroring.
+struct ReducedWarmStart {
+  la::Matrix g;         ///< p × c reduced embedding of the previous solve
+  la::Matrix rotation;  ///< c × c orthogonal rotation of the previous solve
+  std::vector<double> weight_coefficients;  ///< per-view combination coeffs
+};
+
+/// How to enter the alternation.
+struct ReducedSolveControls {
+  /// Final (Y, R) re-search with fresh restarts, accepted only on objective
+  /// improvement — the batch path's finisher. Streaming updates skip it:
+  /// the carried rotation already sits at the incumbent's fixed point and
+  /// per-batch latency matters more than a last objective nudge.
+  bool polish = true;
+  /// When set, enters warm: G seeds the init eigensolves, the carried
+  /// rotation replaces the discretize-init, weights open at the carried
+  /// mixture. When null (or shapes stale), the cold path runs: uniform
+  /// weights, DiscretizeEmbedding init at seed+31, polish at seed+97.
+  const ReducedWarmStart* warm = nullptr;
+};
+
+/// Final state of a solve, in the form the next warm start (and the drift
+/// detector) consumes.
+struct ReducedSolveState {
+  la::Matrix g;         ///< p × c
+  la::Matrix rotation;  ///< c × c
+  std::vector<double> weight_coefficients;  ///< combination coefficients
+  /// Per-view smoothness h_v at the final G (floors applied under kExcess)
+  /// — the drift detector's per-view signal.
+  std::vector<double> smoothness;
+  /// Final objective value (after the polish decision) — the drift
+  /// detector's global signal.
+  double objective = 0.0;
+};
+
+/// Runs spectral floors (kExcess) → init alternations → G/R/Y/α loop →
+/// optional polish. Appends traces and matvec counts to `result` and fills
+/// its labels / indicator / embedding / rotation / view_weights. `basis`
+/// must have orthonormal columns (BᵀB ≈ I) and as many columns as each H_v
+/// has rows. Bitwise deterministic across thread counts for fixed options.
+StatusOr<ReducedSolveState> SolveReducedAlternation(
+    const std::vector<la::CsrMatrix>& reduced, const la::Matrix& basis,
+    const UnifiedOptions& options, const ReducedSolveControls& controls,
+    UnifiedResult* result);
+
+}  // namespace umvsc::mvsc
+
+#endif  // UMVSC_MVSC_REDUCED_SOLVE_H_

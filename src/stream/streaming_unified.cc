@@ -1,0 +1,444 @@
+#include "stream/streaming_unified.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "cluster/anchor_embedding.h"
+#include "common/strings.h"
+#include "data/standardize.h"
+#include "graph/anchors.h"
+#include "la/ops.h"
+#include "la/sparse.h"
+#include "mvsc/anchor_assign.h"
+#include "mvsc/reduced_solve.h"
+
+namespace umvsc::stream {
+
+namespace {
+
+// Absolute floor on a per-view smoothness baseline: a view whose h_v was
+// essentially zero at the last full solve must not fire the detector on
+// numerical noise. h_v = Tr(GᵀH_vG) lives in [0, c], so the floor scales
+// with the cluster count.
+double SmoothnessFloor(std::size_t num_clusters) {
+  return 0.02 * static_cast<double>(num_clusters);
+}
+
+}  // namespace
+
+StatusOr<StreamingUnifiedMVSC> StreamingUnifiedMVSC::Create(
+    const StreamingOptions& options) {
+  if (options.window_capacity < 2) {
+    return Status::InvalidArgument("window_capacity must be at least 2");
+  }
+  if (options.unified.num_clusters < 2) {
+    return Status::InvalidArgument("streaming requires num_clusters >= 2");
+  }
+  if (options.update_max_iterations < 1) {
+    return Status::InvalidArgument("update_max_iterations must be positive");
+  }
+  if (options.objective_drift_tolerance < 0.0 ||
+      options.smoothness_drift_tolerance < 0.0) {
+    return Status::InvalidArgument("drift tolerances must be nonnegative");
+  }
+  StreamingUnifiedMVSC s;
+  s.options_ = options;
+  return s;
+}
+
+std::size_t StreamingUnifiedMVSC::view_basis_dims(std::size_t view) const {
+  UMVSC_CHECK(view < views_.size(), "view index out of range");
+  return views_[view].anchor_map.cols();
+}
+
+Status StreamingUnifiedMVSC::CheckBatch(
+    const data::MultiViewDataset& batch) const {
+  if (batch.NumSamples() == 0) {
+    return Status::InvalidArgument("empty batch");
+  }
+  if (views_.empty()) return Status::OK();  // first batch fixes the schema
+  if (batch.NumViews() != views_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("batch has %zu views, the stream %zu", batch.NumViews(),
+                  views_.size()));
+  }
+  for (std::size_t v = 0; v < views_.size(); ++v) {
+    if (batch.views[v].cols() != views_[v].dim) {
+      return Status::InvalidArgument(
+          StrFormat("view %zu has %zu features, the stream %zu", v,
+                    batch.views[v].cols(), views_[v].dim));
+    }
+  }
+  return Status::OK();
+}
+
+void StreamingUnifiedMVSC::AppendRaw(const data::MultiViewDataset& batch) {
+  if (views_.empty()) {
+    views_.resize(batch.NumViews());
+    for (std::size_t v = 0; v < views_.size(); ++v) {
+      views_[v].dim = batch.views[v].cols();
+    }
+  }
+  const std::size_t b = batch.NumSamples();
+  for (std::size_t v = 0; v < views_.size(); ++v) {
+    const la::Matrix& x = batch.views[v];
+    views_[v].raw.insert(views_[v].raw.end(), x.data(),
+                         x.data() + b * views_[v].dim);
+  }
+  rows_ += b;
+}
+
+void StreamingUnifiedMVSC::ExtendRows(std::size_t first_row) {
+  const std::size_t s = options_.unified.anchors.anchor_neighbors;
+  for (ViewState& view : views_) {
+    const std::size_t d = view.dim;
+    const std::size_t m = view.anchors.rows();
+    const std::size_t k = view.anchor_map.cols();
+    std::vector<double> x(d), d2(m), zw(s);
+    std::vector<std::size_t> zc(s);
+    for (std::size_t i = first_row; i < rows_; ++i) {
+      // Serving row rule (mvsc/anchor_assign.h): standardize → blocked
+      // distances → s-sparse self-tuning row → u = z·anchor_map in
+      // ascending anchor order. Bitwise equal to the batched training path.
+      data::ApplyStandardizationRow(view.raw.data() + (head_ + i) * d, d,
+                                    view.feature_means, view.feature_inv_stds,
+                                    x.data());
+      const double nx = mvsc::assign::RowSquaredNorm(x.data(), d);
+      for (std::size_t j = 0; j < m; ++j) {
+        const double dot =
+            mvsc::assign::BlockedDot(x.data(), view.anchors.RowPtr(j), d);
+        d2[j] = mvsc::assign::SquaredFromDot(nx, view.anchor_norms[j], dot);
+      }
+      mvsc::assign::SelectAnchorRow(d2.data(), m, s, zc.data(), zw.data());
+      view.z_cols.insert(view.z_cols.end(), zc.begin(), zc.end());
+      view.z_vals.insert(view.z_vals.end(), zw.begin(), zw.end());
+      const std::size_t u_at = view.u.size();
+      view.u.resize(u_at + k, 0.0);
+      double* u_row = view.u.data() + u_at;
+      for (std::size_t t = 0; t < s; ++t) {
+        const double* map_row = view.anchor_map.RowPtr(zc[t]);
+        for (std::size_t j = 0; j < k; ++j) u_row[j] += zw[t] * map_row[j];
+      }
+    }
+  }
+}
+
+void StreamingUnifiedMVSC::Evict(std::size_t count) {
+  head_ += count;
+  rows_ -= count;
+  if (head_ == 0 || head_ < rows_) return;
+  // Dead space reached the live window: compact every flat array by its own
+  // stride (amortized O(1) per ingested row).
+  for (ViewState& view : views_) {
+    auto drop = [&](auto& vec, std::size_t stride) {
+      if (!vec.empty()) {
+        vec.erase(vec.begin(),
+                  vec.begin() + static_cast<std::ptrdiff_t>(head_ * stride));
+      }
+    };
+    drop(view.raw, view.dim);
+    drop(view.z_cols, options_.unified.anchors.anchor_neighbors);
+    drop(view.z_vals, options_.unified.anchors.anchor_neighbors);
+    drop(view.u, view.anchor_map.cols());
+  }
+  head_ = 0;
+}
+
+Status StreamingUnifiedMVSC::SolveWindow(
+    const mvsc::UnifiedOptions& solve_options, bool warm, bool polish,
+    StreamingUpdateResult* out) {
+  const std::size_t c = solve_options.num_clusters;
+  const std::size_t s = options_.unified.anchors.anchor_neighbors;
+  const std::size_t num_views = views_.size();
+
+  // Joint basis over the window from the flat per-view embedding rows.
+  std::size_t p_full = 0;
+  for (const ViewState& view : views_) p_full += view.anchor_map.cols();
+  la::Matrix concat(rows_, p_full);
+  std::size_t col0 = 0;
+  for (const ViewState& view : views_) {
+    const std::size_t k = view.anchor_map.cols();
+    for (std::size_t i = 0; i < rows_; ++i) {
+      const double* src = view.u.data() + (head_ + i) * k;
+      std::copy(src, src + k, concat.RowPtr(i) + col0);
+    }
+    col0 += k;
+  }
+  la::Matrix mix;
+  StatusOr<la::Matrix> basis_or =
+      mvsc::JointOrthonormalBasis(concat, c, &mix);
+  if (!basis_or.ok()) return basis_or.status();
+  const la::Matrix basis = std::move(*basis_or);
+
+  // Reduced Laplacians H_v = BᵀB − E_vᵀE_v over the window's Ẑ rows —
+  // exactly the batch path's compression, built from the flat row storage
+  // instead of a freshly assembled CSR. The degree normalization Λ is the
+  // CURRENT window's column masses (recomputed in O(n·s) each update):
+  // frozen solve-time masses would let ‖ẐẐᵀ‖ exceed 1 as the window grows
+  // or shifts, driving H_v indefinite and the alternation into runaway
+  // negative directions.
+  const la::Matrix btb = la::Gram(basis);
+  std::vector<la::CsrMatrix> reduced(num_views);
+  for (std::size_t v = 0; v < num_views; ++v) {
+    const ViewState& view = views_[v];
+    const std::size_t m = view.anchors.rows();
+    std::vector<double> inv_sqrt_mass(m, 0.0);
+    for (std::size_t e = head_ * s; e < (head_ + rows_) * s; ++e) {
+      inv_sqrt_mass[view.z_cols[e]] += view.z_vals[e];
+    }
+    for (std::size_t j = 0; j < m; ++j) {
+      inv_sqrt_mass[j] =
+          inv_sqrt_mass[j] > 0.0 ? 1.0 / std::sqrt(inv_sqrt_mass[j]) : 0.0;
+    }
+    std::vector<std::size_t> offsets(rows_ + 1);
+    for (std::size_t i = 0; i <= rows_; ++i) offsets[i] = i * s;
+    std::vector<std::size_t> cols(view.z_cols.begin() + head_ * s,
+                                  view.z_cols.begin() + (head_ + rows_) * s);
+    std::vector<double> vals(rows_ * s);
+    for (std::size_t e = 0; e < rows_ * s; ++e) {
+      vals[e] = view.z_vals[head_ * s + e] * inv_sqrt_mass[cols[e]];
+    }
+    const la::CsrMatrix zhat =
+        la::CsrMatrix::FromParts(rows_, view.anchors.rows(), std::move(offsets),
+                                 std::move(cols), std::move(vals));
+    const la::Matrix e = zhat.Transposed().Multiply(basis);
+    la::Matrix h = la::Add(btb, la::Gram(e), -1.0);
+    h.Symmetrize();
+    reduced[v] = la::CsrMatrix::FromDense(h);
+  }
+
+  // Warm payload: carried F rows are concat·extend_ for EVERY window row
+  // (survivors by construction — B·G = concat·mix·G — and fresh rows by the
+  // same formula, which is exactly the out-of-sample extension of the
+  // previous solve), projected into the new basis as the Lanczos seed.
+  mvsc::ReducedWarmStart warm_state;
+  mvsc::ReducedSolveControls controls;
+  controls.polish = polish;
+  if (warm && extend_.rows() == p_full && extend_.cols() == c) {
+    const la::Matrix f_warm = la::MatMul(concat, extend_);
+    warm_state.g = la::MatTMul(basis, f_warm);
+    warm_state.rotation = rotation_;
+    warm_state.weight_coefficients = weight_coefficients_;
+    controls.warm = &warm_state;
+  }
+
+  mvsc::UnifiedResult ures;
+  StatusOr<mvsc::ReducedSolveState> state = mvsc::SolveReducedAlternation(
+      reduced, basis, solve_options, controls, &ures);
+  if (!state.ok()) return state.status();
+
+  extend_ = la::MatMul(mix, state->g);
+  rotation_ = state->rotation;
+  weight_coefficients_ = state->weight_coefficients;
+  labels_ = std::move(ures.labels);
+
+  out->labels = labels_;
+  out->window_size = rows_;
+  out->objective = state->objective;
+  out->view_smoothness = state->smoothness;
+  out->view_weights = ures.view_weights;
+  out->lanczos_matvecs += ures.lanczos_matvecs;
+  return Status::OK();
+}
+
+Status StreamingUnifiedMVSC::FullResolve(const std::string& reason,
+                                         StreamingUpdateResult* out) {
+  // Compact so the flat arrays and the matrices built from them share row 0.
+  if (head_ > 0) {
+    for (ViewState& view : views_) {
+      auto drop = [&](auto& vec, std::size_t stride) {
+        if (!vec.empty()) {
+          vec.erase(vec.begin(),
+                    vec.begin() + static_cast<std::ptrdiff_t>(head_ * stride));
+        }
+      };
+      drop(view.raw, view.dim);
+      drop(view.z_cols, options_.unified.anchors.anchor_neighbors);
+      drop(view.z_vals, options_.unified.anchors.anchor_neighbors);
+      drop(view.u, view.anchor_map.cols());
+    }
+    head_ = 0;
+  }
+
+  const mvsc::UnifiedOptions& uopts = options_.unified;
+  const std::size_t c = uopts.num_clusters;
+  const std::size_t m = uopts.anchors.num_anchors;
+  const std::size_t s = uopts.anchors.anchor_neighbors;
+  // basis_per_view=0 resolves against the CURRENT cluster count, here and
+  // nowhere else — a cluster-count change flows into the next full solve
+  // instead of serving a stale cached dimension.
+  const std::size_t per_view = uopts.anchors.basis_per_view > 0
+                                   ? uopts.anchors.basis_per_view
+                                   : c + 2;
+  const std::size_t k_view = std::min(per_view, m);
+  const bool reselect = options_.reselect_anchors_on_resolve || !model_ready_;
+
+  for (std::size_t v = 0; v < views_.size(); ++v) {
+    ViewState& view = views_[v];
+    la::Matrix x(rows_, view.dim);
+    std::copy(view.raw.begin(), view.raw.begin() + rows_ * view.dim,
+              x.data());
+
+    la::CsrMatrix z;
+    if (reselect) {
+      data::ColumnStandardization(x, &view.feature_means,
+                                  &view.feature_inv_stds);
+      data::ApplyStandardizationInPlace(x, view.feature_means,
+                                        view.feature_inv_stds);
+      graph::AnchorOptions aopts;
+      aopts.num_anchors = m;
+      aopts.selection = uopts.anchors.selection;
+      aopts.seed = uopts.seed + 211 * (v + 1) + 10007 * full_resolves_;
+      StatusOr<la::Matrix> anchors = graph::SelectAnchors(x, aopts);
+      if (!anchors.ok()) return anchors.status();
+      view.anchors = std::move(*anchors);
+
+      graph::AnchorGraphOptions gopts;
+      gopts.anchor_neighbors = s;
+      gopts.tile_rows = uopts.anchors.tile_rows;
+      StatusOr<la::CsrMatrix> z_or =
+          graph::BuildAnchorAffinity(x, view.anchors, gopts);
+      if (!z_or.ok()) return z_or.status();
+      z = std::move(*z_or);
+      for (std::size_t i = 0; i < rows_; ++i) {
+        if (z.row_offsets()[i + 1] - z.row_offsets()[i] != s) {
+          return Status::Internal(
+              "anchor affinity row is not uniformly s-sparse");
+        }
+      }
+      view.z_cols.assign(z.col_indices().begin(), z.col_indices().end());
+      view.z_vals.assign(z.values().begin(), z.values().end());
+    } else {
+      // Keep the frozen anchors/standardization: rebuild the window CSR
+      // from the stored rows and refresh only the spectral model.
+      std::vector<std::size_t> offsets(rows_ + 1);
+      for (std::size_t i = 0; i <= rows_; ++i) offsets[i] = i * s;
+      z = la::CsrMatrix::FromParts(
+          rows_, m, std::move(offsets),
+          std::vector<std::size_t>(view.z_cols.begin(),
+                                   view.z_cols.begin() + rows_ * s),
+          std::vector<double>(view.z_vals.begin(),
+                              view.z_vals.begin() + rows_ * s));
+    }
+
+    view.anchor_norms = la::Vector(m, 0.0);
+    for (std::size_t j = 0; j < m; ++j) {
+      view.anchor_norms[j] =
+          mvsc::assign::RowSquaredNorm(view.anchors.RowPtr(j), view.dim);
+    }
+
+    cluster::AnchorEmbeddingOptions eopts;
+    eopts.dims = k_view;
+    eopts.mode = uopts.block_lanczos;
+    eopts.seed = uopts.seed + 17;
+    eopts.matvec_count = &out->lanczos_matvecs;
+    StatusOr<cluster::AnchorEmbeddingResult> emb =
+        cluster::AnchorSpectralEmbedding(z, eopts);
+    if (!emb.ok()) return emb.status();
+    view.anchor_map = std::move(emb->anchor_map);
+    // Stride off the artifact (a truncated eigensolve can return fewer
+    // than k_view directions; anchor_map.cols() is always the truth).
+    view.u.assign(
+        emb->embedding.data(),
+        emb->embedding.data() + rows_ * emb->embedding.cols());
+  }
+
+  UMVSC_RETURN_IF_ERROR(
+      SolveWindow(uopts, /*warm=*/false, /*polish=*/true, out));
+  baseline_objective_ = out->objective;
+  baseline_smoothness_ = out->view_smoothness;
+  model_ready_ = true;
+  pending_full_resolve_ = false;
+  pending_reason_.clear();
+  ++full_resolves_;
+  out->full_resolve = true;
+  out->resolve_reason = reason;
+  return Status::OK();
+}
+
+Status StreamingUnifiedMVSC::IncrementalUpdate(StreamingUpdateResult* out) {
+  mvsc::UnifiedOptions upd = options_.unified;
+  bool warm = false;
+  bool polish = true;
+  if (options_.warm_updates) {
+    upd.init_alternations = options_.update_init_alternations;
+    upd.max_iterations = options_.update_max_iterations;
+    warm = true;
+    polish = false;
+  }
+  UMVSC_RETURN_IF_ERROR(SolveWindow(upd, warm, polish, out));
+  ++incremental_updates_;
+
+  // Drift detection against the last full solve's baselines: relative
+  // growth of the global objective, or of any per-view smoothness, past
+  // its tolerance re-solves from scratch (optionally re-selecting anchors).
+  std::string reason;
+  const double floor = SmoothnessFloor(options_.unified.num_clusters);
+  const double obj_base = std::max(std::fabs(baseline_objective_), floor);
+  if (out->objective - baseline_objective_ >
+      options_.objective_drift_tolerance * obj_base) {
+    reason = "drift:objective";
+  } else {
+    for (std::size_t v = 0; v < out->view_smoothness.size(); ++v) {
+      const double base =
+          v < baseline_smoothness_.size() ? baseline_smoothness_[v] : 0.0;
+      if (out->view_smoothness[v] - base >
+          options_.smoothness_drift_tolerance * std::max(base, floor)) {
+        reason = "drift:view-smoothness";
+        break;
+      }
+    }
+  }
+  if (!reason.empty()) {
+    return FullResolve(reason, out);
+  }
+  return Status::OK();
+}
+
+StatusOr<StreamingUpdateResult> StreamingUnifiedMVSC::Ingest(
+    const data::MultiViewDataset& batch) {
+  UMVSC_RETURN_IF_ERROR(batch.Validate());
+  UMVSC_RETURN_IF_ERROR(CheckBatch(batch));
+  const std::size_t b = batch.NumSamples();
+  AppendRaw(batch);
+
+  StreamingUpdateResult out;
+  const bool full = !model_ready_ || options_.always_full_resolve ||
+                    pending_full_resolve_;
+  if (!full) ExtendRows(rows_ - b);
+  const std::size_t evict =
+      rows_ > options_.window_capacity ? rows_ - options_.window_capacity : 0;
+  Evict(evict);
+  out.evicted = evict;
+
+  if (full) {
+    std::string reason = "first-batch";
+    if (model_ready_) {
+      reason = pending_full_resolve_ ? pending_reason_ : "oracle";
+    }
+    UMVSC_RETURN_IF_ERROR(FullResolve(reason, &out));
+  } else {
+    UMVSC_RETURN_IF_ERROR(IncrementalUpdate(&out));
+  }
+  return out;
+}
+
+Status StreamingUnifiedMVSC::SetNumClusters(std::size_t num_clusters) {
+  if (num_clusters < 2) {
+    return Status::InvalidArgument("num_clusters must be at least 2");
+  }
+  if (num_clusters == options_.unified.num_clusters) return Status::OK();
+  options_.unified.num_clusters = num_clusters;
+  // The carried state is dimensioned for the old count; drop it and force
+  // the next Ingest through a full re-solve, where every derived dimension
+  // (including the basis_per_view=0 default) is re-resolved.
+  extend_ = la::Matrix();
+  rotation_ = la::Matrix();
+  weight_coefficients_.clear();
+  pending_full_resolve_ = true;
+  pending_reason_ = "cluster-count-change";
+  return Status::OK();
+}
+
+}  // namespace umvsc::stream

@@ -1,0 +1,195 @@
+#ifndef UMVSC_STREAM_STREAMING_UNIFIED_H_
+#define UMVSC_STREAM_STREAMING_UNIFIED_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "la/matrix.h"
+#include "la/vector.h"
+#include "mvsc/unified.h"
+
+namespace umvsc::stream {
+
+/// Options of the streaming unified solver. `unified` carries the model
+/// hyperparameters (clusters, β/γ/weighting, anchor counts) exactly as the
+/// batch anchor path reads them; `unified.anchors.enabled` is ignored —
+/// streaming IS the anchor path.
+struct StreamingOptions {
+  mvsc::UnifiedOptions unified;
+
+  /// Sliding-window length in points. Once full, every ingested point
+  /// evicts the oldest one — the model always describes the most recent
+  /// `window_capacity` points.
+  std::size_t window_capacity = 5000;
+
+  /// Incremental updates enter the reduced alternation warm (carried
+  /// G/R/α seed, `update_*` budgets below, no polish). When false the same
+  /// frozen-model incremental pipeline runs but every update enters COLD
+  /// with the full batch budgets — the A/B baseline the warm-vs-cold
+  /// parity test measures against.
+  bool warm_updates = true;
+  /// Init eigensolve↔weight alternations per warm update (the cold batch
+  /// count comes from unified.init_alternations).
+  std::size_t update_init_alternations = 1;
+  /// Outer G/R/Y/α iterations per warm update.
+  std::size_t update_max_iterations = 8;
+
+  /// Drift triggers, checked after every incremental update against the
+  /// baselines recorded at the last full solve. Relative growth of the
+  /// unified objective beyond this tolerance forces a full re-solve (the
+  /// baseline carries a small absolute floor scaled by the cluster count,
+  /// so a near-zero objective — excellent clustering — cannot fire the
+  /// detector on noise-width fluctuations).
+  double objective_drift_tolerance = 0.25;
+  /// Same, per view: growth of any smoothness h_v = Tr(GᵀH_vG) beyond this
+  /// relative tolerance (with a small absolute floor on the baseline, so a
+  /// view that was near-perfectly smooth cannot fire on noise) re-solves.
+  double smoothness_drift_tolerance = 0.60;
+
+  /// Full re-solves re-select anchors (and re-fit the standardization)
+  /// from the raw features retained in the window. When false they keep
+  /// the frozen anchors/standardization and only re-run the spectral
+  /// embedding + cold alternation over the current window.
+  bool reselect_anchors_on_resolve = true;
+
+  /// Oracle mode: every Ingest runs a full cold re-solve (no incremental
+  /// path at all). This is the reference the drift bench compares
+  /// cumulative ARI and latency against.
+  bool always_full_resolve = false;
+};
+
+/// What one Ingest did and what came out of it.
+struct StreamingUpdateResult {
+  /// Labels of every point currently in the window, oldest first.
+  std::vector<std::size_t> labels;
+  std::size_t window_size = 0;
+  /// Points evicted from the front of the window by this batch.
+  std::size_t evicted = 0;
+  /// True when this Ingest ran a full re-solve (first batch, oracle mode,
+  /// a pending cluster-count change, or a drift trigger — see reason).
+  bool full_resolve = false;
+  /// "", "first-batch", "oracle", "cluster-count-change",
+  /// "drift:objective", or "drift:view-smoothness".
+  std::string resolve_reason;
+  /// Unified objective and per-view smoothness of the final state — the
+  /// same quantities the drift detector monitors.
+  double objective = 0.0;
+  std::vector<double> view_smoothness;
+  std::vector<double> view_weights;
+  /// Lanczos operator applications spent by this Ingest (warm update plus
+  /// the full re-solve when one triggered).
+  std::size_t lanczos_matvecs = 0;
+};
+
+/// Streaming multi-view spectral clustering over a sliding window, built on
+/// the SAME reduced-space machinery as the batch anchor path
+/// (mvsc/reduced_solve.h):
+///
+///   full solve    select anchors + fit standardization from the window's
+///                 raw features, embed (Z_v, anchor_map_v, masses), then the
+///                 cold alternation — identical semantics to
+///                 SolveUnifiedAnchors on the window.
+///   incremental   the per-view model (anchors, standardization,
+///                 anchor_map) stays FROZEN — the degree normalization is
+///                 recomputed from the live window; each new point extends
+///                 in O(s·k) per view through the serving row rule
+///                 (mvsc/anchor_assign.h), window rows append/evict in
+///                 O(1) amortized on flat uniform-stride arrays (no CSR
+///                 rebuild), the joint basis and reduced Laplacians are
+///                 recomputed over the window (linear in window size), and
+///                 the alternation re-enters WARM from the carried
+///                 (G, R, α) with small iteration budgets.
+///   drift         the unified objective and per-view smoothness h_v are
+///                 compared to their values at the last full solve; growth
+///                 past the tolerances triggers a full re-solve (with
+///                 anchor re-selection from the retained raw features).
+///
+/// Determinism: every kernel underneath is bitwise deterministic across
+/// thread counts, the per-point extension follows the serving determinism
+/// contract (docs/SERVING.md), and batch composition is caller-controlled —
+/// so labels, objectives, and drift triggers are bitwise identical at every
+/// UMVSC_NUM_THREADS setting.
+class StreamingUnifiedMVSC {
+ public:
+  static StatusOr<StreamingUnifiedMVSC> Create(const StreamingOptions& options);
+
+  /// Ingests one mini-batch (same views/dims on every call). Appends the
+  /// batch to the window, evicts overflow, and re-solves — incrementally,
+  /// or fully when this is the first batch / oracle mode / a trigger fired.
+  StatusOr<StreamingUpdateResult> Ingest(const data::MultiViewDataset& batch);
+
+  /// Changes the cluster count for all subsequent batches. Forces a full
+  /// re-solve on the next Ingest; every derived dimension — including the
+  /// basis_per_view=0 default resolution (num_clusters + 2) — is re-derived
+  /// there from the new count, never served from a stale cache.
+  Status SetNumClusters(std::size_t num_clusters);
+
+  std::size_t window_size() const { return rows_; }
+  std::size_t full_resolves() const { return full_resolves_; }
+  std::size_t incremental_updates() const { return incremental_updates_; }
+  const std::vector<std::size_t>& window_labels() const { return labels_; }
+  /// Reduced dims of view v in the CURRENT frozen model — read off the
+  /// anchor_map artifact itself (its column count), so it can never go
+  /// stale relative to what the solver actually uses.
+  std::size_t view_basis_dims(std::size_t view) const;
+  const StreamingOptions& options() const { return options_; }
+
+ private:
+  StreamingUnifiedMVSC() = default;
+
+  /// Frozen per-view model plus that view's slice of the window, stored as
+  /// flat arrays with one uniform stride per array so eviction is a head
+  /// advance and appending is a push_back — never a CSR rebuild.
+  struct ViewState {
+    std::size_t dim = 0;             ///< raw feature count (fixed at batch 1)
+    la::Vector feature_means;        ///< frozen z-scoring map
+    la::Vector feature_inv_stds;
+    la::Matrix anchors;              ///< m × dim, standardized space
+    la::Vector anchor_norms;         ///< ‖a_j‖² per anchor (serving order)
+    la::Matrix anchor_map;           ///< m × k_v out-of-sample extension
+    std::vector<double> raw;         ///< stride dim — RAW rows (for re-solve)
+    std::vector<std::size_t> z_cols; ///< stride s — anchor row indices
+    std::vector<double> z_vals;      ///< stride s — anchor row weights
+    std::vector<double> u;           ///< stride k_v — embedding rows
+  };
+
+  Status CheckBatch(const data::MultiViewDataset& batch) const;
+  void AppendRaw(const data::MultiViewDataset& batch);
+  /// Extends the frozen model to rows [first_row, rows_) of the window:
+  /// standardize → serving z row → u = z·anchor_map, appended flat.
+  void ExtendRows(std::size_t first_row);
+  void Evict(std::size_t count);
+  /// Basis + reduced Laplacians over the current window from the flat
+  /// storage; then one reduced alternation. `warm` enters from the carried
+  /// (G, R, α); `polish` runs the final (Y, R) re-search.
+  Status SolveWindow(const mvsc::UnifiedOptions& solve_options, bool warm,
+                     bool polish, StreamingUpdateResult* out);
+  Status FullResolve(const std::string& reason, StreamingUpdateResult* out);
+  Status IncrementalUpdate(StreamingUpdateResult* out);
+
+  StreamingOptions options_;
+  std::vector<ViewState> views_;
+  std::size_t head_ = 0;  ///< front offset (rows) shared by all flat arrays
+  std::size_t rows_ = 0;  ///< live rows in the window
+  bool model_ready_ = false;
+  bool pending_full_resolve_ = false;
+  std::string pending_reason_;
+  std::size_t full_resolves_ = 0;
+  std::size_t incremental_updates_ = 0;
+
+  // Carried state of the last solve (the warm-start payload) and the drift
+  // baselines of the last FULL solve.
+  la::Matrix extend_;    ///< p_full × c: F row = concat row · extend_
+  la::Matrix rotation_;  ///< c × c
+  std::vector<double> weight_coefficients_;
+  std::vector<std::size_t> labels_;
+  double baseline_objective_ = 0.0;
+  std::vector<double> baseline_smoothness_;
+};
+
+}  // namespace umvsc::stream
+
+#endif  // UMVSC_STREAM_STREAMING_UNIFIED_H_

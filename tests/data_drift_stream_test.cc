@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "la/ops.h"
+
+namespace umvsc::data {
+namespace {
+
+DriftStreamConfig BaseConfig() {
+  DriftStreamConfig config;
+  config.batch_size = 200;
+  config.num_clusters = 3;
+  config.views = {{12, ViewQuality::kInformative, 0.4},
+                  {9, ViewQuality::kInformative, 0.6},
+                  {7, ViewQuality::kWeak, 1.0}};
+  config.cluster_separation = 5.0;
+  config.seed = 42;
+  return config;
+}
+
+TEST(DriftStreamTest, BatchesAreWellFormed) {
+  auto gen = DriftStreamGenerator::Create(BaseConfig());
+  ASSERT_TRUE(gen.ok()) << gen.status().ToString();
+  for (std::size_t b = 0; b < 3; ++b) {
+    auto batch = gen->NextBatch();
+    ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+    EXPECT_EQ(batch->NumSamples(), 200u);
+    ASSERT_EQ(batch->NumViews(), 3u);
+    EXPECT_EQ(batch->views[0].cols(), 12u);
+    EXPECT_EQ(batch->views[1].cols(), 9u);
+    EXPECT_EQ(batch->views[2].cols(), 7u);
+    ASSERT_EQ(batch->labels.size(), 200u);
+    for (std::size_t label : batch->labels) EXPECT_LT(label, 3u);
+  }
+  EXPECT_EQ(gen->batches_emitted(), 3u);
+}
+
+TEST(DriftStreamTest, StreamsAreBitwiseDeterministic) {
+  auto a = DriftStreamGenerator::Create(BaseConfig());
+  auto b = DriftStreamGenerator::Create(BaseConfig());
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (std::size_t t = 0; t < 4; ++t) {
+    auto batch_a = a->NextBatch();
+    auto batch_b = b->NextBatch();
+    ASSERT_TRUE(batch_a.ok() && batch_b.ok());
+    EXPECT_EQ(batch_a->labels, batch_b->labels) << "batch " << t;
+    for (std::size_t v = 0; v < 3; ++v) {
+      EXPECT_TRUE(la::AlmostEqual(batch_a->views[v], batch_b->views[v], 0.0))
+          << "batch " << t << " view " << v;
+    }
+  }
+}
+
+TEST(DriftStreamTest, ZeroDriftIsStationary) {
+  // With drift_rate 0, per-cluster view means stay put (within sampling
+  // noise) across widely separated batches.
+  DriftStreamConfig config = BaseConfig();
+  config.batch_size = 600;
+  auto gen = DriftStreamGenerator::Create(config);
+  ASSERT_TRUE(gen.ok());
+  auto cluster_mean = [](const MultiViewDataset& d, std::size_t k) {
+    std::vector<double> mean(d.views[0].cols(), 0.0);
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < d.NumSamples(); ++i) {
+      if (d.labels[i] != k) continue;
+      const double* row = d.views[0].RowPtr(i);
+      for (std::size_t j = 0; j < mean.size(); ++j) mean[j] += row[j];
+      ++count;
+    }
+    for (double& m : mean) m /= static_cast<double>(count);
+    return mean;
+  };
+  auto first = gen->NextBatch();
+  ASSERT_TRUE(first.ok());
+  for (std::size_t t = 0; t < 7; ++t) ASSERT_TRUE(gen->NextBatch().ok());
+  auto last = gen->NextBatch();
+  ASSERT_TRUE(last.ok());
+  for (std::size_t k = 0; k < 3; ++k) {
+    const std::vector<double> m0 = cluster_mean(*first, k);
+    const std::vector<double> m8 = cluster_mean(*last, k);
+    double dist2 = 0.0;
+    for (std::size_t j = 0; j < m0.size(); ++j) {
+      dist2 += (m0[j] - m8[j]) * (m0[j] - m8[j]);
+    }
+    EXPECT_LT(std::sqrt(dist2), 1.0) << "cluster " << k;
+  }
+}
+
+TEST(DriftStreamTest, DriftMovesCentroidsMonotonically) {
+  DriftStreamConfig config = BaseConfig();
+  config.batch_size = 600;
+  config.drift_rate = 0.2;
+  config.drift_start_batch = 2;
+  auto gen = DriftStreamGenerator::Create(config);
+  ASSERT_TRUE(gen.ok());
+  // Collect per-batch cluster-0 means of view 0.
+  std::vector<std::vector<double>> means;
+  for (std::size_t t = 0; t < 9; ++t) {
+    auto batch = gen->NextBatch();
+    ASSERT_TRUE(batch.ok());
+    std::vector<double> mean(batch->views[0].cols(), 0.0);
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < batch->NumSamples(); ++i) {
+      if (batch->labels[i] != 0) continue;
+      const double* row = batch->views[0].RowPtr(i);
+      for (std::size_t j = 0; j < mean.size(); ++j) mean[j] += row[j];
+      ++count;
+    }
+    ASSERT_GT(count, 0u);
+    for (double& m : mean) m /= static_cast<double>(count);
+    means.push_back(std::move(mean));
+  }
+  auto dist_to_first = [&](std::size_t t) {
+    double d2 = 0.0;
+    for (std::size_t j = 0; j < means[0].size(); ++j) {
+      d2 += (means[t][j] - means[0][j]) * (means[t][j] - means[0][j]);
+    }
+    return std::sqrt(d2);
+  };
+  // Pre-drift batches stay near batch 0; late batches march away, and the
+  // displacement keeps growing (mean shift, not a bounded wobble).
+  EXPECT_LT(dist_to_first(2), 1.0);
+  EXPECT_GT(dist_to_first(8), dist_to_first(4));
+  EXPECT_GT(dist_to_first(8), 2.0);
+}
+
+TEST(DriftStreamTest, HeavyTailSkewsBatchComposition) {
+  DriftStreamConfig config = BaseConfig();
+  config.batch_size = 1000;
+  config.num_clusters = 4;
+  config.heavy_tail = 1.0;
+  auto gen = DriftStreamGenerator::Create(config);
+  ASSERT_TRUE(gen.ok());
+  auto batch = gen->NextBatch();
+  ASSERT_TRUE(batch.ok());
+  std::vector<std::size_t> counts(4, 0);
+  for (std::size_t label : batch->labels) counts[label]++;
+  // decay 0.25: expected shares ~ (0.75, 0.19, 0.05, 0.01).
+  EXPECT_GT(counts[0], counts[3] * 10);
+  EXPECT_GT(counts[0], 600u);
+  // Uniform draw for comparison.
+  config.heavy_tail = 0.0;
+  auto uniform = DriftStreamGenerator::Create(config);
+  ASSERT_TRUE(uniform.ok());
+  auto ubatch = uniform->NextBatch();
+  ASSERT_TRUE(ubatch.ok());
+  std::vector<std::size_t> ucounts(4, 0);
+  for (std::size_t label : ubatch->labels) ucounts[label]++;
+  for (std::size_t k = 0; k < 4; ++k) {
+    EXPECT_GT(ucounts[k], 150u) << "cluster " << k;
+    EXPECT_LT(ucounts[k], 350u) << "cluster " << k;
+  }
+}
+
+TEST(DriftStreamTest, IncompleteBatchesKeepLabelsAndShape) {
+  DriftStreamConfig config = BaseConfig();
+  config.missing_fraction = 0.25;
+  auto gen = DriftStreamGenerator::Create(config);
+  ASSERT_TRUE(gen.ok()) << gen.status().ToString();
+  auto batch = gen->NextBatch();
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  EXPECT_EQ(batch->NumSamples(), 200u);
+  EXPECT_EQ(batch->labels.size(), 200u);
+  // Determinism must hold through the incompleteness path too.
+  auto gen2 = DriftStreamGenerator::Create(config);
+  ASSERT_TRUE(gen2.ok());
+  auto batch2 = gen2->NextBatch();
+  ASSERT_TRUE(batch2.ok());
+  for (std::size_t v = 0; v < 3; ++v) {
+    EXPECT_TRUE(la::AlmostEqual(batch->views[v], batch2->views[v], 0.0));
+  }
+}
+
+TEST(DriftStreamTest, RejectsInvalidConfigs) {
+  DriftStreamConfig config = BaseConfig();
+  config.batch_size = 0;
+  EXPECT_FALSE(DriftStreamGenerator::Create(config).ok());
+  config = BaseConfig();
+  config.views.clear();
+  EXPECT_FALSE(DriftStreamGenerator::Create(config).ok());
+  config = BaseConfig();
+  config.heavy_tail = 1.5;
+  EXPECT_FALSE(DriftStreamGenerator::Create(config).ok());
+  config = BaseConfig();
+  config.drift_rate = -0.1;
+  EXPECT_FALSE(DriftStreamGenerator::Create(config).ok());
+  config = BaseConfig();
+  config.views = {{12, ViewQuality::kInformative, 0.4}};
+  config.missing_fraction = 0.3;
+  EXPECT_FALSE(DriftStreamGenerator::Create(config).ok());
+}
+
+}  // namespace
+}  // namespace umvsc::data

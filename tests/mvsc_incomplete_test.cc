@@ -74,6 +74,77 @@ TEST(MakeIncompleteTest, AbsentRowsAreOverwritten) {
   }
 }
 
+TEST(MakeIncompleteTest, ReportsAchievedFraction) {
+  data::MultiViewDataset d = MakeDataset(10);
+  StatusOr<data::ViewPresence> presence = data::MakeIncomplete(d, 0.3, 7);
+  ASSERT_TRUE(presence.ok());
+  EXPECT_DOUBLE_EQ(presence->target_missing_fraction, 0.3);
+  // The achieved fraction is the exact removed-pair count, not the target.
+  std::size_t absent = 0;
+  for (std::size_t v = 0; v < 3; ++v) {
+    absent += d.NumSamples() - presence->CountPresent(v);
+  }
+  const double fraction =
+      static_cast<double>(absent) / static_cast<double>(3 * d.NumSamples());
+  EXPECT_DOUBLE_EQ(presence->achieved_missing_fraction, fraction);
+  EXPECT_FALSE(presence->Saturated());
+}
+
+TEST(MakeIncompleteTest, SaturationIsReportedNotHidden) {
+  // Two views and a min_present_per_view that keeps nearly every sample:
+  // the feasible removals cap far below the 0.45 target. The call must
+  // still succeed (the pattern is the best achievable) but say so.
+  data::MultiViewConfig config;
+  config.num_samples = 40;
+  config.num_clusters = 2;
+  config.views = {{6, data::ViewQuality::kInformative, 0.4},
+                  {5, data::ViewQuality::kInformative, 0.4}};
+  config.seed = 11;
+  auto d = data::MakeGaussianMultiView(config);
+  ASSERT_TRUE(d.ok());
+  StatusOr<data::ViewPresence> presence =
+      data::MakeIncomplete(*d, 0.45, 7, /*min_present_per_view=*/36);
+  ASSERT_TRUE(presence.ok()) << presence.status().ToString();
+  // At most 4 removals per view are legal: achieved <= 8/80 = 0.1.
+  EXPECT_LE(presence->achieved_missing_fraction, 0.1 + 1e-12);
+  EXPECT_TRUE(presence->Saturated());
+  ASSERT_TRUE(presence->Validate(*d).ok());
+}
+
+TEST(MakeIncompleteTest, NoiseFillStatsComeFromPresentRowsOnly) {
+  // Repeatedly re-apply MakeIncomplete to the same dataset — the streaming
+  // pattern. With fill statistics over present rows only, the fill scale is
+  // pinned to the (unchanged) observed rows and the view's overall variance
+  // stays near the original; folding previously filled rows into the
+  // statistics would compound it instead.
+  data::MultiViewDataset d = MakeDataset(12, 300);
+  const la::Matrix original = d.views[0];
+  auto total_variance = [](const la::Matrix& m) {
+    double mean = 0.0;
+    for (std::size_t i = 0; i < m.size(); ++i) mean += m.data()[i];
+    mean /= static_cast<double>(m.size());
+    double var = 0.0;
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      const double c = m.data()[i] - mean;
+      var += c * c;
+    }
+    return var / static_cast<double>(m.size());
+  };
+  const double base_var = total_variance(original);
+  double last_var = base_var;
+  for (std::uint64_t pass = 0; pass < 6; ++pass) {
+    StatusOr<data::ViewPresence> presence =
+        data::MakeIncomplete(d, 0.35, 100 + pass);
+    ASSERT_TRUE(presence.ok());
+    last_var = total_variance(d.views[0]);
+    // Scale-matched fill: the view-wide variance stays within a modest
+    // factor of the original on EVERY pass (compounding would blow past 2x
+    // of the original within a few passes and keep growing).
+    EXPECT_LT(last_var, 2.0 * base_var) << "pass " << pass;
+    EXPECT_GT(last_var, 0.3 * base_var) << "pass " << pass;
+  }
+}
+
 TEST(MakeIncompleteTest, RejectsInvalidArguments) {
   data::MultiViewDataset d = MakeDataset(4);
   EXPECT_FALSE(data::MakeIncomplete(d, -0.1, 1).ok());
