@@ -97,8 +97,11 @@ struct DriftStreamConfig {
   /// has moved t·drift_rate·cluster_separation along its own fixed random
   /// unit direction in latent space. 0 = a static stream.
   double drift_rate = 0.0;
-  /// First batch index at which drift applies (earlier batches are
-  /// stationary — lets a detector calibrate before the shift begins).
+  /// Last stationary batch index: batches 0..drift_start_batch carry no
+  /// shift (lets a detector calibrate), and batch b > drift_start_batch is
+  /// shifted by (b − drift_start_batch)·drift_rate·cluster_separation. The
+  /// default 0 reduces to the plain drift law above, with batch 0 as the
+  /// undrifted reference.
   std::size_t drift_start_batch = 0;
   /// When positive, each batch is passed through MakeIncomplete with this
   /// missing fraction (needs >= 2 views): absent rows are noise-filled with

@@ -130,12 +130,15 @@ void StreamingUnifiedMVSC::Evict(std::size_t count) {
   if (head_ == 0 || head_ < rows_) return;
   // Dead space reached the live window: compact every flat array by its own
   // stride (amortized O(1) per ingested row).
+  CompactWindow();
+}
+
+void StreamingUnifiedMVSC::CompactWindow() {
+  if (head_ == 0) return;
   for (ViewState& view : views_) {
     auto drop = [&](auto& vec, std::size_t stride) {
-      if (!vec.empty()) {
-        vec.erase(vec.begin(),
-                  vec.begin() + static_cast<std::ptrdiff_t>(head_ * stride));
-      }
+      const std::size_t len = std::min(head_ * stride, vec.size());
+      vec.erase(vec.begin(), vec.begin() + static_cast<std::ptrdiff_t>(len));
     };
     drop(view.raw, view.dim);
     drop(view.z_cols, options_.unified.anchors.anchor_neighbors);
@@ -143,6 +146,13 @@ void StreamingUnifiedMVSC::Evict(std::size_t count) {
     drop(view.u, view.anchor_map.cols());
   }
   head_ = 0;
+}
+
+std::size_t StreamingUnifiedMVSC::CoveredModelRows() const {
+  if (views_.empty()) return 0;
+  // All model arrays append in lockstep (ExtendRows), so any one of them —
+  // z_cols, with its window-invariant stride s — is the coverage truth.
+  return views_[0].z_cols.size() / options_.unified.anchors.anchor_neighbors;
 }
 
 Status StreamingUnifiedMVSC::SolveWindow(
@@ -245,21 +255,7 @@ Status StreamingUnifiedMVSC::SolveWindow(
 Status StreamingUnifiedMVSC::FullResolve(const std::string& reason,
                                          StreamingUpdateResult* out) {
   // Compact so the flat arrays and the matrices built from them share row 0.
-  if (head_ > 0) {
-    for (ViewState& view : views_) {
-      auto drop = [&](auto& vec, std::size_t stride) {
-        if (!vec.empty()) {
-          vec.erase(vec.begin(),
-                    vec.begin() + static_cast<std::ptrdiff_t>(head_ * stride));
-        }
-      };
-      drop(view.raw, view.dim);
-      drop(view.z_cols, options_.unified.anchors.anchor_neighbors);
-      drop(view.z_vals, options_.unified.anchors.anchor_neighbors);
-      drop(view.u, view.anchor_map.cols());
-    }
-    head_ = 0;
-  }
+  CompactWindow();
 
   const mvsc::UnifiedOptions& uopts = options_.unified;
   const std::size_t c = uopts.num_clusters;
@@ -273,6 +269,14 @@ Status StreamingUnifiedMVSC::FullResolve(const std::string& reason,
                                    : c + 2;
   const std::size_t k_view = std::min(per_view, m);
   const bool reselect = options_.reselect_anchors_on_resolve || !model_ready_;
+
+  // Ingest's full path appends raw rows WITHOUT extending the frozen model
+  // (ExtendRows is skipped — a re-selecting re-solve would throw the rows
+  // away). A frozen-anchor re-solve reads the flat z rows back, so bring
+  // the model arrays up to the window first.
+  if (!reselect && CoveredModelRows() < rows_) {
+    ExtendRows(CoveredModelRows());
+  }
 
   for (std::size_t v = 0; v < views_.size(); ++v) {
     ViewState& view = views_[v];

@@ -162,6 +162,17 @@ class StreamingUnifiedMVSC {
   /// standardize → serving z row → u = z·anchor_map, appended flat.
   void ExtendRows(std::size_t first_row);
   void Evict(std::size_t count);
+  /// Erases the dead head_ rows from every flat array and resets head_ to 0.
+  /// Each erase is clamped to the array's actual length: on Ingest's full
+  /// path the model arrays (z_cols/z_vals/u) lag `raw` by the just-appended
+  /// batch (ExtendRows is skipped there), so head_ rows may exceed what a
+  /// lagging array holds.
+  void CompactWindow();
+  /// Rows of the window currently covered by the flat model arrays
+  /// (z_cols/z_vals/u), measured from the front of the storage including
+  /// head_. Equals head_ + rows_ except between a full-path Ingest append
+  /// and the FullResolve that refreshes the model.
+  std::size_t CoveredModelRows() const;
   /// Basis + reduced Laplacians over the current window from the flat
   /// storage; then one reduced alternation. `warm` enters from the carried
   /// (G, R, α); `polish` runs the final (Y, R) re-search.

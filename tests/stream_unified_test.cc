@@ -212,6 +212,100 @@ TEST(StreamingUnifiedTest, SetNumClustersReResolvesDerivedDims) {
   EXPECT_FALSE(stream->SetNumClusters(1).ok());
 }
 
+TEST(StreamingUnifiedTest, FrozenAnchorOracleResolvesEveryBatch) {
+  // Regression: Ingest's full path (oracle mode) skips ExtendRows, so the
+  // flat model arrays lag the raw rows by the just-appended batch. A
+  // frozen-anchor re-solve (reselect_anchors_on_resolve = false) reads
+  // those rows back and used to run past the end of z_cols/z_vals — it
+  // must first extend the frozen model over the missing suffix.
+  auto gen = data::DriftStreamGenerator::Create(StreamConfig());
+  ASSERT_TRUE(gen.ok());
+  StreamingOptions options = BaseOptions();
+  options.always_full_resolve = true;
+  options.reselect_anchors_on_resolve = false;
+  auto stream = StreamingUnifiedMVSC::Create(options);
+  ASSERT_TRUE(stream.ok());
+  std::vector<std::size_t> truth;
+  for (std::size_t t = 0; t < 5; ++t) {
+    auto batch = gen->NextBatch();
+    ASSERT_TRUE(batch.ok());
+    truth.insert(truth.end(), batch->labels.begin(), batch->labels.end());
+    if (truth.size() > options.window_capacity) {
+      truth.erase(truth.begin(), truth.end() - static_cast<std::ptrdiff_t>(
+                                                   options.window_capacity));
+    }
+    auto update = stream->Ingest(*batch);
+    ASSERT_TRUE(update.ok()) << update.status().ToString();
+    EXPECT_TRUE(update->full_resolve) << "batch " << t;
+    ASSERT_EQ(update->labels.size(), truth.size());
+    auto acc = eval::ClusteringAccuracy(update->labels, truth);
+    ASSERT_TRUE(acc.ok());
+    EXPECT_GT(*acc, 0.9) << "batch " << t;
+  }
+  EXPECT_EQ(stream->full_resolves(), 5u);
+  EXPECT_EQ(stream->incremental_updates(), 0u);
+}
+
+TEST(StreamingUnifiedTest, FrozenAnchorResolveSurvivesOversizedBatch) {
+  // Regression: a batch larger than the window on the full path leaves the
+  // model arrays with FEWER than head_ rows at compaction time — the erase
+  // must clamp to each array's length (it used to erase past the end), and
+  // the frozen-anchor re-solve must rebuild the lost coverage from raw.
+  data::DriftStreamConfig config = StreamConfig();
+  config.batch_size = 500;
+  auto gen = data::DriftStreamGenerator::Create(config);
+  ASSERT_TRUE(gen.ok());
+  StreamingOptions options = BaseOptions();
+  options.window_capacity = 200;  // every batch overflows the window alone
+  options.always_full_resolve = true;
+  options.reselect_anchors_on_resolve = false;
+  auto stream = StreamingUnifiedMVSC::Create(options);
+  ASSERT_TRUE(stream.ok());
+  for (std::size_t t = 0; t < 3; ++t) {
+    auto batch = gen->NextBatch();
+    ASSERT_TRUE(batch.ok());
+    auto update = stream->Ingest(*batch);
+    ASSERT_TRUE(update.ok()) << update.status().ToString();
+    EXPECT_EQ(update->window_size, 200u);
+    EXPECT_EQ(update->evicted, t == 0 ? 300u : 500u);
+    ASSERT_EQ(update->labels.size(), 200u);
+    const std::vector<std::size_t> truth(batch->labels.end() - 200,
+                                         batch->labels.end());
+    auto acc = eval::ClusteringAccuracy(update->labels, truth);
+    ASSERT_TRUE(acc.ok());
+    EXPECT_GT(*acc, 0.9) << "batch " << t;
+  }
+}
+
+TEST(StreamingUnifiedTest, SetNumClustersWorksWithFrozenAnchors) {
+  // Regression: the pending re-solve a SetNumClusters schedules also takes
+  // Ingest's full path (no ExtendRows); with frozen anchors it must extend
+  // the model over the batch that carried the pending flag before reading
+  // the flat rows back.
+  auto gen = data::DriftStreamGenerator::Create(StreamConfig());
+  ASSERT_TRUE(gen.ok());
+  StreamingOptions options = BaseOptions();
+  options.reselect_anchors_on_resolve = false;
+  auto stream = StreamingUnifiedMVSC::Create(options);
+  ASSERT_TRUE(stream.ok());
+  auto batch = gen->NextBatch();
+  ASSERT_TRUE(batch.ok());
+  ASSERT_TRUE(stream->Ingest(*batch).ok());
+  EXPECT_EQ(stream->view_basis_dims(0), 5u);
+
+  ASSERT_TRUE(stream->SetNumClusters(4).ok());
+  auto batch2 = gen->NextBatch();
+  ASSERT_TRUE(batch2.ok());
+  auto update = stream->Ingest(*batch2);
+  ASSERT_TRUE(update.ok()) << update.status().ToString();
+  EXPECT_TRUE(update->full_resolve);
+  EXPECT_EQ(update->resolve_reason, "cluster-count-change");
+  EXPECT_EQ(update->window_size, 300u);
+  ASSERT_EQ(update->labels.size(), 300u);
+  EXPECT_EQ(stream->view_basis_dims(0), 6u);
+  for (std::size_t label : update->labels) EXPECT_LT(label, 4u);
+}
+
 TEST(StreamingUnifiedTest, RejectsSchemaDrift) {
   auto gen = data::DriftStreamGenerator::Create(StreamConfig());
   ASSERT_TRUE(gen.ok());
