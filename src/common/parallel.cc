@@ -28,6 +28,9 @@ std::atomic<std::size_t> g_thread_override{0};
 // Marks threads currently executing chunks of a parallel region.
 thread_local bool tl_in_parallel = false;
 
+// The calling thread's installed ParallelContext (null = process defaults).
+thread_local const ParallelContext* tl_parallel_context = nullptr;
+
 // A single shared pool of blocked workers. Jobs are broadcast: every worker
 // wakes on a generation bump, claims spans from an atomic cursor until none
 // remain, and the last one out signals completion. Workers are created
@@ -173,6 +176,22 @@ ScopedNumThreads::~ScopedNumThreads() {
   g_thread_override.store(previous_, std::memory_order_relaxed);
 }
 
+const ParallelContext* CurrentParallelContext() { return tl_parallel_context; }
+
+ScopedParallelContext::ScopedParallelContext(const ParallelContext& context)
+    : value_(context), previous_(tl_parallel_context), installed_(true) {
+  tl_parallel_context = &value_;
+}
+
+ScopedParallelContext::ScopedParallelContext(std::nullptr_t)
+    : value_(), previous_(tl_parallel_context), installed_(false) {
+  tl_parallel_context = nullptr;
+}
+
+ScopedParallelContext::~ScopedParallelContext() {
+  tl_parallel_context = previous_;
+}
+
 bool InParallelRegion() { return tl_in_parallel; }
 
 void ParallelFor(std::size_t begin, std::size_t end, std::size_t grain,
@@ -182,8 +201,15 @@ void ParallelFor(std::size_t begin, std::size_t end, std::size_t grain,
   if (grain == 0) grain = 1;
   const std::size_t range = end - begin;
   const std::size_t num_chunks = (range + grain - 1) / grain;
-  std::size_t threads =
-      num_threads == 0 ? DefaultNumThreads() : ClampThreads(num_threads);
+  std::size_t threads;
+  if (num_threads != 0) {
+    threads = ClampThreads(num_threads);
+  } else if (tl_parallel_context != nullptr &&
+             tl_parallel_context->num_threads != 0) {
+    threads = ClampThreads(tl_parallel_context->num_threads);
+  } else {
+    threads = DefaultNumThreads();
+  }
   threads = std::min(threads, num_chunks);
   if (threads <= 1 || tl_in_parallel) {
     fn(begin, end);

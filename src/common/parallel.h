@@ -44,6 +44,12 @@ void SetDefaultNumThreads(std::size_t num_threads);
 
 /// Restores the previous default thread count on destruction. Handy for
 /// tests and benchmarks that sweep thread counts.
+///
+/// NOTE: this mutates PROCESS-GLOBAL state — every thread without a
+/// ParallelContext sees the new default. Code that runs concurrent
+/// independent solves (the exec/ job executor) must NOT use it to give one
+/// solve a thread budget: the budget would leak into every other tenant's
+/// solve. Install a per-thread ScopedParallelContext instead.
 class ScopedNumThreads {
  public:
   explicit ScopedNumThreads(std::size_t num_threads);
@@ -53,6 +59,47 @@ class ScopedNumThreads {
 
  private:
   std::size_t previous_;
+};
+
+/// Per-thread parallelism budget — the non-leaking alternative to
+/// SetDefaultNumThreads for multi-tenant execution. A thread that installs a
+/// ParallelContext (via ScopedParallelContext) caps every parallel region it
+/// enters at `num_threads` participating threads WITHOUT touching process
+/// state: two jobs running on two executor workers each see only their own
+/// budget. Resolution order inside ParallelFor/ParallelReduce:
+///   explicit per-call num_threads → current thread's ParallelContext →
+///   SetDefaultNumThreads / UMVSC_NUM_THREADS / hardware default.
+struct ParallelContext {
+  /// Maximum threads parallel regions on this thread may use (the calling
+  /// thread plus pool workers). 0 falls through to the process default;
+  /// 1 makes every region run serially on the calling thread.
+  std::size_t num_threads = 1;
+};
+
+/// The context governing parallel regions on the calling thread, or nullptr
+/// when none is installed (process defaults apply).
+const ParallelContext* CurrentParallelContext();
+
+/// RAII installer of a per-thread ParallelContext. The two-level scheduling
+/// primitive of the job executor: the executor installs a job's thread
+/// budget on the worker running it, so a nested ParallelFor inside the job
+/// partitions only that budget instead of grabbing the whole pool (or
+/// degrading to serial). Pass nullptr to SUSPEND any installed context for
+/// the scope — used by once-per-process calibration (la::EigensolvePolicy)
+/// so a job's budget cannot skew measurements that outlive the job.
+/// Contexts nest per thread; each scope restores its predecessor.
+class ScopedParallelContext {
+ public:
+  explicit ScopedParallelContext(const ParallelContext& context);
+  explicit ScopedParallelContext(std::nullptr_t);
+  ~ScopedParallelContext();
+  ScopedParallelContext(const ScopedParallelContext&) = delete;
+  ScopedParallelContext& operator=(const ScopedParallelContext&) = delete;
+
+ private:
+  ParallelContext value_;
+  const ParallelContext* previous_;
+  bool installed_;
 };
 
 /// Runs `fn(chunk_begin, chunk_end)` over a static partition of
@@ -68,7 +115,8 @@ class ScopedNumThreads {
 /// the call is nested inside another parallel region, `fn(begin, end)` runs
 /// on the calling thread with no synchronization.
 ///
-/// `num_threads` = 0 uses DefaultNumThreads(). Exceptions thrown by `fn`
+/// `num_threads` = 0 uses the calling thread's ParallelContext budget when
+/// one is installed, else DefaultNumThreads(). Exceptions thrown by `fn`
 /// are caught, the first one is rethrown on the calling thread after all
 /// chunks finish; the library itself never throws from `fn` (it uses
 /// Status/UMVSC_CHECK), so this matters only for user callbacks.

@@ -1,0 +1,82 @@
+#include "exec/arena.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace umvsc::exec {
+
+namespace {
+// Growth cap: past this, additional blocks arrive at a constant size
+// instead of doubling, bounding overshoot on the last block to 16 MiB.
+constexpr std::size_t kMaxBlockBytes = std::size_t{16} << 20;
+
+std::size_t AlignUp(std::size_t value, std::size_t align) {
+  return (value + align - 1) & ~(align - 1);
+}
+}  // namespace
+
+Arena::Arena(std::size_t first_block_bytes)
+    : next_block_bytes_(std::max<std::size_t>(first_block_bytes, 256)) {}
+
+Arena::Block& Arena::GrowFor(std::size_t bytes) {
+  // Later blocks may still have room when an oversized request skipped
+  // ahead; scan forward before appending (Reset() rewinds active_ anyway,
+  // so the scan is O(1) amortized).
+  while (active_ + 1 < blocks_.size()) {
+    ++active_;
+    if (blocks_[active_].capacity - blocks_[active_].used >= bytes) {
+      return blocks_[active_];
+    }
+  }
+  const std::size_t capacity = std::max(bytes, next_block_bytes_);
+  next_block_bytes_ = std::min(kMaxBlockBytes, next_block_bytes_ * 2);
+  Block block;
+  block.data = std::make_unique<unsigned char[]>(capacity);
+  block.capacity = capacity;
+  reserved_ += capacity;
+  blocks_.push_back(std::move(block));
+  active_ = blocks_.size() - 1;
+  return blocks_.back();
+}
+
+void* Arena::Allocate(std::size_t bytes, std::size_t align) {
+  UMVSC_CHECK(align != 0 && (align & (align - 1)) == 0,
+              "arena alignment must be a power of two");
+  bytes = std::max<std::size_t>(bytes, 1);
+  Block* block = blocks_.empty() ? nullptr : &blocks_[active_];
+  std::size_t offset = block == nullptr ? 0 : AlignUp(block->used, align);
+  if (block == nullptr || offset + bytes > block->capacity) {
+    // Worst case the fresh block's base is only malloc-aligned; pad the
+    // request so AlignUp on offset 0 still fits.
+    block = &GrowFor(bytes + align);
+    offset = AlignUp(block->used, align);
+  }
+  void* out = block->data.get() + offset;
+  out = reinterpret_cast<void*>(
+      AlignUp(reinterpret_cast<std::size_t>(out), align));
+  const std::size_t consumed =
+      static_cast<std::size_t>(static_cast<unsigned char*>(out) -
+                               block->data.get()) +
+      bytes - block->used;
+  block->used += consumed;
+  live_ += bytes;
+  lifetime_ += bytes;
+  high_water_ = std::max(high_water_, live_);
+  return out;
+}
+
+void Arena::Reset() {
+  for (Block& block : blocks_) block.used = 0;
+  active_ = 0;
+  live_ = 0;
+}
+
+void Arena::Release() {
+  blocks_.clear();
+  active_ = 0;
+  reserved_ = 0;
+  live_ = 0;
+}
+
+}  // namespace umvsc::exec

@@ -1,0 +1,82 @@
+#ifndef UMVSC_EXEC_ARENA_H_
+#define UMVSC_EXEC_ARENA_H_
+
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace umvsc::exec {
+
+/// Bump allocator for per-job workspace. A worker owns one Arena for its
+/// whole lifetime: each job allocates monotonically (pointer-bump, no
+/// per-allocation bookkeeping), and Reset() between jobs rewinds the
+/// cursors while RETAINING the blocks — so after the first few jobs of a
+/// shape, a worker's steady state performs zero heap traffic for arena
+/// allocations. This is the memory half of the executor's packing story:
+/// N sequential jobs reuse one high-water footprint instead of N.
+///
+/// Allocations are never individually freed and must be trivially
+/// destructible (enforced by New<T>). Not thread-safe — an Arena belongs
+/// to exactly one worker; jobs running concurrently use different arenas.
+class Arena {
+ public:
+  /// Blocks grow geometrically from `first_block_bytes` up to a cap, so a
+  /// tiny job costs one small block and a large one settles in O(log)
+  /// allocations.
+  explicit Arena(std::size_t first_block_bytes = 1 << 16);
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Raw bytes with the given alignment (power of two). Never returns
+  /// null; growth is by appending blocks, so previously returned pointers
+  /// stay valid until Reset().
+  void* Allocate(std::size_t bytes, std::size_t align = alignof(double));
+
+  /// Typed array of `count` default-initialized (NOT zeroed) elements.
+  template <typename T>
+  T* New(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory is rewound, never destroyed");
+    if (count == 0) return nullptr;
+    return static_cast<T*>(Allocate(count * sizeof(T), alignof(T)));
+  }
+
+  /// Rewinds every block's cursor to empty. Blocks are retained (the
+  /// scratch-reuse contract); call Release() to give the memory back.
+  void Reset();
+
+  /// Drops all blocks (the "no reuse" A/B leg of bench/multi_job).
+  void Release();
+
+  /// Bytes currently reserved across retained blocks.
+  std::size_t reserved_bytes() const { return reserved_; }
+  /// Largest total live allocation seen since construction (high-water
+  /// across Resets) — what the steady-state footprint converges to.
+  std::size_t high_water_bytes() const { return high_water_; }
+  /// Lifetime bytes handed out (across Resets) — the traffic the retained
+  /// blocks absorbed.
+  std::size_t lifetime_bytes() const { return lifetime_; }
+
+ private:
+  struct Block {
+    std::unique_ptr<unsigned char[]> data;
+    std::size_t capacity = 0;
+    std::size_t used = 0;
+  };
+
+  Block& GrowFor(std::size_t bytes);
+
+  std::vector<Block> blocks_;
+  std::size_t active_ = 0;  ///< blocks_[active_] is the current bump target
+  std::size_t next_block_bytes_;
+  std::size_t reserved_ = 0;
+  std::size_t live_ = 0;
+  std::size_t high_water_ = 0;
+  std::size_t lifetime_ = 0;
+};
+
+}  // namespace umvsc::exec
+
+#endif  // UMVSC_EXEC_ARENA_H_

@@ -1,0 +1,81 @@
+#include "exec/batcher.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace umvsc::exec {
+
+void CrossJobBatcher::DrainLocked(std::unique_lock<std::mutex>& lock) {
+  while (!procrustes_queue_.empty() || !eigen_queue_.empty()) {
+    std::vector<PendingProcrustes*> pro = std::move(procrustes_queue_);
+    std::vector<PendingEigen*> eig = std::move(eigen_queue_);
+    procrustes_queue_.clear();
+    eigen_queue_.clear();
+    ++stats_.dispatches;
+    stats_.max_batch = std::max(stats_.max_batch, pro.size() + eig.size());
+    lock.unlock();
+    // The slots live on the submitters' stacks; they are parked on done_cv_
+    // until we flip `done` below, so the pointers stay valid here.
+    std::vector<la::ProcrustesProblem> pro_problems(pro.size());
+    for (std::size_t i = 0; i < pro.size(); ++i) {
+      pro_problems[i].input = pro[i]->input;
+      pro_problems[i].output = pro[i]->output;
+    }
+    std::vector<la::SymEigenProblem> eig_problems(eig.size());
+    for (std::size_t i = 0; i < eig.size(); ++i) {
+      eig_problems[i].input = eig[i]->input;
+      eig_problems[i].symmetry_tol = eig[i]->symmetry_tol;
+      eig_problems[i].output = eig[i]->output;
+    }
+    la::BatchedProcrustes(pro_problems.data(), pro_problems.size());
+    la::BatchedSymmetricEigen(eig_problems.data(), eig_problems.size());
+    lock.lock();
+    for (PendingProcrustes* p : pro) p->done = true;
+    for (PendingEigen* e : eig) e->done = true;
+    done_cv_.notify_all();
+  }
+}
+
+void CrossJobBatcher::Rendezvous(std::unique_lock<std::mutex>& lock,
+                                 const bool& done) {
+  ++stats_.requests;
+  if (!leader_active_) {
+    leader_active_ = true;
+    DrainLocked(lock);  // drains our own slot in the first snapshot
+    leader_active_ = false;
+  } else {
+    done_cv_.wait(lock, [&] { return done; });
+  }
+}
+
+StatusOr<la::Matrix> CrossJobBatcher::Procrustes(const la::Matrix& m) {
+  StatusOr<la::Matrix> result = Status::Internal("batched slot not filled");
+  PendingProcrustes node;
+  node.input = &m;
+  node.output = &result;
+  std::unique_lock<std::mutex> lock(mu_);
+  procrustes_queue_.push_back(&node);
+  Rendezvous(lock, node.done);
+  return result;
+}
+
+StatusOr<la::SymEigenResult> CrossJobBatcher::SymEigen(const la::Matrix& a,
+                                                       double symmetry_tol) {
+  StatusOr<la::SymEigenResult> result =
+      Status::Internal("batched slot not filled");
+  PendingEigen node;
+  node.input = &a;
+  node.symmetry_tol = symmetry_tol;
+  node.output = &result;
+  std::unique_lock<std::mutex> lock(mu_);
+  eigen_queue_.push_back(&node);
+  Rendezvous(lock, node.done);
+  return result;
+}
+
+CrossJobBatcher::Stats CrossJobBatcher::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace umvsc::exec

@@ -1,0 +1,74 @@
+#ifndef UMVSC_EXEC_BATCHER_H_
+#define UMVSC_EXEC_BATCHER_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "la/batched.h"
+#include "la/matrix.h"
+#include "la/sym_eigen.h"
+
+namespace umvsc::exec {
+
+/// Cross-job rendezvous for small dense solves — the executor's concrete
+/// la::SmallSolveBatcher. Jobs running on different workers hit their
+/// R-step Procrustes (c × c) and basis eigensolves (p' × p') at roughly
+/// the same cadence; instead of each paying its own dispatch, submitters
+/// enqueue and the first becomes the LEADER: it drains the queue snapshot
+/// through la::BatchedProcrustes / la::BatchedSymmetricEigen (one grain-1
+/// fan-out over the whole batch — team-per-problem), marks the slots done,
+/// and loops until the queue is dry. Non-leaders block until their slot
+/// completes.
+///
+/// Determinism: each batched slot is computed by the EXACT serial kernel
+/// on that slot's input alone (la/batched.h), so a result depends only on
+/// the submitted matrix — never on batch composition, arrival order, or
+/// which thread led. Bitwise identical to calling the serial kernel
+/// directly, which is what la::SmallSolveBatcher requires.
+///
+/// With one worker (or one core) every batch has size 1 and this reduces
+/// to a mutex-guarded serial call — correct, just without the win.
+class CrossJobBatcher : public la::SmallSolveBatcher {
+ public:
+  StatusOr<la::Matrix> Procrustes(const la::Matrix& m) override;
+  StatusOr<la::SymEigenResult> SymEigen(const la::Matrix& a,
+                                        double symmetry_tol) override;
+
+  struct Stats {
+    std::size_t requests = 0;    ///< solves submitted
+    std::size_t dispatches = 0;  ///< batched kernel launches
+    std::size_t max_batch = 0;   ///< largest single dispatch
+  };
+  Stats stats() const;
+
+ private:
+  struct PendingProcrustes {
+    const la::Matrix* input = nullptr;
+    StatusOr<la::Matrix>* output = nullptr;
+    bool done = false;
+  };
+  struct PendingEigen {
+    const la::Matrix* input = nullptr;
+    double symmetry_tol = 1e-8;
+    StatusOr<la::SymEigenResult>* output = nullptr;
+    bool done = false;
+  };
+
+  /// Leader election + drain loop shared by both entry points.
+  void Rendezvous(std::unique_lock<std::mutex>& lock, const bool& done);
+  void DrainLocked(std::unique_lock<std::mutex>& lock);
+
+  mutable std::mutex mu_;
+  std::condition_variable done_cv_;
+  bool leader_active_ = false;
+  std::vector<PendingProcrustes*> procrustes_queue_;
+  std::vector<PendingEigen*> eigen_queue_;
+  Stats stats_;
+};
+
+}  // namespace umvsc::exec
+
+#endif  // UMVSC_EXEC_BATCHER_H_

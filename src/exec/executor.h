@@ -1,0 +1,191 @@
+#ifndef UMVSC_EXEC_EXECUTOR_H_
+#define UMVSC_EXEC_EXECUTOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/arena.h"
+#include "exec/batcher.h"
+#include "exec/stage_cache.h"
+#include "mvsc/solve_hooks.h"
+
+namespace umvsc::exec {
+
+class JobExecutor;
+
+/// Per-job view of the executor's substrate, handed to the job's work
+/// function. Everything here belongs to the WORKER running the job (arena,
+/// scratch) or to the executor as a whole (stage cache, batcher); nothing
+/// may escape the work function.
+class JobContext {
+ public:
+  /// Bump workspace, rewound between the jobs a worker runs.
+  Arena& arena() { return *arena_; }
+  /// Compute-once cache of shared pipeline stages (executor-wide).
+  StageCache& stages() { return *stages_; }
+  /// Cross-job small-solve rendezvous; null when batching is disabled.
+  la::SmallSolveBatcher* batcher() { return batcher_; }
+  /// The solver hook bundle for mvsc::UnifiedOptions::hooks — the worker's
+  /// scratch plus the executor's batcher (or nulls when disabled).
+  mvsc::SolveHooks hooks() { return {batcher_, scratch_}; }
+  /// Cooperative preemption: background jobs should poll this at
+  /// checkpoint boundaries and return early (Status::OK with partial
+  /// effects rolled back, or an error) when set.
+  bool cancel_requested() const;
+  /// The thread budget this job declared (what its nested ParallelFor
+  /// calls will be partitioned over).
+  std::size_t thread_budget() const;
+
+ private:
+  friend class JobExecutor;
+  JobContext() = default;
+  Arena* arena_ = nullptr;
+  StageCache* stages_ = nullptr;
+  la::SmallSolveBatcher* batcher_ = nullptr;
+  mvsc::SolveScratch* scratch_ = nullptr;
+  const std::atomic<bool>* cancel_ = nullptr;
+  std::size_t thread_budget_ = 1;
+};
+
+/// One unit of submitted work.
+struct JobSpec {
+  /// The job body. Runs on an executor worker with a ScopedParallelContext
+  /// installing `thread_budget`, so every nested ParallelFor inside (GEMM
+  /// row blocks, per-view fan-outs) partitions over the budget instead of
+  /// the process default. Exceptions are caught and surfaced as the job's
+  /// status — they never poison sibling jobs or the worker.
+  std::function<Status(JobContext&)> work;
+  /// Threads this job's nested parallel regions may use (level 2 of the
+  /// two-level schedule; the worker itself is level 1). 0 = process
+  /// default. The repo's determinism contract makes results identical at
+  /// every value; the budget only bounds this job's CPU claim.
+  std::size_t thread_budget = 1;
+  /// Background jobs run only when no foreground job is queued — the
+  /// stream re-solve lane. They should poll JobContext::cancel_requested.
+  bool background = false;
+  /// Display/debug name (job status messages).
+  std::string name;
+};
+
+/// Shared-state handle to a submitted job. Copyable; all copies observe
+/// the same job.
+class JobHandle {
+ public:
+  JobHandle() = default;
+
+  /// Blocks until the job completes or is cancelled while pending.
+  void Wait() const;
+  /// True once the job finished, failed, or was cancelled.
+  bool Done() const;
+  /// The job's outcome: the work function's return, Internal for an
+  /// escaped exception, or "cancelled" when cancelled while pending.
+  /// Blocks via Wait().
+  Status Await() const;
+  /// Requests cancellation. A PENDING job is removed from the queue and
+  /// completes with a cancelled status (returns true). A RUNNING job gets
+  /// its cancel flag set — cooperative, the body decides (returns false).
+  /// Already-done jobs: no-op, returns false.
+  bool Cancel();
+
+  bool valid() const { return state_ != nullptr; }
+
+ private:
+  friend class JobExecutor;
+  struct State;
+  explicit JobHandle(std::shared_ptr<State> state)
+      : state_(std::move(state)) {}
+  std::shared_ptr<State> state_;
+};
+
+/// Deterministic multi-tenant job executor: packs many independent solves
+/// onto one substrate — the global thread pool for nested parallelism
+/// (level 2), plus per-worker arenas/scratch, an executor-wide stage
+/// cache, and a cross-job small-solve batcher.
+///
+/// Determinism contract (pinned by exec_executor_test and the
+/// bench/multi_job parity gate): per-job outputs are bitwise identical to
+/// running the same work functions in a plain serial loop, at every
+/// worker count and under every submission order. The pieces: job bodies
+/// depend only on their inputs; nested kernels are thread-count-invariant
+/// (docs/THREADING.md); cache factories are pure (StageCache); batched
+/// slots run the exact serial kernels (CrossJobBatcher). Scheduling
+/// decides only WHEN work happens, never WHAT it computes.
+class JobExecutor {
+ public:
+  struct Options {
+    /// Concurrent jobs (level 1). Distinct from any job's thread budget.
+    std::size_t num_workers = 1;
+    /// Retain each worker's arena blocks and scratch shapes across the
+    /// jobs it runs (the steady-state zero-allocation path). Off = every
+    /// job starts from released state — the A/B leg bench/multi_job
+    /// reports as "no arena".
+    bool reuse_worker_state = true;
+    /// Route hooked small solves through the cross-job rendezvous
+    /// (CrossJobBatcher). Off = jobs get a null batcher and call serial
+    /// kernels directly.
+    bool batch_small_solves = true;
+  };
+
+  JobExecutor();  // default Options
+  explicit JobExecutor(Options options);
+  /// Cancels all pending jobs, flags running ones, and joins the workers.
+  ~JobExecutor();
+
+  JobExecutor(const JobExecutor&) = delete;
+  JobExecutor& operator=(const JobExecutor&) = delete;
+
+  /// Enqueues a job. Foreground jobs run FIFO ahead of background ones.
+  JobHandle Submit(JobSpec spec);
+
+  /// Blocks until every job submitted so far has completed.
+  void WaitAll();
+
+  /// True when called from one of THIS executor's worker threads. Callers
+  /// that might run inside a job use this to avoid submit-and-wait
+  /// deadlock (run inline instead) — see stream::StreamingOptions.
+  bool OnWorkerThread() const;
+
+  /// Executor-wide compute-once stage cache.
+  StageCache& stages() { return stages_; }
+  /// Batching statistics (zeroes when batch_small_solves is off).
+  CrossJobBatcher::Stats batcher_stats() const { return batcher_.stats(); }
+
+  const Options& options() const { return options_; }
+
+ private:
+  struct WorkerSlot {
+    Arena arena;
+    mvsc::SolveScratch scratch;
+  };
+
+  void WorkerLoop(std::size_t worker_index);
+  std::shared_ptr<JobHandle::State> NextJobLocked();
+
+  Options options_;
+  StageCache stages_;
+  CrossJobBatcher batcher_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   ///< workers: queue or stop changed
+  std::condition_variable idle_cv_;   ///< WaitAll: in-flight hit zero
+  std::deque<std::shared_ptr<JobHandle::State>> foreground_;
+  std::deque<std::shared_ptr<JobHandle::State>> background_;
+  std::size_t in_flight_ = 0;  ///< queued + running
+  bool stopping_ = false;
+
+  std::vector<std::unique_ptr<WorkerSlot>> slots_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace umvsc::exec
+
+#endif  // UMVSC_EXEC_EXECUTOR_H_

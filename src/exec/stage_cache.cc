@@ -1,0 +1,69 @@
+#include "exec/stage_cache.h"
+
+#include <utility>
+
+namespace umvsc::exec {
+
+std::shared_ptr<const void> StageCache::GetOrCompute(
+    const std::string& key,
+    const std::function<std::shared_ptr<const void>()>& factory) {
+  for (;;) {
+    std::shared_ptr<Entry> entry;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      auto it = entries_.find(key);
+      if (it != entries_.end()) {
+        entry = it->second;
+        ++hits_;
+        entry->ready_cv.wait(
+            lock, [&] { return entry->ready || entry->failed; });
+        if (entry->ready) return entry->value;
+        continue;  // the computing thread failed and evicted; retry fresh
+      }
+      entry = std::make_shared<Entry>();
+      entries_.emplace(key, entry);
+      ++misses_;
+    }
+    // First requester: compute outside the map lock so other keys proceed.
+    std::shared_ptr<const void> value;
+    try {
+      value = factory();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      entry->failed = true;
+      auto it = entries_.find(key);
+      if (it != entries_.end() && it->second == entry) entries_.erase(it);
+      entry->ready_cv.notify_all();
+      throw;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    entry->value = std::move(value);
+    entry->ready = true;
+    entry->ready_cv.notify_all();
+    return entry->value;
+  }
+}
+
+void StageCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // In-flight entries keep living through their requesters' shared_ptrs;
+  // dropping the map reference only stops future retention.
+  entries_.clear();
+}
+
+std::size_t StageCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::size_t StageCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::size_t StageCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+}  // namespace umvsc::exec

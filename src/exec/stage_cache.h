@@ -1,0 +1,80 @@
+#ifndef UMVSC_EXEC_STAGE_CACHE_H_
+#define UMVSC_EXEC_STAGE_CACHE_H_
+
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace umvsc::exec {
+
+/// Compute-once memoization of shared pipeline stages across jobs.
+///
+/// Tenant sweeps hammer the same prefixes: a fig2-shaped grid re-simulates
+/// the same (dataset, seed) and rebuilds the same graphs for every
+/// (β, γ) cell — 66–87% of per-job cost on the benchmark datasets. Jobs
+/// that key those stages here compute each exactly once per executor;
+/// later requesters (any worker, any submission order) share the
+/// immutable result.
+///
+/// Determinism: the cached value for a key comes from whichever requester
+/// arrived first, but factories must be pure functions of their key, and
+/// every kernel underneath is bitwise deterministic across thread counts
+/// (docs/THREADING.md) — so WHICH job computes a stage cannot change WHAT
+/// is computed, and cached results equal the compute-it-yourself baseline
+/// bit for bit.
+///
+/// Concurrency: the first requester of a key computes OUTSIDE the map
+/// lock (other keys proceed in parallel); duplicate requesters of the
+/// same key block on the entry until it is ready. A factory that throws
+/// evicts its entry and rethrows to the one requester it failed — later
+/// requesters retry fresh.
+class StageCache {
+ public:
+  /// Returns the cached value for `key`, computing it via `factory` on
+  /// first request. The value type is erased; use the typed wrapper below.
+  std::shared_ptr<const void> GetOrCompute(
+      const std::string& key,
+      const std::function<std::shared_ptr<const void>()>& factory);
+
+  /// Typed convenience: `cache.Get<MultiViewGraphs>(key, [&] { ... })`
+  /// where the lambda returns std::shared_ptr<const T> (or something
+  /// convertible).
+  template <typename T, typename Factory>
+  std::shared_ptr<const T> Get(const std::string& key, Factory&& factory) {
+    return std::static_pointer_cast<const T>(GetOrCompute(
+        key, [&factory]() -> std::shared_ptr<const void> {
+          return std::forward<Factory>(factory)();
+        }));
+  }
+
+  /// Drops every entry (entries currently being computed are unaffected —
+  /// their requesters still receive the result; it just isn't retained).
+  void Clear();
+
+  std::size_t size() const;
+  /// Requests served from an already-resident entry (includes waiters that
+  /// blocked on an in-flight computation).
+  std::size_t hits() const;
+  /// Requests that ran the factory.
+  std::size_t misses() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const void> value;
+    bool ready = false;
+    bool failed = false;
+    std::condition_variable ready_cv;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<Entry>> entries_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace umvsc::exec
+
+#endif  // UMVSC_EXEC_STAGE_CACHE_H_

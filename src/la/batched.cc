@@ -1,0 +1,53 @@
+#include "la/batched.h"
+
+#include "common/parallel.h"
+#include "la/ops.h"
+#include "la/svd.h"
+
+namespace umvsc::la {
+
+// All three kernels share one dispatch shape: grain-1 ParallelFor over the
+// problem array, one contiguous run of whole problems per team, the serial
+// kernel per slot. Outputs are write-disjoint caller slots, so the fan-out
+// is deterministic by the pool's static-partition contract.
+
+void BatchedProcrustes(ProcrustesProblem* problems, std::size_t count) {
+  if (problems == nullptr || count == 0) return;
+  ParallelFor(0, count, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t p = lo; p < hi; ++p) {
+      if (problems[p].input == nullptr || problems[p].output == nullptr) {
+        continue;
+      }
+      *problems[p].output = ProcrustesRotation(*problems[p].input);
+    }
+  });
+}
+
+void BatchedSymmetricEigen(SymEigenProblem* problems, std::size_t count) {
+  if (problems == nullptr || count == 0) return;
+  ParallelFor(0, count, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t p = lo; p < hi; ++p) {
+      if (problems[p].input == nullptr || problems[p].output == nullptr) {
+        continue;
+      }
+      *problems[p].output =
+          SymmetricEigen(*problems[p].input, problems[p].symmetry_tol);
+    }
+  });
+}
+
+void BatchedGemm(GemmProblem* problems, std::size_t count) {
+  if (problems == nullptr || count == 0) return;
+  ParallelFor(0, count, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t p = lo; p < hi; ++p) {
+      const GemmProblem& job = problems[p];
+      if (job.a == nullptr || job.b == nullptr || job.output == nullptr) {
+        continue;
+      }
+      *job.output = job.transpose_a ? MatTMul(*job.a, *job.b)
+                                    : MatMul(*job.a, *job.b);
+    }
+  });
+}
+
+}  // namespace umvsc::la

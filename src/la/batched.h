@@ -1,0 +1,88 @@
+#ifndef UMVSC_LA_BATCHED_H_
+#define UMVSC_LA_BATCHED_H_
+
+#include <cstddef>
+
+#include "common/status.h"
+#include "la/matrix.h"
+#include "la/sym_eigen.h"
+
+namespace umvsc::la {
+
+/// Team-per-problem batched small-problem linear algebra.
+///
+/// A multi-tenant workload is many SMALL independent problems — the c × c
+/// Procrustes rotations and p × p reduced eigensolves inside each job's
+/// alternation — not one large one. Solving them one-at-a-time wastes the
+/// pool on sub-grain work; the batched kernels here take an array of
+/// problems and fan one contiguous worker span per run of problems (the
+/// Kokkos/Compadre "team-per-problem" shape: the problem index is the only
+/// argument a team needs). Each slot is solved by EXACTLY the serial
+/// kernel a lone caller would run (`ProcrustesRotation`, `SymmetricEigen`,
+/// `MatMul`), so every output is bitwise identical to the per-problem
+/// serial call regardless of batch composition, batch order, or thread
+/// count — which is what lets the executor opportunistically gather
+/// problems across jobs without touching the determinism contract.
+///
+/// Shapes may be ragged (problems of different sizes in one batch); the
+/// grain-1 static partition simply hands each team a run of whole
+/// problems. Inside a problem the serial kernel runs unchanged (nested
+/// parallel regions degrade to serial on the team's thread).
+
+/// One orthogonal-Procrustes problem: *output = ProcrustesRotation(*input).
+struct ProcrustesProblem {
+  const Matrix* input = nullptr;        ///< square c × c cross-product
+  StatusOr<Matrix>* output = nullptr;   ///< caller-owned result slot
+};
+
+/// Solves every slot; outputs land in the caller's slots (write-disjoint,
+/// deterministic). Null-input or null-output slots are skipped.
+void BatchedProcrustes(ProcrustesProblem* problems, std::size_t count);
+
+/// One dense symmetric eigendecomposition:
+/// *output = SymmetricEigen(*input, symmetry_tol).
+struct SymEigenProblem {
+  const Matrix* input = nullptr;
+  StatusOr<SymEigenResult>* output = nullptr;
+  double symmetry_tol = 1e-8;
+};
+
+void BatchedSymmetricEigen(SymEigenProblem* problems, std::size_t count);
+
+/// One small GEMM: *output = (*a) · (*b), optionally transposing a — the
+/// c × c / p × c products that bracket the small solves (e.g. the FᵀŶ
+/// cross-products feeding Procrustes).
+struct GemmProblem {
+  const Matrix* a = nullptr;
+  const Matrix* b = nullptr;
+  Matrix* output = nullptr;
+  bool transpose_a = false;  ///< true: *output = aᵀ·b (MatTMul)
+};
+
+void BatchedGemm(GemmProblem* problems, std::size_t count);
+
+/// Gathering service for the small solves INSIDE a running job. A solver
+/// hands its c × c Procrustes (or dense eigensolve) to the batcher instead
+/// of solving inline; an implementation may rendezvous concurrent
+/// submissions from sibling jobs into one Batched* kernel call. Because the
+/// batched kernels are slot-for-slot identical to the serial calls, any
+/// implementation that returns the per-problem result preserves bitwise
+/// determinism — batching composition is a pure scheduling decision.
+/// Implementations must be safe for concurrent submission from many
+/// threads; see exec::CrossJobBatcher for the executor's rendezvous
+/// implementation. A null batcher everywhere means "solve inline".
+class SmallSolveBatcher {
+ public:
+  virtual ~SmallSolveBatcher() = default;
+
+  /// Equivalent to ProcrustesRotation(m); may block briefly to batch.
+  virtual StatusOr<Matrix> Procrustes(const Matrix& m) = 0;
+
+  /// Equivalent to SymmetricEigen(a, symmetry_tol).
+  virtual StatusOr<SymEigenResult> SymEigen(const Matrix& a,
+                                            double symmetry_tol = 1e-8) = 0;
+};
+
+}  // namespace umvsc::la
+
+#endif  // UMVSC_LA_BATCHED_H_

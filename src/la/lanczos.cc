@@ -6,6 +6,7 @@
 #include <cmath>
 #include <cstdlib>
 #include <limits>
+#include <mutex>
 #include <string>
 
 #include "common/parallel.h"
@@ -700,6 +701,13 @@ EigensolvePolicy::EigensolvePolicy() {
   // transfer. The env/scope overrides are NOT consulted here — the policy
   // measures both paths regardless of what the process forces, so a later
   // un-forced query still has real data.
+  //
+  // First use may come from an executor worker running a thread-budgeted
+  // job: suspend any installed ParallelContext so the probes time the
+  // process-default pool configuration, not one tenant's budget — the
+  // decision is baked in process-wide and must not depend on which job
+  // happened to trigger it.
+  const ScopedParallelContext no_context(nullptr);
   for (int ni = 0; ni < 2; ++ni) {
     for (int ci = 0; ci < 2; ++ci) {
       const std::size_t n = kProbeN[ni];
@@ -726,8 +734,17 @@ EigensolvePolicy::EigensolvePolicy() {
 }
 
 const EigensolvePolicy& EigensolvePolicy::Get() {
-  static const EigensolvePolicy policy;
-  return policy;
+  // Explicit once-guard rather than a magic static: the calibration body
+  // runs timed probes through the thread pool, and the executor makes
+  // CONCURRENT first use from several worker threads the common case (N
+  // jobs submitted at once all reach their first eigensolve together).
+  // call_once pins the intended semantics — exactly one thread calibrates,
+  // every other first-user blocks until the probes finish, and no probe
+  // ever runs twice (la_policy_concurrent_test exercises exactly this).
+  static std::once_flag once;
+  static const EigensolvePolicy* policy = nullptr;
+  std::call_once(once, [] { policy = new EigensolvePolicy(); });
+  return *policy;
 }
 
 bool EigensolvePolicy::PreferBlock(std::size_t n, std::size_t k) const {

@@ -42,6 +42,17 @@ void MatMulAddInto(const Matrix& a, const Matrix& b, Matrix& c);
 /// MatTMul(a, b) at every thread count.
 void MatTMulInto(const Matrix& a, const Matrix& b, Matrix& c);
 
+/// C = A · B into caller storage (overwritten) — MatMul without the
+/// allocation, for per-iteration products that reuse a scratch buffer
+/// (mvsc::SolveScratch). Requires C pre-shaped to A.rows() × B.cols().
+/// Bitwise equal to MatMul(a, b) at every thread count.
+void MatMulInto(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// C = A · Bᵀ into caller storage (overwritten) — MatMulT without the
+/// allocation. Requires C pre-shaped to A.rows() × B.rows(). Bitwise equal
+/// to MatMulT(a, b) at every thread count.
+void MatMulTInto(const Matrix& a, const Matrix& b, Matrix& c);
+
 /// y = A · x. Requires A.cols() == x.size(). Row-parallel with a
 /// vectorized fixed-tree dot per row; bitwise deterministic across
 /// thread counts.

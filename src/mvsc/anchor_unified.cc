@@ -130,7 +130,8 @@ StatusOr<AnchorUnifiedResult> SolveUnifiedAnchors(
   const la::Matrix concat = la::HConcat(embeddings);
   embeddings.clear();
   la::Matrix mix;
-  StatusOr<la::Matrix> basis_or = JointOrthonormalBasis(concat, c, &mix);
+  StatusOr<la::Matrix> basis_or =
+      JointOrthonormalBasis(concat, c, &mix, options.hooks.batcher);
   if (!basis_or.ok()) return basis_or.status();
   const la::Matrix basis = std::move(*basis_or);
 

@@ -17,10 +17,13 @@ namespace umvsc::mvsc {
 
 StatusOr<la::Matrix> JointOrthonormalBasis(const la::Matrix& concat,
                                            std::size_t min_rank,
-                                           la::Matrix* mix_out) {
+                                           la::Matrix* mix_out,
+                                           la::SmallSolveBatcher* batcher) {
   UMVSC_CHECK(mix_out != nullptr, "mix sink is required");
   const std::size_t p_full = concat.cols();
-  StatusOr<la::SymEigenResult> gram_eig = la::SymmetricEigen(la::Gram(concat));
+  const la::Matrix gram = la::Gram(concat);
+  StatusOr<la::SymEigenResult> gram_eig =
+      batcher != nullptr ? batcher->SymEigen(gram) : la::SymmetricEigen(gram);
   if (!gram_eig.ok()) return gram_eig.status();
   double max_gram = 0.0;
   for (std::size_t j = 0; j < p_full; ++j) {
@@ -175,12 +178,19 @@ StatusOr<ReducedSolveState> SolveReducedAlternation(
   // need from the n-row indicator.
   la::Matrix p_red = la::MatTMul(basis, y_hat);
 
+  // Executor hooks, as on the exact path: scratch-backed temporaries and
+  // batched c × c Procrustes — bitwise-identical iterates either way.
+  SolveScratch local_scratch;
+  SolveScratch& scratch = options.hooks.scratch != nullptr
+                              ? *options.hooks.scratch
+                              : local_scratch;
   double prev_obj = std::numeric_limits<double>::infinity();
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
     // --- G-step: min Tr(GᵀHG) − 2β·Tr(Gᵀ P Rᵀ) on the p-dim Stiefel
     // manifold — the F-step compressed through F = B·G.
     la::CsrMatrix a = combiner.Combine(reduced, weights.coefficients);
-    la::Matrix b = la::MatMulT(p_red, rotation);
+    la::Matrix& b = SolveScratch::Ensure(scratch.b, p, c);
+    la::MatMulTInto(p_red, rotation, b);
     b.Scale(options.beta);
     cluster::GpiOptions gpi;
     gpi.max_iterations = options.gpi_iterations;
@@ -190,19 +200,24 @@ StatusOr<ReducedSolveState> SolveReducedAlternation(
     g = std::move(gstep->f);
 
     // --- R-step: Procrustes on FᵀŶ = GᵀP (c × c — no n-row pass).
-    StatusOr<la::Matrix> rstep = la::ProcrustesRotation(la::MatTMul(g, p_red));
+    la::Matrix& ctc = SolveScratch::Ensure(scratch.ctc, c, c);
+    la::MatTMulInto(g, p_red, ctc);
+    StatusOr<la::Matrix> rstep = options.hooks.batcher != nullptr
+                                     ? options.hooks.batcher->Procrustes(ctc)
+                                     : la::ProcrustesRotation(ctc);
     if (!rstep.ok()) return rstep.status();
     rotation = std::move(*rstep);
 
     // --- Y-step: the one reconstruction per iteration — labels are an
     // n-point object, so the row-argmax of F·R = B·(G·R) must see n rows.
-    f_full = la::MatMul(basis, g);
-    la::Matrix fr = la::MatMul(f_full, rotation);
+    la::MatMulInto(basis, g, f_full);
+    la::Matrix& fr = SolveScratch::Ensure(scratch.fr, f_full.rows(), c);
+    la::MatMulInto(f_full, rotation, fr);
     std::vector<std::size_t> labels = internal::DiscretizeRows(fr, c);
     indicator = cluster::LabelsToIndicator(labels, c);
     y_hat = options.scale_indicator ? cluster::ScaledIndicator(indicator)
                                     : indicator;
-    p_red = la::MatTMul(basis, y_hat);
+    la::MatTMulInto(basis, y_hat, p_red);
 
     // --- α-step: closed form on the reduced traces.
     weights = internal::UpdateWeights(

@@ -1,0 +1,51 @@
+#ifndef UMVSC_MVSC_SOLVE_HOOKS_H_
+#define UMVSC_MVSC_SOLVE_HOOKS_H_
+
+#include "la/batched.h"
+#include "la/matrix.h"
+
+namespace umvsc::mvsc {
+
+/// Reusable per-solve temporaries for the joint alternation loop. Every
+/// outer iteration recomputes the same-shaped products (B = β·Ŷ·Rᵀ, F·R,
+/// FᵀŶ); routing them through one scratch block turns ~3 allocations per
+/// iteration into none after the first. A job executor hands each job its
+/// own scratch (arena-backed reuse across the jobs a worker runs); solves
+/// without one allocate locally, same results. Not thread-safe — one
+/// scratch belongs to exactly one solve at a time.
+struct SolveScratch {
+  la::Matrix b;    ///< n × c right-hand side of the F-step GPI
+  la::Matrix fr;   ///< n × c rotated embedding for the Y-step argmax
+  la::Matrix ctc;  ///< c × c Procrustes input FᵀŶ
+
+  /// Shapes `m` to r × c, reusing storage when the shape already matches
+  /// (the steady state after iteration one; contents are overwritten by
+  /// the Into-style producers, so no zeroing here).
+  static la::Matrix& Ensure(la::Matrix& m, std::size_t r, std::size_t c) {
+    if (m.rows() != r || m.cols() != c) m = la::Matrix(r, c);
+    return m;
+  }
+};
+
+/// Optional substrate hooks threaded into the unified/reduced solvers by
+/// the job executor (exec/executor.h). Both pointers are non-owning and
+/// default to null — a default-constructed SolveHooks is the plain serial
+/// path, byte-identical to the pre-hook solver.
+///
+/// Determinism contract: a batcher must produce results bitwise identical
+/// to the serial kernels it replaces (la::SmallSolveBatcher requires this),
+/// and scratch only changes where results are stored, never their values —
+/// so hooked and unhooked solves agree bitwise, as do solves under any
+/// batch composition.
+struct SolveHooks {
+  /// Cross-job rendezvous for small dense solves (c × c Procrustes, dense
+  /// symmetric eigensolves). Null = call the serial kernel directly.
+  la::SmallSolveBatcher* batcher = nullptr;
+  /// Reusable temporaries for the alternation loop. Null = allocate per
+  /// iteration as before.
+  SolveScratch* scratch = nullptr;
+};
+
+}  // namespace umvsc::mvsc
+
+#endif  // UMVSC_MVSC_SOLVE_HOOKS_H_

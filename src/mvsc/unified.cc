@@ -318,13 +318,21 @@ StatusOr<UnifiedResult> UnifiedMVSC::Run(const MultiViewGraphs& graphs) const {
                          ? cluster::ScaledIndicator(indicator)
                          : indicator;
 
+  // Executor hooks: scratch-backed temporaries and batched small solves.
+  // Both paths produce bitwise-identical iterates (solve_hooks.h), so the
+  // loop below never branches on anything but where results live.
+  SolveScratch local_scratch;
+  SolveScratch& scratch = options_.hooks.scratch != nullptr
+                              ? *options_.hooks.scratch
+                              : local_scratch;
   double prev_obj = std::numeric_limits<double>::infinity();
   for (std::size_t iter = 0; iter < options_.max_iterations; ++iter) {
     // --- F-step: min Tr(FᵀAF) − 2β·Tr(Fᵀ Ŷ Rᵀ) on the Stiefel manifold.
     // Value-only combination over the precomputed union pattern; the GPI is
     // warm-started from the incumbent F below.
     la::CsrMatrix a = combiner.Combine(graphs.laplacians, weights.coefficients);
-    la::Matrix b = la::MatMulT(y_hat, rotation);
+    la::Matrix& b = SolveScratch::Ensure(scratch.b, n, c);
+    la::MatMulTInto(y_hat, rotation, b);
     b.Scale(options_.beta);
     cluster::GpiOptions gpi;
     gpi.max_iterations = options_.gpi_iterations;
@@ -334,13 +342,18 @@ StatusOr<UnifiedResult> UnifiedMVSC::Run(const MultiViewGraphs& graphs) const {
     f = std::move(fstep->f);
 
     // --- R-step: orthogonal Procrustes on FᵀŶ.
+    la::Matrix& ctc = SolveScratch::Ensure(scratch.ctc, c, c);
+    la::MatTMulInto(f, y_hat, ctc);
     StatusOr<la::Matrix> rstep =
-        la::ProcrustesRotation(la::MatTMul(f, y_hat));
+        options_.hooks.batcher != nullptr
+            ? options_.hooks.batcher->Procrustes(ctc)
+            : la::ProcrustesRotation(ctc);
     if (!rstep.ok()) return rstep.status();
     rotation = std::move(*rstep);
 
     // --- Y-step: row-wise argmax of F·R (exact given F, R).
-    la::Matrix fr = la::MatMul(f, rotation);
+    la::Matrix& fr = SolveScratch::Ensure(scratch.fr, n, c);
+    la::MatMulInto(f, rotation, fr);
     std::vector<std::size_t> labels = internal::DiscretizeRows(fr, c);
     indicator = cluster::LabelsToIndicator(labels, c);
     y_hat = options_.scale_indicator ? cluster::ScaledIndicator(indicator)

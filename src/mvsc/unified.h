@@ -9,6 +9,7 @@
 #include "la/lanczos.h"
 #include "la/matrix.h"
 #include "mvsc/graphs.h"
+#include "mvsc/solve_hooks.h"
 
 namespace umvsc::mvsc {
 
@@ -102,6 +103,12 @@ struct UnifiedOptions {
   la::EigensolveMode block_lanczos = la::EigensolveMode::kAuto;
   /// Large-scale anchor mode (disabled by default — see UnifiedAnchorOptions).
   UnifiedAnchorOptions anchors;
+  /// Executor substrate hooks (solve_hooks.h): an optional cross-job small-
+  /// solve batcher and reusable scratch. Defaults to the plain serial path;
+  /// with hooks installed, results stay bitwise identical (the hooks'
+  /// determinism contract), only allocation and scheduling change. The
+  /// pointers are non-owning and must outlive the Run() call.
+  SolveHooks hooks;
   std::uint64_t seed = 0;
 };
 

@@ -1,0 +1,106 @@
+// Tests of the compute-once stage cache: single factory run per key,
+// concurrent duplicate requesters sharing one in-flight computation, the
+// throwing-factory evict-and-retry contract, and the hit/miss accounting
+// bench/multi_job reports.
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/stage_cache.h"
+
+namespace umvsc::exec {
+namespace {
+
+std::shared_ptr<const int> MakeInt(int value) {
+  return std::make_shared<const int>(value);
+}
+
+TEST(StageCacheTest, ComputesOncePerKey) {
+  StageCache cache;
+  int factory_runs = 0;
+  auto factory = [&] {
+    ++factory_runs;
+    return MakeInt(42);
+  };
+  std::shared_ptr<const int> first = cache.Get<int>("k", factory);
+  std::shared_ptr<const int> second = cache.Get<int>("k", factory);
+  EXPECT_EQ(factory_runs, 1);
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(*first, 42);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(StageCacheTest, DistinctKeysComputeIndependently) {
+  StageCache cache;
+  EXPECT_EQ(*cache.Get<int>("a", [] { return MakeInt(1); }), 1);
+  EXPECT_EQ(*cache.Get<int>("b", [] { return MakeInt(2); }), 2);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(StageCacheTest, ConcurrentRequestersShareOneComputation) {
+  StageCache cache;
+  std::atomic<int> factory_runs{0};
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<const int>> results(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &factory_runs, &results, t] {
+      results[t] = cache.Get<int>("shared", [&factory_runs] {
+        factory_runs.fetch_add(1);
+        // Hold the computation open long enough that the other threads
+        // arrive while it is in flight and must wait, not recompute.
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        return MakeInt(7);
+      });
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(factory_runs.load(), 1);
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_NE(results[t], nullptr);
+    EXPECT_EQ(*results[t], 7);
+    EXPECT_EQ(results[t].get(), results[0].get());
+  }
+  EXPECT_EQ(cache.hits() + cache.misses(), static_cast<std::size_t>(kThreads));
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(StageCacheTest, ThrowingFactoryEvictsAndLaterRequestersRetry) {
+  StageCache cache;
+  EXPECT_THROW(cache.Get<int>("k",
+                              []() -> std::shared_ptr<const int> {
+                                throw std::runtime_error("stage failed");
+                              }),
+               std::runtime_error);
+  EXPECT_EQ(cache.size(), 0u);  // the failed entry did not stick
+  // A later requester runs the factory fresh and succeeds.
+  EXPECT_EQ(*cache.Get<int>("k", [] { return MakeInt(9); }), 9);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(StageCacheTest, ClearDropsEntriesButKeepsCounters) {
+  StageCache cache;
+  cache.Get<int>("k", [] { return MakeInt(1); });
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  int factory_runs = 0;
+  cache.Get<int>("k", [&factory_runs] {
+    ++factory_runs;
+    return MakeInt(1);
+  });
+  EXPECT_EQ(factory_runs, 1);  // a fresh miss after Clear
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+}  // namespace
+}  // namespace umvsc::exec

@@ -1,0 +1,152 @@
+// Tests of the team-per-problem batched small-solve kernels: every slot
+// must equal the serial kernel bitwise — independent of batch composition,
+// ragged shapes, or thread count — because that equivalence is what lets
+// the executor gather solves across jobs without touching the determinism
+// contract.
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "la/batched.h"
+#include "la/matrix.h"
+#include "la/ops.h"
+#include "la/svd.h"
+#include "la/sym_eigen.h"
+
+namespace umvsc::la {
+namespace {
+
+Matrix TestMatrix(std::size_t rows, std::size_t cols, std::uint64_t salt) {
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      m(i, j) = std::cos(static_cast<double>(salt + i * cols + j + 1));
+    }
+  }
+  return m;
+}
+
+Matrix SymmetricTestMatrix(std::size_t n, std::uint64_t salt) {
+  Matrix m = TestMatrix(n, n, salt);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      m(i, j) = m(j, i);
+    }
+    m(i, i) += 2.0;
+  }
+  return m;
+}
+
+void ExpectBitwiseEqual(const Matrix& a, const Matrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      ASSERT_EQ(a(i, j), b(i, j)) << "at (" << i << ", " << j << ")";
+    }
+  }
+}
+
+TEST(BatchedProcrustesTest, RaggedBatchMatchesSerialBitwise) {
+  // Ragged shapes in one batch: c ∈ {2, 3, 4, 5}.
+  std::vector<Matrix> inputs;
+  for (std::size_t k = 0; k < 8; ++k) {
+    inputs.push_back(TestMatrix(2 + k % 4, 2 + k % 4, 101 * (k + 1)));
+  }
+  std::vector<StatusOr<Matrix>> outputs(
+      inputs.size(), StatusOr<Matrix>(Status::Internal("unfilled")));
+  std::vector<ProcrustesProblem> problems(inputs.size());
+  for (std::size_t k = 0; k < inputs.size(); ++k) {
+    problems[k].input = &inputs[k];
+    problems[k].output = &outputs[k];
+  }
+  BatchedProcrustes(problems.data(), problems.size());
+  for (std::size_t k = 0; k < inputs.size(); ++k) {
+    StatusOr<Matrix> serial = ProcrustesRotation(inputs[k]);
+    ASSERT_TRUE(serial.ok());
+    ASSERT_TRUE(outputs[k].ok()) << outputs[k].status().ToString();
+    ExpectBitwiseEqual(*outputs[k], *serial);
+  }
+}
+
+TEST(BatchedProcrustesTest, ResultIndependentOfBatchCompositionAndThreads) {
+  const Matrix probe = TestMatrix(4, 4, 999);
+  StatusOr<Matrix> alone = Status::Internal("unfilled");
+  ProcrustesProblem solo{&probe, &alone};
+  BatchedProcrustes(&solo, 1);
+  ASSERT_TRUE(alone.ok());
+
+  // Same problem embedded in a larger batch, at several thread counts.
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    ScopedNumThreads scoped(threads);
+    std::vector<Matrix> inputs{TestMatrix(3, 3, 1), probe,
+                               TestMatrix(5, 5, 2), TestMatrix(2, 2, 3)};
+    std::vector<StatusOr<Matrix>> outputs(
+        inputs.size(), StatusOr<Matrix>(Status::Internal("unfilled")));
+    std::vector<ProcrustesProblem> problems(inputs.size());
+    for (std::size_t k = 0; k < inputs.size(); ++k) {
+      problems[k] = {&inputs[k], &outputs[k]};
+    }
+    BatchedProcrustes(problems.data(), problems.size());
+    ASSERT_TRUE(outputs[1].ok());
+    ExpectBitwiseEqual(*outputs[1], *alone);
+  }
+}
+
+TEST(BatchedProcrustesTest, NullSlotsAreSkipped) {
+  const Matrix input = TestMatrix(3, 3, 5);
+  StatusOr<Matrix> output = Status::Internal("unfilled");
+  std::vector<ProcrustesProblem> problems(3);
+  problems[0] = {nullptr, &output};   // null input: skipped
+  problems[1] = {&input, nullptr};    // null output: skipped
+  problems[2] = {&input, &output};
+  BatchedProcrustes(problems.data(), problems.size());
+  ASSERT_TRUE(output.ok());
+  BatchedProcrustes(nullptr, 0);  // empty batch is a no-op
+}
+
+TEST(BatchedSymmetricEigenTest, MatchesSerialBitwise) {
+  std::vector<Matrix> inputs;
+  for (std::size_t k = 0; k < 6; ++k) {
+    inputs.push_back(SymmetricTestMatrix(3 + k % 3, 7 * (k + 1)));
+  }
+  std::vector<StatusOr<SymEigenResult>> outputs(
+      inputs.size(),
+      StatusOr<SymEigenResult>(Status::Internal("unfilled")));
+  std::vector<SymEigenProblem> problems(inputs.size());
+  for (std::size_t k = 0; k < inputs.size(); ++k) {
+    problems[k].input = &inputs[k];
+    problems[k].output = &outputs[k];
+  }
+  BatchedSymmetricEigen(problems.data(), problems.size());
+  for (std::size_t k = 0; k < inputs.size(); ++k) {
+    StatusOr<SymEigenResult> serial = SymmetricEigen(inputs[k]);
+    ASSERT_TRUE(serial.ok());
+    ASSERT_TRUE(outputs[k].ok()) << outputs[k].status().ToString();
+    for (std::size_t i = 0; i < serial->eigenvalues.size(); ++i) {
+      ASSERT_EQ(outputs[k]->eigenvalues[i], serial->eigenvalues[i]);
+    }
+    ExpectBitwiseEqual(outputs[k]->eigenvectors, serial->eigenvectors);
+  }
+}
+
+TEST(BatchedGemmTest, BothTransposeFlavorsMatchSerialBitwise) {
+  const Matrix a = TestMatrix(6, 4, 11);
+  const Matrix b = TestMatrix(4, 3, 13);
+  const Matrix at = TestMatrix(4, 6, 17);  // for the aᵀ·b flavor
+  Matrix plain_out;
+  Matrix transposed_out;
+  std::vector<GemmProblem> problems(2);
+  problems[0] = {&a, &b, &plain_out, /*transpose_a=*/false};
+  problems[1] = {&at, &b, &transposed_out, /*transpose_a=*/true};
+  BatchedGemm(problems.data(), problems.size());
+  ExpectBitwiseEqual(plain_out, MatMul(a, b));
+  ExpectBitwiseEqual(transposed_out, MatTMul(at, b));
+}
+
+}  // namespace
+}  // namespace umvsc::la

@@ -1,0 +1,55 @@
+// Concurrent-first-use test of the eigensolver auto-policy. The policy
+// calibrates lazily behind std::call_once; this binary's FIRST touch of
+// EigensolvePolicy::Get() happens from many threads at once, pinning that
+// exactly one calibration runs, every caller blocks until it finishes, and
+// all callers see the same fully-built instance. Lives in its own binary
+// (fresh process) precisely so nothing else triggers the calibration
+// before the race does.
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "la/lanczos.h"
+
+namespace umvsc::la {
+namespace {
+
+TEST(EigensolvePolicyConcurrentTest, FirstUseFromManyThreadsCalibratesOnce) {
+  constexpr int kThreads = 8;
+  std::vector<const EigensolvePolicy*> seen(kThreads, nullptr);
+  std::atomic<int> ready{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&seen, &ready, t] {
+      // Spin until every thread exists so the Get() calls really race.
+      ready.fetch_add(1);
+      while (ready.load() < kThreads) {
+      }
+      seen[t] = &EigensolvePolicy::Get();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_NE(seen[t], nullptr);
+    // One instance: every racer resolved the same address.
+    EXPECT_EQ(seen[t], seen[0]);
+  }
+  // The instance each racer saw was fully calibrated, not part-built.
+  ASSERT_EQ(seen[0]->probes().size(), 4u);
+  for (const EigensolvePolicy::Probe& probe : seen[0]->probes()) {
+    EXPECT_GT(probe.n, 0u);
+    EXPECT_GT(probe.block_seconds, 0.0);
+    EXPECT_GT(probe.single_seconds, 0.0);
+  }
+}
+
+TEST(EigensolvePolicyConcurrentTest, LaterUseIsTheSameInstance) {
+  EXPECT_EQ(&EigensolvePolicy::Get(), &EigensolvePolicy::Get());
+}
+
+}  // namespace
+}  // namespace umvsc::la

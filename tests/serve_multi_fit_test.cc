@@ -1,0 +1,134 @@
+// Tests of the executor-backed multi-tenant fit: every tenant's model
+// lands in the registry, predictions are bitwise identical to a serial
+// one-at-a-time fit at every worker count, and a broken tenant reports its
+// failure without touching its siblings.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "exec/executor.h"
+#include "mvsc/graphs.h"
+#include "mvsc/out_of_sample.h"
+#include "mvsc/unified.h"
+#include "serve/multi_fit.h"
+#include "serve/registry.h"
+
+namespace umvsc::serve {
+namespace {
+
+data::MultiViewDataset TestDataset(std::uint64_t seed) {
+  StatusOr<data::MultiViewDataset> dataset =
+      data::SimulateBenchmark("MSRC-v1", seed, /*scale=*/0.25);
+  EXPECT_TRUE(dataset.ok());
+  return std::move(*dataset);
+}
+
+TenantFitSpec SpecFor(const std::string& id,
+                      const data::MultiViewDataset& training, double beta) {
+  TenantFitSpec spec;
+  spec.model_id = id;
+  spec.training = &training;
+  spec.unified.num_clusters = training.NumClusters();
+  spec.unified.beta = beta;
+  spec.unified.seed = 7;
+  return spec;
+}
+
+std::vector<std::size_t> SerialFitPredict(
+    const data::MultiViewDataset& training, double beta,
+    const data::MultiViewDataset& batch) {
+  mvsc::UnifiedOptions options;
+  options.num_clusters = training.NumClusters();
+  options.beta = beta;
+  options.seed = 7;
+  StatusOr<mvsc::UnifiedResult> solved =
+      mvsc::UnifiedMVSC(options).Run(training, mvsc::GraphOptions());
+  EXPECT_TRUE(solved.ok());
+  StatusOr<mvsc::OutOfSampleModel> model = mvsc::OutOfSampleModel::Fit(
+      training, solved->labels, solved->view_weights);
+  EXPECT_TRUE(model.ok());
+  StatusOr<std::vector<std::size_t>> labels = model->Predict(batch);
+  EXPECT_TRUE(labels.ok());
+  return *labels;
+}
+
+TEST(MultiFitTest, FitsEveryTenantAndInstallsInRegistry) {
+  const data::MultiViewDataset training_a = TestDataset(1);
+  const data::MultiViewDataset training_b = TestDataset(2);
+  exec::JobExecutor::Options options;
+  options.num_workers = 2;
+  exec::JobExecutor executor(options);
+  ModelRegistry registry;
+  std::vector<TenantFitSpec> specs = {SpecFor("tenant-a", training_a, 1.0),
+                                      SpecFor("tenant-b", training_b, 0.1)};
+  const std::vector<TenantFitReport> reports =
+      FitTenantModels(executor, specs, &registry);
+  ASSERT_EQ(reports.size(), 2u);
+  for (const TenantFitReport& report : reports) {
+    EXPECT_TRUE(report.status.ok()) << report.model_id << ": "
+                                    << report.status.ToString();
+  }
+  EXPECT_EQ(registry.size(), 2u);
+  EXPECT_TRUE(registry.Get("tenant-a").ok());
+  EXPECT_TRUE(registry.Get("tenant-b").ok());
+}
+
+TEST(MultiFitTest, ModelsMatchSerialFitsBitwiseAtEveryWorkerCount) {
+  const data::MultiViewDataset training_a = TestDataset(1);
+  const data::MultiViewDataset training_b = TestDataset(2);
+  const data::MultiViewDataset probe = TestDataset(3);
+  const std::vector<std::size_t> serial_a =
+      SerialFitPredict(training_a, 1.0, probe);
+  const std::vector<std::size_t> serial_b =
+      SerialFitPredict(training_b, 0.1, probe);
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{2}}) {
+    exec::JobExecutor::Options options;
+    options.num_workers = workers;
+    exec::JobExecutor executor(options);
+    ModelRegistry registry;
+    // Reversed submission order relative to the serial loop, on purpose.
+    std::vector<TenantFitSpec> specs = {SpecFor("b", training_b, 0.1),
+                                        SpecFor("a", training_a, 1.0)};
+    const std::vector<TenantFitReport> reports =
+        FitTenantModels(executor, specs, &registry);
+    for (const TenantFitReport& report : reports) {
+      ASSERT_TRUE(report.status.ok()) << report.status.ToString();
+    }
+    StatusOr<ModelHandle> model_a = registry.Get("a");
+    StatusOr<ModelHandle> model_b = registry.Get("b");
+    ASSERT_TRUE(model_a.ok());
+    ASSERT_TRUE(model_b.ok());
+    StatusOr<std::vector<std::size_t>> labels_a = (*model_a)->Predict(probe);
+    StatusOr<std::vector<std::size_t>> labels_b = (*model_b)->Predict(probe);
+    ASSERT_TRUE(labels_a.ok());
+    ASSERT_TRUE(labels_b.ok());
+    EXPECT_EQ(*labels_a, serial_a) << "workers " << workers;
+    EXPECT_EQ(*labels_b, serial_b) << "workers " << workers;
+  }
+}
+
+TEST(MultiFitTest, FailedTenantReportsWithoutPoisoningSiblings) {
+  const data::MultiViewDataset training = TestDataset(1);
+  exec::JobExecutor executor;
+  ModelRegistry registry;
+  TenantFitSpec broken;  // no training dataset
+  broken.model_id = "broken";
+  std::vector<TenantFitSpec> specs = {broken,
+                                      SpecFor("healthy", training, 1.0)};
+  const std::vector<TenantFitReport> reports =
+      FitTenantModels(executor, specs, &registry);
+  ASSERT_EQ(reports.size(), 2u);
+  EXPECT_FALSE(reports[0].status.ok());
+  EXPECT_EQ(reports[0].model_id, "broken");
+  EXPECT_TRUE(reports[1].status.ok()) << reports[1].status.ToString();
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_TRUE(registry.Get("healthy").ok());
+  EXPECT_FALSE(registry.Get("broken").ok());
+}
+
+}  // namespace
+}  // namespace umvsc::serve
